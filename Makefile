@@ -1,0 +1,31 @@
+.PHONY: all build test bench examples csv clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Regenerate every paper table/figure + ablations + Bechamel timings.
+bench:
+	dune exec bench/main.exe
+
+# Run every example end to end.
+examples: build
+	dune exec examples/quickstart.exe
+	dune exec examples/sil_judgement.exe
+	dune exec examples/claim_reduction.exe
+	dune exec examples/delphi_panel.exe
+	dune exec examples/operating_experience.exe
+	dune exec examples/assurance_case.exe
+	dune exec examples/risk_assessment.exe
+	dune exec examples/regime_comparison.exe
+
+# Export the raw figure series for external plotting.
+csv:
+	dune exec bin/confcase.exe -- figures --csv figures_csv
+
+clean:
+	dune clean
