@@ -1,0 +1,76 @@
+(* Bench harness: regenerates every table and figure of the paper (the
+   reproduction output recorded in EXPERIMENTS.md), then times each
+   generator with Bechamel.
+
+   Usage:
+     main.exe            reproduction output + timings
+     main.exe --no-perf  reproduction output only
+     main.exe <id>       one experiment (see the registry for ids) *)
+
+let print_experiment (id, anchor, f) =
+  Printf.printf "################ [%s] %s ################\n\n%s\n" id anchor
+    (f ())
+
+let run_reproductions () =
+  print_endline
+    "Reproduction of: Bloomfield, Littlewood, Wright — \"Confidence: its \
+     role in\ndependability cases for risk assessment\", DSN 2007.\n";
+  List.iter print_experiment Repro.Experiments.all;
+  print_endline
+    "################ Ablations (library design choices) ################\n";
+  List.iter print_experiment Repro.Ablations.all
+
+let run_perf () =
+  let open Bechamel in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let analysis =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  print_endline "################ Bechamel timings ################\n";
+  Printf.printf "%-16s %16s %8s\n" "experiment" "time/run" "samples";
+  print_endline (String.make 42 '-');
+  List.iter
+    (fun (id, _, f) ->
+      let test =
+        Test.make ~name:id
+          (Staged.stage (fun () -> ignore (Sys.opaque_identity (f ()))))
+      in
+      List.iter
+        (fun elt ->
+          let result = Benchmark.run cfg [ instance ] elt in
+          let ols = Analyze.one analysis instance result in
+          let nanos =
+            match Analyze.OLS.estimates ols with
+            | Some [ est ] -> est
+            | Some _ | None -> nan
+          in
+          let time_str =
+            if nanos >= 1e9 then Printf.sprintf "%.3f s" (nanos /. 1e9)
+            else if nanos >= 1e6 then Printf.sprintf "%.3f ms" (nanos /. 1e6)
+            else Printf.sprintf "%.3f us" (nanos /. 1e3)
+          in
+          Printf.printf "%-16s %16s %8d\n" (Test.Elt.name elt) time_str
+            result.Benchmark.stats.samples)
+        (Test.elements test))
+    Repro.Experiments.all
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "--no-perf" ] -> run_reproductions ()
+  | [] ->
+    run_reproductions ();
+    run_perf ()
+  | [ id ] ->
+    (match Repro.Experiments.run_one id with
+    | output -> print_string output
+    | exception Not_found ->
+      Printf.eprintf "unknown experiment %s; known ids:\n" id;
+      List.iter
+        (fun (i, anchor, _) -> Printf.eprintf "  %-14s %s\n" i anchor)
+        Repro.Experiments.all;
+      exit 1)
+  | _ ->
+    prerr_endline "usage: main.exe [--no-perf | <experiment-id>]";
+    exit 1

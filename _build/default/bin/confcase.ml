@@ -1,0 +1,562 @@
+(* confcase — command-line interface to the confidence calculus.
+
+   Subcommands:
+     figures      regenerate the paper's tables and figures (+ CSV export)
+     judge        judge a SIL from a belief (fitted or from a belief file)
+     conservative solve the worst-case bound in either direction
+     delphi       run the simulated expert panel
+     experience   plan failure-free testing toward a confidence target
+     elicit       fit a belief from elicited points, emit a belief file
+     case         evaluate a dependability-case file
+     risk         layer-of-protection analysis with confidence *)
+
+open Cmdliner
+
+let positive_float ~what v =
+  if v <= 0.0 then `Error (Printf.sprintf "%s must be positive" what)
+  else `Ok v
+
+(* --- figures ------------------------------------------------------------ *)
+
+let figures_cmd =
+  let id =
+    let doc = "Experiment id (omit for all).  Known ids: $(b,table1), \
+               $(b,figure1)-$(b,figure5), $(b,conservative), \
+               $(b,perfection), $(b,standards), $(b,gamma), $(b,tailcut), \
+               $(b,pbox), $(b,multileg), $(b,mtbf), $(b,acarp), $(b,decisions)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let csv_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR"
+          ~doc:"Also write every figure's raw series as CSV files into DIR")
+  in
+  let write_csvs dir =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iter
+      (fun (name, content) ->
+        let path = Filename.concat dir name in
+        let oc = open_out path in
+        output_string oc content;
+        close_out oc;
+        Printf.printf "wrote %s\n" path)
+      (Repro.Experiments.csv_exports ())
+  in
+  let run id csv =
+    (match csv with Some dir -> write_csvs dir | None -> ());
+    match id with
+    | None when csv <> None -> `Ok ()
+    | None ->
+      List.iter
+        (fun (i, anchor, f) ->
+          Printf.printf "################ [%s] %s ################\n\n%s\n" i
+            anchor (f ()))
+        Repro.Experiments.all;
+      `Ok ()
+    | Some id ->
+      (match Repro.Experiments.run_one id with
+      | out ->
+        print_string out;
+        `Ok ()
+      | exception Not_found ->
+        `Error (false, Printf.sprintf "unknown experiment id %s" id))
+  in
+  let info =
+    Cmd.info "figures" ~doc:"Regenerate the paper's tables and figures"
+  in
+  Cmd.v info Term.(ret (const run $ id $ csv_dir))
+
+(* --- judge --------------------------------------------------------------- *)
+
+let judge_cmd =
+  let mode_arg =
+    Arg.(
+      value
+      & opt float 3e-3
+      & info [ "mode" ] ~docv:"PFD" ~doc:"Most likely pfd of the judgement")
+  in
+  let sigma_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "sigma" ] ~docv:"S" ~doc:"Spread of the lognormal judgement")
+  in
+  let bound_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "bound" ] ~docv:"PFD"
+          ~doc:"Elicited bound (use with --confidence instead of --sigma)")
+  in
+  let confidence_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "confidence" ] ~docv:"P" ~doc:"Confidence that pfd <= bound")
+  in
+  let gamma_arg =
+    Arg.(
+      value & flag
+      & info [ "gamma" ] ~doc:"Use a gamma judgement instead of lognormal")
+  in
+  let belief_file_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "belief-file" ] ~docv:"FILE"
+          ~doc:"Read the belief from a belief file instead of fitting one")
+  in
+  let run mode sigma bound confidence use_gamma belief_file =
+    match positive_float ~what:"--mode" mode with
+    | `Error e -> `Error (false, e)
+    | `Ok mode ->
+      let family =
+        if use_gamma then Sil.Judgement.Gamma else Sil.Judgement.Lognormal
+      in
+      let judgement =
+        match (belief_file, sigma, bound, confidence) with
+        | Some path, None, None, None ->
+          (try Ok (`Belief (Elicit.Belief_format.parse_file path))
+           with Elicit.Belief_format.Parse_error e ->
+             Error (Printf.sprintf "%s:%d: %s" path e.line e.message))
+        | None, Some s, None, None ->
+          Ok (`Dist (Sil.Judgement.belief_of_mode_sigma family ~mode ~sigma:s))
+        | None, None, Some b, Some c ->
+          (try
+             Ok
+               (`Dist
+                 (match family with
+                 | Sil.Judgement.Lognormal ->
+                   Dist.Fit.lognormal_of_mode_confidence ~mode ~bound:b
+                     ~confidence:c
+                 | Sil.Judgement.Gamma ->
+                   Dist.Fit.gamma_of_mode_confidence ~mode ~bound:b
+                     ~confidence:c))
+           with Dist.Fit.Fit_error msg -> Error msg)
+        | _ ->
+          Error
+            "provide exactly one of: --belief-file, --sigma, or --bound with \
+             --confidence"
+      in
+      (match judgement with
+      | Error msg -> `Error (false, msg)
+      | Ok source ->
+        let belief =
+          match source with
+          | `Belief b -> b
+          | `Dist d -> Dist.Mixture.of_dist d
+        in
+        (match source with
+        | `Dist d ->
+          Printf.printf "Judgement: %s\n  mean pfd %.4g (mode %.4g)\n"
+            d.Dist.name d.Dist.mean (Option.get d.Dist.mode)
+        | `Belief b ->
+          Printf.printf "Judgement: %s\n  mean pfd %.4g\n"
+            (Dist.Mixture.name b) (Dist.Mixture.mean b));
+        Printf.printf "  SIL by mean: %s\n"
+          (Sil.Band.classification_to_string
+             (Sil.Judgement.judged_by_mean belief ~mode:Sil.Band.Low_demand));
+        List.iter
+          (fun band ->
+            Printf.printf "  P(%s or better) = %.4f\n"
+              (Sil.Band.to_string band)
+              (Sil.Judgement.confidence_at_least belief ~mode:Sil.Band.Low_demand
+                 band))
+          (List.rev Sil.Band.all);
+        List.iter
+          (fun conf ->
+            match
+              Confidence.Decision.strongest_claimable ~confidence:conf belief
+            with
+            | Some band ->
+              Printf.printf "  claimable at %.0f%%: %s\n" (conf *. 100.0)
+                (Sil.Band.to_string band)
+            | None ->
+              Printf.printf "  claimable at %.0f%%: nothing\n" (conf *. 100.0))
+          [ 0.7; 0.9; 0.99 ];
+        `Ok ())
+  in
+  let info =
+    Cmd.info "judge" ~doc:"Judge a SIL from a belief about the pfd"
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ mode_arg $ sigma_arg $ bound_arg $ confidence_arg
+       $ gamma_arg $ belief_file_arg))
+
+(* --- conservative --------------------------------------------------------- *)
+
+let conservative_cmd =
+  let target_arg =
+    Arg.(
+      required
+      & opt (some float) None
+      & info [ "target" ] ~docv:"P"
+          ~doc:"Required failure probability on a random demand")
+  in
+  let bound_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "bound" ] ~docv:"PFD" ~doc:"Claim bound y* (solve for confidence)")
+  in
+  let confidence_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "confidence" ] ~docv:"P"
+          ~doc:"Claim confidence (solve for the bound)")
+  in
+  let perfection_arg =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "perfection" ] ~docv:"P0"
+          ~doc:"Probability mass on pfd = 0 (footnote-3 variant)")
+  in
+  let run target bound confidence p0 =
+    try
+      match (bound, confidence) with
+      | Some y, Some c ->
+        let claim = Confidence.Claim.make ~bound:y ~confidence:c in
+        let b =
+          if p0 > 0.0 then
+            Confidence.Conservative.failure_bound_perfection claim ~p0
+          else Confidence.Conservative.failure_bound claim
+        in
+        Printf.printf
+          "Worst-case failure probability: %.6g (%s the target %.4g)\n" b
+          (if b <= target then "meets" else "MISSES")
+          target;
+        `Ok ()
+      | Some y, None ->
+        let c = Confidence.Conservative.required_confidence ~target ~bound:y in
+        Printf.printf
+          "To support %.4g with a claim at %.4g: confidence >= %.6f (doubt \
+           <= %.4g)\n"
+          target y c (1.0 -. c);
+        `Ok ()
+      | None, Some c ->
+        let y = Confidence.Conservative.required_bound ~target ~confidence:c in
+        Printf.printf
+          "To support %.4g at confidence %.4f: claim bound <= %.6g\n" target c
+          y;
+        `Ok ()
+      | None, None ->
+        List.iter
+          (fun (label, claim, b) ->
+            Printf.printf "%-40s %s -> bound %.4g\n" label
+              (Confidence.Claim.to_string claim)
+              b)
+          (Confidence.Conservative.examples ~target);
+        `Ok ()
+    with
+    | Confidence.Conservative.Infeasible msg -> `Error (false, msg)
+    | Invalid_argument msg -> `Error (false, msg)
+  in
+  let info =
+    Cmd.info "conservative"
+      ~doc:"Solve the worst-case bound x + y - xy in either direction"
+  in
+  Cmd.v info
+    Term.(
+      ret (const run $ target_arg $ bound_arg $ confidence_arg $ perfection_arg))
+
+(* --- delphi ---------------------------------------------------------------- *)
+
+let delphi_cmd =
+  let seed_arg =
+    Arg.(value & opt int 61508 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed")
+  in
+  let experts_arg =
+    Arg.(
+      value & opt int 12 & info [ "experts" ] ~docv:"N" ~doc:"Panel size")
+  in
+  let doubters_arg =
+    Arg.(
+      value & opt int 3 & info [ "doubters" ] ~docv:"N" ~doc:"Doubter count")
+  in
+  let true_pfd_arg =
+    Arg.(
+      value
+      & opt float 3e-3
+      & info [ "true-pfd" ] ~docv:"PFD" ~doc:"Scenario ground truth")
+  in
+  let run seed n_experts n_doubters true_pfd =
+    try
+      let config =
+        { Elicit.Delphi.default_config with seed; n_experts; n_doubters; true_pfd }
+      in
+      let result = Elicit.Delphi.run config in
+      print_string (Elicit.Delphi.summary_table result);
+      let final = Elicit.Delphi.final result in
+      Printf.printf
+        "\nFinal pooled judgement: mean pfd %.4g, P(SIL2+) = %.3f\n"
+        final.pooled_mean final.confidence_sil2;
+      `Ok ()
+    with Invalid_argument msg -> `Error (false, msg)
+  in
+  let info = Cmd.info "delphi" ~doc:"Run the simulated expert panel" in
+  Cmd.v info
+    Term.(
+      ret (const run $ seed_arg $ experts_arg $ doubters_arg $ true_pfd_arg))
+
+(* --- experience ------------------------------------------------------------ *)
+
+let experience_cmd =
+  let mode_arg =
+    Arg.(
+      value & opt float 3e-3 & info [ "mode" ] ~docv:"PFD" ~doc:"Judgement mode")
+  in
+  let sigma_arg =
+    Arg.(
+      value & opt float 0.9 & info [ "sigma" ] ~docv:"S" ~doc:"Judgement spread")
+  in
+  let confidence_arg =
+    Arg.(
+      value
+      & opt float 0.9
+      & info [ "confidence" ] ~docv:"P" ~doc:"Required confidence")
+  in
+  let max_arg =
+    Arg.(
+      value
+      & opt int 1_000_000
+      & info [ "max-demands" ] ~docv:"N" ~doc:"Testing budget")
+  in
+  let run mode sigma confidence max_demands =
+    try
+      let prior =
+        Dist.Mixture.of_dist (Dist.Lognormal.of_mode_sigma ~mode ~sigma)
+      in
+      let schedule =
+        Experience.Provisional.upgrade_schedule prior
+          ~required_confidence:confidence ~max_demands
+      in
+      print_string (Experience.Provisional.schedule_table schedule);
+      `Ok ()
+    with Invalid_argument msg -> `Error (false, msg)
+  in
+  let info =
+    Cmd.info "experience"
+      ~doc:"Plan failure-free testing toward a confidence target"
+  in
+  Cmd.v info
+    Term.(ret (const run $ mode_arg $ sigma_arg $ confidence_arg $ max_arg))
+
+(* --- elicit ------------------------------------------------------------------ *)
+
+let elicit_cmd =
+  let most_likely_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "most-likely" ] ~docv:"PFD" ~doc:"The expert's most likely value")
+  in
+  let points_arg =
+    Arg.(
+      value
+      & opt_all (t2 ~sep:':' float float) []
+      & info [ "point" ] ~docv:"BOUND:CONF"
+          ~doc:"An elicited point P(pfd <= BOUND) = CONF (repeatable)")
+  in
+  let perfection_arg =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "perfection" ] ~docv:"P0"
+          ~doc:"Probability the system is perfect (adds an atom at 0)")
+  in
+  let gamma_arg =
+    Arg.(value & flag & info [ "gamma" ] ~doc:"Fit a gamma instead of lognormal")
+  in
+  let run most_likely points perfection use_gamma =
+    try
+      let points =
+        List.map
+          (fun (bound, confidence) -> Elicit.Belief.point ~bound ~confidence)
+          points
+      in
+      let a = Elicit.Belief.assessment ?most_likely points in
+      let d =
+        if use_gamma then Elicit.Belief.fit_gamma a
+        else Elicit.Belief.fit_lognormal a
+      in
+      let belief =
+        if perfection > 0.0 then
+          Dist.Mixture.with_perfection ~p0:perfection
+            (Dist.Mixture.of_dist d)
+        else Dist.Mixture.of_dist d
+      in
+      (* Emit a belief file on stdout: elicit | tee x.belief, then
+         judge --belief-file x.belief. *)
+      print_string (Elicit.Belief_format.print belief);
+      Printf.eprintf "# fitted: %s; mean pfd %.4g\n" (Dist.Mixture.name belief)
+        (Dist.Mixture.mean belief);
+      `Ok ()
+    with
+    | Dist.Fit.Fit_error msg -> `Error (false, msg)
+    | Invalid_argument msg -> `Error (false, msg)
+  in
+  let info =
+    Cmd.info "elicit"
+      ~doc:"Fit a belief from elicited points and print it as a belief file"
+  in
+  Cmd.v info
+    Term.(
+      ret (const run $ most_likely_arg $ points_arg $ perfection_arg $ gamma_arg))
+
+(* --- case -------------------------------------------------------------------- *)
+
+let case_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Case file (see casekit's Case_format)")
+  in
+  let rho_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "dependence" ] ~docv:"RHO"
+          ~doc:"Evaluate at this support correlation instead of independence")
+  in
+  let sensitivities_arg =
+    Arg.(
+      value & flag
+      & info [ "sensitivities" ]
+          ~doc:"Rank evidence and assumptions by influence on the root")
+  in
+  let run file rho show_sens =
+    let text =
+      let ic = open_in file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    match Casekit.Case_format.parse text with
+    | exception Casekit.Case_format.Parse_error e ->
+      `Error (false, Printf.sprintf "%s:%d: %s" file e.line e.message)
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | case ->
+      print_string (Casekit.Node.render case);
+      let dep =
+        match rho with
+        | None -> Casekit.Propagate.Independent
+        | Some r -> Casekit.Propagate.Correlated r
+      in
+      Printf.printf "\nRoot confidence: %.5f\n"
+        (Casekit.Propagate.confidence dep case);
+      let lo, hi = Casekit.Propagate.bounds case in
+      Printf.printf "Under any dependence: [%.5f, %.5f]\n" lo hi;
+      if show_sens then begin
+        print_endline "\nEvidence sensitivities (d root / d leaf):";
+        Casekit.Propagate.leaf_sensitivities dep case
+        |> List.sort (fun (_, a) (_, b) -> compare b a)
+        |> List.iter (fun (id, s) -> Printf.printf "  %-12s %.4f\n" id s);
+        let assumptions = Casekit.Propagate.assumption_sensitivities dep case in
+        if assumptions <> [] then begin
+          print_endline "Assumption sensitivities:";
+          List.iter
+            (fun (id, s) -> Printf.printf "  %-12s %.4f\n" id s)
+            (List.sort (fun (_, a) (_, b) -> compare b a) assumptions)
+        end
+      end;
+      `Ok ()
+  in
+  let info =
+    Cmd.info "case" ~doc:"Evaluate a dependability-case file"
+  in
+  Cmd.v info Term.(ret (const run $ file_arg $ rho_arg $ sensitivities_arg))
+
+(* --- risk -------------------------------------------------------------------- *)
+
+let risk_cmd =
+  let freq_arg =
+    Arg.(
+      value
+      & opt float 0.1
+      & info [ "initiating-frequency" ] ~docv:"F"
+          ~doc:"Initiating events per year")
+  in
+  let layers_arg =
+    Arg.(
+      value
+      & opt_all (t2 ~sep:':' string float) []
+      & info [ "layer" ] ~docv:"NAME:PFD"
+          ~doc:"Certain protection layer (repeatable)")
+  in
+  let belief_layers_arg =
+    Arg.(
+      value
+      & opt_all (t3 ~sep:':' string float float) []
+      & info [ "belief-layer" ] ~docv:"NAME:MODE:SIGMA"
+          ~doc:"Layer with a lognormal pfd belief (repeatable)")
+  in
+  let target_arg =
+    Arg.(
+      value
+      & opt float 1e-5
+      & info [ "target" ] ~docv:"F" ~doc:"Target mitigated frequency per year")
+  in
+  let run freq certain beliefs target =
+    try
+      let layers =
+        List.map (fun (name, pfd) -> Risk.Lopa.layer_certain ~name ~pfd) certain
+        @ List.map
+            (fun (name, mode, sigma) ->
+              Risk.Lopa.layer ~name
+                ~pfd:
+                  (Dist.Mixture.of_dist
+                     (Dist.Lognormal.of_mode_sigma ~mode ~sigma)))
+            beliefs
+      in
+      let s =
+        Risk.Lopa.scenario ~description:"cli scenario"
+          ~initiating_frequency:freq layers
+      in
+      Printf.printf "Mean mitigated frequency: %.4g /yr\n"
+        (Risk.Lopa.mean_frequency s);
+      Printf.printf "P(frequency <= %.4g) = %.4f\n" target
+        (Risk.Lopa.confidence_below s ~target);
+      let belief = Risk.Lopa.frequency_belief s in
+      print_endline "Against the UK HSE public-risk criterion:";
+      List.iter
+        (fun (c, p) ->
+          Printf.printf "  %-22s %.4f\n"
+            (Risk.Criteria.classification_to_string c)
+            p)
+        (Risk.Criteria.confidence_profile Risk.Criteria.uk_hse_public belief);
+      (match Risk.Lopa.allocate_sil s ~target with
+      | `Band b ->
+        Printf.printf "Last layer sized at target %.4g: %s\n" target
+          (Sil.Band.to_string b)
+      | `Beyond_sil4 ->
+        Printf.printf "Last layer would need better than SIL4 - restructure\n"
+      | `No_sil_needed -> Printf.printf "No SIL-rated layer needed\n"
+      | `Impossible -> Printf.printf "Target unreachable\n");
+      `Ok ()
+    with Invalid_argument msg -> `Error (false, msg)
+  in
+  let info =
+    Cmd.info "risk" ~doc:"Layer-of-protection risk assessment with confidence"
+  in
+  Cmd.v info
+    Term.(ret (const run $ freq_arg $ layers_arg $ belief_layers_arg $ target_arg))
+
+let main =
+  let doc =
+    "quantified confidence for dependability cases (Bloomfield, Littlewood, \
+     Wright, DSN 2007)"
+  in
+  let info = Cmd.info "confcase" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ figures_cmd; judge_cmd; conservative_cmd; delphi_cmd; experience_cmd;
+      elicit_cmd; case_cmd; risk_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/assurance_case.ml: Array Casekit List Printf

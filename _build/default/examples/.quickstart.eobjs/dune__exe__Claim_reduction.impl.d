@@ -1,0 +1,1 @@
+examples/claim_reduction.ml: Confidence Dist List Option Printf Sil

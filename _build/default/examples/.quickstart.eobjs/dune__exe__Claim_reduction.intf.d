@@ -1,0 +1,1 @@
+examples/claim_reduction.mli:

@@ -1,0 +1,1 @@
+examples/delphi_panel.mli:

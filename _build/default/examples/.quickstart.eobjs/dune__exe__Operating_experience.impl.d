@@ -1,0 +1,1 @@
+examples/operating_experience.ml: Array Dist Experience List Numerics Printf Sil Sim

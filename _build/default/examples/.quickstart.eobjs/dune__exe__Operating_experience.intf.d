@@ -1,0 +1,1 @@
+examples/operating_experience.mli:

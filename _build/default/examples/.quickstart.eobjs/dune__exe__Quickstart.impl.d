@@ -1,0 +1,1 @@
+examples/quickstart.ml: Confidence Dist Elicit Experience List Option Printf Sil

@@ -1,0 +1,1 @@
+examples/regime_comparison.ml: Confidence List Printf Regime Sil

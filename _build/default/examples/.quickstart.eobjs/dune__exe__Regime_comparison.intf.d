@@ -1,0 +1,1 @@
+examples/regime_comparison.mli:

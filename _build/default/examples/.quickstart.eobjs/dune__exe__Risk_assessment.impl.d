@@ -1,0 +1,1 @@
+examples/risk_assessment.ml: Confidence Dist List Printf Risk Sil String

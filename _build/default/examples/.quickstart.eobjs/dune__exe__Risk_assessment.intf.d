@@ -1,0 +1,1 @@
+examples/risk_assessment.mli:

@@ -1,0 +1,1 @@
+examples/sil_judgement.ml: Array Dist List Numerics Printf Report Sil

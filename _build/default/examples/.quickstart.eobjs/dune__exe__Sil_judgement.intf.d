@@ -1,0 +1,1 @@
+examples/sil_judgement.mli:

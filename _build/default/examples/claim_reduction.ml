@@ -1,0 +1,75 @@
+(* Claim reduction under doubt — the Sizewell B pattern (paper Section 3.4).
+
+   "Doubts about the quality of the development process of the software led
+   to an order of magnitude reduction in the judged probability of failure
+   on demand."
+
+   We replay that reasoning: evidence points at a pfd around 1e-4 (SIL3),
+   but process doubts cap the confidence; the conservative bound then tells
+   us what is actually supportable, and the discount policy what may be
+   claimed.
+
+   Run with: dune exec examples/claim_reduction.exe *)
+
+let () =
+  print_endline "=== Claim reduction under assessment doubt ===\n";
+
+  (* The evidence-based judgement: mode 1e-4, moderately spread. *)
+  let judgement = Dist.Lognormal.of_mode_sigma ~mode:1e-4 ~sigma:0.8 in
+  let belief = Dist.Mixture.of_dist judgement in
+  Printf.printf "Evidence-based judgement: mode %.1e, mean %.3e\n"
+    (Option.get judgement.Dist.mode)
+    judgement.Dist.mean;
+  Printf.printf "  P(SIL3 or better) = %.3f\n" (judgement.Dist.cdf 1e-3);
+  Printf.printf "  judged by mean: %s\n\n"
+    (Sil.Band.classification_to_string
+       (Sil.Judgement.judged_by_mean belief ~mode:Sil.Band.Low_demand));
+
+  (* Process doubts: the assessor will only stand behind
+     P(pfd < 1e-3) = 0.98 once assumption doubt is included. *)
+  let stated = Confidence.Claim.make ~bound:1e-3 ~confidence:0.98 in
+  let worst = Confidence.Conservative.failure_bound stated in
+  Printf.printf
+    "Stated (doubt-inclusive) belief: %s\nConservative failure probability \
+     on a random demand: <= %.4g\n"
+    (Confidence.Claim.to_string stated)
+    worst;
+  Printf.printf
+    "  => despite evidence pointing at SIL3, the doubt-inclusive case only \
+     supports\n     a failure probability in %s — the 2%% doubt dominates \
+     the claim.\n\n"
+    (Sil.Band.classification_to_string
+       (Sil.Band.classify ~mode:Sil.Band.Low_demand worst));
+
+  (* To actually support 1e-3, strengthen the case one decade (Example 3). *)
+  let needed = Confidence.Conservative.decade_rule ~target:1e-3 ~decades:1.0 in
+  Printf.printf
+    "To support 1e-3 via a decade-stronger claim the argument must deliver\n\
+     %s — %.2f%% confidence.\n\n"
+    (Confidence.Claim.to_string needed)
+    (needed.confidence *. 100.0);
+
+  (* The discount policy view (Section 4.3). *)
+  print_endline "Claim discounts by rigour of the argument:";
+  List.iter
+    (fun rigour ->
+      let judged, claim =
+        Sil.Discount.judge_then_claim Sil.Discount.default_policy rigour belief
+      in
+      Printf.printf "  %-42s judged %-6s -> claim %s\n"
+        (Sil.Discount.rigour_to_string rigour)
+        (Sil.Band.classification_to_string judged)
+        (match claim with
+        | Some b -> Sil.Band.to_string b
+        | None -> "nothing"))
+    [ Sil.Discount.Qualitative_only; Sil.Discount.Standards_compliance;
+      Sil.Discount.Growth_model; Sil.Discount.Worst_case_quantitative ];
+
+  (* An order-of-magnitude reduction, verified: treat the judged mode as if
+     it were one decade worse and re-assess. *)
+  let reduced = Dist.Lognormal.of_mode_sigma ~mode:1e-3 ~sigma:0.8 in
+  Printf.printf
+    "\nSizewell-B-style reduction: judging the system at mode 1e-3 instead \
+     of 1e-4\ngives P(SIL2 or better) = %.4f — a claim that can be made \
+     with high confidence.\n"
+    (reduced.Dist.cdf 1e-2)

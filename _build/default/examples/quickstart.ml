@@ -1,0 +1,59 @@
+(* Quickstart: from an elicited judgement to a defensible SIL claim.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  print_endline "=== confcase quickstart ===\n";
+
+  (* 1. An assessor judges a protection function: most likely pfd 0.003,
+     and they are 67% confident it is below 0.01 (the SIL2 bound). *)
+  let assessment =
+    Elicit.Belief.assessment ~most_likely:3e-3
+      [ Elicit.Belief.point ~bound:1e-2 ~confidence:0.67 ]
+  in
+  let judgement = Elicit.Belief.fit_lognormal assessment in
+  Printf.printf "Fitted judgement: %s\n" judgement.Dist.name;
+  Printf.printf "  mode = %.4g, mean = %.4g\n"
+    (Option.get judgement.Dist.mode)
+    judgement.Dist.mean;
+
+  (* 2. The mean — what IEC 61508's "average pfd" asks for — may sit in a
+     worse band than the mode. *)
+  let belief = Dist.Mixture.of_dist judgement in
+  let judged = Sil.Judgement.judged_by_mean belief ~mode:Sil.Band.Low_demand in
+  Printf.printf "  SIL by mean: %s (the mode alone would suggest SIL2)\n\n"
+    (Sil.Band.classification_to_string judged);
+
+  (* 3. What is claimable at the standard's 70%, and at 99%? *)
+  List.iter
+    (fun conf ->
+      match Confidence.Decision.strongest_claimable ~confidence:conf belief with
+      | Some band ->
+        Printf.printf "At %.0f%% required confidence: claim %s\n"
+          (conf *. 100.0) (Sil.Band.to_string band)
+      | None ->
+        Printf.printf "At %.0f%% required confidence: nothing claimable\n"
+          (conf *. 100.0))
+    [ 0.70; 0.99 ];
+
+  (* 4. The conservative route (paper Section 3.4): to support "failure
+     probability below 1e-3 on a random demand" with a one-decade-stronger
+     claim, how confident must the argument make us? *)
+  let needed = Confidence.Conservative.decade_rule ~target:1e-3 ~decades:1.0 in
+  Printf.printf "\nConservative bound: to support 1e-3 via a claim at 1e-4, \
+                 need confidence %.4f\n"
+    needed.confidence;
+
+  (* 5. Failure-free operation cuts off the tail and raises confidence. *)
+  let n_needed =
+    Experience.Tail_cutoff.demands_needed belief ~bound:1e-2 ~confidence:0.9
+      ~max_demands:100_000
+  in
+  (match n_needed with
+  | Some n ->
+    Printf.printf
+      "\nStatistical testing: %d failure-free demands raise P(SIL2+) to 90%%\n"
+      n
+  | None -> print_endline "\n90% SIL2 confidence unreachable by testing alone");
+
+  print_endline "\nDone.  See examples/*.ml for deeper walkthroughs."

@@ -1,0 +1,74 @@
+(* Comparing regulatory regimes — the paper's Section 1 question made
+   operational: "What effect does this 'assessment uncertainty' have upon
+   decision-making?"
+
+   We build a synthetic world where the truth is known (most systems are
+   decent, some are rogues), let an assessor form beliefs, and score six
+   acceptance policies by what actually gets fielded.
+
+   Run with: dune exec examples/regime_comparison.exe *)
+
+let policies =
+  [ Regime.Policy.Mode_based;
+    Regime.Policy.Mean_based;
+    Regime.Policy.Confidence_based 0.7;
+    Regime.Policy.Confidence_based 0.9;
+    Regime.Policy.Conservative_based;
+    Regime.Policy.Test_first { demands = 500; confidence = 0.9 } ]
+
+let () =
+  print_endline "=== Does quantifying confidence change what gets fielded? ===\n";
+  let world = Regime.Population.sil2_world in
+  Printf.printf "World: %s\n" world.label;
+  Printf.printf
+    "Ground truth per system is known, so we can count real mistakes.\n\n";
+
+  let run assessor =
+    Regime.Evaluate.compare ~world ~assessor ~band:Sil.Band.Sil2 ~policies
+      ~systems:2000 ~seed:2007
+  in
+
+  print_endline "With a calibrated assessor:";
+  let calibrated = run Regime.Assessor.calibrated in
+  print_string (Regime.Evaluate.summary_table calibrated);
+
+  print_endline "\nWith an overconfident assessor (claims half the spread):";
+  let overconfident = run Regime.Assessor.overconfident in
+  print_string (Regime.Evaluate.summary_table overconfident);
+
+  (* Quantify the headline: bad systems fielded per policy. *)
+  let bad_of outcomes policy =
+    let o =
+      List.find (fun (o : Regime.Evaluate.outcome) -> o.policy = policy) outcomes
+    in
+    o.accepted_bad
+  in
+  Printf.printf
+    "\nHeadline: the point-judgement regime fields %d truly-bad systems; \
+     requiring\n90%% confidence fields %d; testing first fields %d.  \
+     Overconfidence costs the\nconfidence regime %d extra bad systems — but \
+     cannot corrupt the testing regime.\n"
+    (bad_of calibrated Regime.Policy.Mode_based)
+    (bad_of calibrated (Regime.Policy.Confidence_based 0.9))
+    (bad_of calibrated (Regime.Policy.Test_first { demands = 500; confidence = 0.9 }))
+    (bad_of overconfident (Regime.Policy.Confidence_based 0.9)
+    - bad_of calibrated (Regime.Policy.Confidence_based 0.9));
+
+  print_endline
+    "\nThis is the paper's ACARP argument in numbers: confidence is not \
+     decoration\non a claim — it decides how much risk a regime actually \
+     accepts.";
+
+  (* Composability coda (Section 1's other obstacle): series claims. *)
+  let channel = Confidence.Claim.make ~bound:1e-4 ~confidence:0.999 in
+  let system = Confidence.Compose.series [ channel; channel; channel ] in
+  Printf.printf
+    "\nComposition: three SIL3-ish subsystem claims in series support only\n\
+     %s — doubt accumulates across the case.\n"
+    (Confidence.Claim.to_string system);
+  Printf.printf
+    "A 1oo2 pair of those channels, beta = 2%%, bounds the failure \
+     probability at %.3g\n(vs %.3g for a single channel).\n"
+    (Confidence.Compose.koon_failure_bound ~common_cause_beta:0.02 ~k:1 ~n:2
+       channel)
+    (Confidence.Conservative.failure_bound channel)

@@ -1,0 +1,79 @@
+(* SIL judgement walkthrough: the paper's Figures 1-4 as an interactive
+   assessment of a reactor protection function.
+
+   Scenario: three assessors agree the most likely pfd is 0.003 (mid-SIL2)
+   but differ in how sure they are.  We show how the spread of the
+   judgement, not its peak, decides the claimable SIL.
+
+   Run with: dune exec examples/sil_judgement.exe *)
+
+let mode = 3e-3
+
+let assessors =
+  [ ("cautiously optimistic", 0.44); ("middling", 0.70); ("very unsure", 0.90) ]
+
+let () =
+  print_endline "=== Judging the SIL of a protection function ===\n";
+  print_string (Sil.Band.table_1 ~mode:Sil.Band.Low_demand);
+
+  (* Density view (Figure 1). *)
+  let series =
+    List.map
+      (fun (label, sigma) ->
+        let d = Dist.Lognormal.of_mode_sigma ~mode ~sigma in
+        Report.Series.make label
+          (Array.to_list
+             (Array.map
+                (fun x -> (x, d.Dist.pdf x))
+                (Numerics.Interp.logspace 1e-4 1e-1 61))))
+      assessors
+  in
+  print_endline "\nJudgement densities (all peak at 0.003):";
+  print_string (Report.Ascii_plot.plot ~x_scale:Report.Ascii_plot.Log10 series);
+
+  (* Where does each judgement put the system? *)
+  print_endline "\nPer-assessor summary:";
+  let columns =
+    [ { Report.Table.header = "assessor"; align = Report.Table.Left };
+      { Report.Table.header = "sigma"; align = Report.Table.Right };
+      { Report.Table.header = "mean pfd"; align = Report.Table.Right };
+      { Report.Table.header = "SIL by mean"; align = Report.Table.Left };
+      { Report.Table.header = "P(SIL2+)"; align = Report.Table.Right };
+      { Report.Table.header = "P(SIL1+)"; align = Report.Table.Right } ]
+  in
+  let rows =
+    List.map
+      (fun (label, sigma) ->
+        let d = Dist.Lognormal.of_mode_sigma ~mode ~sigma in
+        let belief = Dist.Mixture.of_dist d in
+        [ label;
+          Report.Table.float_cell sigma;
+          Report.Table.float_cell d.Dist.mean;
+          Sil.Band.classification_to_string
+            (Sil.Judgement.judged_by_mean belief ~mode:Sil.Band.Low_demand);
+          Report.Table.float_cell (d.Dist.cdf 1e-2);
+          Report.Table.float_cell (d.Dist.cdf 1e-1) ])
+      assessors
+  in
+  print_string (Report.Table.render ~columns ~rows);
+
+  (* The crossover (Figure 3). *)
+  let sigma, conf =
+    Sil.Judgement.crossover Sil.Judgement.Lognormal ~mode_value:mode
+      ~band:Sil.Band.Sil2
+  in
+  Printf.printf
+    "\nThe mean leaves SIL2 once confidence drops below %.1f%% (sigma %.3f): \
+     the\npaper's justification for judging \"most likely SIL n+1\" but \
+     claiming SIL n.\n"
+    (conf *. 100.0) sigma;
+
+  (* Sensitivity to the distributional assumption. *)
+  let _, conf_gamma =
+    Sil.Judgement.crossover Sil.Judgement.Gamma ~mode_value:mode
+      ~band:Sil.Band.Sil2
+  in
+  Printf.printf
+    "Under a gamma judgement the crossover moves only to %.1f%% — the \
+     conclusion\ndoes not hinge on log-normality.\n"
+    (conf_gamma *. 100.0)

@@ -1,0 +1,1 @@
+lib/casekit/casekit.ml: Bbn Case_format Multileg Node Propagate Two_leg

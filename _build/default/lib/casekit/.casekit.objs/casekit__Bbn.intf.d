@@ -1,0 +1,1 @@
+lib/casekit/bbn.mli:

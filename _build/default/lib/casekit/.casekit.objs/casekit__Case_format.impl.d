@@ -1,0 +1,1 @@
+lib/casekit/case_format.ml: Buffer List Node Printf String

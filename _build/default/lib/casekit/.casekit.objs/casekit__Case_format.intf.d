@@ -1,0 +1,1 @@
+lib/casekit/case_format.mli: Node

@@ -1,0 +1,1 @@
+lib/casekit/multileg.ml: Array Dist Float List Numerics

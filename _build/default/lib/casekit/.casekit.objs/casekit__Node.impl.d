@@ -1,0 +1,1 @@
+lib/casekit/node.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/casekit/propagate.ml: Array List Node

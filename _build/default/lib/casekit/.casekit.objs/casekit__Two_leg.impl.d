@@ -1,0 +1,1 @@
+lib/casekit/two_leg.ml: Array Bbn List Option Printf

@@ -1,0 +1,1 @@
+lib/casekit/two_leg.mli:

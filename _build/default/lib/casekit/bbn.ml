@@ -1,0 +1,294 @@
+type var = int
+
+type node = {
+  name : string;
+  states : string array;
+  parents : int list;
+  cpt : float array;
+}
+
+type t = { mutable nodes : node list (* reverse order of addition *) }
+
+let create () = { nodes = [] }
+
+let n_nodes t = List.length t.nodes
+
+let node t v =
+  let n = n_nodes t in
+  if v < 0 || v >= n then invalid_arg "Bbn: unknown variable";
+  List.nth t.nodes (n - 1 - v)
+
+let var_name t v = (node t v).name
+let n_states t v = Array.length (node t v).states
+
+let var_by_name t name =
+  let n = n_nodes t in
+  let rec scan i = function
+    | [] -> None
+    | nd :: rest -> if nd.name = name then Some (n - 1 - i) else scan (i + 1) rest
+  in
+  scan 0 t.nodes
+
+let state_index t v label =
+  let nd = node t v in
+  let rec scan i =
+    if i >= Array.length nd.states then raise Not_found
+    else if nd.states.(i) = label then i
+    else scan (i + 1)
+  in
+  scan 0
+
+let add_var t ~name ~states ~parents ~cpt =
+  if Array.length states < 2 then
+    invalid_arg "Bbn.add_var: a variable needs >= 2 states";
+  if var_by_name t name <> None then
+    invalid_arg (Printf.sprintf "Bbn.add_var: duplicate name %s" name);
+  let v = n_nodes t in
+  List.iter
+    (fun p ->
+      if p < 0 || p >= v then
+        invalid_arg "Bbn.add_var: parent must be added before child")
+    parents;
+  let rows =
+    List.fold_left (fun acc p -> acc * n_states t p) 1 parents
+  in
+  let k = Array.length states in
+  if Array.length cpt <> rows * k then
+    invalid_arg
+      (Printf.sprintf "Bbn.add_var: cpt for %s must have %d entries, got %d"
+         name (rows * k) (Array.length cpt));
+  for r = 0 to rows - 1 do
+    let s = ref 0.0 in
+    for j = 0 to k - 1 do
+      let p = cpt.((r * k) + j) in
+      if p < 0.0 then invalid_arg "Bbn.add_var: negative probability";
+      s := !s +. p
+    done;
+    if abs_float (!s -. 1.0) > 1e-9 then
+      invalid_arg
+        (Printf.sprintf "Bbn.add_var: cpt row %d of %s sums to %g" r name !s)
+  done;
+  t.nodes <- { name; states; parents; cpt } :: t.nodes;
+  v
+
+(* --- factors ------------------------------------------------------------ *)
+
+type factor = { fvars : int array; cards : int array; table : float array }
+
+let factor_size cards = Array.fold_left ( * ) 1 cards
+
+(* Assignment <-> index, row-major with the first variable slowest. *)
+let index_of_assignment cards assignment =
+  let idx = ref 0 in
+  Array.iteri (fun i a -> idx := (!idx * cards.(i)) + a) assignment;
+  !idx
+
+let cpt_factor t v =
+  let nd = node t v in
+  let fvars = Array.of_list (nd.parents @ [ v ]) in
+  let cards = Array.map (fun u -> n_states t u) fvars in
+  { fvars; cards; table = Array.copy nd.cpt }
+
+let position factor v =
+  let rec scan i =
+    if i >= Array.length factor.fvars then None
+    else if factor.fvars.(i) = v then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+(* Restrict a factor by fixing variable [v] to state [s]. *)
+let reduce factor v s =
+  match position factor v with
+  | None -> factor
+  | Some pos ->
+    let fvars =
+      Array.of_list
+        (Array.to_list factor.fvars |> List.filteri (fun i _ -> i <> pos))
+    in
+    let cards =
+      Array.of_list
+        (Array.to_list factor.cards |> List.filteri (fun i _ -> i <> pos))
+    in
+    let size = factor_size cards in
+    let table = Array.make size 0.0 in
+    let n = Array.length fvars in
+    let assignment = Array.make n 0 in
+    for idx = 0 to size - 1 do
+      (* Decode idx into the reduced assignment. *)
+      let rem = ref idx in
+      for i = n - 1 downto 0 do
+        assignment.(i) <- !rem mod cards.(i);
+        rem := !rem / cards.(i)
+      done;
+      (* Build the full assignment with v = s inserted at pos. *)
+      let full = Array.make (n + 1) 0 in
+      for i = 0 to n do
+        if i < pos then full.(i) <- assignment.(i)
+        else if i = pos then full.(i) <- s
+        else full.(i) <- assignment.(i - 1)
+      done;
+      table.(idx) <- factor.table.(index_of_assignment factor.cards full)
+    done;
+    { fvars; cards; table }
+
+let product t f1 f2 =
+  let union =
+    Array.to_list f1.fvars @ Array.to_list f2.fvars
+    |> List.sort_uniq compare |> Array.of_list
+  in
+  let cards = Array.map (fun v -> n_states t v) union in
+  let size = factor_size cards in
+  let table = Array.make size 0.0 in
+  let n = Array.length union in
+  let assignment = Array.make n 0 in
+  let project (f : factor) =
+    (* Positions of f's variables inside the union. *)
+    Array.map
+      (fun v ->
+        let rec scan i = if union.(i) = v then i else scan (i + 1) in
+        scan 0)
+      f.fvars
+  in
+  let pos1 = project f1 and pos2 = project f2 in
+  let sub1 = Array.make (Array.length f1.fvars) 0 in
+  let sub2 = Array.make (Array.length f2.fvars) 0 in
+  for idx = 0 to size - 1 do
+    let rem = ref idx in
+    for i = n - 1 downto 0 do
+      assignment.(i) <- !rem mod cards.(i);
+      rem := !rem / cards.(i)
+    done;
+    Array.iteri (fun i p -> sub1.(i) <- assignment.(p)) pos1;
+    Array.iteri (fun i p -> sub2.(i) <- assignment.(p)) pos2;
+    table.(idx) <-
+      f1.table.(index_of_assignment f1.cards sub1)
+      *. f2.table.(index_of_assignment f2.cards sub2)
+  done;
+  { fvars = union; cards; table }
+
+let marginalize factor v =
+  match position factor v with
+  | None -> factor
+  | Some pos ->
+    let fvars =
+      Array.of_list
+        (Array.to_list factor.fvars |> List.filteri (fun i _ -> i <> pos))
+    in
+    let cards =
+      Array.of_list
+        (Array.to_list factor.cards |> List.filteri (fun i _ -> i <> pos))
+    in
+    let size = factor_size cards in
+    let table = Array.make size 0.0 in
+    let n = Array.length fvars in
+    let assignment = Array.make n 0 in
+    let v_card = factor.cards.(pos) in
+    for idx = 0 to size - 1 do
+      let rem = ref idx in
+      for i = n - 1 downto 0 do
+        assignment.(i) <- !rem mod cards.(i);
+        rem := !rem / cards.(i)
+      done;
+      let full = Array.make (n + 1) 0 in
+      for i = 0 to n do
+        if i < pos then full.(i) <- assignment.(i)
+        else if i > pos then full.(i) <- assignment.(i - 1)
+      done;
+      let acc = ref 0.0 in
+      for s = 0 to v_card - 1 do
+        full.(pos) <- s;
+        acc := !acc +. factor.table.(index_of_assignment factor.cards full)
+      done;
+      table.(idx) <- !acc
+    done;
+    { fvars; cards; table }
+
+let query t ~evidence target =
+  let n = n_nodes t in
+  if n = 0 then invalid_arg "Bbn.query: empty network";
+  List.iter
+    (fun (v, s) ->
+      if s < 0 || s >= n_states t v then
+        invalid_arg "Bbn.query: evidence state out of range")
+    evidence;
+  (* Contradictory evidence on the same variable. *)
+  let rec check_dups = function
+    | [] -> ()
+    | (v, s) :: rest ->
+      List.iter
+        (fun (v', s') ->
+          if v = v' && s <> s' then
+            invalid_arg "Bbn.query: contradictory evidence")
+        rest;
+      check_dups rest
+  in
+  check_dups evidence;
+  let factors = List.init n (fun v -> cpt_factor t v) in
+  let factors =
+    List.map
+      (fun f -> List.fold_left (fun f (v, s) -> reduce f v s) f evidence)
+      factors
+  in
+  let evidence_vars = List.map fst evidence in
+  let to_eliminate =
+    List.init n (fun v -> v)
+    |> List.filter (fun v -> v <> target && not (List.mem v evidence_vars))
+  in
+  let eliminate factors v =
+    let with_v, without_v =
+      List.partition (fun f -> position f v <> None) factors
+    in
+    match with_v with
+    | [] -> factors
+    | first :: rest ->
+      let combined = List.fold_left (product t) first rest in
+      marginalize combined v :: without_v
+  in
+  let factors = List.fold_left eliminate factors to_eliminate in
+  let result =
+    match factors with
+    | [] -> invalid_arg "Bbn.query: no factors"
+    | first :: rest -> List.fold_left (product t) first rest
+  in
+  (* The result should involve only the target. *)
+  let k = n_states t target in
+  let dist =
+    match position result target with
+    | None -> Array.make k (1.0 /. float_of_int k)
+    | Some _ ->
+      let reduced = Array.make k 0.0 in
+      for s = 0 to k - 1 do
+        let f = reduce result target s in
+        reduced.(s) <- Array.fold_left ( +. ) 0.0 f.table
+      done;
+      reduced
+  in
+  let z = Array.fold_left ( +. ) 0.0 dist in
+  if z <= 0.0 then invalid_arg "Bbn.query: evidence has zero probability";
+  Array.map (fun p -> p /. z) dist
+
+let prob t ~evidence target state = (query t ~evidence target).(state)
+
+let joint_prob t ~assignment =
+  let n = n_nodes t in
+  if List.length assignment <> n then
+    invalid_arg "Bbn.joint_prob: assignment must cover every variable";
+  let state_of v =
+    match List.assoc_opt v assignment with
+    | Some s -> s
+    | None -> invalid_arg "Bbn.joint_prob: missing variable"
+  in
+  let contribution v =
+    let nd = node t v in
+    let parent_states = List.map state_of nd.parents in
+    let k = Array.length nd.states in
+    let row =
+      List.fold_left2
+        (fun acc p s -> (acc * n_states t p) + s)
+        0 nd.parents parent_states
+    in
+    nd.cpt.((row * k) + state_of v)
+  in
+  List.fold_left (fun acc v -> acc *. contribution v) 1.0
+    (List.init n (fun v -> v))

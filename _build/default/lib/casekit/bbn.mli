@@ -1,0 +1,45 @@
+(** A small discrete Bayesian network with exact inference by variable
+    elimination.
+
+    The paper notes that "confidence in dependability cases stems from a
+    multiplicity of judgements" whose dependences matter; this substrate lets
+    a case encode those dependences explicitly (e.g. two argument legs
+    sharing an assumption node) and query the resulting claim confidence
+    exactly. *)
+
+type var
+
+type t
+
+(** [create ()] — empty network builder. *)
+val create : unit -> t
+
+(** [add_var t ~name ~states ~parents ~cpt] — a node with the given state
+    labels.  [cpt] is the conditional probability table in row-major order
+    over the parents' state combinations (first parent slowest); each row
+    must sum to 1 (within 1e-9) and have [Array.length states] entries.
+    @raise Invalid_argument on shape or normalisation errors. *)
+val add_var :
+  t -> name:string -> states:string array -> parents:var list -> cpt:float array -> var
+
+(** [var_by_name t name]. *)
+val var_by_name : t -> string -> var option
+
+val var_name : t -> var -> string
+val n_states : t -> var -> int
+
+(** [state_index t v label] — index of a state label.
+    @raise Not_found if absent. *)
+val state_index : t -> var -> string -> int
+
+(** [query t ~evidence target] — the posterior distribution of [target]
+    given the evidence assignments, by variable elimination.
+    @raise Invalid_argument if evidence contradicts itself or has zero
+    probability. *)
+val query : t -> evidence:(var * int) list -> var -> float array
+
+(** [prob t ~evidence target state] — single posterior entry. *)
+val prob : t -> evidence:(var * int) list -> var -> int -> float
+
+(** [joint_prob t ~assignment] — probability of a complete assignment. *)
+val joint_prob : t -> assignment:(var * int) list -> float

@@ -1,0 +1,172 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line message = raise (Parse_error { line; message })
+
+(* --- lexing one line ------------------------------------------------------ *)
+
+type item =
+  | Goal_item of { id : string; statement : string; combinator : Node.combinator }
+  | Evidence_item of { id : string; statement : string; confidence : float }
+  | Assume_item of { id : string; statement : string; p_valid : float }
+
+type line = { number : int; indent : int; item : item }
+
+let indent_of line_no raw =
+  let rec count i =
+    if i < String.length raw && raw.[i] = ' ' then count (i + 1) else i
+  in
+  let spaces = count 0 in
+  if spaces mod 2 <> 0 then fail line_no "odd indentation (use 2 spaces)";
+  spaces / 2
+
+(* Split "kind ID "quoted statement" trailing" into its parts. *)
+let split_parts line_no s =
+  let n = String.length s in
+  let rec skip_spaces i = if i < n && s.[i] = ' ' then skip_spaces (i + 1) else i in
+  let word_end i =
+    let rec go j = if j < n && s.[j] <> ' ' then go (j + 1) else j in
+    go i
+  in
+  let i0 = skip_spaces 0 in
+  let i1 = word_end i0 in
+  if i0 = i1 then fail line_no "empty line slipped through";
+  let kind = String.sub s i0 (i1 - i0) in
+  let i2 = skip_spaces i1 in
+  let i3 = word_end i2 in
+  if i2 = i3 then fail line_no "missing node id";
+  let id = String.sub s i2 (i3 - i2) in
+  let i4 = skip_spaces i3 in
+  if i4 >= n || s.[i4] <> '"' then fail line_no "expected a quoted statement";
+  let rec find_close j =
+    if j >= n then fail line_no "unterminated statement quote"
+    else if s.[j] = '"' then j
+    else find_close (j + 1)
+  in
+  let close = find_close (i4 + 1) in
+  let statement = String.sub s (i4 + 1) (close - i4 - 1) in
+  let rest = String.trim (String.sub s (close + 1) (n - close - 1)) in
+  (kind, id, statement, rest)
+
+let parse_line number raw =
+  let indent = indent_of number raw in
+  let body = String.trim raw in
+  let kind, id, statement, rest = split_parts number body in
+  let item =
+    match kind with
+    | "goal" ->
+      let combinator =
+        match rest with
+        | "all" | "" -> Node.All
+        | "any" -> Node.Any
+        | other -> fail number (Printf.sprintf "unknown combinator %S" other)
+      in
+      Goal_item { id; statement; combinator }
+    | "evidence" ->
+      (match float_of_string_opt rest with
+      | Some confidence -> Evidence_item { id; statement; confidence }
+      | None -> fail number "evidence needs a confidence value")
+    | "assume" ->
+      (match float_of_string_opt rest with
+      | Some p_valid -> Assume_item { id; statement; p_valid }
+      | None -> fail number "assume needs a validity probability")
+    | other -> fail number (Printf.sprintf "unknown node kind %S" other)
+  in
+  { number; indent; item }
+
+(* --- building the tree ----------------------------------------------------
+
+   [build] consumes lines deeper than [indent] as children of the current
+   goal; assumptions attach to the goal itself. *)
+
+let rec build_children parent_indent lines =
+  match lines with
+  | [] -> ([], [], [])
+  | line :: _ when line.indent <= parent_indent -> ([], [], lines)
+  | line :: rest ->
+    if line.indent > parent_indent + 1 then
+      fail line.number "indentation jumps more than one level";
+    (match line.item with
+    | Assume_item { id; statement; p_valid } ->
+      let assumption =
+        try Node.assumption ~id ~statement ~p_valid
+        with Invalid_argument msg -> fail line.number msg
+      in
+      let assumptions, children, remaining = build_children parent_indent rest in
+      (assumption :: assumptions, children, remaining)
+    | Evidence_item { id; statement; confidence } ->
+      let node =
+        try Node.evidence ~id ~statement ~confidence
+        with Invalid_argument msg -> fail line.number msg
+      in
+      let assumptions, children, remaining = build_children parent_indent rest in
+      (assumptions, node :: children, remaining)
+    | Goal_item { id; statement; combinator } ->
+      let assumptions_in, children_in, after_subtree =
+        build_children line.indent rest
+      in
+      let node =
+        try
+          Node.goal ~id ~statement ~combinator ~assumptions:assumptions_in
+            children_in
+        with Invalid_argument msg -> fail line.number msg
+      in
+      let assumptions, children, remaining =
+        build_children parent_indent after_subtree
+      in
+      (assumptions, node :: children, remaining))
+
+let parse text =
+  let raw_lines = String.split_on_char '\n' text in
+  let lines =
+    List.mapi (fun i raw -> (i + 1, raw)) raw_lines
+    |> List.filter (fun (_, raw) ->
+           let t = String.trim raw in
+           t <> "" && not (String.length t > 0 && t.[0] = '#'))
+    |> List.map (fun (number, raw) -> parse_line number raw)
+  in
+  match lines with
+  | [] -> fail 0 "empty case"
+  | root :: _ when root.indent <> 0 -> fail root.number "root must not be indented"
+  | root :: rest ->
+    (match root.item with
+    | Goal_item { id; statement; combinator } ->
+      let assumptions, children, remaining = build_children 0 rest in
+      (match remaining with
+      | extra :: _ -> fail extra.number "multiple root nodes"
+      | [] ->
+        let node =
+          try Node.goal ~id ~statement ~combinator ~assumptions children
+          with Invalid_argument msg -> fail root.number msg
+        in
+        Node.validate node;
+        node)
+    | Evidence_item { id; statement; confidence } ->
+      if rest <> [] then fail (List.hd rest).number "content after evidence root";
+      Node.evidence ~id ~statement ~confidence
+    | Assume_item _ -> fail root.number "an assumption cannot be the root")
+
+(* --- printing --------------------------------------------------------------- *)
+
+let print node =
+  let buf = Buffer.create 256 in
+  let pad depth = String.make (2 * depth) ' ' in
+  let rec go depth = function
+    | Node.Evidence e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%sevidence %s \"%s\" %.17g\n" (pad depth) e.id
+           e.statement e.confidence)
+    | Node.Goal g ->
+      let comb = match g.combinator with Node.All -> "all" | Node.Any -> "any" in
+      Buffer.add_string buf
+        (Printf.sprintf "%sgoal %s \"%s\" %s\n" (pad depth) g.id g.statement comb);
+      List.iter
+        (fun (a : Node.assumption) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%sassume %s \"%s\" %.17g\n"
+               (pad (depth + 1))
+               a.aid a.a_statement a.p_valid))
+        g.assumptions;
+      List.iter (go (depth + 1)) g.supported_by
+  in
+  go 0 node;
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+(** A minimal text format for dependability cases, so cases can live in
+    version control next to the system they argue about.
+
+    Indentation-structured, two spaces per level:
+
+    {v
+goal G0 "Shutdown system pfd < 1e-3" any
+  assume A0 "Demand profile is right" 0.97
+  goal G1 "Testing leg" all
+    evidence E1 "4600 failure-free demands" 0.99
+    evidence E2 "Oracle validated" 0.97
+  evidence E3 "Static analysis clean" 0.9
+    v}
+
+    Node kinds: [goal ID "statement" all|any], [evidence ID "statement"
+    CONF], [assume ID "statement" P_VALID] (assumptions attach to the
+    enclosing goal).  Blank lines and [#]-comments are ignored. *)
+
+exception Parse_error of { line : int; message : string }
+
+(** [parse text] — the root node.
+    @raise Parse_error with a line number on malformed input. *)
+val parse : string -> Node.t
+
+(** [print node] — render back to the format; [parse (print n)] is [n]. *)
+val print : Node.t -> string

@@ -1,0 +1,78 @@
+type leg = { label : string; doubt : float }
+
+let leg ~label ~doubt =
+  if not (doubt > 0.0 && doubt < 1.0) then
+    invalid_arg "Multileg.leg: doubt must be in (0,1)";
+  { label; doubt }
+
+let check_rho rho =
+  if not (rho >= 0.0 && rho <= 1.0) then
+    invalid_arg "Multileg: dependence must be in [0,1]"
+
+let combined_doubt ?(dependence = 0.0) l1 l2 =
+  check_rho dependence;
+  (dependence *. min l1.doubt l2.doubt)
+  +. ((1.0 -. dependence) *. l1.doubt *. l2.doubt)
+
+let confidence_gain ?(dependence = 0.0) l1 l2 =
+  min l1.doubt l2.doubt -. combined_doubt ~dependence l1 l2
+
+let dependence_sweep l1 l2 ~n =
+  if n < 2 then invalid_arg "Multileg.dependence_sweep: n < 2";
+  Array.init n (fun i ->
+      let rho = float_of_int i /. float_of_int (n - 1) in
+      (rho, combined_doubt ~dependence:rho l1 l2))
+
+let required_second_leg ?(dependence = 0.0) l1 ~target_doubt =
+  check_rho dependence;
+  if target_doubt <= 0.0 then invalid_arg "Multileg: target_doubt <= 0";
+  if l1.doubt <= target_doubt then Some 1.0 (* leg 1 already suffices *)
+  else begin
+    (* For x2 <= x1 the combined doubt is x2 * (rho + (1-rho) x1),
+       increasing in x2; solve for equality. *)
+    let denom = dependence +. ((1.0 -. dependence) *. l1.doubt) in
+    let x2 = target_doubt /. denom in
+    if x2 <= l1.doubt && x2 > 0.0 then Some x2
+    else if x2 > l1.doubt then
+      (* Equality would need a *weaker* second leg than leg 1 — then the min
+         in the dependent term is x1, not x2; recheck in that branch:
+         combined = rho x1 + (1-rho) x1 x2. *)
+      let dependent_floor = dependence *. l1.doubt in
+      if dependent_floor >= target_doubt then None
+      else begin
+        let x2' =
+          (target_doubt -. dependent_floor)
+          /. ((1.0 -. dependence) *. l1.doubt)
+        in
+        if x2' >= 1.0 then None else Some x2'
+      end
+    else None
+  end
+
+let combine_beliefs ?(dependence = 0.0) ?(grid_size = 1025) (d1 : Dist.t)
+    (d2 : Dist.t) =
+  check_rho dependence;
+  let lo = min (d1.quantile 1e-9) (d2.quantile 1e-9) in
+  let hi = max (d1.quantile (1.0 -. 1e-9)) (d2.quantile (1.0 -. 1e-9)) in
+  let grid =
+    if lo > 0.0 then Numerics.Interp.logspace lo hi grid_size
+    else Numerics.Interp.linspace lo hi grid_size
+  in
+  let weight2 = 1.0 -. dependence in
+  let pdf x =
+    let l = d1.log_pdf x +. (weight2 *. d2.log_pdf x) in
+    if Float.is_finite l then exp l else 0.0
+  in
+  let d, _z = Dist.of_grid_pdf ~name:"combined legs" ~grid ~pdf () in
+  d
+
+let combined_doubt_many ?(dependence = 0.0) legs =
+  check_rho dependence;
+  match legs with
+  | [] -> invalid_arg "Multileg.combined_doubt_many: no legs"
+  | first :: _ ->
+    let min_doubt =
+      List.fold_left (fun acc l -> min acc l.doubt) first.doubt legs
+    in
+    let prod = List.fold_left (fun acc l -> acc *. l.doubt) 1.0 legs in
+    (dependence *. min_doubt) +. ((1.0 -. dependence) *. prod)

@@ -1,0 +1,48 @@
+(** Two-legged arguments (paper Section 4.2, after Littlewood & Wright's
+    multi-legged-argument analysis).
+
+    Each leg, if its underpinnings hold, establishes the claim; the leg
+    "fails" (contributes nothing) with probability equal to its doubt.
+    The claim is left unsupported only when every leg fails.  The benefit of
+    the second leg is eroded by dependence between the legs' failure events
+    (shared assumptions, common evidence): with failure-event correlation
+    [rho] the joint failure probability is
+      rho * min(x1, x2) + (1 - rho) * x1 * x2,
+    the linear blend between independence and total dependence. *)
+
+type leg = { label : string; doubt : float }
+
+(** [leg ~label ~doubt] with doubt in (0, 1). *)
+val leg : label:string -> doubt:float -> leg
+
+(** [combined_doubt ?dependence l1 l2] — probability both legs fail;
+    [dependence] (rho) defaults to 0 (independence). *)
+val combined_doubt : ?dependence:float -> leg -> leg -> float
+
+(** [confidence_gain ?dependence l1 l2] — reduction in doubt relative to the
+    better single leg: min(x1, x2) - combined_doubt. *)
+val confidence_gain : ?dependence:float -> leg -> leg -> float
+
+(** [dependence_sweep l1 l2 ~n] — [(rho, combined_doubt)] on an [n]-point
+    rho grid over [0, 1]; shows the second leg's benefit eroding. *)
+val dependence_sweep : leg -> leg -> n:int -> (float * float) array
+
+(** [required_second_leg ?dependence l1 ~target_doubt] — the doubt the second
+    leg must achieve so that the combined doubt meets [target_doubt]; [None]
+    when no second leg can achieve it at that dependence (the dependent part
+    of the failure mass already exceeds the target). *)
+val required_second_leg :
+  ?dependence:float -> leg -> target_doubt:float -> float option
+
+(** [effective_legs ?dependence legs] — combined doubt of any number of legs:
+    rho * min_i x_i + (1 - rho) * prod_i x_i. *)
+val combined_doubt_many : ?dependence:float -> leg list -> float
+
+(** [combine_beliefs ?dependence ?grid_size d1 d2] — combine two legs'
+    *distributional* judgements of the same pfd by evidence multiplication:
+    the combined density is proportional to f1 * f2^(1 - rho).  With rho = 0
+    the legs count as independent evidence (full Bayesian product); with
+    rho = 1 the second leg adds nothing (it restates the first).  Built
+    numerically on a grid spanning both judgements. *)
+val combine_beliefs :
+  ?dependence:float -> ?grid_size:int -> Dist.t -> Dist.t -> Dist.t

@@ -1,0 +1,102 @@
+type combinator = All | Any
+
+type assumption = { aid : string; a_statement : string; p_valid : float }
+
+type t =
+  | Goal of {
+      id : string;
+      statement : string;
+      combinator : combinator;
+      assumptions : assumption list;
+      supported_by : t list;
+    }
+  | Evidence of { id : string; statement : string; confidence : float }
+
+let goal ~id ~statement ?(combinator = All) ?(assumptions = []) children =
+  if children = [] then invalid_arg "Node.goal: a goal needs support";
+  Goal { id; statement; combinator; assumptions; supported_by = children }
+
+let evidence ~id ~statement ~confidence =
+  if not (confidence > 0.0 && confidence <= 1.0) then
+    invalid_arg "Node.evidence: confidence must be in (0,1]";
+  Evidence { id; statement; confidence }
+
+let assumption ~id ~statement ~p_valid =
+  if not (p_valid > 0.0 && p_valid <= 1.0) then
+    invalid_arg "Node.assumption: p_valid must be in (0,1]";
+  { aid = id; a_statement = statement; p_valid }
+
+let id = function Goal g -> g.id | Evidence e -> e.id
+
+let rec fold f acc node =
+  match node with
+  | Evidence _ -> f acc node
+  | Goal g -> List.fold_left (fold f) (f acc node) g.supported_by
+
+let validate t =
+  let ids = ref [] in
+  let record acc node =
+    let node_id = id node in
+    if List.mem node_id !ids then
+      invalid_arg (Printf.sprintf "Node.validate: duplicate id %s" node_id);
+    ids := node_id :: !ids;
+    acc
+  in
+  fold record () t;
+  (* Assumption ids share the namespace. *)
+  let record_assumptions () node =
+    match node with
+    | Evidence _ -> ()
+    | Goal g ->
+      List.iter
+        (fun a ->
+          if List.mem a.aid !ids then
+            invalid_arg
+              (Printf.sprintf "Node.validate: duplicate id %s" a.aid);
+          ids := a.aid :: !ids)
+        g.assumptions
+  in
+  fold record_assumptions () t
+
+let size t = fold (fun n _ -> n + 1) 0 t
+
+let rec depth = function
+  | Evidence _ -> 1
+  | Goal g ->
+    1 + List.fold_left (fun acc c -> max acc (depth c)) 0 g.supported_by
+
+let find t ~id:wanted =
+  fold
+    (fun acc node -> match acc with Some _ -> acc | None -> if id node = wanted then Some node else None)
+    None t
+
+let leaves t =
+  fold
+    (fun acc node -> match node with Evidence _ -> node :: acc | Goal _ -> acc)
+    [] t
+  |> List.rev
+
+let render t =
+  let buf = Buffer.create 256 in
+  let rec go indent node =
+    let pad = String.make (2 * indent) ' ' in
+    (match node with
+    | Evidence e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s[E] %s: %s (confidence %.4g)\n" pad e.id
+           e.statement e.confidence)
+    | Goal g ->
+      let comb = match g.combinator with All -> "ALL" | Any -> "ANY" in
+      Buffer.add_string buf
+        (Printf.sprintf "%s[G] %s: %s (%s of %d)\n" pad g.id g.statement comb
+           (List.length g.supported_by));
+      List.iter
+        (fun a ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s  [A] %s: %s (valid with p=%.4g)\n" pad a.aid
+               a.a_statement a.p_valid))
+        g.assumptions;
+      List.iter (go (indent + 1)) g.supported_by)
+  in
+  go 0 t;
+  Buffer.contents buf

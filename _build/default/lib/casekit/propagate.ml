@@ -1,0 +1,141 @@
+type dependence =
+  | Independent
+  | Frechet_lower
+  | Frechet_upper
+  | Correlated of float
+
+let check_conf c =
+  if not (c >= 0.0 && c <= 1.0) then
+    invalid_arg "Propagate: confidence out of [0,1]"
+
+let and_independent = List.fold_left ( *. ) 1.0
+
+let and_comonotone confidences = List.fold_left min 1.0 confidences
+
+let and_frechet_lower confidences =
+  let n = float_of_int (List.length confidences) in
+  let s = List.fold_left ( +. ) 0.0 confidences in
+  max 0.0 (s -. (n -. 1.0))
+
+let or_independent confidences =
+  1.0 -. List.fold_left (fun acc c -> acc *. (1.0 -. c)) 1.0 confidences
+
+let or_comonotone confidences = List.fold_left max 0.0 confidences
+
+let or_frechet_upper confidences =
+  min 1.0 (List.fold_left ( +. ) 0.0 confidences)
+
+let and_combine dependence confidences =
+  List.iter check_conf confidences;
+  match dependence with
+  | Independent -> and_independent confidences
+  | Frechet_lower -> and_frechet_lower confidences
+  | Frechet_upper -> and_comonotone confidences
+  | Correlated rho ->
+    if not (rho >= 0.0 && rho <= 1.0) then
+      invalid_arg "Propagate.and_combine: rho out of [0,1]";
+    ((1.0 -. rho) *. and_independent confidences)
+    +. (rho *. and_comonotone confidences)
+
+let or_combine dependence confidences =
+  List.iter check_conf confidences;
+  match dependence with
+  | Independent -> or_independent confidences
+  | Frechet_lower -> or_comonotone confidences
+  | Frechet_upper -> or_frechet_upper confidences
+  | Correlated rho ->
+    if not (rho >= 0.0 && rho <= 1.0) then
+      invalid_arg "Propagate.or_combine: rho out of [0,1]";
+    ((1.0 -. rho) *. or_independent confidences)
+    +. (rho *. or_comonotone confidences)
+
+let assumption_factor assumptions =
+  List.fold_left (fun acc (a : Node.assumption) -> acc *. a.p_valid) 1.0
+    assumptions
+
+let rec confidence dependence node =
+  match node with
+  | Node.Evidence e -> e.confidence
+  | Node.Goal g ->
+    let child_confidences = List.map (confidence dependence) g.supported_by in
+    let combined =
+      match g.combinator with
+      | Node.All -> and_combine dependence child_confidences
+      | Node.Any -> or_combine dependence child_confidences
+    in
+    combined *. assumption_factor g.assumptions
+
+let bounds node =
+  (confidence Frechet_lower node, confidence Frechet_upper node)
+
+let sensitivity node ~rhos =
+  Array.map (fun rho -> (rho, confidence (Correlated rho) node)) rhos
+
+let what_if node ~id ~confidence:new_confidence =
+  let found = ref false in
+  let rec go = function
+    | Node.Evidence e when e.id = id ->
+      found := true;
+      Node.evidence ~id:e.id ~statement:e.statement
+        ~confidence:new_confidence
+    | Node.Evidence _ as leaf -> leaf
+    | Node.Goal g ->
+      Node.Goal { g with supported_by = List.map go g.supported_by }
+  in
+  let updated = go node in
+  if not !found then raise Not_found;
+  updated
+
+let what_if_assumption node ~id ~p_valid:new_p =
+  let found = ref false in
+  let rec go = function
+    | Node.Evidence _ as leaf -> leaf
+    | Node.Goal g ->
+      let assumptions =
+        List.map
+          (fun (a : Node.assumption) ->
+            if a.aid = id then begin
+              found := true;
+              { a with p_valid = new_p }
+            end
+            else a)
+          g.assumptions
+      in
+      Node.Goal { g with assumptions; supported_by = List.map go g.supported_by }
+  in
+  let updated = go node in
+  if not !found then raise Not_found;
+  updated
+
+let central_difference perturb current =
+  let h = 1e-4 in
+  let lo = max 1e-6 (current -. h) and hi = min 1.0 (current +. h) in
+  (perturb hi -. perturb lo) /. (hi -. lo)
+
+let leaf_sensitivities dependence node =
+  Node.leaves node
+  |> List.map (fun leaf ->
+         match leaf with
+         | Node.Evidence e ->
+           let perturb c =
+             confidence dependence (what_if node ~id:e.id ~confidence:c)
+           in
+           (e.id, central_difference perturb e.confidence)
+         | Node.Goal _ -> assert false)
+
+let assumption_sensitivities dependence node =
+  let assumptions =
+    let rec collect acc = function
+      | Node.Evidence _ -> acc
+      | Node.Goal g ->
+        List.fold_left collect (acc @ g.assumptions) g.supported_by
+    in
+    collect [] node
+  in
+  List.map
+    (fun (a : Node.assumption) ->
+      let perturb p =
+        confidence dependence (what_if_assumption node ~id:a.aid ~p_valid:p)
+      in
+      (a.aid, central_difference perturb a.p_valid))
+    assumptions

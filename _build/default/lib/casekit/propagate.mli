@@ -1,0 +1,52 @@
+(** Propagating confidence through a case structure.
+
+    The joint behaviour of subgoal support is generally unknown, so alongside
+    the independence assumption we expose the distribution-free Fréchet
+    envelope — the tightest bounds valid under *any* dependence — and a
+    single-parameter interpolation for sensitivity studies. *)
+
+type dependence =
+  | Independent
+  | Frechet_lower  (** Worst-case joint behaviour. *)
+  | Frechet_upper  (** Best-case joint behaviour. *)
+  | Correlated of float
+      (** [Correlated rho] with rho in [0,1]: linear blend between the
+          independent value (rho = 0) and the comonotone value (rho = 1). *)
+
+(** [confidence dependence node] — the confidence of the root claim.  At a
+    goal, subgoal confidences are combined per the goal's combinator under
+    the given dependence model, then multiplied by the validity of each of
+    the goal's assumptions (assumption doubt is structural: an invalid
+    assumption voids the argument — the conservative reading of the paper's
+    Section 1). *)
+val confidence : dependence -> Node.t -> float
+
+(** [bounds node] — [(lower, upper)] from the Fréchet envelope applied
+    recursively. *)
+val bounds : Node.t -> float * float
+
+(** [and_combine dependence confidences] — P(all hold) for the given
+    marginal confidences under the dependence model. *)
+val and_combine : dependence -> float list -> float
+
+(** [or_combine dependence confidences] — P(at least one holds). *)
+val or_combine : dependence -> float list -> float
+
+(** [sensitivity node ~rhos] — root confidence as a function of the
+    correlation parameter, for sweeping plots. *)
+val sensitivity : Node.t -> rhos:float array -> (float * float) array
+
+(** [what_if node ~id ~confidence] — the same case with the evidence item
+    [id] set to a new confidence.
+    @raise Not_found if [id] is absent or not an evidence node. *)
+val what_if : Node.t -> id:string -> confidence:float -> Node.t
+
+(** [leaf_sensitivities dependence node] — for each evidence leaf, the
+    derivative of the root confidence with respect to that leaf's
+    confidence (central differences).  The ranking answers the ACARP
+    question "which evidence is worth strengthening?". *)
+val leaf_sensitivities : dependence -> Node.t -> (string * float) list
+
+(** [assumption_sensitivities dependence node] — same for each assumption's
+    validity. *)
+val assumption_sensitivities : dependence -> Node.t -> (string * float) list

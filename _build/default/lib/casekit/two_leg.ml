@@ -1,0 +1,67 @@
+type t = {
+  bn : Bbn.t;
+  ok : Bbn.var;
+  verification : Bbn.var;
+  testing : Bbn.var;
+}
+
+let check_rate name v ~allow_one =
+  let hi_ok = if allow_one then v <= 1.0 else v < 1.0 in
+  if not (v > 0.0 && hi_ok) then
+    invalid_arg (Printf.sprintf "Two_leg.make: %s out of range" name)
+
+let make ~p_fault_free ~verification:(v_ok, v_faulty) ~testing:(t_ok, t_faulty) =
+  if not (p_fault_free > 0.0 && p_fault_free < 1.0) then
+    invalid_arg "Two_leg.make: p_fault_free must be in (0,1)";
+  check_rate "verification pass rate (fault-free)" v_ok ~allow_one:true;
+  check_rate "verification pass rate (faulty)" v_faulty ~allow_one:false;
+  check_rate "testing pass rate (fault-free)" t_ok ~allow_one:true;
+  check_rate "testing pass rate (faulty)" t_faulty ~allow_one:false;
+  let bn = Bbn.create () in
+  let ok =
+    Bbn.add_var bn ~name:"system fault-free" ~states:[| "faulty"; "ok" |]
+      ~parents:[]
+      ~cpt:[| 1.0 -. p_fault_free; p_fault_free |]
+  in
+  let leg name (pass_ok, pass_faulty) =
+    Bbn.add_var bn ~name ~states:[| "fails"; "passes" |] ~parents:[ ok ]
+      ~cpt:[| 1.0 -. pass_faulty; pass_faulty; 1.0 -. pass_ok; pass_ok |]
+  in
+  let verification = leg "verification leg" (v_ok, v_faulty) in
+  let testing = leg "testing leg" (t_ok, t_faulty) in
+  { bn; ok; verification; testing }
+
+let p_fault_free t ~verification_passed ~testing_passed =
+  let evidence =
+    List.filter_map
+      (fun x -> x)
+      [ Option.map
+          (fun passed -> (t.verification, if passed then 1 else 0))
+          verification_passed;
+        Option.map
+          (fun passed -> (t.testing, if passed then 1 else 0))
+          testing_passed ]
+  in
+  Bbn.prob t.bn ~evidence t.ok 1
+
+let second_leg_gain t =
+  p_fault_free t ~verification_passed:(Some true) ~testing_passed:(Some true)
+  -. p_fault_free t ~verification_passed:(Some true) ~testing_passed:None
+
+let legs_conditionally_dependent t =
+  let marginal = Bbn.prob t.bn ~evidence:[] t.testing 1 in
+  let given =
+    Bbn.prob t.bn ~evidence:[ (t.verification, 1) ] t.testing 1
+  in
+  (marginal, given)
+
+let diversity_sweep ~p_fault_free:p0 ~verification ~testing_powers =
+  Array.map
+    (fun t_faulty ->
+      let model =
+        make ~p_fault_free:p0 ~verification ~testing:(0.99, t_faulty)
+      in
+      ( t_faulty,
+        p_fault_free model ~verification_passed:(Some true)
+          ~testing_passed:(Some true) ))
+    testing_powers

@@ -1,0 +1,48 @@
+(** The Littlewood-Wright two-legged-argument model (the paper's reference
+    [12]), instantiated as an explicit Bayesian network.
+
+    A system is fault-free or faulty; a *verification* leg and a *testing*
+    leg each pass or fail, with different diagnostic power (probability of
+    passing given fault-free / given faulty).  Conditional on the system
+    state the legs are independent — yet observing one leg still changes
+    what the other is worth, which is exactly the subtlety Section 4.2
+    flags ("these issues of interplay between adding assurance legs and
+    confidence are subtle"). *)
+
+type t
+
+(** [make ~p_fault_free ~verification ~testing] — [verification] and
+    [testing] are each [(pass_given_fault_free, pass_given_faulty)]; all
+    probabilities in (0,1) except that pass rates given fault-free may
+    be 1. *)
+val make :
+  p_fault_free:float ->
+  verification:float * float ->
+  testing:float * float ->
+  t
+
+(** Posterior probability the system is fault-free given leg outcomes
+    ([None] = leg not run / outcome unknown). *)
+val p_fault_free :
+  t -> verification_passed:bool option -> testing_passed:bool option -> float
+
+(** [second_leg_gain t] — confidence increment from the testing leg once
+    verification has already passed:
+    P(ok | both pass) - P(ok | verification passes). *)
+val second_leg_gain : t -> float
+
+(** [legs_conditionally_dependent t] — P(testing passes | verification
+    passed) vs P(testing passes): the legs are marginally dependent through
+    the system state even though conditionally independent.  Returns
+    [(marginal, given_verification_passed)]. *)
+val legs_conditionally_dependent : t -> float * float
+
+(** [diversity_sweep ~p_fault_free ~verification ~testing_powers] — the
+    posterior from both legs passing, as the testing leg's diagnostic power
+    (pass-given-faulty, lower = more powerful) varies; shows when a second
+    leg is worth adding. *)
+val diversity_sweep :
+  p_fault_free:float ->
+  verification:float * float ->
+  testing_powers:float array ->
+  (float * float) array

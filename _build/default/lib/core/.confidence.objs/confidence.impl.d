@@ -1,0 +1,1 @@
+lib/core/confidence.ml: Acarp Claim Compose Conservative Decision

@@ -1,0 +1,1 @@
+lib/core/acarp.ml: Dist List Numerics

@@ -1,0 +1,1 @@
+lib/core/claim.ml: Dist Format Printf

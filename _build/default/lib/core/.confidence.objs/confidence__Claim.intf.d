@@ -1,0 +1,1 @@
+lib/core/claim.mli: Dist Format

@@ -1,0 +1,1 @@
+lib/core/compose.ml: Claim Conservative List Numerics

@@ -1,0 +1,1 @@
+lib/core/conservative.ml: Array Claim Dist Printf

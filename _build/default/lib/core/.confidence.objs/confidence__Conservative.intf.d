@@ -1,0 +1,1 @@
+lib/core/conservative.mli: Claim Dist

@@ -1,0 +1,1 @@
+lib/core/decision.ml: List Printf Sil

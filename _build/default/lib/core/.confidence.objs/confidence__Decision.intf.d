@@ -1,0 +1,1 @@
+lib/core/decision.mli: Dist Sil

@@ -1,0 +1,121 @@
+type effect =
+  | Failure_free_demands of int
+  | Spread_scale of float
+  | Perfection_evidence of float
+
+type activity = { label : string; cost : float; effect : effect }
+
+let survival_weight n p =
+  if p >= 1.0 then 0.0
+  else if p <= 0.0 then 1.0
+  else exp (float_of_int n *. Numerics.Special.log1p (-.p))
+
+let apply_effect belief effect =
+  match effect with
+  | Failure_free_demands n ->
+    if n < 0 then invalid_arg "Acarp.apply_effect: negative demand count";
+    if n = 0 then belief
+    else fst (Dist.Reweighted.posterior belief ~weight:(survival_weight n))
+  | Spread_scale factor ->
+    if factor <= 0.0 then invalid_arg "Acarp.apply_effect: scale <= 0";
+    let rescale (d : Dist.t) =
+      let _mu, sigma = Dist.Lognormal.params d in
+      match d.mode with
+      | Some mode when mode > 0.0 ->
+        Dist.Lognormal.of_mode_sigma ~mode ~sigma:(sigma *. factor)
+      | Some _ | None ->
+        invalid_arg "Acarp.apply_effect: Spread_scale needs a lognormal"
+    in
+    let parts =
+      Dist.Mixture.components belief
+      |> List.map (fun (w, c) ->
+             match (c : Dist.Mixture.component) with
+             | Dist.Mixture.Atom _ -> (w, c)
+             | Dist.Mixture.Cont d -> (w, Dist.Mixture.Cont (rescale d)))
+    in
+    Dist.Mixture.make parts
+  | Perfection_evidence p0 -> Dist.Mixture.with_perfection ~p0 belief
+
+type step = {
+  after : string;
+  cumulative_cost : float;
+  confidence : float;
+  mean_pfd : float;
+}
+
+let step_of belief ~target_bound ~label ~cost =
+  {
+    after = label;
+    cumulative_cost = cost;
+    confidence = Dist.Mixture.prob_le belief target_bound;
+    mean_pfd = Dist.Mixture.mean belief;
+  }
+
+let programme belief ~target_bound activities =
+  let _, _, rev_steps =
+    List.fold_left
+      (fun (belief, cost, acc) activity ->
+        let belief = apply_effect belief activity.effect in
+        let cost = cost +. activity.cost in
+        let step = step_of belief ~target_bound ~label:activity.label ~cost in
+        (belief, cost, step :: acc))
+      (belief, 0.0, []) activities
+  in
+  List.rev rev_steps
+
+let greedy_plan belief ~target_bound ~required_confidence activities =
+  let confidence_of b = Dist.Mixture.prob_le b target_bound in
+  let rec loop belief cost remaining acc =
+    if confidence_of belief >= required_confidence || remaining = [] then
+      List.rev acc
+    else begin
+      let scored =
+        List.map
+          (fun a ->
+            let b' = apply_effect belief a.effect in
+            let gain = confidence_of b' -. confidence_of belief in
+            let rate = if a.cost > 0.0 then gain /. a.cost else gain *. 1e12 in
+            (rate, a, b'))
+          remaining
+      in
+      let best_rate, best, best_belief =
+        List.fold_left
+          (fun (br, ba, bb) (r, a, b) ->
+            if r > br then (r, a, b) else (br, ba, bb))
+          (List.hd scored) (List.tl scored)
+      in
+      if best_rate <= 0.0 then List.rev acc
+      else begin
+        let cost = cost +. best.cost in
+        let step =
+          step_of best_belief ~target_bound ~label:best.label ~cost
+        in
+        let remaining = List.filter (fun a -> a != best) remaining in
+        loop best_belief cost remaining (step :: acc)
+      end
+    end
+  in
+  loop belief 0.0 activities []
+
+let stop_acarp ~gross_disproportion steps =
+  if gross_disproportion <= 1.0 then
+    invalid_arg "Acarp.stop_acarp: gross_disproportion must exceed 1";
+  match steps with
+  | [] -> None
+  | first :: _ ->
+    let rate prev_conf prev_cost (s : step) =
+      let dc = s.cumulative_cost -. prev_cost in
+      if dc <= 0.0 then infinity else (s.confidence -. prev_conf) /. dc
+    in
+    let initial_rate = rate 0.0 0.0 first in
+    if initial_rate <= 0.0 then Some 0
+    else begin
+      let threshold = initial_rate /. gross_disproportion in
+      let rec scan i prev_conf prev_cost = function
+        | [] -> None
+        | s :: rest ->
+          if rate prev_conf prev_cost s < threshold then Some i
+          else scan (i + 1) s.confidence s.cumulative_cost rest
+      in
+      scan 0 0.0 0.0 steps
+    end

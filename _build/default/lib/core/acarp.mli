@@ -1,0 +1,55 @@
+(** ACARP — "As Confident As Reasonably Practicable" (paper Sections 1 and
+    4.1): planning assurance activities that buy confidence, and deciding
+    when further expenditure is grossly disproportionate to the confidence it
+    buys. *)
+
+(** What an assurance activity does to the belief. *)
+type effect =
+  | Failure_free_demands of int
+      (** Statistical testing / operating experience: reweight the belief by
+          the survival probability (1-p)^n and renormalise — the "tail
+          cut-off" of Section 4.1. *)
+  | Spread_scale of float
+      (** Analysis and verification that sharpen the judgement without
+          changing the system: scale a lognormal belief's sigma by the
+          factor (< 1 narrows). *)
+  | Perfection_evidence of float
+      (** Formal argument adding probability mass p0 to "pfd = 0". *)
+
+type activity = { label : string; cost : float; effect : effect }
+
+(** [apply_effect belief effect] — the updated belief.
+    @raise Invalid_argument if [Spread_scale] is applied to a belief that is
+    not a single lognormal. *)
+val apply_effect : Dist.Mixture.t -> effect -> Dist.Mixture.t
+
+(** A point on an assurance programme: cumulative cost, the belief after the
+    activities so far, and the confidence in the target bound. *)
+type step = {
+  after : string;
+  cumulative_cost : float;
+  confidence : float;
+  mean_pfd : float;
+}
+
+(** [programme belief ~target_bound activities] — execute the activities in
+    order, reporting confidence P(pfd <= target_bound) after each. *)
+val programme :
+  Dist.Mixture.t -> target_bound:float -> activity list -> step list
+
+(** [greedy_plan belief ~target_bound ~required_confidence activities] —
+    repeatedly pick the activity with the best confidence gain per unit cost
+    until the requirement is met or activities are exhausted.  Returns the
+    chosen steps; the last step tells whether the requirement was reached. *)
+val greedy_plan :
+  Dist.Mixture.t ->
+  target_bound:float ->
+  required_confidence:float ->
+  activity list ->
+  step list
+
+(** [stop_acarp ~gross_disproportion steps] — index of the first step whose
+    marginal confidence per unit cost falls below [1/gross_disproportion]
+    times the programme's initial rate — the ACARP stopping point — or
+    [None] if every step keeps earning.  [gross_disproportion > 1]. *)
+val stop_acarp : gross_disproportion:float -> step list -> int option

@@ -1,0 +1,62 @@
+let series claims =
+  if claims = [] then invalid_arg "Compose.series: no claims";
+  let bound_sum =
+    List.fold_left (fun acc (c : Claim.t) -> acc +. c.bound) 0.0 claims
+  in
+  let doubt_sum =
+    List.fold_left (fun acc c -> acc +. Claim.doubt c) 0.0 claims
+  in
+  if doubt_sum >= 1.0 then
+    invalid_arg
+      "Compose.series: subsystem doubts sum to >= 1; no system claim is \
+       supportable";
+  Claim.make ~bound:(min 1.0 bound_sum) ~confidence:(1.0 -. doubt_sum)
+
+let series_failure_bound claims =
+  if claims = [] then invalid_arg "Compose.series_failure_bound: no claims";
+  min 1.0
+    (List.fold_left
+       (fun acc claim -> acc +. Conservative.failure_bound claim)
+       0.0 claims)
+
+let parallel_failure_bound ?(common_cause_beta = 0.0) c1 c2 =
+  if common_cause_beta < 0.0 || common_cause_beta > 1.0 then
+    invalid_arg "Compose.parallel_failure_bound: beta must be in [0,1]";
+  let b1 = Conservative.failure_bound c1 in
+  let b2 = Conservative.failure_bound c2 in
+  (common_cause_beta *. max b1 b2)
+  +. ((1.0 -. common_cause_beta) *. b1 *. b2)
+
+let parallel_claim ?common_cause_beta c1 c2 =
+  Claim.certain (parallel_failure_bound ?common_cause_beta c1 c2)
+
+let log_choose n k =
+  Numerics.Special.log_gamma (float_of_int (n + 1))
+  -. Numerics.Special.log_gamma (float_of_int (k + 1))
+  -. Numerics.Special.log_gamma (float_of_int (n - k + 1))
+
+let binomial_tail ~n ~p ~at_least =
+  if at_least <= 0 then 1.0
+  else if at_least > n then 0.0
+  else if p <= 0.0 then 0.0
+  else if p >= 1.0 then 1.0
+  else begin
+    let acc = ref 0.0 in
+    for j = at_least to n do
+      let log_term =
+        log_choose n j
+        +. (float_of_int j *. log p)
+        +. (float_of_int (n - j) *. Numerics.Special.log1p (-.p))
+      in
+      acc := !acc +. exp log_term
+    done;
+    min 1.0 !acc
+  end
+
+let koon_failure_bound ?(common_cause_beta = 0.0) ~k ~n claim =
+  if k < 1 || k > n then invalid_arg "Compose.koon_failure_bound: need 1 <= k <= n";
+  if common_cause_beta < 0.0 || common_cause_beta > 1.0 then
+    invalid_arg "Compose.koon_failure_bound: beta must be in [0,1]";
+  let b = Conservative.failure_bound claim in
+  let independent = binomial_tail ~n ~p:b ~at_least:(n - k + 1) in
+  (common_cause_beta *. b) +. ((1.0 -. common_cause_beta) *. independent)

@@ -1,0 +1,55 @@
+(** Composing subsystem claims into system-level claims.
+
+    The paper lists "issues of composability of subsystem claims" among the
+    obstacles to quantitative confidence (Section 1).  These combinators are
+    deliberately conservative: they assume nothing about dependence between
+    the subsystems' *pfds* beyond what the structure forces, and nothing
+    about dependence between the assessors' *doubts* (union bound). *)
+
+(** [series claims] — the system serves a demand through every subsystem;
+    it fails if any of them fails.  If each claim P(pfd_i < y_i) holds with
+    doubt x_i, then (sub-additivity + union bound)
+
+      P(pfd_sys < sum y_i)  >=  1 - sum x_i
+
+    The result is that claim, with the bound clamped to 1.
+    @raise Invalid_argument if the doubts sum to 1 or more (nothing
+    claimable). *)
+val series : Claim.t list -> Claim.t
+
+(** [series_failure_bound claims] — conservative failure probability of the
+    series system on a random demand: sum of the per-subsystem worst-case
+    bounds x_i + y_i - x_i*y_i, clamped to 1.  (Union bound over the
+    subsystems' failure events; valid under any dependence.) *)
+val series_failure_bound : Claim.t list -> float
+
+(** [parallel_failure_bound ?common_cause_beta c1 c2] — a 1-out-of-2
+    redundant pair: the demand fails only if both channels fail.  With
+    independent channels (and independent assessments) the worst-case
+    failure probability is the product of the per-channel bounds; a
+    common-cause fraction [beta] (IEC 61508's beta-factor, default 0)
+    degrades it:
+
+      beta * max(b1, b2) + (1 - beta) * b1 * b2
+
+    where b_i is the per-channel worst-case bound. *)
+val parallel_failure_bound :
+  ?common_cause_beta:float -> Claim.t -> Claim.t -> float
+
+(** [parallel_claim ?common_cause_beta c1 c2] — the pair's failure
+    probability bound packaged as a certain claim (the doubts are already
+    inside the worst-case bounds). *)
+val parallel_claim : ?common_cause_beta:float -> Claim.t -> Claim.t -> Claim.t
+
+(** [koon_failure_bound ?common_cause_beta ~k ~n channel] — a KooN voted
+    architecture of [n] identical channels that works while at least [k]
+    channels work (IEC 61508-6 style).  The demand fails when more than
+    [n - k] channels fail; with per-channel worst-case bound b the
+    independent part is the binomial tail P(X >= n-k+1), X ~ Bin(n, b), and
+    a common-cause fraction [beta] fails all channels at once:
+
+      beta * b + (1 - beta) * P(X >= n-k+1).
+
+    [1 <= k <= n]. *)
+val koon_failure_bound :
+  ?common_cause_beta:float -> k:int -> n:int -> Claim.t -> float

@@ -1,0 +1,10 @@
+(** Public interface of the [confidence] library — the paper's core
+    contribution: claims held with quantified confidence, the conservative
+    worst-case failure-probability bound, ACARP programme planning, and
+    accept/reject decisions. *)
+
+module Claim = Claim
+module Conservative = Conservative
+module Compose = Compose
+module Acarp = Acarp
+module Decision = Decision

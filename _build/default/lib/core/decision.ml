@@ -1,0 +1,33 @@
+type requirement = { band : Sil.Band.t; confidence : float }
+
+let requirement ~band ~confidence =
+  if not (confidence > 0.0 && confidence < 1.0) then
+    invalid_arg "Decision.requirement: confidence must be in (0,1)";
+  { band; confidence }
+
+type verdict = Accept | Accept_reduced of Sil.Band.t | Reject
+
+let verdict_to_string = function
+  | Accept -> "accept"
+  | Accept_reduced band ->
+    Printf.sprintf "accept at reduced claim %s" (Sil.Band.to_string band)
+  | Reject -> "reject"
+
+let band_confidence belief band =
+  Sil.Judgement.confidence_at_least belief ~mode:Sil.Band.Low_demand band
+
+let strongest_claimable ~confidence belief =
+  (* Bands ordered strongest first; confidence in "band or better" grows as
+     the band weakens, so the first satisfying band is the strongest. *)
+  let ordered = List.rev Sil.Band.all in
+  List.find_opt (fun b -> band_confidence belief b >= confidence) ordered
+
+let assess requirement belief =
+  match strongest_claimable ~confidence:requirement.confidence belief with
+  | None -> Reject
+  | Some band ->
+    if Sil.Band.compare_strength band requirement.band >= 0 then Accept
+    else Accept_reduced band
+
+let confidence_shortfall requirement belief =
+  max 0.0 (requirement.confidence -. band_confidence belief requirement.band)

@@ -1,0 +1,31 @@
+(** Accept/reject decisions for SIL claims under a confidence requirement —
+    the operational use of the paper's analysis (Sections 3.2 and 4.3). *)
+
+(** A requirement such as IEC 61508 Part 2's "70% single-sided confidence":
+    the system must be shown to be in [band] (or better) with at least
+    [confidence]. *)
+type requirement = { band : Sil.Band.t; confidence : float }
+
+val requirement : band:Sil.Band.t -> confidence:float -> requirement
+
+type verdict =
+  | Accept  (** The belief meets the requirement as stated. *)
+  | Accept_reduced of Sil.Band.t
+      (** Requirement met only at a weaker level — the paper's
+          "judge SIL n+1, claim SIL n" outcome. *)
+  | Reject  (** Not even SIL1 is claimable at the required confidence. *)
+
+val verdict_to_string : verdict -> string
+
+(** [assess requirement belief] — evaluated against one-sided band
+    confidences P(pfd <= band upper bound). *)
+val assess : requirement -> Dist.Mixture.t -> verdict
+
+(** [strongest_claimable ~confidence belief] — the strongest band claimable
+    at the given confidence, if any. *)
+val strongest_claimable :
+  confidence:float -> Dist.Mixture.t -> Sil.Band.t option
+
+(** [confidence_shortfall requirement belief] — how much confidence is
+    missing at the required band (0 when met). *)
+val confidence_shortfall : requirement -> Dist.Mixture.t -> float

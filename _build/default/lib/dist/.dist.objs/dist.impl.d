@@ -1,0 +1,1 @@
+lib/dist/dist.ml: Base Beta_d Empirical Exponential_d Fit Gamma_d Lognormal Mixture Normal Pbox Reweighted Truncated Uniform_d Weibull_d

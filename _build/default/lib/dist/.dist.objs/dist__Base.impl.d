@@ -1,0 +1,1 @@
+lib/dist/base.ml: Array Float Numerics Printf

@@ -1,0 +1,1 @@
+lib/dist/beta_d.mli: Base

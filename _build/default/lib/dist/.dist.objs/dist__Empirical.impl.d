@@ -1,0 +1,1 @@
+lib/dist/empirical.ml: Array Base List Numerics

@@ -1,0 +1,1 @@
+lib/dist/empirical.mli: Base Numerics

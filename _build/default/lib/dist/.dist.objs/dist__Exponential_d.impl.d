@@ -1,0 +1,1 @@
+lib/dist/exponential_d.ml: Base Numerics Printf

@@ -1,0 +1,1 @@
+lib/dist/exponential_d.mli: Base

@@ -1,0 +1,1 @@
+lib/dist/fit.ml: Array Gamma_d Lognormal Numerics

@@ -1,0 +1,1 @@
+lib/dist/fit.mli: Base

@@ -1,0 +1,1 @@
+lib/dist/gamma_d.mli: Base

@@ -1,0 +1,1 @@
+lib/dist/lognormal.mli: Base

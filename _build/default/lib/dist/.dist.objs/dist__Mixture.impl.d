@@ -1,0 +1,1 @@
+lib/dist/mixture.ml: Array Base Float List Numerics Printf String

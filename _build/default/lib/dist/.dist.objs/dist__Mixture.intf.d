@@ -1,0 +1,1 @@
+lib/dist/mixture.mli: Base Numerics

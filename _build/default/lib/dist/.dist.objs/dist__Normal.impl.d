@@ -1,0 +1,1 @@
+lib/dist/normal.ml: Base Numerics Printf

@@ -1,0 +1,1 @@
+lib/dist/normal.mli: Base

@@ -1,0 +1,1 @@
+lib/dist/pbox.ml: Array Base List Numerics Printf

@@ -1,0 +1,1 @@
+lib/dist/pbox.mli: Base

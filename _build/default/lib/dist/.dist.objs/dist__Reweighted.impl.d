@@ -1,0 +1,1 @@
+lib/dist/reweighted.ml: Base Float List Mixture Numerics Printf

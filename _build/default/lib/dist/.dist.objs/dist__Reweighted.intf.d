@@ -1,0 +1,1 @@
+lib/dist/reweighted.mli: Base Mixture

@@ -1,0 +1,1 @@
+lib/dist/truncated.ml: Base Float Numerics Printf

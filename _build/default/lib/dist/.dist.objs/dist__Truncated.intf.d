@@ -1,0 +1,1 @@
+lib/dist/truncated.mli: Base

@@ -1,0 +1,1 @@
+lib/dist/uniform_d.ml: Base Numerics Printf

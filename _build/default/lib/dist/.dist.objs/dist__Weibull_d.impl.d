@@ -1,0 +1,1 @@
+lib/dist/weibull_d.ml: Base Numerics Printf

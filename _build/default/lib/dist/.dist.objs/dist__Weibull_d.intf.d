@@ -1,0 +1,1 @@
+lib/dist/weibull_d.mli: Base

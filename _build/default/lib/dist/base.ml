@@ -1,0 +1,88 @@
+type t = {
+  name : string;
+  support : float * float;
+  pdf : float -> float;
+  log_pdf : float -> float;
+  cdf : float -> float;
+  quantile : float -> float;
+  mean : float;
+  variance : float;
+  mode : float option;
+  sample : Numerics.Rng.t -> float;
+}
+
+let std t = sqrt t.variance
+let survival t x = 1.0 -. t.cdf x
+let interval_prob t a b = t.cdf b -. t.cdf a
+
+let check_prob p =
+  if not (p > 0.0 && p < 1.0) then
+    invalid_arg "Dist: probability must lie strictly in (0,1)"
+
+let of_grid_pdf ~name ~grid ~pdf () =
+  let n = Array.length grid in
+  if n < 8 then invalid_arg "Dist.of_grid_pdf: grid too small";
+  for i = 1 to n - 1 do
+    if grid.(i) <= grid.(i - 1) then
+      invalid_arg "Dist.of_grid_pdf: grid not strictly increasing"
+  done;
+  let raw = Array.map pdf grid in
+  Array.iteri
+    (fun i v ->
+      if v < 0.0 || not (Float.is_finite v) then
+        invalid_arg
+          (Printf.sprintf "Dist.of_grid_pdf: bad density %g at grid point %g" v
+             grid.(i)))
+    raw;
+  let cum = Numerics.Integrate.trapezoid_cumulative grid raw in
+  let z = cum.(n - 1) in
+  if z <= 0.0 then invalid_arg "Dist.of_grid_pdf: density integrates to zero";
+  let density = Array.map (fun v -> v /. z) raw in
+  let cdf_tab = Array.map (fun v -> v /. z) cum in
+  let pdf_fn x = Numerics.Interp.linear grid density x in
+  let pdf_fn x =
+    if x < grid.(0) || x > grid.(n - 1) then 0.0 else pdf_fn x
+  in
+  let cdf_fn x =
+    if x <= grid.(0) then 0.0
+    else if x >= grid.(n - 1) then 1.0
+    else Numerics.Interp.linear grid cdf_tab x
+  in
+  let quantile_fn p =
+    check_prob p;
+    Numerics.Interp.inverse_monotone grid cdf_tab p
+  in
+  (* Moments by trapezoid on the same grid. *)
+  let weighted f =
+    let ys = Array.mapi (fun i x -> f x *. density.(i)) grid in
+    let c = Numerics.Integrate.trapezoid_cumulative grid ys in
+    c.(n - 1)
+  in
+  let mean = weighted (fun x -> x) in
+  let second = weighted (fun x -> x *. x) in
+  let variance = max 0.0 (second -. (mean *. mean)) in
+  let mode =
+    let best = ref 0 in
+    Array.iteri (fun i v -> if v > density.(!best) then best := i) density;
+    Some grid.(!best)
+  in
+  let sample rng = quantile_fn (Numerics.Rng.float_pos rng) in
+  ( {
+      name;
+      support = (grid.(0), grid.(n - 1));
+      pdf = pdf_fn;
+      log_pdf = (fun x -> log (pdf_fn x));
+      cdf = cdf_fn;
+      quantile = quantile_fn;
+      mean;
+      variance;
+      mode;
+      sample;
+    },
+    z )
+
+let expect t f =
+  let g u = f (t.quantile u) in
+  (* Stay off the exact endpoints where quantile diverges for unbounded
+     supports; the omitted mass is ~2e-9. *)
+  Numerics.Integrate.adaptive ~tol:1e-9 g 1e-9 (1.0 -. 1e-9)

@@ -1,0 +1,43 @@
+(** First-class continuous distributions.
+
+    A value of type {!t} packages the usual functionals of an absolutely
+    continuous distribution.  Closed-form families ({!Normal}, {!Lognormal},
+    ...) construct it directly; {!val:of_grid_pdf} builds one numerically from
+    a tabulated density (used for reweighted posteriors and opinion pools). *)
+
+type t = {
+  name : string;
+  support : float * float;  (** Interval carrying all the mass. *)
+  pdf : float -> float;
+  log_pdf : float -> float;
+  cdf : float -> float;
+  quantile : float -> float;  (** Inverse CDF on (0, 1). *)
+  mean : float;
+  variance : float;
+  mode : float option;  (** [None] when not unique / not defined. *)
+  sample : Numerics.Rng.t -> float;
+}
+
+val std : t -> float
+
+(** [survival t x] = P(X > x). *)
+val survival : t -> float -> float
+
+(** [interval_prob t a b] = P(a < X <= b). *)
+val interval_prob : t -> float -> float -> float
+
+(** [check_prob p] raises [Invalid_argument] unless [0 < p < 1]. *)
+val check_prob : float -> unit
+
+(** [of_grid_pdf ~name ~grid ~pdf ()] builds a distribution from density
+    values tabulated on a strictly increasing [grid] (at least 8 points).
+    The density is renormalised to integrate to 1 over the grid (trapezoid
+    rule), so [pdf] may be unnormalised.  Returns the distribution together
+    with the normalisation constant that was divided out (the "evidence" when
+    the input is prior x likelihood). *)
+val of_grid_pdf :
+  name:string -> grid:float array -> pdf:(float -> float) -> unit -> t * float
+
+(** [expect t f] = E[f(X)], computed by substituting u = F(x) and integrating
+    over (0,1) — robust for heavy-tailed supports. *)
+val expect : t -> (float -> float) -> float

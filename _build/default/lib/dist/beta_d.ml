@@ -1,0 +1,46 @@
+module Sp = Numerics.Special
+
+let make ~a ~b =
+  if a <= 0.0 || b <= 0.0 then invalid_arg "Beta_d.make: parameters <= 0";
+  let log_norm = -.Sp.log_beta a b in
+  let log_pdf x =
+    if x < 0.0 || x > 1.0 then neg_infinity
+    else if (x = 0.0 && a < 1.0) || (x = 1.0 && b < 1.0) then infinity
+    else if x = 0.0 && a > 1.0 then neg_infinity
+    else if x = 1.0 && b > 1.0 then neg_infinity
+    else log_norm +. ((a -. 1.0) *. log x) +. ((b -. 1.0) *. Sp.log1p (-.x))
+  in
+  let mode =
+    if a > 1.0 && b > 1.0 then Some ((a -. 1.0) /. (a +. b -. 2.0))
+    else if a <= 1.0 && b > 1.0 then Some 0.0
+    else if a > 1.0 && b <= 1.0 then Some 1.0
+    else None
+  in
+  {
+    Base.name = Printf.sprintf "beta(a=%g, b=%g)" a b;
+    support = (0.0, 1.0);
+    pdf =
+      (fun x ->
+        let l = log_pdf x in
+        if l = infinity then infinity else exp l);
+    log_pdf;
+    cdf =
+      (fun x ->
+        if x <= 0.0 then 0.0
+        else if x >= 1.0 then 1.0
+        else Sp.beta_inc a b x);
+    quantile =
+      (fun p ->
+        Base.check_prob p;
+        Sp.beta_inc_inv a b p);
+    mean = a /. (a +. b);
+    variance = a *. b /. ((a +. b) *. (a +. b) *. (a +. b +. 1.0));
+    mode;
+    sample = (fun rng -> Numerics.Rng.beta rng ~a ~b);
+  }
+
+let of_mean_strength ~mean ~strength =
+  if not (mean > 0.0 && mean < 1.0) then
+    invalid_arg "Beta_d.of_mean_strength: mean not in (0,1)";
+  if strength <= 0.0 then invalid_arg "Beta_d.of_mean_strength: strength <= 0";
+  make ~a:(mean *. strength) ~b:((1.0 -. mean) *. strength)

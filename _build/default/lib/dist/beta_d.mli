@@ -1,0 +1,9 @@
+(** Beta distribution on [0, 1] — the conjugate prior for pfd under
+    demand-based testing. *)
+
+(** [make ~a ~b] with [a, b > 0]. *)
+val make : a:float -> b:float -> Base.t
+
+(** [of_mean_strength ~mean ~strength] — beta with the given mean in (0,1)
+    and concentration [a + b = strength > 0]. *)
+val of_mean_strength : mean:float -> strength:float -> Base.t

@@ -1,0 +1,104 @@
+type t = { sorted : float array }
+
+let of_samples xs =
+  if Array.length xs = 0 then invalid_arg "Empirical.of_samples: empty";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  { sorted }
+
+let size t = Array.length t.sorted
+let mean t = Numerics.Summary.mean t.sorted
+let variance t = Numerics.Summary.variance t.sorted
+
+let cdf t x =
+  let n = Array.length t.sorted in
+  (* Count of samples <= x via binary search for the rightmost such index. *)
+  if x < t.sorted.(0) then 0.0
+  else if x >= t.sorted.(n - 1) then 1.0
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.sorted.(mid) <= x then lo := mid else hi := mid
+    done;
+    float_of_int (!lo + 1) /. float_of_int n
+  end
+
+let quantile t p = Numerics.Summary.quantile t.sorted p
+
+let resample t rng =
+  t.sorted.(Numerics.Rng.int rng (Array.length t.sorted))
+
+let kde ?bandwidth t =
+  let n = Array.length t.sorted in
+  if n < 8 then invalid_arg "Empirical.kde: need >= 8 samples";
+  let std =
+    if n < 2 then 0.0 else sqrt (Numerics.Summary.variance t.sorted)
+  in
+  let h =
+    match bandwidth with
+    | Some h ->
+      if h <= 0.0 then invalid_arg "Empirical.kde: bandwidth <= 0";
+      h
+    | None ->
+      if std <= 0.0 then invalid_arg "Empirical.kde: zero sample spread";
+      (* Silverman's rule of thumb. *)
+      1.06 *. std *. (float_of_int n ** (-0.2))
+  in
+  let lo = t.sorted.(0) -. (4.0 *. h) in
+  let hi = t.sorted.(n - 1) +. (4.0 *. h) in
+  let grid = Numerics.Interp.linspace lo hi 513 in
+  let norm = 1.0 /. (float_of_int n *. h *. sqrt (2.0 *. Numerics.Special.pi)) in
+  let pdf x =
+    (* Only kernels within 6h contribute measurably; find the window by
+       binary search to keep evaluation O(window). *)
+    let lo_i =
+      let target = x -. (6.0 *. h) in
+      let rec bsearch a b =
+        if b - a <= 1 then b
+        else begin
+          let m = (a + b) / 2 in
+          if t.sorted.(m) < target then bsearch m b else bsearch a m
+        end
+      in
+      if t.sorted.(0) >= target then 0 else bsearch 0 (n - 1)
+    in
+    let acc = ref 0.0 in
+    let i = ref lo_i in
+    while !i < n && t.sorted.(!i) <= x +. (6.0 *. h) do
+      let z = (x -. t.sorted.(!i)) /. h in
+      acc := !acc +. exp (-0.5 *. z *. z);
+      incr i
+    done;
+    norm *. !acc
+  in
+  let d, _z = Base.of_grid_pdf ~name:"kde" ~grid ~pdf () in
+  d
+
+let to_dist t =
+  (* Tabulate the quantile function on a moderate probability grid and
+     differentiate: far less noisy than adjacent-order-statistic gaps. *)
+  let m = min 257 (max 9 (Array.length t.sorted / 4)) in
+  let us = Numerics.Interp.linspace 0.002 0.998 m in
+  let raw = Array.map (fun u -> Numerics.Summary.quantile t.sorted u) us in
+  (* Keep strictly increasing (duplicated sample values flatten the
+     quantile function). *)
+  let xs = ref [ raw.(0) ] and ps = ref [ us.(0) ] in
+  for i = 1 to m - 1 do
+    match !xs with
+    | prev :: _ when raw.(i) > prev ->
+      xs := raw.(i) :: !xs;
+      ps := us.(i) :: !ps
+    | _ -> ()
+  done;
+  let grid = Array.of_list (List.rev !xs) in
+  let cdf_tab = Array.of_list (List.rev !ps) in
+  let k = Array.length grid in
+  if k < 8 then invalid_arg "Empirical.to_dist: need >= 8 distinct values";
+  let pdf x =
+    let i = Numerics.Interp.search_sorted grid x in
+    if i < 0 || i >= k - 1 then 0.0
+    else (cdf_tab.(i + 1) -. cdf_tab.(i)) /. (grid.(i + 1) -. grid.(i))
+  in
+  let d, _z = Base.of_grid_pdf ~name:"empirical" ~grid ~pdf () in
+  d

@@ -1,0 +1,32 @@
+(** Empirical distributions from samples (Monte-Carlo outputs, simulated
+    expert panels). *)
+
+type t
+
+(** [of_samples xs] — requires a non-empty array; copies and sorts it. *)
+val of_samples : float array -> t
+
+val size : t -> int
+val mean : t -> float
+
+(** Unbiased sample variance; requires >= 2 samples. *)
+val variance : t -> float
+
+(** [cdf t x] — step ECDF, P(X <= x). *)
+val cdf : t -> float -> float
+
+(** [quantile t p] — type-7 interpolated quantile, [0 <= p <= 1]. *)
+val quantile : t -> float -> float
+
+(** [resample t rng] — one bootstrap draw. *)
+val resample : t -> Numerics.Rng.t -> float
+
+(** [to_dist t] — kernel-free continuous approximation built by linear
+    interpolation of the ECDF (usable wherever a {!Base.t} is expected;
+    requires >= 8 distinct values). *)
+val to_dist : t -> Base.t
+
+(** [kde ?bandwidth t] — Gaussian kernel density estimate as a full
+    distribution; bandwidth defaults to Silverman's rule.  Requires >= 8
+    distinct values and positive sample spread. *)
+val kde : ?bandwidth:float -> t -> Base.t

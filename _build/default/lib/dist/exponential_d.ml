@@ -1,0 +1,18 @@
+let make ~rate =
+  if rate <= 0.0 then invalid_arg "Exponential_d.make: rate <= 0";
+  {
+    Base.name = Printf.sprintf "exponential(rate=%g)" rate;
+    support = (0.0, infinity);
+    pdf = (fun x -> if x < 0.0 then 0.0 else rate *. exp (-.rate *. x));
+    log_pdf =
+      (fun x -> if x < 0.0 then neg_infinity else log rate -. (rate *. x));
+    cdf = (fun x -> if x <= 0.0 then 0.0 else -.Numerics.Special.expm1 (-.rate *. x));
+    quantile =
+      (fun p ->
+        Base.check_prob p;
+        -.Numerics.Special.log1p (-.p) /. rate);
+    mean = 1.0 /. rate;
+    variance = 1.0 /. (rate *. rate);
+    mode = Some 0.0;
+    sample = (fun rng -> Numerics.Rng.exponential rng ~rate);
+  }

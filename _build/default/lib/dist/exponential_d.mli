@@ -1,0 +1,4 @@
+(** Exponential distribution. *)
+
+(** [make ~rate] with [rate > 0]. *)
+val make : rate:float -> Base.t

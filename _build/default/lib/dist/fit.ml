@@ -1,0 +1,88 @@
+exception Fit_error of string
+
+module Sp = Numerics.Special
+
+let lognormal_of_mode_confidence ~mode ~bound ~confidence =
+  if mode <= 0.0 then raise (Fit_error "lognormal_of_mode_confidence: mode <= 0");
+  if bound <= mode then
+    raise (Fit_error "lognormal_of_mode_confidence: bound must exceed mode");
+  if not (confidence > 0.0 && confidence < 1.0) then
+    raise (Fit_error "lognormal_of_mode_confidence: confidence not in (0,1)");
+  (* With mu = ln mode + sigma^2:
+       P(X <= b) = Phi(ln(b/mode)/sigma - sigma),
+     which decreases strictly from 1 to 0 as sigma grows, so
+       sigma solves  ln(b/mode)/sigma - sigma = z,  z = Phi^-1(confidence):
+       sigma = (-z + sqrt(z^2 + 4 ln(b/mode))) / 2. *)
+  let z = Sp.norm_quantile confidence in
+  let l = log (bound /. mode) in
+  let sigma = 0.5 *. (-.z +. sqrt ((z *. z) +. (4.0 *. l))) in
+  if sigma <= 0.0 then
+    raise (Fit_error "lognormal_of_mode_confidence: no positive-sigma solution");
+  Lognormal.of_mode_sigma ~mode ~sigma
+
+let gamma_of_mode_confidence ~mode ~bound ~confidence =
+  if mode <= 0.0 then raise (Fit_error "gamma_of_mode_confidence: mode <= 0");
+  if bound <= mode then
+    raise (Fit_error "gamma_of_mode_confidence: bound must exceed mode");
+  if not (confidence > 0.0 && confidence < 1.0) then
+    raise (Fit_error "gamma_of_mode_confidence: confidence not in (0,1)");
+  (* Parameterise by shape k > 1 with rate = (k-1)/mode.  As k -> infinity the
+     distribution concentrates at the mode (so P(X <= bound) -> 1); small k
+     spreads it out.  Solve for the requested tail probability. *)
+  let prob_of_shape k =
+    let rate = (k -. 1.0) /. mode in
+    Sp.gamma_p k (rate *. bound)
+  in
+  let f k = prob_of_shape k -. confidence in
+  let lo = 1.0 +. 1e-9 in
+  let hi =
+    let h = ref 2.0 in
+    while f !h < 0.0 && !h < 1e9 do
+      h := !h *. 2.0
+    done;
+    !h
+  in
+  if f hi < 0.0 then
+    raise (Fit_error "gamma_of_mode_confidence: confidence unattainable");
+  if f lo > 0.0 then
+    raise (Fit_error "gamma_of_mode_confidence: confidence below spread limit");
+  let k = Numerics.Rootfind.brent f lo hi in
+  Gamma_d.make ~shape:k ~rate:((k -. 1.0) /. mode)
+
+let lognormal_of_quantiles (p1, x1) (p2, x2) =
+  if not (p1 > 0.0 && p1 < 1.0 && p2 > 0.0 && p2 < 1.0) then
+    raise (Fit_error "lognormal_of_quantiles: probabilities not in (0,1)");
+  if p1 >= p2 || x1 >= x2 then
+    raise (Fit_error "lognormal_of_quantiles: need p1 < p2 and x1 < x2");
+  if x1 <= 0.0 then raise (Fit_error "lognormal_of_quantiles: x1 <= 0");
+  let z1 = Sp.norm_quantile p1 and z2 = Sp.norm_quantile p2 in
+  let sigma = (log x2 -. log x1) /. (z2 -. z1) in
+  if sigma <= 0.0 then raise (Fit_error "lognormal_of_quantiles: sigma <= 0");
+  let mu = log x1 -. (sigma *. z1) in
+  Lognormal.make ~mu ~sigma
+
+let lognormal_mle xs =
+  if Array.length xs < 2 then raise (Fit_error "lognormal_mle: need >= 2 samples");
+  Array.iter
+    (fun x -> if x <= 0.0 then raise (Fit_error "lognormal_mle: sample <= 0"))
+    xs;
+  let logs = Array.map log xs in
+  let mu = Numerics.Summary.mean logs in
+  let n = float_of_int (Array.length logs) in
+  (* MLE variance uses the n denominator. *)
+  let sigma2 =
+    Array.fold_left (fun acc l -> acc +. ((l -. mu) *. (l -. mu))) 0.0 logs /. n
+  in
+  if sigma2 <= 0.0 then raise (Fit_error "lognormal_mle: zero variance");
+  Lognormal.make ~mu ~sigma:(sqrt sigma2)
+
+let gamma_moments xs =
+  if Array.length xs < 2 then raise (Fit_error "gamma_moments: need >= 2 samples");
+  Array.iter
+    (fun x -> if x <= 0.0 then raise (Fit_error "gamma_moments: sample <= 0"))
+    xs;
+  let m = Numerics.Summary.mean xs in
+  let v = Numerics.Summary.variance xs in
+  if v <= 0.0 then raise (Fit_error "gamma_moments: zero variance");
+  let rate = m /. v in
+  Gamma_d.make ~shape:(m *. rate) ~rate

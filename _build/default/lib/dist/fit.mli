@@ -1,0 +1,30 @@
+(** Fitting belief distributions to elicited or sampled information. *)
+
+exception Fit_error of string
+
+(** [lognormal_of_mode_confidence ~mode ~bound ~confidence] — the log-normal
+    with the given [mode] such that P(X <= bound) = [confidence].  Requires
+    [bound > mode] and [0 < confidence < 1]; the solution in sigma is unique.
+    This is the inverse problem behind the paper's Figure 3: "the expert's
+    most likely value is [mode] and they are [confidence] sure the value is
+    below [bound]". *)
+val lognormal_of_mode_confidence :
+  mode:float -> bound:float -> confidence:float -> Base.t
+
+(** [gamma_of_mode_confidence ~mode ~bound ~confidence] — gamma counterpart
+    (shape > 1 so the mode is interior); used for the paper's sensitivity
+    check against the log-normal assumption. *)
+val gamma_of_mode_confidence :
+  mode:float -> bound:float -> confidence:float -> Base.t
+
+(** [lognormal_of_quantiles (p1, x1) (p2, x2)] — log-normal matching two
+    quantiles: P(X <= x1) = p1 and P(X <= x2) = p2; requires
+    [p1 < p2], [x1 < x2]. *)
+val lognormal_of_quantiles : float * float -> float * float -> Base.t
+
+(** [lognormal_mle xs] — maximum-likelihood log-normal from positive samples
+    (>= 2 of them). *)
+val lognormal_mle : float array -> Base.t
+
+(** [gamma_moments xs] — method-of-moments gamma from positive samples. *)
+val gamma_moments : float array -> Base.t

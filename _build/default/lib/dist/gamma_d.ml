@@ -1,0 +1,48 @@
+module Sp = Numerics.Special
+
+let make ~shape ~rate =
+  if shape <= 0.0 || rate <= 0.0 then invalid_arg "Gamma_d.make: parameters <= 0";
+  let log_norm = (shape *. log rate) -. Sp.log_gamma shape in
+  let log_pdf x =
+    if x < 0.0 then neg_infinity
+    else if x = 0.0 then if shape < 1.0 then infinity else if shape = 1.0 then log rate else neg_infinity
+    else log_norm +. ((shape -. 1.0) *. log x) -. (rate *. x)
+  in
+  {
+    Base.name = Printf.sprintf "gamma(shape=%g, rate=%g)" shape rate;
+    support = (0.0, infinity);
+    pdf =
+      (fun x ->
+        if x < 0.0 then 0.0
+        else begin
+          let l = log_pdf x in
+          if l = infinity then infinity else exp l
+        end);
+    log_pdf;
+    cdf = (fun x -> if x <= 0.0 then 0.0 else Sp.gamma_p shape (rate *. x));
+    quantile =
+      (fun p ->
+        Base.check_prob p;
+        Sp.gamma_p_inv shape p /. rate);
+    mean = shape /. rate;
+    variance = shape /. (rate *. rate);
+    mode = (if shape >= 1.0 then Some ((shape -. 1.0) /. rate) else Some 0.0);
+    sample = (fun rng -> Numerics.Rng.gamma rng ~shape ~rate);
+  }
+
+let of_mode_sigma ~mode ~sigma =
+  if mode <= 0.0 then invalid_arg "Gamma_d.of_mode_sigma: mode <= 0";
+  if sigma <= 0.0 then invalid_arg "Gamma_d.of_mode_sigma: sigma <= 0";
+  (* mode = (k-1)/r, var = k/r^2.  Substituting r = (k-1)/mode gives
+     k * mode^2 = sigma^2 (k-1)^2, a quadratic in k with the k > 1 root:
+     k = 1 + (m^2 + m sqrt(m^2 + 4 s^2)) / (2 s^2). *)
+  let m = mode and s = sigma in
+  let k = 1.0 +. ((m *. m) +. (m *. sqrt ((m *. m) +. (4.0 *. s *. s)))) /. (2.0 *. s *. s) in
+  let r = (k -. 1.0) /. m in
+  make ~shape:k ~rate:r
+
+let of_mode_mean ~mode ~mean =
+  if mode <= 0.0 then invalid_arg "Gamma_d.of_mode_mean: mode <= 0";
+  if mean <= mode then invalid_arg "Gamma_d.of_mode_mean: mean <= mode";
+  let rate = 1.0 /. (mean -. mode) in
+  make ~shape:(mean *. rate) ~rate

@@ -1,0 +1,14 @@
+(** Gamma distribution (shape-rate), used for the paper's sensitivity check
+    against the log-normal assumption (Section 3). *)
+
+(** [make ~shape ~rate] with both parameters positive. *)
+val make : shape:float -> rate:float -> Base.t
+
+(** [of_mode_sigma ~mode ~sigma] — gamma with the given mode ([> 0]) and
+    standard deviation.  Requires a shape > 1 solution to exist
+    (i.e. the mode is interior). *)
+val of_mode_sigma : mode:float -> sigma:float -> Base.t
+
+(** [of_mode_mean ~mode ~mean] with [mean > mode > 0]: for a gamma,
+    mean - mode = 1/rate and shape = mean * rate. *)
+val of_mode_mean : mode:float -> mean:float -> Base.t

@@ -1,0 +1,34 @@
+(** Log-normal distribution — the paper's model of pfd/failure-rate
+    judgement (Section 3.1).
+
+    ln X ~ N(mu, sigma^2).  Key relations used throughout:
+    - mean = exp(mu + sigma^2/2)
+    - mode = exp(mu - sigma^2)
+    - log10(mean/mode) = (1.5/ln 10) * sigma^2 ~ 0.651 sigma^2 *)
+
+(** [make ~mu ~sigma] with [sigma > 0]. *)
+val make : mu:float -> sigma:float -> Base.t
+
+(** [of_log_mean_mode ~lmean ~lmode] — the paper's parameterisation by the
+    natural logs of the mean and the mode ([lmean > lmode]):
+    sigma^2 = 2(lmean - lmode)/3 and mu = (2 lmean + lmode)/3. *)
+val of_log_mean_mode : lmean:float -> lmode:float -> Base.t
+
+(** [of_mode_mean ~mode ~mean] with [mean > mode > 0]. *)
+val of_mode_mean : mode:float -> mean:float -> Base.t
+
+(** [of_mode_sigma ~mode ~sigma] fixes the peak and the spread —
+    the construction behind Figures 1-4 (mode pinned at 0.003). *)
+val of_mode_sigma : mode:float -> sigma:float -> Base.t
+
+(** [params t] recovers [(mu, sigma)] from a distribution created by this
+    module.  @raise Invalid_argument on foreign distributions. *)
+val params : Base.t -> float * float
+
+(** [mean_mode_ratio_log10 ~sigma] = log10(mean/mode) = 0.651... * sigma^2. *)
+val mean_mode_ratio_log10 : sigma:float -> float
+
+(** [sigma_of_mean_mode_ratio ~ratio_log10] — inverse of
+    {!mean_mode_ratio_log10}; e.g. one decade between mean and mode
+    corresponds to sigma ~ 1.24. *)
+val sigma_of_mean_mode_ratio : ratio_log10:float -> float

@@ -1,0 +1,167 @@
+type component = Atom of float | Cont of Base.t
+
+type t = { parts : (float * component) array }
+
+let make components =
+  if components = [] then invalid_arg "Mixture.make: no components";
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 components in
+  if total <= 0.0 then invalid_arg "Mixture.make: weights sum to zero";
+  if abs_float (total -. 1.0) > 1e-9 then
+    invalid_arg "Mixture.make: weights must sum to 1";
+  List.iter
+    (fun (w, _) -> if w < 0.0 then invalid_arg "Mixture.make: negative weight")
+    components;
+  let parts =
+    components
+    |> List.filter (fun (w, _) -> w > 0.0)
+    |> List.map (fun (w, c) -> (w /. total, c))
+    |> Array.of_list
+  in
+  { parts }
+
+let of_dist d = { parts = [| (1.0, Cont d) |] }
+let atom x = { parts = [| (1.0, Atom x) |] }
+let components t = Array.to_list t.parts
+
+let with_perfection ~p0 t =
+  if p0 < 0.0 || p0 >= 1.0 then
+    invalid_arg "Mixture.with_perfection: p0 not in [0,1)";
+  if p0 = 0.0 then t
+  else begin
+    let scaled =
+      Array.to_list t.parts |> List.map (fun (w, c) -> (w *. (1.0 -. p0), c))
+    in
+    make ((p0, Atom 0.0) :: scaled)
+  end
+
+let prob_le t x =
+  Array.fold_left
+    (fun acc (w, c) ->
+      match c with
+      | Atom a -> if a <= x then acc +. w else acc
+      | Cont d -> acc +. (w *. d.Base.cdf x))
+    0.0 t.parts
+
+let prob_lt t x =
+  Array.fold_left
+    (fun acc (w, c) ->
+      match c with
+      | Atom a -> if a < x then acc +. w else acc
+      | Cont d -> acc +. (w *. d.Base.cdf x))
+    0.0 t.parts
+
+let expect t f =
+  Array.fold_left
+    (fun acc (w, c) ->
+      match c with
+      | Atom a -> acc +. (w *. f a)
+      | Cont d -> acc +. (w *. Base.expect d f))
+    0.0 t.parts
+
+let mean t =
+  Array.fold_left
+    (fun acc (w, c) ->
+      match c with
+      | Atom a -> acc +. (w *. a)
+      | Cont d -> acc +. (w *. d.Base.mean))
+    0.0 t.parts
+
+let variance t =
+  let m = mean t in
+  let second =
+    Array.fold_left
+      (fun acc (w, c) ->
+        match c with
+        | Atom a -> acc +. (w *. a *. a)
+        | Cont d ->
+          acc +. (w *. (d.Base.variance +. (d.Base.mean *. d.Base.mean))))
+      0.0 t.parts
+  in
+  max 0.0 (second -. (m *. m))
+
+let support t =
+  Array.fold_left
+    (fun (lo, hi) (_, c) ->
+      match c with
+      | Atom a -> (min lo a, max hi a)
+      | Cont d ->
+        let dlo, dhi = d.Base.support in
+        (min lo dlo, max hi dhi))
+    (infinity, neg_infinity)
+    t.parts
+
+let atom_weight t x =
+  Array.fold_left
+    (fun acc (w, c) -> match c with Atom a when a = x -> acc +. w | _ -> acc)
+    0.0 t.parts
+
+let quantile t p =
+  Base.check_prob p;
+  let lo, hi = support t in
+  if lo = hi then lo
+  else begin
+    (* The CDF may have jumps (atoms); bisect for the generalized inverse
+       inf { x : F(x) >= p }. *)
+    let lo = ref lo and hi = ref hi in
+    (* Widen the finite endpoints slightly so that F(lo) < p <= F(hi). *)
+    if Float.is_finite !lo then lo := !lo -. (1e-12 +. (1e-12 *. abs_float !lo))
+    else lo := -1e300;
+    if not (Float.is_finite !hi) then begin
+      (* Find a finite upper point with F >= p. *)
+      let x = ref (max 1.0 (abs_float !lo)) in
+      while prob_le t !x < p do
+        x := !x *. 2.0
+      done;
+      hi := !x
+    end;
+    for _ = 1 to 200 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if prob_le t mid >= p then hi := mid else lo := mid
+    done;
+    !hi
+  end
+
+let credible_interval t ~level =
+  if not (level > 0.0 && level < 1.0) then
+    invalid_arg "Mixture.credible_interval: level must be in (0,1)";
+  let tail = 0.5 *. (1.0 -. level) in
+  (quantile t tail, quantile t (1.0 -. tail))
+
+let sample t rng =
+  let u = Numerics.Rng.float rng in
+  let rec pick i acc =
+    let w, c = t.parts.(i) in
+    let acc = acc +. w in
+    if u < acc || i = Array.length t.parts - 1 then c else pick (i + 1) acc
+  in
+  match pick 0 0.0 with
+  | Atom a -> a
+  | Cont d -> d.Base.sample rng
+
+let scale_weights t f =
+  let scaled =
+    Array.map
+      (fun (w, c) ->
+        let factor = f c in
+        if factor < 0.0 || not (Float.is_finite factor) then
+          invalid_arg "Mixture.scale_weights: factor must be finite and >= 0";
+        (w *. factor, c))
+      t.parts
+  in
+  let z = Array.fold_left (fun acc (w, _) -> acc +. w) 0.0 scaled in
+  if z <= 0.0 then invalid_arg "Mixture.scale_weights: all mass vanished";
+  let parts =
+    Array.to_list scaled
+    |> List.filter (fun (w, _) -> w > 0.0)
+    |> List.map (fun (w, c) -> (w /. z, c))
+    |> Array.of_list
+  in
+  ({ parts }, z)
+
+let name t =
+  let part_name (w, c) =
+    match c with
+    | Atom a -> Printf.sprintf "%.4g*delta(%g)" w a
+    | Cont d -> Printf.sprintf "%.4g*%s" w d.Base.name
+  in
+  Array.to_list t.parts |> List.map part_name |> String.concat " + "

@@ -1,0 +1,26 @@
+module Sp = Numerics.Special
+
+let make ~mu ~sigma =
+  if sigma <= 0.0 then invalid_arg "Normal.make: sigma <= 0";
+  let log_norm = -.log (sigma *. sqrt (2.0 *. Sp.pi)) in
+  let log_pdf x =
+    let z = (x -. mu) /. sigma in
+    log_norm -. (0.5 *. z *. z)
+  in
+  {
+    Base.name = Printf.sprintf "normal(mu=%g, sigma=%g)" mu sigma;
+    support = (neg_infinity, infinity);
+    pdf = (fun x -> exp (log_pdf x));
+    log_pdf;
+    cdf = (fun x -> Sp.norm_cdf ((x -. mu) /. sigma));
+    quantile =
+      (fun p ->
+        Base.check_prob p;
+        mu +. (sigma *. Sp.norm_quantile p));
+    mean = mu;
+    variance = sigma *. sigma;
+    mode = Some mu;
+    sample = (fun rng -> Numerics.Rng.normal rng ~mu ~sigma);
+  }
+
+let standard = make ~mu:0.0 ~sigma:1.0

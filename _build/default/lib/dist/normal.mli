@@ -1,0 +1,7 @@
+(** Gaussian distribution. *)
+
+(** [make ~mu ~sigma] with [sigma > 0]. *)
+val make : mu:float -> sigma:float -> Base.t
+
+(** Standard normal. *)
+val standard : Base.t

@@ -1,0 +1,107 @@
+type constraint_ = { x : float; at_least : float; at_most : float }
+
+(* The envelopes are fully determined by the constraint list (plus the
+   implicit F(1) = 1); they are evaluated on demand. *)
+type t = { constraints : constraint_ list }
+
+let constraint_ ~x ~at_least ~at_most =
+  if x < 0.0 || x > 1.0 then invalid_arg "Pbox.constraint_: x outside [0,1]";
+  if not (0.0 <= at_least && at_least <= at_most && at_most <= 1.0) then
+    invalid_arg "Pbox.constraint_: need 0 <= at_least <= at_most <= 1";
+  { x; at_least; at_most }
+
+let lower_cdf t x =
+  if x >= 1.0 then 1.0
+  else
+    List.fold_left
+      (fun acc c -> if c.x <= x then max acc c.at_least else acc)
+      0.0 t.constraints
+
+let upper_cdf t x =
+  if x >= 1.0 then 1.0
+  else if x < 0.0 then 0.0
+  else
+    List.fold_left
+      (fun acc c -> if c.x >= x then min acc c.at_most else acc)
+      1.0 t.constraints
+
+let check_feasible t =
+  (* Monotone step envelopes can only cross at constraint points. *)
+  let points = 0.0 :: 1.0 :: List.map (fun c -> c.x) t.constraints in
+  List.iter
+    (fun x ->
+      if lower_cdf t x > upper_cdf t x +. 1e-12 then
+        invalid_arg
+          (Printf.sprintf
+             "Pbox.of_constraints: infeasible at x = %g (lower %g > upper %g)"
+             x (lower_cdf t x) (upper_cdf t x)))
+    points;
+  (* A lower bound at a smaller x must not exceed an upper bound at a
+     larger x (CDF monotonicity across constraints). *)
+  List.iter
+    (fun (a : constraint_) ->
+      List.iter
+        (fun (b : constraint_) ->
+          if a.x <= b.x && a.at_least > b.at_most +. 1e-12 then
+            invalid_arg
+              (Printf.sprintf
+                 "Pbox.of_constraints: P(X<=%g) >= %g conflicts with \
+                  P(X<=%g) <= %g"
+                 a.x a.at_least b.x b.at_most))
+        t.constraints)
+    t.constraints
+
+let of_constraints constraints =
+  if constraints = [] then invalid_arg "Pbox.of_constraints: no constraints";
+  let t = { constraints } in
+  check_feasible t;
+  t
+
+let of_claim ~bound ~confidence =
+  if bound < 0.0 || bound > 1.0 then invalid_arg "Pbox.of_claim: bad bound";
+  if not (confidence > 0.0 && confidence <= 1.0) then
+    invalid_arg "Pbox.of_claim: bad confidence";
+  of_constraints [ constraint_ ~x:bound ~at_least:confidence ~at_most:1.0 ]
+
+let vacuous = { constraints = [ constraint_ ~x:1.0 ~at_least:1.0 ~at_most:1.0 ] }
+
+let cdf_bounds t x = (lower_cdf t x, upper_cdf t x)
+
+(* The envelopes are step functions; integrate them exactly over [0,1]
+   using the sorted breakpoints. *)
+let integrate_steps f t =
+  let xs =
+    (0.0 :: 1.0 :: List.map (fun c -> c.x) t.constraints)
+    |> List.sort_uniq compare
+    |> List.filter (fun x -> x >= 0.0 && x <= 1.0)
+  in
+  let rec go acc = function
+    | a :: (b :: _ as rest) ->
+      (* On (a, b) the step envelopes are constant; sample the midpoint. *)
+      let v = f t (0.5 *. (a +. b)) in
+      go (acc +. (v *. (b -. a))) rest
+    | [ _ ] | [] -> acc
+  in
+  go 0.0 xs
+
+(* mean = int_0^1 (1 - F(x)) dx; the largest mean uses the smallest F. *)
+let upper_mean t = integrate_steps (fun t x -> 1.0 -. lower_cdf t x) t
+let lower_mean t = integrate_steps (fun t x -> 1.0 -. upper_cdf t x) t
+
+let contains t (d : Base.t) =
+  let check x =
+    let f = d.cdf x in
+    f >= lower_cdf t x -. 1e-9 && f <= upper_cdf t x +. 1e-9
+  in
+  let grid = Numerics.Interp.linspace 0.0 1.0 201 in
+  Array.for_all check grid
+  && List.for_all
+       (fun c ->
+         let f = d.cdf c.x in
+         f >= c.at_least -. 1e-9 && f <= c.at_most +. 1e-9)
+       t.constraints
+
+let intersect a b =
+  let t = { constraints = a.constraints @ b.constraints } in
+  check_feasible t;
+  t

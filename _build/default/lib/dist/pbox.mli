@@ -1,0 +1,51 @@
+(** Probability boxes over the pfd interval [0, 1].
+
+    The paper's Section 3.4 observes that an expert "may only be prepared to
+    express a belief of the kind P(pfd < y) = 1 - x" — a *partial*
+    specification.  The set of all distributions consistent with such
+    constraints is captured by a p-box: a pair of CDF envelopes
+    [lower_cdf <= F <= upper_cdf].  The paper's conservative bound (5) is
+    precisely the upper mean of the one-constraint p-box; this module makes
+    that calculus explicit and supports any number of constraints. *)
+
+type t
+
+(** A constraint P(X <= x) in [at_least, at_most]. *)
+type constraint_ = { x : float; at_least : float; at_most : float }
+
+(** [constraint_ ~x ~at_least ~at_most] with [0 <= x <= 1] and
+    [0 <= at_least <= at_most <= 1]. *)
+val constraint_ : x:float -> at_least:float -> at_most:float -> constraint_
+
+(** [of_constraints cs] — the tightest p-box consistent with the
+    constraints; at least one constraint required.
+    @raise Invalid_argument if the constraints are jointly infeasible
+    (lower envelope would exceed the upper). *)
+val of_constraints : constraint_ list -> t
+
+(** [of_claim ~bound ~confidence] — the p-box of the paper's single-point
+    belief P(pfd <= bound) >= confidence.  Its {!upper_mean} is exactly the
+    conservative bound x + y - x*y of inequality (5). *)
+val of_claim : bound:float -> confidence:float -> t
+
+(** [vacuous] — no information: any distribution on [0,1]. *)
+val vacuous : t
+
+(** [cdf_bounds t x] — [(lower, upper)] bounds on P(X <= x). *)
+val cdf_bounds : t -> float -> float * float
+
+(** [upper_mean t] — the largest mean of any distribution in the box
+    (mass pushed right against the lower CDF envelope). *)
+val upper_mean : t -> float
+
+(** [lower_mean t] — the smallest mean (mass pushed left). *)
+val lower_mean : t -> float
+
+(** [contains t d] — does a (continuous) distribution respect the
+    envelopes?  Checked on the constraint points and a grid. *)
+val contains : t -> Base.t -> bool
+
+(** [intersect a b] — information fusion: the box of distributions in both.
+    @raise Invalid_argument when the intersection is empty (conflicting
+    information). *)
+val intersect : t -> t -> t

@@ -1,0 +1,42 @@
+let component_grid (d : Base.t) n =
+  let q_lo = d.quantile 1e-9 in
+  let q_hi = d.quantile (1.0 -. 1e-9) in
+  if q_lo > 0.0 then Numerics.Interp.logspace q_lo q_hi n
+  else Numerics.Interp.linspace q_lo q_hi n
+
+let posterior ?(grid_size = 1025) belief ~weight =
+  let reweight_cont (d : Base.t) =
+    let grid = component_grid d grid_size in
+    let pdf x =
+      let w = weight x in
+      if w < 0.0 || not (Float.is_finite w) then
+        invalid_arg
+          (Printf.sprintf "Reweighted.posterior: bad weight %g at %g" w x);
+      d.pdf x *. w
+    in
+    Base.of_grid_pdf ~name:(d.name ^ " | reweighted") ~grid ~pdf ()
+  in
+  let parts = Mixture.components belief in
+  let updated =
+    List.map
+      (fun (w, c) ->
+        match (c : Mixture.component) with
+        | Mixture.Atom a ->
+          let f = weight a in
+          if f < 0.0 || not (Float.is_finite f) then
+            invalid_arg "Reweighted.posterior: bad weight at atom";
+          (w *. f, c)
+        | Mixture.Cont d ->
+          (try
+             let d', z = reweight_cont d in
+             (w *. z, Mixture.Cont d')
+           with Invalid_argument msg
+             when msg = "Dist.of_grid_pdf: density integrates to zero" ->
+             (0.0, c)))
+      parts
+  in
+  let evidence = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 updated in
+  if evidence <= 0.0 then
+    invalid_arg "Reweighted.posterior: weight annihilates all mass";
+  let normalised = List.map (fun (w, c) -> (w /. evidence, c)) updated in
+  (Mixture.make normalised, evidence)

@@ -1,0 +1,19 @@
+(** Likelihood reweighting of a belief — the engine behind the paper's
+    Section 4.1 "tail cut-off": multiplying a belief density by a survival
+    probability and renormalising.
+
+    [posterior belief ~weight] returns the renormalised belief with density
+    proportional to (prior density) x (weight x), together with the
+    normalising constant (the marginal likelihood / "evidence"). *)
+
+(** [posterior ?grid_size belief ~weight] — [weight] must be finite and
+    non-negative over the support of [belief].  Continuous components are
+    rebuilt on a quantile-spanning grid of [grid_size] points (default 1025).
+    @raise Invalid_argument if the weight annihilates all mass. *)
+val posterior :
+  ?grid_size:int -> Mixture.t -> weight:(float -> float) -> Mixture.t * float
+
+(** [component_grid d n] — the evaluation grid used for a continuous
+    component: spans quantiles 1e-9 .. 1-1e-9, geometrically spaced when the
+    support is positive.  Exposed for tests and for custom reweighting. *)
+val component_grid : Base.t -> int -> float array

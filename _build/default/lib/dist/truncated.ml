@@ -1,0 +1,57 @@
+let make (d : Base.t) ~lo ~hi =
+  if lo >= hi then invalid_arg "Truncated.make: lo >= hi";
+  let f_lo = d.cdf lo and f_hi = d.cdf hi in
+  let mass = f_hi -. f_lo in
+  if mass <= 0.0 then invalid_arg "Truncated.make: no mass in interval";
+  let pdf x = if x < lo || x > hi then 0.0 else d.pdf x /. mass in
+  let cdf x =
+    if x <= lo then 0.0
+    else if x >= hi then 1.0
+    else (d.cdf x -. f_lo) /. mass
+  in
+  let quantile p =
+    Base.check_prob p;
+    let target = f_lo +. (p *. mass) in
+    if target <= 0.0 then lo
+    else if target >= 1.0 then hi
+    else begin
+      let x = d.quantile target in
+      (* Guard against base-quantile round-off at the interval edges. *)
+      min hi (max lo x)
+    end
+  in
+  (* Moments by change of variable u = F(x) restricted to the interval. *)
+  let expect f =
+    let g u = f (d.quantile (f_lo +. (u *. mass))) in
+    let eps = 1e-9 in
+    Numerics.Integrate.adaptive ~tol:1e-9 g eps (1.0 -. eps)
+  in
+  let mean = expect (fun x -> x) in
+  let second = expect (fun x -> x *. x) in
+  let mode =
+    match d.mode with
+    | None -> None
+    | Some m -> Some (min hi (max lo m))
+  in
+  {
+    Base.name = Printf.sprintf "%s | [%g, %g]" d.name lo hi;
+    support = (max lo (fst d.support), min hi (snd d.support));
+    pdf;
+    log_pdf = (fun x -> log (pdf x));
+    cdf;
+    quantile;
+    mean;
+    variance = max 0.0 (second -. (mean *. mean));
+    mode;
+    sample = (fun rng -> quantile (Numerics.Rng.float_pos rng));
+  }
+
+let upper d ~bound =
+  let lo = fst d.Base.support in
+  let lo = if Float.is_finite lo then lo else d.Base.quantile 1e-12 in
+  make d ~lo ~hi:bound
+
+let lower d ~bound =
+  let hi = snd d.Base.support in
+  let hi = if Float.is_finite hi then hi else d.Base.quantile (1.0 -. 1e-12) in
+  make d ~lo:bound ~hi

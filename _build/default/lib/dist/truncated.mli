@@ -1,0 +1,12 @@
+(** Truncation / conditioning of a continuous distribution to an interval. *)
+
+(** [make d ~lo ~hi] — the distribution of X | lo <= X <= hi under [d].
+    Requires [lo < hi] and positive mass in the interval. *)
+val make : Base.t -> lo:float -> hi:float -> Base.t
+
+(** [upper d ~bound] — condition on X <= bound (the "tail cut-off" of a
+    belief by a certain claim that the rate cannot exceed [bound]). *)
+val upper : Base.t -> bound:float -> Base.t
+
+(** [lower d ~bound] — condition on X >= bound. *)
+val lower : Base.t -> bound:float -> Base.t

@@ -1,0 +1,21 @@
+let make ~lo ~hi =
+  if lo >= hi then invalid_arg "Uniform_d.make: lo >= hi";
+  let width = hi -. lo in
+  {
+    Base.name = Printf.sprintf "uniform(%g, %g)" lo hi;
+    support = (lo, hi);
+    pdf = (fun x -> if x < lo || x > hi then 0.0 else 1.0 /. width);
+    log_pdf =
+      (fun x -> if x < lo || x > hi then neg_infinity else -.log width);
+    cdf =
+      (fun x ->
+        if x <= lo then 0.0 else if x >= hi then 1.0 else (x -. lo) /. width);
+    quantile =
+      (fun p ->
+        Base.check_prob p;
+        lo +. (p *. width));
+    mean = 0.5 *. (lo +. hi);
+    variance = width *. width /. 12.0;
+    mode = None;
+    sample = (fun rng -> Numerics.Rng.uniform rng lo hi);
+  }

@@ -1,0 +1,4 @@
+(** Continuous uniform distribution. *)
+
+(** [make ~lo ~hi] with [lo < hi]. *)
+val make : lo:float -> hi:float -> Base.t

@@ -1,0 +1,40 @@
+module Sp = Numerics.Special
+
+let make ~shape ~scale =
+  if shape <= 0.0 || scale <= 0.0 then
+    invalid_arg "Weibull_d.make: parameters <= 0";
+  let k = shape and l = scale in
+  let log_pdf x =
+    if x < 0.0 then neg_infinity
+    else if x = 0.0 then
+      if k < 1.0 then infinity else if k = 1.0 then log (1.0 /. l) else neg_infinity
+    else begin
+      let z = x /. l in
+      log (k /. l) +. ((k -. 1.0) *. log z) -. (z ** k)
+    end
+  in
+  let mean = l *. Sp.gamma (1.0 +. (1.0 /. k)) in
+  let second = l *. l *. Sp.gamma (1.0 +. (2.0 /. k)) in
+  let mode =
+    if k > 1.0 then Some (l *. (((k -. 1.0) /. k) ** (1.0 /. k))) else Some 0.0
+  in
+  {
+    Base.name = Printf.sprintf "weibull(shape=%g, scale=%g)" shape scale;
+    support = (0.0, infinity);
+    pdf =
+      (fun x ->
+        let v = log_pdf x in
+        if v = infinity then infinity else exp v);
+    log_pdf;
+    cdf = (fun x -> if x <= 0.0 then 0.0 else -.Sp.expm1 (-.((x /. l) ** k)));
+    quantile =
+      (fun p ->
+        Base.check_prob p;
+        l *. ((-.Sp.log1p (-.p)) ** (1.0 /. k)));
+    mean;
+    variance = max 0.0 (second -. (mean *. mean));
+    mode;
+    sample =
+      (fun rng ->
+        l *. ((-.log (Numerics.Rng.float_pos rng)) ** (1.0 /. k)));
+  }

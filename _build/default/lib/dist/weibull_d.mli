@@ -1,0 +1,5 @@
+(** Weibull distribution (shape-scale), used by the reliability-growth
+    substrate for time-to-failure modelling. *)
+
+(** [make ~shape ~scale] with both positive. *)
+val make : shape:float -> scale:float -> Base.t

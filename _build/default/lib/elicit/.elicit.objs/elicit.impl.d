@@ -1,0 +1,1 @@
+lib/elicit/elicit.ml: Belief Belief_format Calibration Delphi Pool

@@ -1,0 +1,1 @@
+lib/elicit/belief.ml: Confidence Dist List Printf

@@ -1,0 +1,1 @@
+lib/elicit/belief.mli: Confidence Dist

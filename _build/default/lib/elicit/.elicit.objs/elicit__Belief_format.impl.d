@@ -1,0 +1,1 @@
+lib/elicit/belief_format.ml: Dist List Option Printf Scanf String

@@ -1,0 +1,1 @@
+lib/elicit/belief_format.mli: Dist

@@ -1,0 +1,1 @@
+lib/elicit/calibration.ml: Array Dist List

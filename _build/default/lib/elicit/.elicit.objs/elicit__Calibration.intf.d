@@ -1,0 +1,1 @@
+lib/elicit/calibration.mli: Dist

@@ -1,0 +1,1 @@
+lib/elicit/delphi.ml: Array Dist List Numerics Pool Printf Report

@@ -1,0 +1,1 @@
+lib/elicit/delphi.mli: Dist

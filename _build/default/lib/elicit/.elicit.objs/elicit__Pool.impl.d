@@ -1,0 +1,1 @@
+lib/elicit/pool.ml: Array Dist Float List Numerics

@@ -1,0 +1,1 @@
+lib/elicit/pool.mli: Dist

@@ -1,0 +1,68 @@
+type point = { bound : float; confidence : float }
+
+let point ~bound ~confidence =
+  if bound <= 0.0 then invalid_arg "Belief.point: bound <= 0";
+  if not (confidence > 0.0 && confidence < 1.0) then
+    invalid_arg "Belief.point: confidence must be in (0,1)";
+  { bound; confidence }
+
+type assessment = { most_likely : float option; points : point list }
+
+let assessment ?most_likely points =
+  (match most_likely with
+  | Some m when m <= 0.0 -> invalid_arg "Belief.assessment: most_likely <= 0"
+  | Some _ | None -> ());
+  if points = [] then invalid_arg "Belief.assessment: no points";
+  { most_likely; points }
+
+let coherent points =
+  let sorted = List.sort (fun a b -> compare a.bound b.bound) points in
+  let rec scan = function
+    | a :: (b :: _ as rest) ->
+      if b.confidence < a.confidence then Error (a, b) else scan rest
+    | [ _ ] | [] -> Ok ()
+  in
+  scan sorted
+
+let to_claim p =
+  Confidence.Claim.make ~bound:p.bound ~confidence:p.confidence
+
+let fit_lognormal a =
+  (match coherent a.points with
+  | Ok () -> ()
+  | Error (p1, p2) ->
+    raise
+      (Dist.Fit.Fit_error
+         (Printf.sprintf
+            "fit_lognormal: incoherent points (%g, %g) vs (%g, %g)" p1.bound
+            p1.confidence p2.bound p2.confidence)));
+  match (a.most_likely, a.points) with
+  | Some mode, [ p ] ->
+    Dist.Fit.lognormal_of_mode_confidence ~mode ~bound:p.bound
+      ~confidence:p.confidence
+  | None, [ p1; p2 ] ->
+    let lo, hi = if p1.bound < p2.bound then (p1, p2) else (p2, p1) in
+    Dist.Fit.lognormal_of_quantiles (lo.confidence, lo.bound)
+      (hi.confidence, hi.bound)
+  | Some _, _ :: _ :: _ ->
+    raise
+      (Dist.Fit.Fit_error
+         "fit_lognormal: over-determined (mode plus several points)")
+  | None, [ _ ] ->
+    raise
+      (Dist.Fit.Fit_error
+         "fit_lognormal: under-determined (one point, no most-likely value)")
+  | _, [] -> raise (Dist.Fit.Fit_error "fit_lognormal: no points")
+  | None, _ :: _ :: _ :: _ ->
+    raise
+      (Dist.Fit.Fit_error "fit_lognormal: more than two points unsupported")
+
+let fit_gamma a =
+  match (a.most_likely, a.points) with
+  | Some mode, [ p ] ->
+    Dist.Fit.gamma_of_mode_confidence ~mode ~bound:p.bound
+      ~confidence:p.confidence
+  | _ ->
+    raise
+      (Dist.Fit.Fit_error
+         "fit_gamma: needs exactly a most-likely value and one point")

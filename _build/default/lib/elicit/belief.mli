@@ -1,0 +1,37 @@
+(** Elicited beliefs about a failure measure.
+
+    Experts rarely provide full distributions (paper Section 3.4: "some would
+    argue that describing this as elicitation begs the question that the
+    expert really does 'have' a complete distribution").  This module
+    represents what they do provide — single points P(X <= bound) =
+    confidence, possibly with a most-likely value — checks coherence, and
+    fits full distributions when a parametric form is acceptable. *)
+
+type point = { bound : float; confidence : float }
+
+(** [point ~bound ~confidence] with bound > 0 and confidence in (0,1). *)
+val point : bound:float -> confidence:float -> point
+
+(** An expert's assessment: an optional most-likely value plus quantile
+    points. *)
+type assessment = { most_likely : float option; points : point list }
+
+val assessment : ?most_likely:float -> point list -> assessment
+
+(** [coherent points] — sorted by bound, the confidences must be
+    nondecreasing (a CDF is monotone); returns the offending pair on
+    failure. *)
+val coherent : point list -> (unit, point * point) result
+
+(** [to_claim point] — reinterpret as a {!Confidence.Claim.t} (for the
+    conservative worst-case treatment, no distributional assumption). *)
+val to_claim : point -> Confidence.Claim.t
+
+(** [fit_lognormal assessment] — a log-normal matching the assessment:
+    mode + one point, or two points.
+    @raise Dist.Fit.Fit_error when under- or over-determined or
+    incoherent. *)
+val fit_lognormal : assessment -> Dist.t
+
+(** [fit_gamma assessment] — gamma counterpart (mode + one point only). *)
+val fit_gamma : assessment -> Dist.t

@@ -1,0 +1,162 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line message = raise (Parse_error { line; message })
+
+(* One parsed line: a component plus an optional explicit weight. *)
+type parsed = { component : Dist.Mixture.component; weight : float option }
+
+let float_of line s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> fail line (Printf.sprintf "expected a number, got %S" s)
+
+(* Consume "key value" pairs from the token list. *)
+let rec parse_fields line fields tokens =
+  match tokens with
+  | [] -> (fields, None)
+  | [ "weight" ] -> fail line "weight needs a value"
+  | "weight" :: w :: rest ->
+    if rest <> [] then fail line "weight must come last";
+    (fields, Some (float_of line w))
+  | key :: value :: rest ->
+    parse_fields line ((key, float_of line value) :: fields) rest
+  | [ key ] -> fail line (Printf.sprintf "field %S needs a value" key)
+
+let field line fields name =
+  match List.assoc_opt name fields with
+  | Some v -> v
+  | None -> fail line (Printf.sprintf "missing field %S" name)
+
+let guard line f =
+  match f () with
+  | v -> v
+  | exception Invalid_argument msg -> fail line msg
+
+let parse_component line tokens =
+  match tokens with
+  | "atom" :: rest ->
+    (match rest with
+    | x :: rest ->
+      let weight =
+        match rest with
+        | [] -> None
+        | [ w ] -> Some (float_of line w)
+        | [ "weight"; w ] -> Some (float_of line w)
+        | _ -> fail line "atom takes a location and an optional weight"
+      in
+      { component = Dist.Mixture.Atom (float_of line x); weight }
+    | [] -> fail line "atom needs a location")
+  | "lognormal" :: rest ->
+    let fields, weight = parse_fields line [] rest in
+    let sigma = field line fields "sigma" in
+    let d =
+      match (List.assoc_opt "mode" fields, List.assoc_opt "mu" fields) with
+      | Some mode, None ->
+        guard line (fun () -> Dist.Lognormal.of_mode_sigma ~mode ~sigma)
+      | None, Some mu -> guard line (fun () -> Dist.Lognormal.make ~mu ~sigma)
+      | Some _, Some _ -> fail line "give either mode or mu, not both"
+      | None, None -> fail line "lognormal needs mode or mu"
+    in
+    { component = Dist.Mixture.Cont d; weight }
+  | "gamma" :: rest ->
+    let fields, weight = parse_fields line [] rest in
+    let shape = field line fields "shape" and rate = field line fields "rate" in
+    { component =
+        Dist.Mixture.Cont (guard line (fun () -> Dist.Gamma_d.make ~shape ~rate));
+      weight }
+  | "beta" :: rest ->
+    let fields, weight = parse_fields line [] rest in
+    let a = field line fields "a" and b = field line fields "b" in
+    { component =
+        Dist.Mixture.Cont (guard line (fun () -> Dist.Beta_d.make ~a ~b));
+      weight }
+  | "uniform" :: rest ->
+    let fields, weight = parse_fields line [] rest in
+    let lo = field line fields "lo" and hi = field line fields "hi" in
+    { component =
+        Dist.Mixture.Cont (guard line (fun () -> Dist.Uniform_d.make ~lo ~hi));
+      weight }
+  | kind :: _ -> fail line (Printf.sprintf "unknown component %S" kind)
+  | [] -> fail line "empty component"
+
+let parse text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i raw -> (i + 1, String.trim raw))
+    |> List.filter (fun (_, s) -> s <> "" && s.[0] <> '#')
+  in
+  if lines = [] then fail 0 "empty belief";
+  let parsed =
+    List.map
+      (fun (line, s) ->
+        let tokens =
+          String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+        in
+        (line, parse_component line tokens))
+      lines
+  in
+  let explicit =
+    List.fold_left
+      (fun acc (_, p) -> acc +. Option.value ~default:0.0 p.weight)
+      0.0 parsed
+  in
+  let implicit_count =
+    List.length (List.filter (fun (_, p) -> p.weight = None) parsed)
+  in
+  let components =
+    match implicit_count with
+    | 0 -> List.map (fun (_, p) -> (Option.get p.weight, p.component)) parsed
+    | 1 ->
+      let remaining = 1.0 -. explicit in
+      if remaining <= 0.0 then
+        fail (fst (List.hd parsed)) "explicit weights already reach 1";
+      List.map
+        (fun (_, p) ->
+          match p.weight with
+          | Some w -> (w, p.component)
+          | None -> (remaining, p.component))
+        parsed
+    | _ ->
+      fail
+        (fst (List.hd parsed))
+        "at most one component may omit its weight"
+  in
+  match Dist.Mixture.make components with
+  | m -> m
+  | exception Invalid_argument msg -> fail (fst (List.hd parsed)) msg
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse text
+
+let print belief =
+  let render_cont (d : Dist.t) =
+    (* Recognise the supported families from their recorded names. *)
+    try Scanf.sscanf d.name "lognormal(mu=%g, sigma=%g)" (fun mu sigma ->
+        Printf.sprintf "lognormal mu %.17g sigma %.17g" mu sigma)
+    with Scanf.Scan_failure _ | Failure _ | End_of_file -> (
+      try Scanf.sscanf d.name "gamma(shape=%g, rate=%g)" (fun shape rate ->
+          Printf.sprintf "gamma shape %.17g rate %.17g" shape rate)
+      with Scanf.Scan_failure _ | Failure _ | End_of_file -> (
+        try Scanf.sscanf d.name "beta(a=%g, b=%g)" (fun a b ->
+            Printf.sprintf "beta a %.17g b %.17g" a b)
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> (
+          try Scanf.sscanf d.name "uniform(%g, %g)" (fun lo hi ->
+              Printf.sprintf "uniform lo %.17g hi %.17g" lo hi)
+          with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+            invalid_arg
+              (Printf.sprintf "Belief_format.print: unprintable component %s"
+                 d.name))))
+  in
+  Dist.Mixture.components belief
+  |> List.map (fun (w, c) ->
+         match (c : Dist.Mixture.component) with
+         | Dist.Mixture.Atom x ->
+           Printf.sprintf "atom %.17g weight %.17g" x w
+         | Dist.Mixture.Cont d ->
+           Printf.sprintf "%s weight %.17g" (render_cont d) w)
+  |> String.concat "\n"
+  |> fun s -> s ^ "\n"

@@ -1,0 +1,37 @@
+(** A text format for belief distributions, so elicited judgements can be
+    stored next to the case files that use them.
+
+    One component per line, weights summing to 1 (a single component may
+    omit its weight):
+
+    {v
+# belief about the SIS pfd
+atom 0 0.05
+lognormal mode 3e-3 sigma 0.9 weight 0.95
+    v}
+
+    Component forms:
+    - [atom X WEIGHT?]
+    - [lognormal mode M sigma S WEIGHT?] or [lognormal mu MU sigma S WEIGHT?]
+    - [gamma shape K rate R WEIGHT?]
+    - [beta a A b B WEIGHT?]
+    - [uniform lo L hi H WEIGHT?]
+
+    [WEIGHT?] is either nothing (defaults to the remaining mass when it is
+    the only weightless component) or [weight W]. *)
+
+exception Parse_error of { line : int; message : string }
+
+(** [parse text].
+    @raise Parse_error with a line number on malformed input. *)
+val parse : string -> Dist.Mixture.t
+
+(** [parse_file path]. *)
+val parse_file : string -> Dist.Mixture.t
+
+(** [print belief] — best-effort rendering: exact for atoms; continuous
+    components of the families above are recovered from their recorded
+    parameters to ~6 significant digits; fails on foreign continuous
+    components.
+    @raise Invalid_argument on unprintable components. *)
+val print : Dist.Mixture.t -> string

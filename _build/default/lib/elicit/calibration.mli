@@ -1,0 +1,29 @@
+(** Scoring the quality of probabilistic judgements.
+
+    "This approach suffers from lack of validation, calibration..." (paper,
+    Section 3).  These scores quantify exactly that, for synthetic or real
+    expert track records. *)
+
+(** [brier predictions] — mean squared error of probability forecasts
+    against outcomes; 0 is perfect, 0.25 is the score of always saying 1/2. *)
+val brier : (float * bool) list -> float
+
+(** [log_score predictions] — mean negative log likelihood (natural log);
+    forecasts of exactly 0 or 1 that turn out wrong yield [infinity]. *)
+val log_score : (float * bool) list -> float
+
+(** [calibration_curve ~bins predictions] — per probability bin:
+    (bin centre, observed frequency, count).  Bins without forecasts are
+    omitted. *)
+val calibration_curve :
+  bins:int -> (float * bool) list -> (float * float * int) list
+
+(** [pit_values beliefs_and_truths] — probability integral transform
+    F_i(truth_i) for each (belief, realised value) pair: uniform on (0,1)
+    iff the beliefs are calibrated. *)
+val pit_values : (Dist.t * float) list -> float list
+
+(** [ks_uniform_stat xs] — Kolmogorov-Smirnov distance of the values from
+    the uniform distribution on (0,1): a summary calibration defect in
+    [0,1]. *)
+val ks_uniform_stat : float list -> float

@@ -1,0 +1,221 @@
+type profile = Believer | Doubter
+
+type expert = {
+  id : int;
+  profile : profile;
+  log_peak : float;
+  sigma : float;
+  learning : float;
+}
+
+type phase = Briefing | Individual_info | Shared_info | Discussion
+
+let phases = [ Briefing; Individual_info; Shared_info; Discussion ]
+
+let phase_to_string = function
+  | Briefing -> "1: briefing"
+  | Individual_info -> "2: individual information"
+  | Shared_info -> "3: shared information"
+  | Discussion -> "4: Delphi discussion"
+
+type config = {
+  true_pfd : float;
+  n_experts : int;
+  n_doubters : int;
+  briefing_noise : float;
+  sigma_range : float * float;
+  doubter_spread : float;
+  doubter_pessimism_decades : float;
+  info_gain : float;
+  share_gain : float;
+  delphi_gain : float;
+  spread_reduction : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    true_pfd = 3e-3;
+    n_experts = 12;
+    n_doubters = 3;
+    briefing_noise = 0.55;
+    sigma_range = (0.5, 1.25);
+    doubter_spread = 1.2;
+    doubter_pessimism_decades = 1.8;
+    info_gain = 0.6;
+    share_gain = 0.6;
+    delphi_gain = 0.7;
+    spread_reduction = 0.62;
+    seed = 61508;
+  }
+
+let belief_of e = Dist.Lognormal.of_mode_sigma ~mode:(exp e.log_peak) ~sigma:e.sigma
+
+type snapshot = {
+  phase : phase;
+  experts : expert list;
+  believer_pool : Dist.Mixture.t;
+  confidence_sil2 : float;
+  confidence_sil1 : float;
+  pooled_mean : float;
+  doubter_modes : float list;
+}
+
+type result = { config : config; snapshots : snapshot list }
+
+let check_config c =
+  if c.true_pfd <= 0.0 || c.true_pfd >= 1.0 then
+    invalid_arg "Delphi: true_pfd must be in (0,1)";
+  if c.n_experts < 2 then invalid_arg "Delphi: need >= 2 experts";
+  if c.n_doubters < 0 || c.n_doubters >= c.n_experts then
+    invalid_arg "Delphi: doubters must leave at least one believer";
+  let lo, hi = c.sigma_range in
+  if lo <= 0.0 || hi < lo then invalid_arg "Delphi: bad sigma_range";
+  let check_gain name g =
+    if not (g >= 0.0 && g <= 1.0) then
+      invalid_arg (Printf.sprintf "Delphi: %s must be in [0,1]" name)
+  in
+  check_gain "info_gain" c.info_gain;
+  check_gain "share_gain" c.share_gain;
+  check_gain "delphi_gain" c.delphi_gain;
+  if not (c.spread_reduction > 0.0 && c.spread_reduction <= 1.0) then
+    invalid_arg "Delphi: spread_reduction must be in (0,1]"
+
+let believers experts = List.filter (fun e -> e.profile = Believer) experts
+
+let snapshot phase experts =
+  let bs = believers experts in
+  let pool = Pool.linear (Pool.equal_weights (List.map (fun e -> Dist.Mixture.of_dist (belief_of e)) bs)) in
+  {
+    phase;
+    experts;
+    believer_pool = pool;
+    confidence_sil2 = Dist.Mixture.prob_le pool 1e-2;
+    confidence_sil1 = Dist.Mixture.prob_le pool 1e-1;
+    pooled_mean = Dist.Mixture.mean pool;
+    doubter_modes =
+      List.filter (fun e -> e.profile = Doubter) experts
+      |> List.map (fun e -> exp e.log_peak);
+  }
+
+(* Shrink an expert's spread in proportion to their learning rate. *)
+let shrink config e =
+  let factor = 1.0 -. ((1.0 -. config.spread_reduction) *. e.learning) in
+  { e with sigma = e.sigma *. factor }
+
+let move_toward target gain e =
+  { e with log_peak = e.log_peak +. (gain *. e.learning *. (target -. e.log_peak)) }
+
+let precision_weighted_mean experts =
+  let num, den =
+    List.fold_left
+      (fun (num, den) e ->
+        let w = 1.0 /. (e.sigma *. e.sigma) in
+        (num +. (w *. e.log_peak), den +. w))
+      (0.0, 0.0) experts
+  in
+  num /. den
+
+let median xs =
+  let arr = Array.of_list xs in
+  Numerics.Summary.median arr
+
+let run config =
+  check_config config;
+  let rng = Numerics.Rng.create config.seed in
+  let ln_true = log config.true_pfd in
+  let sigma_lo, sigma_hi = config.sigma_range in
+  let n_believers = config.n_experts - config.n_doubters in
+  let init_expert i =
+    if i < config.n_doubters then
+      {
+        id = i;
+        profile = Doubter;
+        log_peak =
+          ln_true
+          +. (config.doubter_pessimism_decades *. log 10.0)
+          +. Numerics.Rng.normal rng ~mu:0.0 ~sigma:config.briefing_noise;
+        sigma = config.doubter_spread;
+        learning = 0.0;
+      }
+    else begin
+      let j = i - config.n_doubters in
+      let frac =
+        if n_believers = 1 then 0.0
+        else float_of_int j /. float_of_int (n_believers - 1)
+      in
+      {
+        id = i;
+        profile = Believer;
+        log_peak =
+          ln_true +. Numerics.Rng.normal rng ~mu:0.0 ~sigma:config.briefing_noise;
+        (* Later-indexed believers start more uncertain and learn less:
+           heterogeneity that survives to the final phase, as observed in
+           the real panel. *)
+        sigma = sigma_lo +. (frac *. (sigma_hi -. sigma_lo));
+        (* Most believers respond fully to information; responsiveness drops
+           steeply only for the most uncertain panellist, leaving the panel
+           heterogeneous at the end as the real one was. *)
+        learning = 1.0 -. (frac ** 6.0);
+      }
+    end
+  in
+  let experts = List.init config.n_experts init_expert in
+  let s1 = snapshot Briefing experts in
+  (* Phase 2: individually requested information moves believers toward the
+     evidence (the truth, observed with less noise). *)
+  let experts =
+    List.map
+      (fun e ->
+        if e.profile = Doubter then e
+        else shrink config (move_toward ln_true config.info_gain e))
+      experts
+  in
+  let s2 = snapshot Individual_info experts in
+  (* Phase 3: all individually provided items are shared; believers move
+     toward the precision-weighted group view. *)
+  let group_view = precision_weighted_mean (believers experts) in
+  let experts =
+    List.map
+      (fun e ->
+        if e.profile = Doubter then e
+        else shrink config (move_toward group_view config.share_gain e))
+      experts
+  in
+  let s3 = snapshot Shared_info experts in
+  (* Phase 4: Delphi discussion pulls believers toward the group median. *)
+  let group_median = median (List.map (fun e -> e.log_peak) (believers experts)) in
+  let experts =
+    List.map
+      (fun e ->
+        if e.profile = Doubter then e
+        else shrink config (move_toward group_median config.delphi_gain e))
+      experts
+  in
+  let s4 = snapshot Discussion experts in
+  { config; snapshots = [ s1; s2; s3; s4 ] }
+
+let final result =
+  match List.rev result.snapshots with
+  | last :: _ -> last
+  | [] -> invalid_arg "Delphi.final: no snapshots"
+
+let summary_table result =
+  let columns =
+    [ { Report.Table.header = "phase"; align = Report.Table.Left };
+      { Report.Table.header = "pooled mean pfd"; align = Report.Table.Right };
+      { Report.Table.header = "P(SIL2+)"; align = Report.Table.Right };
+      { Report.Table.header = "P(SIL1+)"; align = Report.Table.Right };
+      { Report.Table.header = "doubters"; align = Report.Table.Right } ]
+  in
+  let rows =
+    List.map
+      (fun s ->
+        [ phase_to_string s.phase;
+          Report.Table.float_cell s.pooled_mean;
+          Report.Table.float_cell s.confidence_sil2;
+          Report.Table.float_cell s.confidence_sil1;
+          string_of_int (List.length s.doubter_modes) ])
+      result.snapshots
+  in
+  Report.Table.render ~columns ~rows

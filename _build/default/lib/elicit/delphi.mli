@@ -1,0 +1,76 @@
+(** Simulation of the paper's expert-judgement experiment (Section 3.3,
+    Figure 5).
+
+    The real experiment put 12 experts through four phases (briefing,
+    individually requested information, shared information, Delphi
+    discussion) judging the pfd of a safety function from the Cemsis public
+    case study.  Three "doubters" assigned a very high failure rate
+    throughout; the rest converged to a group judgement about 90% confident
+    of SIL2-or-better whose pooled pfd (~0.01) sat on the SIL2/SIL1
+    boundary.
+
+    This module reproduces that protocol with synthetic experts: each holds
+    a log-normal belief (peak + spread); information phases move peaks
+    toward the evidence and shrink spreads at expert-specific learning
+    rates; doubters never update.  The default configuration is calibrated
+    (fixed seed) to land on the paper's reported end state. *)
+
+type profile = Believer | Doubter
+
+type expert = {
+  id : int;
+  profile : profile;
+  log_peak : float;  (** ln of the belief's mode. *)
+  sigma : float;  (** Spread of the log-normal belief. *)
+  learning : float;  (** 0 (never updates) .. 1 (fully responsive). *)
+}
+
+type phase = Briefing | Individual_info | Shared_info | Discussion
+
+val phases : phase list
+val phase_to_string : phase -> string
+
+type config = {
+  true_pfd : float;  (** The system's actual pfd in the scenario. *)
+  n_experts : int;
+  n_doubters : int;
+  briefing_noise : float;  (** SD (in ln-pfd) of initial perception error. *)
+  sigma_range : float * float;  (** Believers' initial spreads (lo, hi). *)
+  doubter_spread : float;
+  doubter_pessimism_decades : float;
+  info_gain : float;  (** Move toward truth in phase 2 (fraction). *)
+  share_gain : float;  (** Move toward the group view in phase 3. *)
+  delphi_gain : float;  (** Move toward the group median in phase 4. *)
+  spread_reduction : float;  (** Sigma multiplier per informative phase. *)
+  seed : int;
+}
+
+(** Calibrated to the paper's reported end state (see EXPERIMENTS.md). *)
+val default_config : config
+
+type snapshot = {
+  phase : phase;
+  experts : expert list;
+  believer_pool : Dist.Mixture.t;  (** Linear pool of believers. *)
+  confidence_sil2 : float;  (** P(pfd <= 0.01) under the pool. *)
+  confidence_sil1 : float;  (** P(pfd <= 0.1). *)
+  pooled_mean : float;
+  doubter_modes : float list;
+}
+
+type result = { config : config; snapshots : snapshot list }
+
+(** [run config] — execute all four phases.
+    @raise Invalid_argument on nonsensical configurations (no believers,
+    gains outside [0,1], ...). *)
+val run : config -> result
+
+(** [belief_of expert] — the expert's current log-normal belief. *)
+val belief_of : expert -> Dist.t
+
+(** [final result] — the last snapshot. *)
+val final : result -> snapshot
+
+(** [summary_table result] — one row per phase: pooled mean, SIL2 and SIL1
+    confidence, doubter count. *)
+val summary_table : result -> string

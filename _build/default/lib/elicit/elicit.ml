@@ -1,0 +1,8 @@
+(** Public interface of the [elicit] library: elicited beliefs, opinion
+    pooling, Delphi-panel simulation and calibration scoring. *)
+
+module Belief = Belief
+module Pool = Pool
+module Delphi = Delphi
+module Calibration = Calibration
+module Belief_format = Belief_format

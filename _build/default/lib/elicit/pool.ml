@@ -1,0 +1,90 @@
+let check_weights weighted name =
+  if weighted = [] then invalid_arg (name ^ ": no experts");
+  List.iter
+    (fun (w, _) -> if w <= 0.0 then invalid_arg (name ^ ": weight <= 0"))
+    weighted;
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 weighted in
+  List.map (fun (w, b) -> (w /. total, b)) weighted
+
+let linear weighted =
+  let weighted = check_weights weighted "Pool.linear" in
+  let parts =
+    List.concat_map
+      (fun (w, belief) ->
+        Dist.Mixture.components belief
+        |> List.map (fun (wc, c) -> (w *. wc, c)))
+      weighted
+  in
+  Dist.Mixture.make parts
+
+let span ~grid_size weighted =
+  let lo =
+    List.fold_left
+      (fun acc (_, (d : Dist.t)) -> min acc (d.quantile 1e-9))
+      infinity weighted
+  in
+  let hi =
+    List.fold_left
+      (fun acc (_, (d : Dist.t)) -> max acc (d.quantile (1.0 -. 1e-9)))
+      neg_infinity weighted
+  in
+  if lo > 0.0 then Numerics.Interp.logspace lo hi grid_size
+  else Numerics.Interp.linspace lo hi grid_size
+
+let logarithmic ?(grid_size = 1025) weighted =
+  let weighted = check_weights weighted "Pool.logarithmic" in
+  let grid = span ~grid_size weighted in
+  let pdf x =
+    let log_density =
+      List.fold_left
+        (fun acc (w, (d : Dist.t)) -> acc +. (w *. d.log_pdf x))
+        0.0 weighted
+    in
+    if Float.is_finite log_density then exp log_density else 0.0
+  in
+  let d, _z = Dist.of_grid_pdf ~name:"log-pool" ~grid ~pdf () in
+  d
+
+let quantile_average ?(grid_size = 1025) weighted =
+  let weighted = check_weights weighted "Pool.quantile_average" in
+  let us = Numerics.Interp.linspace 1e-6 (1.0 -. 1e-6) grid_size in
+  let xs =
+    Array.map
+      (fun u ->
+        List.fold_left
+          (fun acc (w, (d : Dist.t)) -> acc +. (w *. d.quantile u))
+          0.0 weighted)
+      us
+  in
+  (* (xs, us) tabulates the pooled CDF; differentiate for a density and let
+     the grid constructor renormalise. *)
+  let pdf x =
+    let i = Numerics.Interp.search_sorted xs x in
+    if i < 0 || i >= Array.length xs - 1 then 0.0
+    else begin
+      let dx = xs.(i + 1) -. xs.(i) in
+      if dx <= 0.0 then 0.0 else (us.(i + 1) -. us.(i)) /. dx
+    end
+  in
+  (* Deduplicate non-increasing grid points (possible at extreme tails). *)
+  let cleaned = ref [ xs.(0) ] in
+  for i = 1 to Array.length xs - 1 do
+    match !cleaned with
+    | prev :: _ when xs.(i) > prev -> cleaned := xs.(i) :: !cleaned
+    | _ -> ()
+  done;
+  let grid = Array.of_list (List.rev !cleaned) in
+  let d, _z = Dist.of_grid_pdf ~name:"quantile-average-pool" ~grid ~pdf () in
+  d
+
+let equal_weights beliefs = List.map (fun b -> (1.0, b)) beliefs
+
+let calibration_weights ~pit_histories =
+  if pit_histories = [] then
+    invalid_arg "Pool.calibration_weights: no experts";
+  List.map
+    (fun history ->
+      let arr = Array.of_list history in
+      let r = Numerics.Stat_tests.ks_uniform arr in
+      max r.p_value 1e-6)
+    pit_histories

@@ -1,0 +1,26 @@
+(** Aggregating the beliefs of several experts into a group belief. *)
+
+(** [linear weighted] — the linear opinion pool: a weighted mixture.
+    Weights must be positive; they are normalised. *)
+val linear : (float * Dist.Mixture.t) list -> Dist.Mixture.t
+
+(** [logarithmic ?grid_size weighted] — the logarithmic pool: density
+    proportional to prod_i f_i^(w_i) (weights normalised), built numerically
+    on a grid spanning all components.  Continuous beliefs only. *)
+val logarithmic : ?grid_size:int -> (float * Dist.t) list -> Dist.t
+
+(** [quantile_average ?grid_size weighted] — Vincent averaging: the pooled
+    quantile function is the weighted average of the experts' quantile
+    functions.  Continuous beliefs only. *)
+val quantile_average : ?grid_size:int -> (float * Dist.t) list -> Dist.t
+
+(** [equal_weights beliefs] — convenience: uniform weights. *)
+val equal_weights : 'a list -> (float * 'a) list
+
+(** [calibration_weights ~pit_histories] — Cooke-style performance weights:
+    each expert's weight is the Kolmogorov-Smirnov p-value of their
+    probability-integral-transform track record (how uniform their past
+    F(truth) values were), floored at 1e-6 so no expert is silenced
+    entirely.  Each history needs >= 8 entries.  Pair the result with
+    beliefs and feed any pool above. *)
+val calibration_weights : pit_histories:float list list -> float list

@@ -1,0 +1,1 @@
+lib/experience/experience.ml: Bayes Conservative_mtbf Growth Provisional Tail_cutoff

@@ -1,0 +1,1 @@
+lib/experience/bayes.ml: Dist Numerics

@@ -1,0 +1,1 @@
+lib/experience/conservative_mtbf.mli: Growth

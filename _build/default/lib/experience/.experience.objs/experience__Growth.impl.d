@@ -1,0 +1,1 @@
+lib/experience/growth.ml: Array Dist List Numerics

@@ -1,0 +1,1 @@
+lib/experience/growth.mli: Dist Numerics

@@ -1,0 +1,1 @@
+lib/experience/provisional.ml: Confidence Dist List Report Sil Tail_cutoff

@@ -1,0 +1,1 @@
+lib/experience/provisional.mli: Dist Sil

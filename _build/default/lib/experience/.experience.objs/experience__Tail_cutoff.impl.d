@@ -1,0 +1,1 @@
+lib/experience/tail_cutoff.ml: Bayes Dist List Numerics Sil

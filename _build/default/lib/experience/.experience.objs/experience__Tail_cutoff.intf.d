@@ -1,0 +1,1 @@
+lib/experience/tail_cutoff.mli: Dist Sil

@@ -1,0 +1,53 @@
+module Sp = Numerics.Special
+
+let demand_likelihood ~failures ~demands p =
+  if failures < 0 || demands < 0 || failures > demands then
+    invalid_arg "Bayes.demand_likelihood: bad counts";
+  if p < 0.0 || p > 1.0 then 0.0
+  else begin
+    let f = float_of_int failures and s = float_of_int (demands - failures) in
+    let log_lik =
+      (if failures = 0 then 0.0
+       else if p = 0.0 then neg_infinity
+       else f *. log p)
+      +.
+      (if demands - failures = 0 then 0.0
+       else if p = 1.0 then neg_infinity
+       else s *. Sp.log1p (-.p))
+    in
+    exp log_lik
+  end
+
+let time_likelihood ~failures ~time rate =
+  if failures < 0 then invalid_arg "Bayes.time_likelihood: failures < 0";
+  if time < 0.0 then invalid_arg "Bayes.time_likelihood: time < 0";
+  if rate < 0.0 then 0.0
+  else begin
+    let f = float_of_int failures in
+    let log_lik =
+      (if failures = 0 then 0.0
+       else if rate = 0.0 then neg_infinity
+       else f *. log rate)
+      -. (rate *. time)
+    in
+    exp log_lik
+  end
+
+let update_demands belief ~failures ~demands =
+  Dist.Reweighted.posterior belief
+    ~weight:(demand_likelihood ~failures ~demands)
+
+let update_time belief ~failures ~time =
+  Dist.Reweighted.posterior belief ~weight:(time_likelihood ~failures ~time)
+
+let beta_posterior ~a ~b ~failures ~demands =
+  if failures < 0 || demands < failures then
+    invalid_arg "Bayes.beta_posterior: bad counts";
+  Dist.Beta_d.make
+    ~a:(a +. float_of_int failures)
+    ~b:(b +. float_of_int (demands - failures))
+
+let gamma_posterior ~shape ~rate ~failures ~time =
+  if failures < 0 then invalid_arg "Bayes.gamma_posterior: failures < 0";
+  if time < 0.0 then invalid_arg "Bayes.gamma_posterior: time < 0";
+  Dist.Gamma_d.make ~shape:(shape +. float_of_int failures) ~rate:(rate +. time)

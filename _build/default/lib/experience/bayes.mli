@@ -1,0 +1,35 @@
+(** Bayesian updating of failure-measure beliefs from test or operational
+    evidence.
+
+    Works on arbitrary priors by likelihood reweighting (the general engine
+    behind the paper's Section 4.1), with conjugate fast paths for beta
+    (demand-based) and gamma (time-based) priors. *)
+
+(** [demand_likelihood ~failures ~demands p] — binomial likelihood (up to a
+    constant) of observing [failures] in [demands] Bernoulli demands with
+    per-demand failure probability [p]; 0 outside [0, 1]. *)
+val demand_likelihood : failures:int -> demands:int -> float -> float
+
+(** [time_likelihood ~failures ~time rate] — Poisson-process likelihood (up
+    to a constant) of [failures] events in operating [time] at the given
+    [rate]. *)
+val time_likelihood : failures:int -> time:float -> float -> float
+
+(** [update_demands belief ~failures ~demands] — posterior and evidence
+    (marginal likelihood). *)
+val update_demands :
+  Dist.Mixture.t -> failures:int -> demands:int -> Dist.Mixture.t * float
+
+(** [update_time belief ~failures ~time] — posterior and evidence for a
+    rate belief. *)
+val update_time :
+  Dist.Mixture.t -> failures:int -> time:float -> Dist.Mixture.t * float
+
+(** [beta_posterior ~a ~b ~failures ~demands] — conjugate: Beta(a + failures,
+    b + demands - failures). *)
+val beta_posterior : a:float -> b:float -> failures:int -> demands:int -> Dist.t
+
+(** [gamma_posterior ~shape ~rate ~failures ~time] — conjugate:
+    Gamma(shape + failures, rate + time). *)
+val gamma_posterior :
+  shape:float -> rate:float -> failures:int -> time:float -> Dist.t

@@ -1,0 +1,30 @@
+let e = exp 1.0
+
+let check ~n_faults ~time =
+  if n_faults < 1 then invalid_arg "Conservative_mtbf: n_faults < 1";
+  if time <= 0.0 then invalid_arg "Conservative_mtbf: time <= 0"
+
+let worst_case_rate ~n_faults ~time =
+  check ~n_faults ~time;
+  float_of_int n_faults /. (e *. time)
+
+let worst_case_mtbf ~n_faults ~time =
+  check ~n_faults ~time;
+  e *. time /. float_of_int n_faults
+
+let fault_contribution ~phi ~time =
+  if phi < 0.0 then invalid_arg "Conservative_mtbf.fault_contribution: phi < 0";
+  if time <= 0.0 then
+    invalid_arg "Conservative_mtbf.fault_contribution: time <= 0";
+  phi *. exp (-.phi *. time)
+
+let expected_rate_jm (params : Growth.Jm.params) ~time =
+  float_of_int params.n_faults *. fault_contribution ~phi:params.phi ~time
+
+let bound_vs_model (params : Growth.Jm.params) ~times =
+  Array.map
+    (fun t ->
+      ( t,
+        worst_case_rate ~n_faults:params.n_faults ~time:t,
+        expected_rate_jm params ~time:t ))
+    times

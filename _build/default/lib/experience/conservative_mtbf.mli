@@ -1,0 +1,32 @@
+(** The Bishop-Bloomfield conservative reliability-growth bound (paper
+    reference [13]), which Section 4.1 suggests has a confidence analogue.
+
+    For a program with [n] initial faults under fault-finding-and-fixing
+    operation, whatever the (unknown) individual fault rates, the expected
+    failure rate after operating time [t] satisfies
+
+      E[rate(t)] <= n / (e * t)
+
+    because each fault of rate phi contributes phi * exp(-phi t), maximised
+    at phi = 1/t with value 1/(e t).  Hence MTBF(t) >= e * t / n. *)
+
+(** [worst_case_rate ~n_faults ~time] — the bound n/(e t). *)
+val worst_case_rate : n_faults:int -> time:float -> float
+
+(** [worst_case_mtbf ~n_faults ~time] — e t / n. *)
+val worst_case_mtbf : n_faults:int -> time:float -> float
+
+(** [fault_contribution ~phi ~time] — phi * exp(-phi * time): the expected
+    rate contribution at time [time] of a single fault of rate [phi].
+    Always <= 1/(e * time); equality at phi = 1/time. *)
+val fault_contribution : phi:float -> time:float -> float
+
+(** [expected_rate_jm params ~time] — the exact expected rate of a
+    Jelinski-Moranda system (all faults at rate phi) at time [time]:
+    n * phi * exp(-phi t).  Used to demonstrate the bound's tightness. *)
+val expected_rate_jm : Growth.Jm.params -> time:float -> float
+
+(** [bound_vs_model params ~times] — [(t, bound, model rate)] rows showing
+    the worst case enveloping the model. *)
+val bound_vs_model :
+  Growth.Jm.params -> times:float array -> (float * float * float) array

@@ -1,0 +1,10 @@
+(** Public interface of the [experience] library: Bayesian updating from
+    test and operational evidence, tail cut-off trajectories, reliability
+    growth models, the Bishop-Bloomfield conservative bound, and provisional
+    SIL schedules. *)
+
+module Bayes = Bayes
+module Tail_cutoff = Tail_cutoff
+module Growth = Growth
+module Conservative_mtbf = Conservative_mtbf
+module Provisional = Provisional

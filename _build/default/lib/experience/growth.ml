@@ -1,0 +1,190 @@
+module Jm = struct
+  type params = { n_faults : int; phi : float }
+
+  let make ~n_faults ~phi =
+    if n_faults < 1 then invalid_arg "Jm.make: n_faults < 1";
+    if phi <= 0.0 then invalid_arg "Jm.make: phi <= 0";
+    { n_faults; phi }
+
+  let rate_after params ~fixed =
+    if fixed < 0 || fixed > params.n_faults then
+      invalid_arg "Jm.rate_after: fixed out of range";
+    float_of_int (params.n_faults - fixed) *. params.phi
+
+  let simulate params rng =
+    Array.init params.n_faults (fun i ->
+        let rate = rate_after params ~fixed:i in
+        Numerics.Rng.exponential rng ~rate)
+
+  let log_likelihood ~n ~phi times =
+    let m = Array.length times in
+    if m = 0 then invalid_arg "Jm.log_likelihood: no failures";
+    if n < float_of_int m then neg_infinity
+    else if phi <= 0.0 then neg_infinity
+    else begin
+      let ll = ref 0.0 in
+      Array.iteri
+        (fun i x ->
+          let remaining = n -. float_of_int i in
+          let rate = remaining *. phi in
+          ll := !ll +. log rate -. (rate *. x))
+        times;
+      !ll
+    end
+
+  let sums times =
+    let t = Array.fold_left ( +. ) 0.0 times in
+    let s = ref 0.0 in
+    Array.iteri (fun i x -> s := !s +. (float_of_int i *. x)) times;
+    (t, !s)
+
+  let mle_phi ~n times =
+    let m = float_of_int (Array.length times) in
+    let t, s = sums times in
+    let denom = (n *. t) -. s in
+    if denom <= 0.0 then invalid_arg "Jm.mle_phi: invalid n for these data";
+    m /. denom
+
+  let fit times =
+    let m = Array.length times in
+    if m < 3 then failwith "Jm.fit: need at least 3 failures";
+    let mf = float_of_int m in
+    let t, s = sums times in
+    (* Stationarity in N:
+       sum_{i=0}^{m-1} 1/(N - i) = m * T / (N*T - S). *)
+    let f n =
+      let lhs = ref 0.0 in
+      for i = 0 to m - 1 do
+        lhs := !lhs +. (1.0 /. (n -. float_of_int i))
+      done;
+      !lhs -. (mf *. t /. ((n *. t) -. s))
+    in
+    let lo = mf +. 1e-9 in
+    if f lo <= 0.0 then failwith "Jm.fit: data show no finite fault count";
+    (* f decreases towards a non-positive limit; find a sign change. *)
+    let hi = ref (2.0 *. mf) in
+    let found = ref false in
+    while (not !found) && !hi < 1e10 do
+      if f !hi < 0.0 then found := true else hi := !hi *. 2.0
+    done;
+    if not !found then failwith "Jm.fit: data show no growth (MLE diverges)";
+    let n = Numerics.Rootfind.brent f lo !hi in
+    (n, mle_phi ~n times)
+
+  let prequential_u ~min_history times =
+    let m = Array.length times in
+    if min_history < 3 then invalid_arg "Jm.prequential_u: min_history < 3";
+    if m <= min_history then
+      invalid_arg "Jm.prequential_u: not enough failures";
+    let us = ref [] in
+    for i = min_history to m - 1 do
+      let history = Array.sub times 0 i in
+      match fit history with
+      | exception Failure _ -> ()
+      | n, phi ->
+        (* Predicted rate for the next interval after i fixes. *)
+        let rate = max 0.0 (n -. float_of_int i) *. phi in
+        if rate > 0.0 then begin
+          let u = -.Numerics.Special.expm1 (-.rate *. times.(i)) in
+          us := u :: !us
+        end
+    done;
+    Array.of_list (List.rev !us)
+
+  let prediction_quality ~min_history times =
+    let us = prequential_u ~min_history times in
+    Numerics.Stat_tests.ks_uniform us
+
+  let rate_belief ?(margin = 1.0) times =
+    if margin < 1.0 then invalid_arg "Jm.rate_belief: margin < 1";
+    let n_hat, phi_hat = fit times in
+    let m = float_of_int (Array.length times) in
+    let residual = n_hat -. m in
+    if residual <= 0.0 then failwith "Jm.rate_belief: no residual faults";
+    let rate = residual *. phi_hat in
+    (* Observed information: numeric Hessian of the log-likelihood at the
+       MLE, then the delta method for g(n, phi) = (n - m) * phi. *)
+    let ll n phi = log_likelihood ~n ~phi times in
+    let hn = 1e-4 *. max 1.0 n_hat and hp = 1e-4 *. phi_hat in
+    let d2_nn =
+      (ll (n_hat +. hn) phi_hat -. (2.0 *. ll n_hat phi_hat)
+      +. ll (n_hat -. hn) phi_hat)
+      /. (hn *. hn)
+    in
+    let d2_pp =
+      (ll n_hat (phi_hat +. hp) -. (2.0 *. ll n_hat phi_hat)
+      +. ll n_hat (phi_hat -. hp))
+      /. (hp *. hp)
+    in
+    let d2_np =
+      (ll (n_hat +. hn) (phi_hat +. hp) -. ll (n_hat +. hn) (phi_hat -. hp)
+      -. ll (n_hat -. hn) (phi_hat +. hp)
+      +. ll (n_hat -. hn) (phi_hat -. hp))
+      /. (4.0 *. hn *. hp)
+    in
+    (* Covariance = inverse of the (negated) Hessian. *)
+    let a = -.d2_nn and b = -.d2_np and c = -.d2_pp in
+    let det = (a *. c) -. (b *. b) in
+    if det <= 0.0 || a <= 0.0 then
+      failwith "Jm.rate_belief: information matrix not positive definite";
+    let var_n = c /. det and var_p = a /. det and cov = -.b /. det in
+    let g_n = phi_hat and g_p = residual in
+    let var_rate =
+      (g_n *. g_n *. var_n) +. (g_p *. g_p *. var_p)
+      +. (2.0 *. g_n *. g_p *. cov)
+    in
+    if var_rate <= 0.0 then
+      failwith "Jm.rate_belief: nonpositive rate variance";
+    (* Log-normal matched by the delta method: sd(ln rate) ~ sd(rate)/rate,
+       widened by the subjective margin; median at the point estimate. *)
+    let sigma = margin *. sqrt var_rate /. rate in
+    Dist.Lognormal.make ~mu:(log rate) ~sigma
+end
+
+module Duane = struct
+  let check ~k ~beta =
+    if k <= 0.0 || beta <= 0.0 then invalid_arg "Duane: parameters <= 0"
+
+  let intensity ~k ~beta t =
+    check ~k ~beta;
+    if t <= 0.0 then invalid_arg "Duane.intensity: t <= 0";
+    k *. beta *. (t ** (beta -. 1.0))
+
+  let expected_events ~k ~beta t =
+    check ~k ~beta;
+    if t < 0.0 then invalid_arg "Duane.expected_events: t < 0";
+    k *. (t ** beta)
+
+  let mtbf_at ~k ~beta t = 1.0 /. intensity ~k ~beta t
+
+  let simulate ~k ~beta ~t_end rng =
+    check ~k ~beta;
+    if t_end <= 0.0 then invalid_arg "Duane.simulate: t_end <= 0";
+    (* Event times of the NHPP are Lambda^-1 of a unit-rate Poisson
+       process: t_i = (s_i / k)^(1/beta). *)
+    let events = ref [] in
+    let s = ref 0.0 in
+    let continue_ = ref true in
+    while !continue_ do
+      s := !s +. Numerics.Rng.exponential rng ~rate:1.0;
+      let t = (!s /. k) ** (1.0 /. beta) in
+      if t > t_end then continue_ := false else events := t :: !events
+    done;
+    Array.of_list (List.rev !events)
+
+  let fit ~t_end times =
+    let m = Array.length times in
+    if m < 2 then invalid_arg "Duane.fit: need >= 2 events";
+    if t_end <= 0.0 then invalid_arg "Duane.fit: t_end <= 0";
+    Array.iter
+      (fun t ->
+        if t <= 0.0 || t > t_end then invalid_arg "Duane.fit: event outside (0, t_end]")
+      times;
+    let log_sum =
+      Array.fold_left (fun acc t -> acc +. log (t_end /. t)) 0.0 times
+    in
+    if log_sum <= 0.0 then invalid_arg "Duane.fit: degenerate event times";
+    let beta = float_of_int m /. log_sum in
+    let k = float_of_int m /. (t_end ** beta) in
+    (k, beta)
+end

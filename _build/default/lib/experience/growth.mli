@@ -1,0 +1,81 @@
+(** Reliability-growth models (paper Section 3: "using a best fit
+    reliability growth model, assessing the accuracy of predictions...").
+
+    Two classic models: Jelinski-Moranda (finite fault pool, each fault
+    contributing an equal rate) and the Duane/power-law NHPP. *)
+
+module Jm : sig
+  type params = { n_faults : int; phi : float }
+  (** [n_faults] initial faults, each contributing failure rate [phi]. *)
+
+  val make : n_faults:int -> phi:float -> params
+
+  (** [rate_after params ~fixed] — failure rate with [fixed] faults removed:
+      (N - fixed) * phi. *)
+  val rate_after : params -> fixed:int -> float
+
+  (** [simulate params rng] — the inter-failure times observed while finding
+      and fixing every fault (length = n_faults). *)
+  val simulate : params -> Numerics.Rng.t -> float array
+
+  (** [log_likelihood ~n ~phi times] — JM log-likelihood of the observed
+      inter-failure [times] (faults fixed after each failure); [n] may be
+      non-integer during estimation, but must exceed the number of observed
+      failures. *)
+  val log_likelihood : n:float -> phi:float -> float array -> float
+
+  (** [fit times] — maximum-likelihood (n, phi) from inter-failure times.
+      @raise Failure when the data show no growth (the MLE diverges:
+      estimated fault count is unbounded). *)
+  val fit : float array -> float * float
+
+  (** [mle_phi ~n times] — the profile-likelihood phi for a given n. *)
+  val mle_phi : n:float -> float array -> float
+
+  (** [prequential_u ~min_history times] — u-plot values for one-step-ahead
+      JM predictions ("assessing the accuracy of predictions", paper
+      Section 3): for each i >= min_history, fit JM on the first i
+      inter-failure times and evaluate the predicted CDF of the next one at
+      its observed value.  Steps where the MLE diverges are skipped.  If
+      the model predicts well the values are uniform on (0,1). *)
+  val prequential_u : min_history:int -> float array -> float array
+
+  (** [prediction_quality ~min_history times] — Kolmogorov-Smirnov test of
+      the u-plot values against uniformity: the paper's "accuracy of
+      predictions" as a single statistic and p-value.
+      @raise Invalid_argument when fewer than 8 u values are available. *)
+  val prediction_quality :
+    min_history:int -> float array -> Numerics.Stat_tests.result
+
+  (** [rate_belief ?margin times] — the paper's third SIL-derivation route
+      ("using a best fit reliability growth model, assessing the accuracy
+      of predictions, adding a margin for subjective assessment of
+      assumption violation"): fit JM, estimate the *current* failure rate
+      (N - m) * phi, propagate the MLE's asymptotic uncertainty (observed
+      information / delta method) into a log-normal belief over the rate,
+      and widen its spread by [margin] (>= 1, default 1).
+      @raise Failure when the MLE diverges or the residual rate is zero
+      (all faults seen). *)
+  val rate_belief : ?margin:float -> float array -> Dist.t
+end
+
+module Duane : sig
+  (** Power-law NHPP with intensity lambda(t) = k * beta * t^(beta - 1);
+      [beta < 1] means reliability growth. *)
+
+  (** [simulate ~k ~beta ~t_end rng] — event times in (0, t_end]. *)
+  val simulate : k:float -> beta:float -> t_end:float -> Numerics.Rng.t -> float array
+
+  (** [fit ~t_end times] — MLE (k, beta) from event times observed up to
+      [t_end] (time-truncated sampling). Requires at least 2 events. *)
+  val fit : t_end:float -> float array -> float * float
+
+  (** [intensity ~k ~beta t] — lambda(t). *)
+  val intensity : k:float -> beta:float -> float -> float
+
+  (** [expected_events ~k ~beta t] — Lambda(t) = k t^beta. *)
+  val expected_events : k:float -> beta:float -> float -> float
+
+  (** [mtbf_at ~k ~beta t] — instantaneous MTBF 1/lambda(t). *)
+  val mtbf_at : k:float -> beta:float -> float -> float
+end

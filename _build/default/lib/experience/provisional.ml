@@ -1,0 +1,56 @@
+type stage = {
+  band : Sil.Band.t;
+  required_confidence : float;
+  demands_needed : int option;
+  survival_probability : float;
+}
+
+let upgrade_schedule belief ~required_confidence ~max_demands =
+  if not (required_confidence > 0.0 && required_confidence < 1.0) then
+    invalid_arg "Provisional.upgrade_schedule: confidence not in (0,1)";
+  List.map
+    (fun band ->
+      let bound = Sil.Band.upper_bound ~mode:Sil.Band.Low_demand band in
+      let demands_needed =
+        Tail_cutoff.demands_needed belief ~bound
+          ~confidence:required_confidence ~max_demands
+      in
+      let survival_probability =
+        match demands_needed with
+        | None -> Tail_cutoff.survival_probability belief ~n:max_demands
+        | Some n -> Tail_cutoff.survival_probability belief ~n
+      in
+      { band; required_confidence; demands_needed; survival_probability })
+    Sil.Band.all
+
+let initial_rating belief ~required_confidence =
+  Confidence.Decision.strongest_claimable ~confidence:required_confidence
+    belief
+
+let expected_failures_during belief ~demands =
+  if demands < 0 then
+    invalid_arg "Provisional.expected_failures_during: demands < 0";
+  float_of_int demands *. Dist.Mixture.mean belief
+
+let failure_free_probability belief ~demands =
+  Tail_cutoff.survival_probability belief ~n:demands
+
+let schedule_table stages =
+  let columns =
+    [ { Report.Table.header = "claim"; align = Report.Table.Left };
+      { Report.Table.header = "confidence req."; align = Report.Table.Right };
+      { Report.Table.header = "failure-free demands"; align = Report.Table.Right };
+      { Report.Table.header = "P(survive that long)"; align = Report.Table.Right } ]
+  in
+  let rows =
+    List.map
+      (fun s ->
+        [ Sil.Band.to_string s.band;
+          Report.Table.float_cell s.required_confidence;
+          (match s.demands_needed with
+          | Some n -> string_of_int n
+          | None -> "unreachable");
+          Report.Table.float_cell s.survival_probability ])
+      stages
+  in
+  Report.Table.render ~columns ~rows

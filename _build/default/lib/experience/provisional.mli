@@ -1,0 +1,44 @@
+(** Provisional SIL ratings upgraded by operating experience (paper Section
+    4.1: "give a system a provisional SIL rating based on a broad
+    distribution reflecting the initial uncertainties, and then increase
+    this SIL rating after an operating period.  The risk analysis would have
+    to take into account the period of greater risk"). *)
+
+type stage = {
+  band : Sil.Band.t;
+  required_confidence : float;
+  demands_needed : int option;
+      (** Failure-free demands from the start until the band is claimable at
+          the required confidence; [None] if unreachable within the search
+          budget. *)
+  survival_probability : float;
+      (** Prior predictive probability of actually getting that far without
+          a failure. *)
+}
+
+(** [upgrade_schedule belief ~required_confidence ~max_demands] — for each
+    band from SIL1 upward, when (in failure-free demands) it becomes
+    claimable. *)
+val upgrade_schedule :
+  Dist.Mixture.t ->
+  required_confidence:float ->
+  max_demands:int ->
+  stage list
+
+(** [initial_rating belief ~required_confidence] — the strongest band
+    claimable right now (stage with zero demands), if any. *)
+val initial_rating :
+  Dist.Mixture.t -> required_confidence:float -> Sil.Band.t option
+
+(** [expected_failures_during belief ~demands] — expected number of failures
+    if the system serves [demands] demands under the prior belief:
+    demands * E[p].  The "period of greater risk" the risk analysis must
+    absorb. *)
+val expected_failures_during : Dist.Mixture.t -> demands:int -> float
+
+(** [failure_free_probability belief ~demands] — probability the provisional
+    period completes without any failure, E[(1-p)^demands]. *)
+val failure_free_probability : Dist.Mixture.t -> demands:int -> float
+
+(** [schedule_table stages] — rendered text table. *)
+val schedule_table : stage list -> string

@@ -1,0 +1,90 @@
+type point = {
+  demands : int;
+  mean : float;
+  confidence : float;
+  judged : Sil.Band.classification;
+}
+
+let after_demands belief ~n =
+  if n < 0 then invalid_arg "Tail_cutoff.after_demands: n < 0";
+  if n = 0 then belief
+  else fst (Bayes.update_demands belief ~failures:0 ~demands:n)
+
+let trajectory belief ~bound ~ns =
+  List.map
+    (fun n ->
+      let posterior = after_demands belief ~n in
+      let mean = Dist.Mixture.mean posterior in
+      {
+        demands = n;
+        mean;
+        confidence = Dist.Mixture.prob_le posterior bound;
+        judged = Sil.Band.classify ~mode:Sil.Band.Low_demand mean;
+      })
+    ns
+
+let demands_needed belief ~bound ~confidence ~max_demands =
+  if max_demands < 1 then invalid_arg "Tail_cutoff.demands_needed: max < 1";
+  let conf_at n =
+    Dist.Mixture.prob_le (after_demands belief ~n) bound
+  in
+  if conf_at 0 >= confidence then Some 0
+  else if conf_at max_demands < confidence then None
+  else begin
+    (* Confidence is monotone in n (more failure-free evidence can only
+       shift mass below any bound), so bisection applies. *)
+    let lo = ref 0 and hi = ref max_demands in
+    while !hi - !lo > 1 do
+      let mid = !lo + ((!hi - !lo) / 2) in
+      if conf_at mid >= confidence then hi := mid else lo := mid
+    done;
+    Some !hi
+  end
+
+type time_point = {
+  hours : float;
+  rate_mean : float;
+  rate_confidence : float;
+  rate_judged : Sil.Band.classification;
+}
+
+let after_hours belief ~t =
+  if t < 0.0 then invalid_arg "Tail_cutoff.after_hours: t < 0";
+  if t = 0.0 then belief
+  else fst (Bayes.update_time belief ~failures:0 ~time:t)
+
+let trajectory_hours belief ~bound ~ts =
+  List.map
+    (fun t ->
+      let posterior = after_hours belief ~t in
+      let rate_mean = Dist.Mixture.mean posterior in
+      {
+        hours = t;
+        rate_mean;
+        rate_confidence = Dist.Mixture.prob_le posterior bound;
+        rate_judged = Sil.Band.classify ~mode:Sil.Band.Continuous rate_mean;
+      })
+    ts
+
+let hours_needed belief ~bound ~confidence ~max_hours =
+  if max_hours <= 0.0 then invalid_arg "Tail_cutoff.hours_needed: max <= 0";
+  let conf_at t = Dist.Mixture.prob_le (after_hours belief ~t) bound in
+  if conf_at 0.0 >= confidence then Some 0.0
+  else if conf_at max_hours < confidence then None
+  else begin
+    let lo = ref 0.0 and hi = ref max_hours in
+    while !hi -. !lo > 1e-3 *. !hi do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if conf_at mid >= confidence then hi := mid else lo := mid
+    done;
+    Some !hi
+  end
+
+let survival_probability belief ~n =
+  if n < 0 then invalid_arg "Tail_cutoff.survival_probability: n < 0";
+  if n = 0 then 1.0
+  else
+    Dist.Mixture.expect belief (fun p ->
+        if p >= 1.0 then 0.0
+        else if p <= 0.0 then 1.0
+        else exp (float_of_int n *. Numerics.Special.log1p (-.p)))

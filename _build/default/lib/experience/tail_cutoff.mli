@@ -1,0 +1,67 @@
+(** "Cutting off" the high-failure-rate tail with failure-free experience
+    (paper Section 4.1).
+
+    "Operating experience or statistical testing can 'cut off' this tail so
+    the distribution gets modified by the survival probability and
+    renormalized. ... Preliminary results indicate that tests rapidly
+    increase confidence and reduce the mean."  This module computes those
+    trajectories. *)
+
+type point = {
+  demands : int;
+  mean : float;
+  confidence : float;  (** P(pfd <= bound) after the demands. *)
+  judged : Sil.Band.classification;  (** Band of the posterior mean. *)
+}
+
+(** [after_demands belief ~n] — posterior after [n] failure-free demands. *)
+val after_demands : Dist.Mixture.t -> n:int -> Dist.Mixture.t
+
+(** [trajectory belief ~bound ~ns] — confidence/mean after each failure-free
+    demand count in [ns] (each computed from the original prior). *)
+val trajectory : Dist.Mixture.t -> bound:float -> ns:int list -> point list
+
+(** [demands_needed belief ~bound ~confidence ~max_demands] — the smallest
+    failure-free demand count bringing P(pfd <= bound) up to [confidence],
+    by bisection; [None] if [max_demands] is not enough. *)
+val demands_needed :
+  Dist.Mixture.t ->
+  bound:float ->
+  confidence:float ->
+  max_demands:int ->
+  int option
+
+(** [survival_probability belief ~n] — prior predictive probability of
+    surviving [n] demands, E[(1-p)^n]: how likely the confidence-building
+    campaign is to succeed at all. *)
+val survival_probability : Dist.Mixture.t -> n:int -> float
+
+(** {1 Continuous-mode (per-hour failure rate) counterparts}
+
+    For beliefs over a dangerous-failure rate (IEC 61508 continuous mode),
+    failure-free operating time [t] reweights by exp(-rate * t). *)
+
+type time_point = {
+  hours : float;
+  rate_mean : float;
+  rate_confidence : float;  (** P(rate <= bound) after the hours. *)
+  rate_judged : Sil.Band.classification;  (** Continuous-mode band of the mean. *)
+}
+
+(** [after_hours belief ~t] — posterior after [t] failure-free hours. *)
+val after_hours : Dist.Mixture.t -> t:float -> Dist.Mixture.t
+
+(** [trajectory_hours belief ~bound ~ts] — confidence/mean after each
+    failure-free duration. *)
+val trajectory_hours :
+  Dist.Mixture.t -> bound:float -> ts:float list -> time_point list
+
+(** [hours_needed belief ~bound ~confidence ~max_hours] — smallest
+    failure-free duration (to within 0.1%) bringing P(rate <= bound) up to
+    [confidence]; [None] if [max_hours] is not enough. *)
+val hours_needed :
+  Dist.Mixture.t ->
+  bound:float ->
+  confidence:float ->
+  max_hours:float ->
+  float option

@@ -1,0 +1,1 @@
+lib/numerics/rootfind.ml: Float Printf

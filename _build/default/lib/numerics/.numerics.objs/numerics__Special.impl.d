@@ -1,0 +1,1 @@
+lib/numerics/special.ml: Array Float Stdlib

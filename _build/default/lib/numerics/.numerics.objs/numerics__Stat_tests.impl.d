@@ -1,0 +1,1 @@
+lib/numerics/stat_tests.ml: Array Special

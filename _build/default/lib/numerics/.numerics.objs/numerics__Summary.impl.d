@@ -1,0 +1,1 @@
+lib/numerics/summary.ml: Array Interp

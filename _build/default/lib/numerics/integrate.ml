@@ -1,0 +1,118 @@
+exception No_convergence of string
+
+let simpson ?(tol = 1e-10) ?(max_depth = 50) f a b =
+  if a > b then invalid_arg "Integrate.simpson: a > b";
+  if a = b then 0.0
+  else begin
+    let simpson_rule fa fm fb h = h /. 6.0 *. (fa +. (4.0 *. fm) +. fb) in
+    let rec go a b fa fm fb whole tol depth =
+      let m = 0.5 *. (a +. b) in
+      let lm = 0.5 *. (a +. m) and rm = 0.5 *. (m +. b) in
+      let flm = f lm and frm = f rm in
+      let left = simpson_rule fa flm fm (m -. a) in
+      let right = simpson_rule fm frm fb (b -. m) in
+      let delta = left +. right -. whole in
+      if abs_float delta <= 15.0 *. tol then left +. right +. (delta /. 15.0)
+      else if depth = 0 then
+        raise (No_convergence "Integrate.simpson: max depth reached")
+      else
+        go a m fa flm fm left (tol /. 2.0) (depth - 1)
+        +. go m b fm frm fb right (tol /. 2.0) (depth - 1)
+    in
+    let fa = f a and fb = f b in
+    let m = 0.5 *. (a +. b) in
+    let fm = f m in
+    go a b fa fm fb (simpson_rule fa fm fb (b -. a)) tol max_depth
+  end
+
+(* 15-point Gauss-Kronrod nodes/weights on [-1, 1] (standard QUADPACK set). *)
+let gk15_nodes =
+  [| 0.991455371120813; 0.949107912342759; 0.864864423359769;
+     0.741531185599394; 0.586087235467691; 0.405845151377397;
+     0.207784955007898; 0.0 |]
+
+let gk15_kronrod_weights =
+  [| 0.022935322010529; 0.063092092629979; 0.104790010322250;
+     0.140653259715525; 0.169004726639267; 0.190350578064785;
+     0.204432940075298; 0.209482141084728 |]
+
+let gk15_gauss_weights =
+  [| 0.129484966168870; 0.279705391489277; 0.381830050505119;
+     0.417959183673469 |]
+
+let gk15 f a b =
+  let c = 0.5 *. (a +. b) in
+  let h = 0.5 *. (b -. a) in
+  let fc = f c in
+  let kronrod = ref (gk15_kronrod_weights.(7) *. fc) in
+  let gauss = ref (gk15_gauss_weights.(3) *. fc) in
+  for i = 0 to 6 do
+    let x = h *. gk15_nodes.(i) in
+    let flo = f (c -. x) and fhi = f (c +. x) in
+    kronrod := !kronrod +. (gk15_kronrod_weights.(i) *. (flo +. fhi));
+    (* Odd-indexed Kronrod nodes are the embedded 7-point Gauss nodes. *)
+    if i mod 2 = 1 then
+      gauss := !gauss +. (gk15_gauss_weights.(i / 2) *. (flo +. fhi))
+  done;
+  let integral = !kronrod *. h in
+  let err = abs_float ((!kronrod -. !gauss) *. h) in
+  (integral, err)
+
+type interval = { a : float; b : float; value : float; err : float }
+
+let adaptive ?(tol = 1e-10) ?(max_intervals = 4096) f a b =
+  if a > b then invalid_arg "Integrate.adaptive: a > b";
+  if a = b then 0.0
+  else begin
+    let value, err = gk15 f a b in
+    (* Sorted insertion keyed on error keeps the worst interval at the head;
+       interval counts stay small so a list is adequate. *)
+    let rec insert iv = function
+      | [] -> [ iv ]
+      | hd :: tl as l ->
+        if iv.err >= hd.err then iv :: l else hd :: insert iv tl
+    in
+    let rec refine intervals total_err total n =
+      if total_err <= tol *. (1.0 +. abs_float total) then total
+      else
+        match intervals with
+        | [] -> total
+        | worst :: rest ->
+          if n >= max_intervals then
+            raise (No_convergence "Integrate.adaptive: interval budget exceeded")
+          else begin
+            let m = 0.5 *. (worst.a +. worst.b) in
+            let lv, le = gk15 f worst.a m in
+            let rv, re = gk15 f m worst.b in
+            let left = { a = worst.a; b = m; value = lv; err = le } in
+            let right = { a = m; b = worst.b; value = rv; err = re } in
+            let intervals = insert left (insert right rest) in
+            let total = total -. worst.value +. lv +. rv in
+            let total_err = total_err -. worst.err +. le +. re in
+            refine intervals total_err total (n + 1)
+          end
+    in
+    refine [ { a; b; value; err } ] err value 1
+  end
+
+let to_infinity ?(tol = 1e-10) f a =
+  let g t =
+    let one_minus = 1.0 -. t in
+    let x = a +. (t /. one_minus) in
+    f x /. (one_minus *. one_minus)
+  in
+  (* The endpoint t = 1 maps to infinity; stop just short of it, which is
+     harmless for the integrable densities used in this project. *)
+  adaptive ~tol g 0.0 (1.0 -. 1e-12)
+
+let trapezoid_cumulative xs ys =
+  let n = Array.length xs in
+  if Array.length ys <> n then
+    invalid_arg "Integrate.trapezoid_cumulative: length mismatch";
+  let out = Array.make n 0.0 in
+  for i = 1 to n - 1 do
+    out.(i) <-
+      out.(i - 1)
+      +. (0.5 *. (ys.(i) +. ys.(i - 1)) *. (xs.(i) -. xs.(i - 1)))
+  done;
+  out

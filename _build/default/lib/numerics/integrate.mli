@@ -1,0 +1,25 @@
+(** One-dimensional quadrature. *)
+
+(** Raised when an adaptive routine exceeds its subdivision budget without
+    meeting the requested tolerance. *)
+exception No_convergence of string
+
+(** [simpson ?tol ?max_depth f a b] — adaptive Simpson quadrature of [f] over
+    [[a, b]] ([a <= b]). *)
+val simpson : ?tol:float -> ?max_depth:int -> (float -> float) -> float -> float -> float
+
+(** [gk15 f a b] — 15-point Gauss-Kronrod rule over [[a, b]]; returns
+    [(integral, error_estimate)]. *)
+val gk15 : (float -> float) -> float -> float -> float * float
+
+(** [adaptive ?tol ?max_intervals f a b] — globally adaptive Gauss-Kronrod:
+    repeatedly bisects the interval with the largest error estimate. *)
+val adaptive : ?tol:float -> ?max_intervals:int -> (float -> float) -> float -> float -> float
+
+(** [to_infinity ?tol f a] integrates [f] over [[a, +inf)] via the substitution
+    [x = a + t/(1-t)]. *)
+val to_infinity : ?tol:float -> (float -> float) -> float -> float
+
+(** [trapezoid_cumulative xs ys] — cumulative trapezoid integral of samples;
+    result array has the same length, starting at 0. *)
+val trapezoid_cumulative : float array -> float array -> float array

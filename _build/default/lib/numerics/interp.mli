@@ -1,0 +1,22 @@
+(** Interpolation and searching on sorted grids. *)
+
+(** [search_sorted xs x] — index [i] such that [xs.(i) <= x < xs.(i+1)];
+    returns [-1] if [x < xs.(0)] and [n-1] if [x >= xs.(n-1)].
+    [xs] must be sorted ascending. *)
+val search_sorted : float array -> float -> int
+
+(** [linear xs ys x] — piecewise-linear interpolation; clamps outside the
+    grid.  [xs] sorted ascending, same length as [ys]. *)
+val linear : float array -> float array -> float -> float
+
+(** [inverse_monotone xs ys y] — given [ys] nondecreasing along sorted [xs],
+    find [x] with interpolated [ys x = y] (clamping outside the range).
+    Used for quantile lookups on tabulated CDFs. *)
+val inverse_monotone : float array -> float array -> float -> float
+
+(** [logspace a b n] — [n] points geometrically spaced from [a] to [b]
+    ([a, b > 0], [n >= 2]). *)
+val logspace : float -> float -> int -> float array
+
+(** [linspace a b n] — [n] points linearly spaced from [a] to [b]. *)
+val linspace : float -> float -> int -> float array

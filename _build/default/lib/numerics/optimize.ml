@@ -1,0 +1,108 @@
+let golden = (sqrt 5.0 -. 1.0) /. 2.0
+
+let golden_section ?(tol = 1e-10) f a b =
+  if a > b then invalid_arg "Optimize.golden_section: a > b";
+  let a = ref a and b = ref b in
+  let c = ref (!b -. (golden *. (!b -. !a))) in
+  let d = ref (!a +. (golden *. (!b -. !a))) in
+  let fc = ref (f !c) and fd = ref (f !d) in
+  while !b -. !a > tol *. (1.0 +. abs_float !a +. abs_float !b) do
+    if !fc < !fd then begin
+      b := !d;
+      d := !c;
+      fd := !fc;
+      c := !b -. (golden *. (!b -. !a));
+      fc := f !c
+    end
+    else begin
+      a := !c;
+      c := !d;
+      fc := !fd;
+      d := !a +. (golden *. (!b -. !a));
+      fd := f !d
+    end
+  done;
+  0.5 *. (!a +. !b)
+
+let brent_min ?(tol = 1e-10) ?(max_iter = 200) f a b =
+  if a > b then invalid_arg "Optimize.brent_min: a > b";
+  let cgold = 0.3819660112501051 in
+  let a = ref a and b = ref b in
+  let x = ref (!a +. (cgold *. (!b -. !a))) in
+  let w = ref !x and v = ref !x in
+  let fx = ref (f !x) in
+  let fw = ref !fx and fv = ref !fx in
+  let d = ref 0.0 and e = ref 0.0 in
+  let done_ = ref false in
+  let i = ref 0 in
+  while (not !done_) && !i < max_iter do
+    incr i;
+    let xm = 0.5 *. (!a +. !b) in
+    let tol1 = (tol *. abs_float !x) +. 1e-15 in
+    let tol2 = 2.0 *. tol1 in
+    if abs_float (!x -. xm) <= tol2 -. (0.5 *. (!b -. !a)) then done_ := true
+    else begin
+      let use_golden = ref true in
+      if abs_float !e > tol1 then begin
+        (* Parabolic fit through x, w, v. *)
+        let r = (!x -. !w) *. (!fx -. !fv) in
+        let q = (!x -. !v) *. (!fx -. !fw) in
+        let p = ((!x -. !v) *. q) -. ((!x -. !w) *. r) in
+        let q = 2.0 *. (q -. r) in
+        let p = if q > 0.0 then -.p else p in
+        let q = abs_float q in
+        let etemp = !e in
+        e := !d;
+        if
+          abs_float p < abs_float (0.5 *. q *. etemp)
+          && p > q *. (!a -. !x)
+          && p < q *. (!b -. !x)
+        then begin
+          d := p /. q;
+          let u = !x +. !d in
+          if u -. !a < tol2 || !b -. u < tol2 then
+            d := if xm >= !x then tol1 else -.tol1;
+          use_golden := false
+        end
+      end;
+      if !use_golden then begin
+        e := (if !x >= xm then !a else !b) -. !x;
+        d := cgold *. !e
+      end;
+      let u =
+        if abs_float !d >= tol1 then !x +. !d
+        else !x +. (if !d >= 0.0 then tol1 else -.tol1)
+      in
+      let fu = f u in
+      if fu <= !fx then begin
+        if u >= !x then a := !x else b := !x;
+        v := !w; w := !x; x := u;
+        fv := !fw; fw := !fx; fx := fu
+      end
+      else begin
+        if u < !x then a := u else b := u;
+        if fu <= !fw || !w = !x then begin
+          v := !w; w := u;
+          fv := !fw; fw := fu
+        end
+        else if fu <= !fv || !v = !x || !v = !w then begin
+          v := u;
+          fv := fu
+        end
+      end
+    end
+  done;
+  (!x, !fx)
+
+let grid_min f a b n =
+  if n < 2 then invalid_arg "Optimize.grid_min: n < 2";
+  let best = ref a and fbest = ref (f a) in
+  for i = 1 to n - 1 do
+    let x = a +. (float_of_int i /. float_of_int (n - 1) *. (b -. a)) in
+    let fx = f x in
+    if fx < !fbest then begin
+      best := x;
+      fbest := fx
+    end
+  done;
+  !best

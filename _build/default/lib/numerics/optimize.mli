@@ -1,0 +1,15 @@
+(** One-dimensional minimisation. *)
+
+(** [golden_section ?tol f a b] minimises unimodal [f] on [[a, b]];
+    returns the minimiser. *)
+val golden_section : ?tol:float -> (float -> float) -> float -> float -> float
+
+(** [brent_min ?tol ?max_iter f a b] — Brent's parabolic-interpolation
+    minimiser on [[a, b]]; returns [(x_min, f x_min)]. *)
+val brent_min :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float * float
+
+(** [grid_min f a b n] evaluates [f] on an [n]-point uniform grid and returns
+    the best point — a robust seed for local refinement of multimodal
+    objectives. *)
+val grid_min : (float -> float) -> float -> float -> int -> float

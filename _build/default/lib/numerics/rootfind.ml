@@ -1,0 +1,162 @@
+exception No_root of string
+
+let check_bracket name flo fhi =
+  if flo *. fhi > 0.0 then
+    raise (No_root (Printf.sprintf "%s: endpoints do not bracket a root" name))
+
+let bisect ?(tol = 1e-12) ?(max_iter = 200) f lo hi =
+  let flo = f lo and fhi = f hi in
+  if flo = 0.0 then lo
+  else if fhi = 0.0 then hi
+  else begin
+    check_bracket "Rootfind.bisect" flo fhi;
+    let lo = ref lo and hi = ref hi and flo = ref flo in
+    let mid = ref (0.5 *. (!lo +. !hi)) in
+    let i = ref 0 in
+    while !hi -. !lo > tol *. (1.0 +. abs_float !mid) && !i < max_iter do
+      mid := 0.5 *. (!lo +. !hi);
+      let fm = f !mid in
+      if fm = 0.0 then begin
+        lo := !mid;
+        hi := !mid
+      end
+      else if fm *. !flo < 0.0 then hi := !mid
+      else begin
+        lo := !mid;
+        flo := fm
+      end;
+      incr i
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+(* Brent's method, following the classic Brent (1973) formulation. *)
+let brent ?(tol = 1e-13) ?(max_iter = 200) f a b =
+  let fa = f a and fb = f b in
+  if fa = 0.0 then a
+  else if fb = 0.0 then b
+  else begin
+    check_bracket "Rootfind.brent" fa fb;
+    let a = ref a and b = ref b and fa = ref fa and fb = ref fb in
+    let c = ref !a and fc = ref !fa in
+    let d = ref (!b -. !a) and e = ref (!b -. !a) in
+    let result = ref nan in
+    let i = ref 0 in
+    while Float.is_nan !result && !i < max_iter do
+      incr i;
+      if abs_float !fc < abs_float !fb then begin
+        a := !b; b := !c; c := !a;
+        fa := !fb; fb := !fc; fc := !fa
+      end;
+      let tol1 = (2.0 *. epsilon_float *. abs_float !b) +. (0.5 *. tol) in
+      let xm = 0.5 *. (!c -. !b) in
+      if abs_float xm <= tol1 || !fb = 0.0 then result := !b
+      else begin
+        if abs_float !e >= tol1 && abs_float !fa > abs_float !fb then begin
+          (* Attempt inverse quadratic interpolation / secant. *)
+          let s = !fb /. !fa in
+          let p, q =
+            if !a = !c then
+              let p = 2.0 *. xm *. s in
+              let q = 1.0 -. s in
+              (p, q)
+            else begin
+              let q = !fa /. !fc and r = !fb /. !fc in
+              let p =
+                s *. ((2.0 *. xm *. q *. (q -. r)) -. ((!b -. !a) *. (r -. 1.0)))
+              in
+              let q = (q -. 1.0) *. (r -. 1.0) *. (s -. 1.0) in
+              (p, q)
+            end
+          in
+          let p, q = if p > 0.0 then (p, -.q) else (-.p, q) in
+          let min1 = (3.0 *. xm *. q) -. abs_float (tol1 *. q) in
+          let min2 = abs_float (!e *. q) in
+          if 2.0 *. p < min min1 min2 then begin
+            e := !d;
+            d := p /. q
+          end
+          else begin
+            d := xm;
+            e := xm
+          end
+        end
+        else begin
+          d := xm;
+          e := xm
+        end;
+        a := !b;
+        fa := !fb;
+        if abs_float !d > tol1 then b := !b +. !d
+        else b := !b +. (if xm >= 0.0 then tol1 else -.tol1);
+        fb := f !b;
+        if (!fb > 0.0) = (!fc > 0.0) then begin
+          c := !a;
+          fc := !fa;
+          d := !b -. !a;
+          e := !d
+        end
+      end
+    done;
+    if Float.is_nan !result then
+      raise (No_root "Rootfind.brent: no convergence")
+    else !result
+  end
+
+let newton_bracketed ?(tol = 1e-13) ?(max_iter = 100) ~f ~df lo hi x0 =
+  let flo = f lo and fhi = f hi in
+  if flo = 0.0 then lo
+  else if fhi = 0.0 then hi
+  else begin
+    check_bracket "Rootfind.newton_bracketed" flo fhi;
+    (* Maintain the invariant that [f lo] is the negative end. *)
+    let lo = ref lo and hi = ref hi in
+    if flo > 0.0 then begin
+      let t = !lo in
+      lo := !hi;
+      hi := t
+    end;
+    let x = ref x0 in
+    let converged = ref false in
+    let i = ref 0 in
+    while (not !converged) && !i < max_iter do
+      incr i;
+      let fx = f !x in
+      if fx = 0.0 then converged := true
+      else begin
+        if fx < 0.0 then lo := !x else hi := !x;
+        let dfx = df !x in
+        let step = fx /. dfx in
+        let candidate = !x -. step in
+        let inside =
+          let a = min !lo !hi and b = max !lo !hi in
+          candidate > a && candidate < b && Float.is_finite candidate
+        in
+        let next = if inside then candidate else 0.5 *. (!lo +. !hi) in
+        if abs_float (next -. !x) <= tol *. (1.0 +. abs_float next) then
+          converged := true;
+        x := next
+      end
+    done;
+    !x
+  end
+
+let expand_bracket f lo hi =
+  if lo >= hi then raise (No_root "Rootfind.expand_bracket: lo >= hi");
+  let lo = ref lo and hi = ref hi in
+  let flo = ref (f !lo) and fhi = ref (f !hi) in
+  let i = ref 0 in
+  while !flo *. !fhi > 0.0 && !i < 60 do
+    incr i;
+    if abs_float !flo < abs_float !fhi then begin
+      lo := !lo -. (1.6 *. (!hi -. !lo));
+      flo := f !lo
+    end
+    else begin
+      hi := !hi +. (1.6 *. (!hi -. !lo));
+      fhi := f !hi
+    end
+  done;
+  if !flo *. !fhi > 0.0 then
+    raise (No_root "Rootfind.expand_bracket: no sign change found")
+  else (!lo, !hi)

@@ -1,0 +1,29 @@
+(** One-dimensional root finding. *)
+
+(** Raised when a solver cannot make progress (bad bracket, no convergence
+    within the iteration budget). *)
+exception No_root of string
+
+(** [bisect ?tol ?max_iter f lo hi] finds a root of [f] in [[lo, hi]].
+    Requires [f lo] and [f hi] to have opposite signs (or be zero).
+    @raise No_root if the bracket is invalid. *)
+val bisect : ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+
+(** [brent ?tol ?max_iter f lo hi] — Brent's method; same contract as
+    {!bisect} but with superlinear convergence on smooth functions. *)
+val brent : ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+
+(** [newton_bracketed ?tol ?max_iter ~f ~df lo hi x0] — Newton iteration
+    safeguarded by the bracket [[lo, hi]]: any step leaving the bracket is
+    replaced by bisection, so convergence is guaranteed for a valid bracket. *)
+val newton_bracketed :
+  ?tol:float ->
+  ?max_iter:int ->
+  f:(float -> float) ->
+  df:(float -> float) ->
+  float -> float -> float -> float
+
+(** [expand_bracket f lo hi] geometrically grows [[lo, hi]] until it brackets
+    a sign change (at most 60 doublings).
+    @raise No_root if no sign change is found. *)
+val expand_bracket : (float -> float) -> float -> float -> float * float

@@ -1,0 +1,24 @@
+(** Goodness-of-fit tests used to validate simulators and calibration. *)
+
+type result = { statistic : float; p_value : float }
+
+(** [chi_square ~observed ~expected] — Pearson chi-square test; arrays of
+    equal length (>= 2 cells), all expected counts positive.  Degrees of
+    freedom = cells - 1. *)
+val chi_square : observed:int array -> expected:float array -> result
+
+(** [chi_square_df ~observed ~expected ~df] — explicit degrees of freedom
+    (for fitted parameters). *)
+val chi_square_df : observed:int array -> expected:float array -> df:int -> result
+
+(** [ks_uniform xs] — one-sample Kolmogorov-Smirnov test of uniformity on
+    (0,1); p-value from the asymptotic Kolmogorov distribution.  Requires at
+    least 8 points for the asymptotics to be meaningful. *)
+val ks_uniform : float array -> result
+
+(** [ks_one_sample xs ~cdf] — KS test of [xs] against a continuous CDF. *)
+val ks_one_sample : float array -> cdf:(float -> float) -> result
+
+(** [kolmogorov_survival lambda] — Q(lambda) = 2 sum_k (-1)^(k-1)
+    exp(-2 k^2 lambda^2), the asymptotic KS tail probability. *)
+val kolmogorov_survival : float -> float

@@ -1,0 +1,73 @@
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty array")
+
+let mean xs =
+  check_nonempty "Summary.mean" xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  if Array.length xs < 2 then invalid_arg "Summary.variance: need >= 2 samples";
+  let m = mean xs in
+  let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+  ss /. float_of_int (Array.length xs - 1)
+
+let std xs = sqrt (variance xs)
+
+let quantile xs p =
+  check_nonempty "Summary.quantile" xs;
+  if p < 0.0 || p > 1.0 then invalid_arg "Summary.quantile: p not in [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let h = p *. float_of_int (n - 1) in
+  let i = int_of_float (floor h) in
+  if i >= n - 1 then sorted.(n - 1)
+  else sorted.(i) +. ((h -. float_of_int i) *. (sorted.(i + 1) -. sorted.(i)))
+
+let median xs = quantile xs 0.5
+
+let minimum xs =
+  check_nonempty "Summary.minimum" xs;
+  Array.fold_left min xs.(0) xs
+
+let maximum xs =
+  check_nonempty "Summary.maximum" xs;
+  Array.fold_left max xs.(0) xs
+
+let histogram ~edges xs =
+  let nbins = Array.length edges - 1 in
+  if nbins < 1 then invalid_arg "Summary.histogram: need >= 2 edges";
+  let counts = Array.make nbins 0 in
+  let record x =
+    if x >= edges.(0) && x <= edges.(nbins) then begin
+      let i = Interp.search_sorted edges x in
+      let i = if i >= nbins then nbins - 1 else i in
+      if i >= 0 then counts.(i) <- counts.(i) + 1
+    end
+  in
+  Array.iter record xs;
+  counts
+
+module Online = struct
+  type t = { mutable n : int; mutable mu : float; mutable m2 : float }
+
+  let create () = { n = 0; mu = 0.0; m2 = 0.0 }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mu in
+    t.mu <- t.mu +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mu))
+
+  let count t = t.n
+
+  let mean t =
+    if t.n = 0 then invalid_arg "Summary.Online.mean: no observations";
+    t.mu
+
+  let variance t =
+    if t.n < 2 then invalid_arg "Summary.Online.variance: need >= 2 observations";
+    t.m2 /. float_of_int (t.n - 1)
+
+  let std t = sqrt (variance t)
+end

@@ -1,0 +1,42 @@
+(** Descriptive statistics over float samples. *)
+
+(** [mean xs] — arithmetic mean of a non-empty array. *)
+val mean : float array -> float
+
+(** [variance xs] — unbiased sample variance (n-1 denominator); requires at
+    least two samples. *)
+val variance : float array -> float
+
+(** [std xs] — sample standard deviation. *)
+val std : float array -> float
+
+(** [quantile xs p] — linear-interpolation quantile (type 7) of a non-empty
+    array, [0 <= p <= 1].  Does not mutate its argument. *)
+val quantile : float array -> float -> float
+
+(** [median xs]. *)
+val median : float array -> float
+
+(** [minimum xs] and [maximum xs]. *)
+val minimum : float array -> float
+
+val maximum : float array -> float
+
+(** [histogram ~edges xs] — counts per bin; [edges] sorted ascending with
+    [n+1] entries for [n] bins; values outside are dropped. *)
+val histogram : edges:float array -> float array -> int array
+
+(** Online mean/variance accumulator (Welford). *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+
+  (** Unbiased variance; requires at least two observations. *)
+  val variance : t -> float
+
+  val std : t -> float
+end

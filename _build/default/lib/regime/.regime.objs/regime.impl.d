@@ -1,0 +1,1 @@
+lib/regime/regime.ml: Assessor Evaluate Policy Population

@@ -1,0 +1,1 @@
+lib/regime/assessor.ml: Dist Numerics

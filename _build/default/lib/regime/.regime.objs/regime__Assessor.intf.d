@@ -1,0 +1,1 @@
+lib/regime/assessor.mli: Dist Numerics

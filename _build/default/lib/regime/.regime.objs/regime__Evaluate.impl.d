@@ -1,0 +1,1 @@
+lib/regime/evaluate.ml: Assessor List Numerics Policy Population Printf Report

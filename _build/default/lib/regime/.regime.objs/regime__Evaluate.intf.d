@@ -1,0 +1,1 @@
+lib/regime/evaluate.mli: Assessor Policy Population Sil

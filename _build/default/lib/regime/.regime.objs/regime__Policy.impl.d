@@ -1,0 +1,1 @@
+lib/regime/policy.ml: Confidence Dist Experience Numerics Printf Sil

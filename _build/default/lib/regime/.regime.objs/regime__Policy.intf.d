@@ -1,0 +1,1 @@
+lib/regime/policy.mli: Dist Numerics Sil

@@ -1,0 +1,1 @@
+lib/regime/population.ml: Numerics Sil

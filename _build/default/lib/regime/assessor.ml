@@ -1,0 +1,25 @@
+type t = { label : string; perception_noise : float; spread_factor : float }
+
+let make ~label ~perception_noise ~spread_factor =
+  if perception_noise <= 0.0 then
+    invalid_arg "Assessor.make: perception_noise <= 0";
+  if spread_factor <= 0.0 then invalid_arg "Assessor.make: spread_factor <= 0";
+  { label; perception_noise; spread_factor }
+
+let calibrated =
+  make ~label:"calibrated" ~perception_noise:0.9 ~spread_factor:1.0
+
+let overconfident =
+  make ~label:"overconfident" ~perception_noise:0.9 ~spread_factor:0.5
+
+let assess t rng ~true_pfd =
+  if not (true_pfd > 0.0 && true_pfd < 1.0) then
+    invalid_arg "Assessor.assess: true_pfd must be in (0,1)";
+  let perceived =
+    log true_pfd +. Numerics.Rng.normal rng ~mu:0.0 ~sigma:t.perception_noise
+  in
+  (* Centre the belief's *median* on the perceived value: with
+     spread_factor = 1 the probability integral transform of the truth is
+     then exactly uniform — a genuinely calibrated assessor. *)
+  let sigma = t.spread_factor *. t.perception_noise in
+  Dist.Mixture.of_dist (Dist.Lognormal.make ~mu:perceived ~sigma)

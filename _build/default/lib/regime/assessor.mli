@@ -1,0 +1,25 @@
+(** Models of an assessor forming a belief about one system.
+
+    The assessor observes the system imperfectly (evidence gathering has
+    noise) and reports a log-normal belief whose spread reflects their
+    honesty about that noise: a calibrated assessor's spread equals the
+    noise; an overconfident one claims less. *)
+
+type t = {
+  label : string;
+  perception_noise : float;  (** SD of ln(perceived pfd) around ln(truth). *)
+  spread_factor : float;
+      (** Reported sigma = spread_factor * perception_noise: 1 is
+          calibrated, < 1 overconfident, > 1 underconfident. *)
+}
+
+val make : label:string -> perception_noise:float -> spread_factor:float -> t
+
+(** A calibrated assessor with the paper's widest-curve spread. *)
+val calibrated : t
+
+(** An overconfident assessor (claims half the spread). *)
+val overconfident : t
+
+(** [assess t rng ~true_pfd] — the reported belief. *)
+val assess : t -> Numerics.Rng.t -> true_pfd:float -> Dist.Mixture.t

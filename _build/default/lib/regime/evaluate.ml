@@ -1,0 +1,75 @@
+type outcome = {
+  policy : Policy.t;
+  systems : int;
+  accepted : int;
+  accepted_bad : int;
+  rejected_good : int;
+  mean_accepted_pfd : float;
+  expected_accidents_per_1000_demands : float;
+  testing_demands : int;
+}
+
+let run ~world ~assessor ~band ~policy ~systems ~seed =
+  if systems < 1 then invalid_arg "Evaluate.run: systems < 1";
+  let rng = Numerics.Rng.create seed in
+  let accepted = ref 0 in
+  let accepted_bad = ref 0 in
+  let rejected_good = ref 0 in
+  let accepted_pfd_sum = ref 0.0 in
+  let testing = ref 0 in
+  for _ = 1 to systems do
+    let true_pfd = Population.sample world rng in
+    let belief = Assessor.assess assessor rng ~true_pfd in
+    let good = Population.is_in_band world ~band true_pfd in
+    let verdict = Policy.accepts policy ~band belief rng ~true_pfd in
+    testing := !testing + Policy.testing_cost policy;
+    if verdict then begin
+      incr accepted;
+      accepted_pfd_sum := !accepted_pfd_sum +. true_pfd;
+      if not good then incr accepted_bad
+    end
+    else if good then incr rejected_good
+  done;
+  let mean_accepted_pfd =
+    if !accepted = 0 then 0.0
+    else !accepted_pfd_sum /. float_of_int !accepted
+  in
+  let acceptance_rate = float_of_int !accepted /. float_of_int systems in
+  {
+    policy;
+    systems;
+    accepted = !accepted;
+    accepted_bad = !accepted_bad;
+    rejected_good = !rejected_good;
+    mean_accepted_pfd;
+    expected_accidents_per_1000_demands =
+      mean_accepted_pfd *. 1000.0 *. acceptance_rate;
+    testing_demands = !testing;
+  }
+
+let compare ~world ~assessor ~band ~policies ~systems ~seed =
+  List.map
+    (fun policy -> run ~world ~assessor ~band ~policy ~systems ~seed)
+    policies
+
+let summary_table outcomes =
+  let columns =
+    [ { Report.Table.header = "policy"; align = Report.Table.Left };
+      { Report.Table.header = "accepted"; align = Report.Table.Right };
+      { Report.Table.header = "accepted bad"; align = Report.Table.Right };
+      { Report.Table.header = "rejected good"; align = Report.Table.Right };
+      { Report.Table.header = "mean pfd of fleet"; align = Report.Table.Right };
+      { Report.Table.header = "tests"; align = Report.Table.Right } ]
+  in
+  let rows =
+    List.map
+      (fun o ->
+        [ Policy.label o.policy;
+          Printf.sprintf "%d/%d" o.accepted o.systems;
+          string_of_int o.accepted_bad;
+          string_of_int o.rejected_good;
+          Report.Table.float_cell o.mean_accepted_pfd;
+          string_of_int o.testing_demands ])
+      outcomes
+  in
+  Report.Table.render ~columns ~rows

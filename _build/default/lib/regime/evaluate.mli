@@ -1,0 +1,43 @@
+(** Running a policy over a synthetic world and scoring the outcomes.
+
+    This quantifies the paper's argument: a regime that ignores assessment
+    uncertainty fields more dangerous systems.  For each simulated system
+    we know the truth, so we can report the full confusion matrix and the
+    realized risk among accepted systems. *)
+
+type outcome = {
+  policy : Policy.t;
+  systems : int;
+  accepted : int;
+  accepted_bad : int;  (** Accepted although truly outside the band. *)
+  rejected_good : int;  (** Rejected although truly inside the band. *)
+  mean_accepted_pfd : float;  (** Realized risk of the accepted fleet. *)
+  expected_accidents_per_1000_demands : float;
+      (** mean_accepted_pfd * 1000 * acceptance rate: fleet-level risk. *)
+  testing_demands : int;  (** Total testing spend. *)
+}
+
+(** [run ~world ~assessor ~band ~policy ~systems ~seed] — simulate
+    [systems] independent systems through assessment and decision. *)
+val run :
+  world:Population.t ->
+  assessor:Assessor.t ->
+  band:Sil.Band.t ->
+  policy:Policy.t ->
+  systems:int ->
+  seed:int ->
+  outcome
+
+(** [compare ~world ~assessor ~band ~policies ~systems ~seed] — one outcome
+    per policy, same world stream. *)
+val compare :
+  world:Population.t ->
+  assessor:Assessor.t ->
+  band:Sil.Band.t ->
+  policies:Policy.t list ->
+  systems:int ->
+  seed:int ->
+  outcome list
+
+(** [summary_table outcomes] — rendered comparison. *)
+val summary_table : outcome list -> string

@@ -1,0 +1,67 @@
+type t =
+  | Mode_based
+  | Mean_based
+  | Confidence_based of float
+  | Conservative_based
+  | Test_first of { demands : int; confidence : float }
+  | Test_tolerant of { demands : int; max_failures : int; confidence : float }
+
+let label = function
+  | Mode_based -> "mode-based (ignore uncertainty)"
+  | Mean_based -> "mean-based (average pfd)"
+  | Confidence_based c -> Printf.sprintf "confidence >= %g%%" (100.0 *. c)
+  | Conservative_based -> "conservative bound (Section 3.4)"
+  | Test_first { demands; confidence } ->
+    Printf.sprintf "test %d demands then confidence >= %g%%" demands
+      (100.0 *. confidence)
+  | Test_tolerant { demands; max_failures; confidence } ->
+    Printf.sprintf "test %d demands (<= %d failures) then >= %g%%" demands
+      max_failures (100.0 *. confidence)
+
+let mode_of belief =
+  (* The mode of the single continuous component; falls back to the mean for
+     structured beliefs. *)
+  match Dist.Mixture.components belief with
+  | [ (_, Dist.Mixture.Cont d) ] ->
+    (match d.Dist.mode with Some m -> m | None -> d.Dist.mean)
+  | _ -> Dist.Mixture.mean belief
+
+let accepts policy ~band belief rng ~true_pfd =
+  let bound = Sil.Band.upper_bound ~mode:Sil.Band.Low_demand band in
+  match policy with
+  | Mode_based -> mode_of belief < bound
+  | Mean_based -> Dist.Mixture.mean belief < bound
+  | Confidence_based confidence ->
+    Dist.Mixture.prob_le belief bound >= confidence
+  | Conservative_based ->
+    (* Read the one-decade-stronger point off the belief and apply (5). *)
+    let stronger = bound /. 10.0 in
+    let confidence = Dist.Mixture.prob_le belief stronger in
+    if confidence <= 0.0 then false
+    else begin
+      let claim = Confidence.Claim.make ~bound:stronger ~confidence in
+      Confidence.Conservative.failure_bound claim <= bound
+    end
+  | Test_first { demands; confidence } ->
+    (* The campaign observes the *true* system. *)
+    let failures = Numerics.Rng.binomial rng ~n:demands ~p:true_pfd in
+    if failures > 0 then false
+    else begin
+      let posterior =
+        Experience.Tail_cutoff.after_demands belief ~n:demands
+      in
+      Dist.Mixture.prob_le posterior bound >= confidence
+    end
+  | Test_tolerant { demands; max_failures; confidence } ->
+    let failures = Numerics.Rng.binomial rng ~n:demands ~p:true_pfd in
+    if failures > max_failures then false
+    else begin
+      let posterior, _ =
+        Experience.Bayes.update_demands belief ~failures ~demands
+      in
+      Dist.Mixture.prob_le posterior bound >= confidence
+    end
+
+let testing_cost = function
+  | Mode_based | Mean_based | Confidence_based _ | Conservative_based -> 0
+  | Test_first { demands; _ } | Test_tolerant { demands; _ } -> demands

@@ -1,0 +1,46 @@
+(** Acceptance policies: how a regulator turns a belief into an accept /
+    reject decision for a target band.
+
+    These are the alternatives the paper weighs: point judgements that
+    ignore assessment uncertainty vs explicit confidence requirements vs
+    the conservative worst-case route vs buying confidence with testing. *)
+
+type t =
+  | Mode_based
+      (** Accept if the belief's most likely value is inside the band —
+          the judgement the paper criticises. *)
+  | Mean_based
+      (** Accept if the belief's mean (IEC's "average pfd") meets the
+          band. *)
+  | Confidence_based of float
+      (** Accept if P(pfd <= band bound) reaches the given confidence. *)
+  | Conservative_based
+      (** Accept if the worst-case bound x + y - xy built from the belief's
+          one-decade-stronger point meets the band bound (the paper's
+          Section 3.4 route). *)
+  | Test_first of { demands : int; confidence : float }
+      (** Spend failure-free testing first (abandon the system if it
+          fails), then require the confidence on the posterior. *)
+  | Test_tolerant of { demands : int; max_failures : int; confidence : float }
+      (** Like [Test_first], but tolerate up to [max_failures] during the
+          campaign: condition the belief on the observed count and require
+          the confidence on that posterior.  (Some safety systems "can fail
+          several times a year and the overall system still be safe" —
+          paper Section 4.1.) *)
+
+val label : t -> string
+
+(** [accepts policy ~band belief rng ~true_pfd] — the decision.  [rng] and
+    [true_pfd] matter only for [Test_first], whose testing outcome is
+    stochastic (a system may fail during the campaign and be rejected). *)
+val accepts :
+  t ->
+  band:Sil.Band.t ->
+  Dist.Mixture.t ->
+  Numerics.Rng.t ->
+  true_pfd:float ->
+  bool
+
+(** [testing_cost policy] — demands spent per assessed system (0 for
+    non-testing policies). *)
+val testing_cost : t -> int

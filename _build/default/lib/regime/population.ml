@@ -1,0 +1,37 @@
+type t = {
+  label : string;
+  ordinary_mode : float;
+  ordinary_sigma : float;
+  rogue_fraction : float;
+  rogue_factor : float;
+}
+
+let make ~label ~ordinary_mode ~ordinary_sigma ~rogue_fraction ~rogue_factor =
+  if ordinary_mode <= 0.0 || ordinary_mode >= 1.0 then
+    invalid_arg "Population.make: ordinary_mode must be in (0,1)";
+  if ordinary_sigma <= 0.0 then
+    invalid_arg "Population.make: ordinary_sigma <= 0";
+  if rogue_fraction < 0.0 || rogue_fraction >= 1.0 then
+    invalid_arg "Population.make: rogue_fraction must be in [0,1)";
+  if rogue_factor < 1.0 then invalid_arg "Population.make: rogue_factor < 1";
+  { label; ordinary_mode; ordinary_sigma; rogue_fraction; rogue_factor }
+
+let sil2_world =
+  make ~label:"mid-SIL2 world with 10% rogues" ~ordinary_mode:3e-3
+    ~ordinary_sigma:0.5 ~rogue_fraction:0.1 ~rogue_factor:30.0
+
+let sample t rng =
+  let mode =
+    if Numerics.Rng.bernoulli rng t.rogue_fraction then
+      t.ordinary_mode *. t.rogue_factor
+    else t.ordinary_mode
+  in
+  let pfd =
+    Numerics.Rng.lognormal rng
+      ~mu:(log mode +. (t.ordinary_sigma *. t.ordinary_sigma))
+      ~sigma:t.ordinary_sigma
+  in
+  min (1.0 -. 1e-12) (max 1e-12 pfd)
+
+let is_in_band _t ~band pfd =
+  pfd < Sil.Band.upper_bound ~mode:Sil.Band.Low_demand band

@@ -1,0 +1,36 @@
+(** Synthetic populations of systems with known true pfds.
+
+    The paper's argument is about *assessment* error; to measure it we need
+    worlds where the truth is known.  A population mixes "ordinary" systems
+    whose pfd scatters around a design target with a fraction of "rogue"
+    systems that are far worse than anyone intends — the situations where
+    ignoring assessment uncertainty hurts. *)
+
+type t = {
+  label : string;
+  ordinary_mode : float;  (** Typical true pfd of a well-built system. *)
+  ordinary_sigma : float;  (** Log-space scatter of ordinary systems. *)
+  rogue_fraction : float;  (** Probability a system is a rogue. *)
+  rogue_factor : float;  (** Rogues are this many times worse. *)
+}
+
+(** [make ~label ~ordinary_mode ~ordinary_sigma ~rogue_fraction
+    ~rogue_factor] — validated constructor. *)
+val make :
+  label:string ->
+  ordinary_mode:float ->
+  ordinary_sigma:float ->
+  rogue_fraction:float ->
+  rogue_factor:float ->
+  t
+
+(** A population calibrated to the paper's running example: ordinary
+    systems near pfd 3e-3 (mid-SIL2), 10% rogues thirty times worse. *)
+val sil2_world : t
+
+(** [sample t rng] — one system's true pfd (clamped to (0, 1)). *)
+val sample : t -> Numerics.Rng.t -> float
+
+(** [is_in_band t ~band pfd] — whether a true pfd meets the band (used for
+    ground-truth labels). *)
+val is_in_band : t -> band:Sil.Band.t -> float -> bool

@@ -1,0 +1,8 @@
+(** Public interface of the [regime] library: synthetic system populations,
+    assessor models, acceptance policies, and the evaluation harness that
+    scores a regulatory regime by its realized risk. *)
+
+module Population = Population
+module Assessor = Assessor
+module Policy = Policy
+module Evaluate = Evaluate

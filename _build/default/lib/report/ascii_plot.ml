@@ -1,0 +1,85 @@
+type scale = Linear | Log10
+
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let transform scale v =
+  match scale with
+  | Linear -> v
+  | Log10 -> if v > 0.0 then log10 v else nan
+
+let plot ?(width = 72) ?(height = 20) ?(x_scale = Linear) ?(y_scale = Linear)
+    series =
+  if series = [] then invalid_arg "Ascii_plot.plot: no series";
+  let points =
+    List.map
+      (fun (s : Series.t) ->
+        Array.to_list s.points
+        |> List.filter_map (fun (x, y) ->
+               let tx = transform x_scale x and ty = transform y_scale y in
+               if Float.is_finite tx && Float.is_finite ty then Some (tx, ty)
+               else None))
+      series
+  in
+  let all = List.concat points in
+  if all = [] then invalid_arg "Ascii_plot.plot: no finite points";
+  let xs = List.map fst all and ys = List.map snd all in
+  let x_min = List.fold_left min (List.hd xs) xs in
+  let x_max = List.fold_left max (List.hd xs) xs in
+  let y_min = List.fold_left min (List.hd ys) ys in
+  let y_max = List.fold_left max (List.hd ys) ys in
+  let x_span = if x_max > x_min then x_max -. x_min else 1.0 in
+  let y_span = if y_max > y_min then y_max -. y_min else 1.0 in
+  let canvas = Array.make_matrix height width ' ' in
+  let place glyph (tx, ty) =
+    let col =
+      int_of_float (Float.round ((tx -. x_min) /. x_span *. float_of_int (width - 1)))
+    in
+    let row =
+      height - 1
+      - int_of_float
+          (Float.round ((ty -. y_min) /. y_span *. float_of_int (height - 1)))
+    in
+    if row >= 0 && row < height && col >= 0 && col < width then
+      canvas.(row).(col) <- glyph
+  in
+  List.iteri
+    (fun i pts ->
+      let glyph = glyphs.(i mod Array.length glyphs) in
+      List.iter (place glyph) pts)
+    points;
+  let buf = Buffer.create (height * (width + 12)) in
+  let axis_label scale v =
+    match scale with
+    | Linear -> Printf.sprintf "%10.3g" v
+    | Log10 -> Printf.sprintf "%10.3g" (10.0 ** v)
+  in
+  Array.iteri
+    (fun row line ->
+      let label =
+        if row = 0 then axis_label y_scale y_max
+        else if row = height - 1 then axis_label y_scale y_min
+        else String.make 10 ' '
+      in
+      Buffer.add_string buf label;
+      Buffer.add_string buf " |";
+      Buffer.add_string buf (String.init width (fun c -> line.(c)));
+      Buffer.add_char buf '\n')
+    canvas;
+  Buffer.add_string buf (String.make 11 ' ');
+  Buffer.add_char buf '+';
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "%s%s .. %s%s\n"
+       (String.make 12 ' ')
+       (String.trim (axis_label x_scale x_min))
+       (String.trim (axis_label x_scale x_max))
+       (match x_scale with Log10 -> " (log x)" | Linear -> ""));
+  List.iteri
+    (fun i (s : Series.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%c = %s\n" (String.make 12 ' ')
+           glyphs.(i mod Array.length glyphs)
+           s.name))
+    series;
+  Buffer.contents buf

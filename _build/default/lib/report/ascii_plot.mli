@@ -1,0 +1,14 @@
+(** Terminal line plots, so the examples can *show* the paper's figures. *)
+
+type scale = Linear | Log10
+
+(** [plot ?width ?height ?x_scale ?y_scale series] renders the series on a
+    character canvas with axis annotations; each series uses its own glyph
+    and a legend is appended. *)
+val plot :
+  ?width:int ->
+  ?height:int ->
+  ?x_scale:scale ->
+  ?y_scale:scale ->
+  Series.t list ->
+  string

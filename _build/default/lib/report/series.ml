@@ -1,0 +1,50 @@
+type t = { name : string; points : (float * float) array }
+
+let make name points = { name; points = Array.of_list points }
+
+let map_y f s = { s with points = Array.map (fun (x, y) -> (x, f y)) s.points }
+
+let common_grid series =
+  match series with
+  | [] -> invalid_arg "Series: no series"
+  | first :: rest ->
+    let grid = Array.map fst first.points in
+    List.iter
+      (fun s ->
+        if Array.map fst s.points <> grid then
+          invalid_arg "Series: series do not share an x grid")
+      rest;
+    grid
+
+let render_table ?(x_label = "x") series =
+  let grid = common_grid series in
+  let columns =
+    { Table.header = x_label; align = Table.Right }
+    :: List.map (fun s -> { Table.header = s.name; align = Table.Right }) series
+  in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i x ->
+           Table.float_cell x
+           :: List.map (fun s -> Table.float_cell (snd s.points.(i))) series)
+         grid)
+  in
+  Table.render ~columns ~rows
+
+let to_csv series =
+  let grid = common_grid series in
+  let header = "x" :: List.map (fun s -> s.name) series in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i x ->
+           Printf.sprintf "%.17g" x
+           :: List.map (fun s -> Printf.sprintf "%.17g" (snd s.points.(i))) series)
+         grid)
+  in
+  Table.to_csv ~header ~rows
+
+let y_at s x =
+  let found = Array.to_list s.points |> List.find_opt (fun (px, _) -> px = x) in
+  match found with Some (_, y) -> y | None -> raise Not_found

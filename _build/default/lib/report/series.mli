@@ -1,0 +1,21 @@
+(** Named (x, y) data series — the unit in which benches report figure
+    reproductions. *)
+
+type t = { name : string; points : (float * float) array }
+
+(** [make name points]. *)
+val make : string -> (float * float) list -> t
+
+(** [map_y f s]. *)
+val map_y : (float -> float) -> t -> t
+
+(** [render_table ?x_label series] — one row per x value; series are joined
+    on x (all series must share the same x grid). *)
+val render_table : ?x_label:string -> t list -> string
+
+(** [to_csv series] — same layout as {!render_table}. *)
+val to_csv : t list -> string
+
+(** [y_at s x] — y of the exact grid point [x].
+    @raise Not_found if absent. *)
+val y_at : t -> float -> float

@@ -1,0 +1,59 @@
+type align = Left | Right
+
+type column = { header : string; align : align }
+
+let float_cell x = Printf.sprintf "%.4g" x
+
+let render ~columns ~rows =
+  let ncols = List.length columns in
+  List.iter
+    (fun row ->
+      if List.length row <> ncols then
+        invalid_arg "Table.render: row arity mismatch")
+    rows;
+  let headers = List.map (fun c -> c.header) columns in
+  let widths =
+    List.mapi
+      (fun i c ->
+        let cell_width row = String.length (List.nth row i) in
+        List.fold_left (fun acc row -> max acc (cell_width row))
+          (String.length c.header) rows)
+      columns
+  in
+  let pad align width s =
+    let fill = String.make (max 0 (width - String.length s)) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let render_row row =
+    List.mapi
+      (fun i cell ->
+        let c = List.nth columns i in
+        pad c.align (List.nth widths i) cell)
+      row
+    |> String.concat "  "
+  in
+  let rule =
+    List.map (fun w -> String.make w '-') widths |> String.concat "  "
+  in
+  let body = List.map render_row rows in
+  String.concat "\n" ((render_row headers :: rule :: body) @ [ "" ])
+
+let csv_field s =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') s
+  in
+  if needs_quote then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let to_csv ~header ~rows =
+  let line cells = String.concat "," (List.map csv_field cells) in
+  String.concat "\n" (line header :: List.map line rows) ^ "\n"

@@ -1,0 +1,17 @@
+(** Aligned text tables. *)
+
+type align = Left | Right
+
+type column = { header : string; align : align }
+
+(** [render ~columns ~rows] — pads every cell so columns line up; rows with
+    the wrong arity raise [Invalid_argument]. *)
+val render : columns:column list -> rows:string list list -> string
+
+(** [to_csv ~header ~rows] — RFC-4180-ish CSV (quotes fields containing
+    commas, quotes or newlines). *)
+val to_csv : header:string list -> rows:string list list -> string
+
+(** [float_cell x] — compact scientific/decimal rendering used across the
+    benches ("%.4g"). *)
+val float_cell : float -> string

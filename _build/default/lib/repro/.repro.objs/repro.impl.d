@@ -1,0 +1,1 @@
+lib/repro/repro.ml: Ablations Experiments Paper

@@ -1,0 +1,1 @@
+lib/repro/ablations.ml: Array Casekit Confidence Dist Elicit Experience List Numerics Paper Printf Report Sim String

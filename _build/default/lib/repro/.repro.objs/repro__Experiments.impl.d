@@ -1,0 +1,1 @@
+lib/repro/experiments.ml: Array Casekit Confidence Dist Elicit Experience List Numerics Option Paper Printf Regime Report Sil Sim String

@@ -1,0 +1,1 @@
+lib/repro/paper.ml: Array Dist List Printf

@@ -1,0 +1,1 @@
+lib/repro/paper.mli: Dist

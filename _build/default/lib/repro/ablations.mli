@@ -1,0 +1,31 @@
+(** Ablations of the library's own design choices (not paper figures):
+    numerical-accuracy and estimator-cost trade-offs that justify the
+    defaults. *)
+
+(** Grid-size ablation for likelihood reweighting: error of the grid
+    posterior against the exact beta conjugate, per grid size.  Justifies
+    the 1025-point default. *)
+val reweighting_grid : unit -> string
+
+(** Monte-Carlo budget ablation: CI width and coverage of equation (4) per
+    sample count. *)
+val monte_carlo_budget : unit -> string
+
+(** Pooling-rule ablation: linear vs logarithmic vs quantile-average pools
+    on the final Delphi panel — how the aggregation choice moves the
+    reported confidence. *)
+val pooling_rules : unit -> string
+
+(** Dependence-model ablation: root confidence of the reference two-leg
+    case under each propagation model. *)
+val dependence_models : unit -> string
+
+(** Conservatism-compounding ablation: the paper's conclusion warns that
+    "conservative values at one stage of the analysis do not necessarily
+    propagate through to other stages" — here we measure how much
+    per-subsystem worst-casing overshoots a single system-level
+    worst-case. *)
+val conservatism_stages : unit -> string
+
+(** The registry, mirroring {!Experiments.all}. *)
+val all : (string * string * (unit -> string)) list

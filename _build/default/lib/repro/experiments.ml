@@ -1,0 +1,665 @@
+let section title body =
+  let rule = String.make (String.length title) '=' in
+  Printf.sprintf "%s\n%s\n%s\n" title rule body
+
+let table1 () =
+  section "Table 1: IEC 61508 safety integrity levels"
+    ("Low-demand mode (average pfd):\n"
+    ^ Sil.Band.table_1 ~mode:Sil.Band.Low_demand
+    ^ "\nContinuous mode (dangerous failures per hour):\n"
+    ^ Sil.Band.table_1 ~mode:Sil.Band.Continuous)
+
+let density_series ~log_grid =
+  let beliefs = Paper.figure1_beliefs () in
+  let grid =
+    if log_grid then Numerics.Interp.logspace 1e-4 1e-1 61
+    else Numerics.Interp.linspace 1e-4 3e-2 61
+  in
+  List.map
+    (fun (label, (d : Dist.t)) ->
+      Report.Series.make label
+        (Array.to_list (Array.map (fun x -> (x, d.pdf x)) grid)))
+    beliefs
+
+let checkpoint_lines () =
+  let lines =
+    List.map
+      (fun (label, (d : Dist.t)) ->
+        Printf.sprintf
+          "  %s: mode=%.4g mean=%.4g  P(SIL2+)=%.4f  P(SIL1+)=%.4f" label
+          (Option.get d.mode) d.mean (d.cdf Paper.sil2_bound) (d.cdf 1e-1))
+      (Paper.figure1_beliefs ())
+  in
+  String.concat "\n" lines
+
+let figure1 () =
+  let series = density_series ~log_grid:true in
+  section "Figure 1: density functions of the judgement of SIL (log scale)"
+    (Report.Ascii_plot.plot ~x_scale:Report.Ascii_plot.Log10 series
+    ^ "\nPaper checkpoints (mode fixed at 0.003):\n"
+    ^ checkpoint_lines ()
+    ^ "\n\nThe widest curve's mean (0.01) sits in SIL1 although the mode is \
+       mid-SIL2.\n")
+
+let figure2 () =
+  let series = density_series ~log_grid:false in
+  section "Figure 2: the same densities on a linear scale"
+    (Report.Ascii_plot.plot series
+    ^ "\nSeries table:\n"
+    ^ Report.Series.render_table ~x_label:"pfd" series)
+
+let figure3_series family =
+  let sigmas = Numerics.Interp.linspace 0.15 1.8 34 in
+  let points =
+    Sil.Judgement.mean_vs_confidence family ~mode_value:Paper.mode
+      ~band:Sil.Band.Sil2 ~sigmas
+  in
+  Report.Series.make
+    (Printf.sprintf "mean pfd (%s)" (Sil.Judgement.family_to_string family))
+    (Array.to_list
+       (Array.map (fun (conf, mean) -> (conf *. 100.0, mean)) points))
+
+let figure3 () =
+  let series = figure3_series Sil.Judgement.Lognormal in
+  let sigma, conf =
+    Sil.Judgement.crossover Sil.Judgement.Lognormal ~mode_value:Paper.mode
+      ~band:Sil.Band.Sil2
+  in
+  section
+    "Figure 3: effect of spread on the mean value (mode fixed at 0.003)"
+    (Report.Ascii_plot.plot ~y_scale:Report.Ascii_plot.Log10 [ series ]
+    ^ Printf.sprintf
+        "\nCrossover: when confidence in SIL2 falls below %.1f%% (sigma = \
+         %.3f),\nthe mean rate leaves the SIL2 band (paper: \"about 67%%\").\n"
+        (conf *. 100.0) sigma
+    ^ "\nSeries (x = confidence in SIL2, %):\n"
+    ^ Report.Series.render_table ~x_label:"conf %" [ series ])
+
+let figure4 () =
+  let bounds = Numerics.Interp.logspace 1e-5 1e-1 17 in
+  let series =
+    List.map
+      (fun (label, (d : Dist.t)) ->
+        Report.Series.make label
+          (Array.to_list (Array.map (fun b -> (b, d.cdf b)) bounds)))
+      (Paper.figure1_beliefs ())
+  in
+  let wide = List.nth (Paper.figure1_beliefs ()) 2 in
+  let d = snd wide in
+  section "Figure 4: confidence that the failure rate is better than a bound"
+    (Report.Ascii_plot.plot ~x_scale:Report.Ascii_plot.Log10 series
+    ^ "\nSeries table (x = pfd bound):\n"
+    ^ Report.Series.render_table ~x_label:"bound" series
+    ^ Printf.sprintf
+        "\nWidest spread: %.1f%% chance of SIL2 or higher, %.2f%% chance of \
+         SIL1 or higher\n(paper: \"about a 67%% chance ... and a 99.9%% \
+         chance\").\n"
+        (100.0 *. d.Dist.cdf 1e-2)
+        (100.0 *. d.Dist.cdf 1e-1))
+
+let figure5 () =
+  let result = Elicit.Delphi.run Elicit.Delphi.default_config in
+  let per_expert =
+    let final = Elicit.Delphi.final result in
+    let columns =
+      [ { Report.Table.header = "expert"; align = Report.Table.Left };
+        { Report.Table.header = "profile"; align = Report.Table.Left };
+        { Report.Table.header = "mode pfd"; align = Report.Table.Right };
+        { Report.Table.header = "sigma"; align = Report.Table.Right };
+        { Report.Table.header = "P(SIL2+)"; align = Report.Table.Right } ]
+    in
+    let rows =
+      List.map
+        (fun (e : Elicit.Delphi.expert) ->
+          let belief = Elicit.Delphi.belief_of e in
+          [ Printf.sprintf "#%d" (e.id + 1);
+            (match e.profile with
+            | Elicit.Delphi.Believer -> "believer"
+            | Elicit.Delphi.Doubter -> "doubter");
+            Report.Table.float_cell (exp e.log_peak);
+            Report.Table.float_cell e.sigma;
+            Report.Table.float_cell (belief.Dist.cdf Paper.sil2_bound) ])
+        final.experts
+    in
+    Report.Table.render ~columns ~rows
+  in
+  let final = Elicit.Delphi.final result in
+  section "Figure 5: simulated expert experiment (12 experts, 4 phases)"
+    (Elicit.Delphi.summary_table result
+    ^ "\nFinal-phase panel:\n" ^ per_expert
+    ^ Printf.sprintf
+        "\nEnd state: believers' pooled judgement is %.0f%% confident of \
+         SIL2-or-better\nwhile the pooled mean pfd (%.4g) sits on the \
+         SIL2/SIL1 boundary\n(paper: \"about 90%% confident ... yet the \
+         resulting pfd (0.01) is on the 2-1 boundary\").\n%d of 12 experts \
+         are doubters reporting very high rates.\n"
+        (100.0 *. final.confidence_sil2)
+        final.pooled_mean
+        (List.length final.doubter_modes))
+
+let conservative_examples () =
+  let examples_at target =
+    let rows =
+      List.map
+        (fun (label, (claim : Confidence.Claim.t), bound) ->
+          [ label;
+            Report.Table.float_cell claim.bound;
+            Report.Table.float_cell (Confidence.Claim.doubt claim);
+            Report.Table.float_cell bound ])
+        (Confidence.Conservative.examples ~target)
+    in
+    Report.Table.render
+      ~columns:
+        [ { Report.Table.header = "example"; align = Report.Table.Left };
+          { Report.Table.header = "claim bound y*"; align = Report.Table.Right };
+          { Report.Table.header = "doubt x*"; align = Report.Table.Right };
+          { Report.Table.header = "x*+y*-x*y*"; align = Report.Table.Right } ]
+      ~rows
+  in
+  let feasibility target =
+    let bounds = Numerics.Interp.logspace (target /. 1e4) target 9 in
+    let profile = Confidence.Conservative.feasibility_profile ~target ~bounds in
+    let rows =
+      Array.to_list profile
+      |> List.map (fun (bound, conf) ->
+             [ Report.Table.float_cell bound;
+               (match conf with
+               | Some c -> Printf.sprintf "%.6f" c
+               | None -> "infeasible") ])
+    in
+    Report.Table.render
+      ~columns:
+        [ { Report.Table.header = "claim bound y*"; align = Report.Table.Right };
+          { Report.Table.header = "required confidence"; align = Report.Table.Right } ]
+      ~rows
+  in
+  (* Monte-Carlo check of inequality (5). *)
+  let rng = Numerics.Rng.create Paper.seed in
+  let claim = Confidence.Claim.make ~bound:1e-4 ~confidence:0.9991 in
+  let estimate, bound =
+    Sim.Demand_sim.check_conservative_bound ~n:300_000 rng claim
+  in
+  section
+    "Section 3.4: conservative bound P(fail) <= x + y - x*y, worked examples"
+    ("Target claim: pfd-related failure probability below 1e-3\n\n"
+    ^ examples_at 1e-3
+    ^ "\nRequired confidence per claim bound (target 1e-3):\n"
+    ^ feasibility 1e-3
+    ^ "\nThe same profile at the stringent target 1e-5 (paper: \"it seems \
+       unlikely that\nreal experts would ever express confidence of this \
+       magnitude\"):\n"
+    ^ feasibility 1e-5
+    ^ Printf.sprintf
+        "\nMonte-Carlo check of (5): worst-case belief for Example 3 gives \
+         a simulated\nfailure probability of %.6f +/- %.6f per demand vs \
+         the analytic bound %.6f.\n"
+        estimate.Sim.Mc.mean estimate.Sim.Mc.std_error bound)
+
+let perfection_bound () =
+  let claim = Confidence.Claim.make ~bound:1e-4 ~confidence:0.9991 in
+  let p0s = [| 0.0; 0.1; 0.3; 0.5; 0.9; 0.999 |] in
+  let rows =
+    Array.to_list p0s
+    |> List.map (fun p0 ->
+           [ Report.Table.float_cell p0;
+             Printf.sprintf "%.3e"
+               (Confidence.Conservative.failure_bound_perfection claim ~p0) ])
+  in
+  let factor_rows =
+    [ 1.0; 10.0; 100.0; 1e4; 1e6 ]
+    |> List.map (fun k ->
+           [ Report.Table.float_cell k;
+             Printf.sprintf "%.3e"
+               (Confidence.Conservative.failure_bound_factor claim ~k) ])
+  in
+  section "Section 3.4 variants: perfection mass and factor-k doubt"
+    ("Claim: P(pfd < 1e-4) >= 0.9991 (Example 3).  Bound x + y - (x + p0)y \
+      as the\nbelief in perfection p0 grows:\n\n"
+    ^ Report.Table.render
+        ~columns:
+          [ { Report.Table.header = "p0 (perfection mass)"; align = Report.Table.Right };
+            { Report.Table.header = "failure bound"; align = Report.Table.Right } ]
+        ~rows
+    ^ "\n\"Sure we are not wrong by more than a factor k\" (doubt mass at \
+       min(k*y, 1)):\n\n"
+    ^ Report.Table.render
+        ~columns:
+          [ { Report.Table.header = "k"; align = Report.Table.Right };
+            { Report.Table.header = "failure bound"; align = Report.Table.Right } ]
+        ~rows:factor_rows)
+
+let standards () =
+  let belief sigma = Dist.Lognormal.of_mode_sigma ~mode:Paper.mode ~sigma in
+  let confidences = [ 0.70; 0.95; 0.99; 0.999 ] in
+  let widest = belief (Paper.figure1_sigmas ()).(2) in
+  let mixture = Dist.Mixture.of_dist widest in
+  let rows =
+    List.map
+      (fun conf ->
+        let verdict =
+          Confidence.Decision.assess
+            (Confidence.Decision.requirement ~band:Sil.Band.Sil2
+               ~confidence:conf)
+            mixture
+        in
+        let claimable =
+          Confidence.Decision.strongest_claimable ~confidence:conf mixture
+        in
+        [ Printf.sprintf "%.1f%%" (conf *. 100.0);
+          Confidence.Decision.verdict_to_string verdict;
+          (match claimable with
+          | Some b -> Sil.Band.to_string b
+          | None -> "none") ])
+      confidences
+  in
+  let requirement_table =
+    Report.Table.render
+      ~columns:
+        [ { Report.Table.header = "required confidence"; align = Report.Table.Right };
+          { Report.Table.header = "verdict on SIL2 claim"; align = Report.Table.Left };
+          { Report.Table.header = "strongest claimable"; align = Report.Table.Left } ]
+      ~rows
+  in
+  let discount_rows =
+    List.map
+      (fun rigour ->
+        let judged, claim =
+          Sil.Discount.judge_then_claim Sil.Discount.default_policy rigour
+            mixture
+        in
+        [ Sil.Discount.rigour_to_string rigour;
+          Sil.Band.classification_to_string judged;
+          (match claim with
+          | Some b -> Sil.Band.to_string b
+          | None -> "no quantified claim") ])
+      [ Sil.Discount.Qualitative_only; Sil.Discount.Standards_compliance;
+        Sil.Discount.Growth_model; Sil.Discount.Worst_case_quantitative ]
+  in
+  let conservative_sil2 =
+    Confidence.Conservative.required_confidence ~target:1e-2 ~bound:1e-3
+  in
+  section "Section 4.3: standards implications (IEC 61508 confidence levels)"
+    ("Judgement: lognormal, mode 0.003 (mid-SIL2), widest Figure-1 spread.\n\n"
+    ^ requirement_table
+    ^ "\nApplying the 70% requirement of IEC 61508 Part 2 already pushes \
+       the claim to\nthe band the mean occupies; broader spreads lose more \
+       (paper Section 4.3).\n"
+    ^ "\nClaim discounts by argument rigour (mean-based judgement of the \
+       same belief):\n" ^ Report.Table.render
+        ~columns:
+          [ { Report.Table.header = "argument rigour"; align = Report.Table.Left };
+            { Report.Table.header = "judged"; align = Report.Table.Left };
+            { Report.Table.header = "claimable"; align = Report.Table.Left } ]
+        ~rows:discount_rows
+    ^ Printf.sprintf
+        "\nConservative route to SIL2: claiming pfd < 1e-3 as the means to \
+         \"failure\nprobability < 1e-2\" needs confidence %.4f (paper: \"we \
+         would need at least 99%%\nconfidence in SIL2\").\n"
+        conservative_sil2)
+
+let gamma_sensitivity () =
+  let ln = figure3_series Sil.Judgement.Lognormal in
+  let gm = figure3_series Sil.Judgement.Gamma in
+  let s_ln, c_ln =
+    Sil.Judgement.crossover Sil.Judgement.Lognormal ~mode_value:Paper.mode
+      ~band:Sil.Band.Sil2
+  in
+  let s_gm, c_gm =
+    Sil.Judgement.crossover Sil.Judgement.Gamma ~mode_value:Paper.mode
+      ~band:Sil.Band.Sil2
+  in
+  section "Sensitivity: Figure 3 under a gamma judgement distribution"
+    (Printf.sprintf
+       "Crossover confidence (mean enters SIL1):\n  lognormal: %.1f%% at \
+        sigma %.3f\n  gamma:     %.1f%% at matched dispersion %.3f\n\nThe \
+        qualitative effect is identical; the paper notes \"the (low) \
+        sensitivity\nto the log-normal assumptions\".\n\n"
+       (c_ln *. 100.0) s_ln (c_gm *. 100.0) s_gm
+    ^ "Mean pfd vs confidence, both families (x = confidence in SIL2, %):\n"
+    ^ Report.Series.render_table ~x_label:"conf %"
+        [ ln;
+          (* Re-grid the gamma series onto the lognormal's x values is not
+             meaningful; print separately instead. *)
+        ]
+    ^ "\n"
+    ^ Report.Series.render_table ~x_label:"conf %" [ gm ])
+
+let tail_cutoff () =
+  let prior =
+    Dist.Mixture.of_dist
+      (Dist.Lognormal.of_mode_mean ~mode:Paper.mode ~mean:1e-2)
+  in
+  let ns = [ 0; 10; 30; 100; 300; 1000; 3000; 10000 ] in
+  let traj =
+    Experience.Tail_cutoff.trajectory prior ~bound:Paper.sil2_bound ~ns
+  in
+  let rows =
+    List.map
+      (fun (p : Experience.Tail_cutoff.point) ->
+        [ string_of_int p.demands;
+          Report.Table.float_cell p.mean;
+          Report.Table.float_cell p.confidence;
+          Sil.Band.classification_to_string p.judged;
+          Report.Table.float_cell
+            (Experience.Tail_cutoff.survival_probability prior ~n:p.demands) ])
+      traj
+  in
+  let schedule =
+    Experience.Provisional.upgrade_schedule prior ~required_confidence:0.9
+      ~max_demands:1_000_000
+  in
+  section
+    "Section 4.1: tail cut-off by failure-free operating experience"
+    ("Prior: lognormal, mode 0.003, mean 0.01 (the widest Figure-1 \
+      judgement).\n\n"
+    ^ Report.Table.render
+        ~columns:
+          [ { Report.Table.header = "failure-free demands"; align = Report.Table.Right };
+            { Report.Table.header = "mean pfd"; align = Report.Table.Right };
+            { Report.Table.header = "P(SIL2+)"; align = Report.Table.Right };
+            { Report.Table.header = "SIL by mean"; align = Report.Table.Left };
+            { Report.Table.header = "P(survive n)"; align = Report.Table.Right } ]
+        ~rows
+    ^ "\n\"Tests rapidly increase confidence and reduce the mean\" — the \
+       provisional-SIL\nupgrade schedule at 90% required confidence:\n\n"
+    ^ Experience.Provisional.schedule_table schedule)
+
+let multileg () =
+  let leg1 = Casekit.Multileg.leg ~label:"primary argument" ~doubt:0.05 in
+  let leg2 = Casekit.Multileg.leg ~label:"diverse second leg" ~doubt:0.05 in
+  let sweep = Casekit.Multileg.dependence_sweep leg1 leg2 ~n:11 in
+  let series =
+    Report.Series.make "combined doubt" (Array.to_list sweep)
+  in
+  (* BBN version: the dependence arises from a shared assumption. *)
+  let bn = Casekit.Bbn.create () in
+  let assumption =
+    Casekit.Bbn.add_var bn ~name:"shared assumption" ~states:[| "f"; "t" |]
+      ~parents:[] ~cpt:[| 0.05; 0.95 |]
+  in
+  let leg alpha name =
+    Casekit.Bbn.add_var bn ~name ~states:[| "fails"; "holds" |]
+      ~parents:[ assumption ]
+      ~cpt:[| 0.95; 0.05; 1.0 -. alpha; alpha |]
+  in
+  let l1 = leg 0.97 "leg1" in
+  let l2 = leg 0.97 "leg2" in
+  let claim =
+    Casekit.Bbn.add_var bn ~name:"claim" ~states:[| "unsupported"; "supported" |]
+      ~parents:[ l1; l2 ]
+      ~cpt:[| 1.0; 0.0; 0.0; 1.0; 0.0; 1.0; 0.0; 1.0 |]
+  in
+  let p_supported = Casekit.Bbn.prob bn ~evidence:[] claim 1 in
+  let p_l2_fail = Casekit.Bbn.prob bn ~evidence:[] l2 0 in
+  let p_l2_fail_given_l1 = Casekit.Bbn.prob bn ~evidence:[ (l1, 0) ] l2 0 in
+  section "Section 4.2: multi-legged arguments and dependence"
+    ("Two legs, each with doubt 0.05.  Combined doubt vs failure-event \
+      dependence rho:\n\n"
+    ^ Report.Series.render_table ~x_label:"rho" [ series ]
+    ^ Printf.sprintf
+        "\nIndependence would claim doubt %.4g; total dependence leaves \
+         %.4g — the\nsecond leg's benefit erodes as the legs share \
+         underpinnings.\n"
+        (Casekit.Multileg.combined_doubt leg1 leg2)
+        (Casekit.Multileg.combined_doubt ~dependence:1.0 leg1 leg2)
+    ^ Printf.sprintf
+        "\nBBN with an explicit shared assumption (P(valid) = 0.95):\n  \
+         P(claim supported)          = %.4f\n  P(leg2 fails)               \
+         = %.4f\n  P(leg2 fails | leg1 failed) = %.4f  (dependence made \
+         visible)\n"
+        p_supported p_l2_fail p_l2_fail_given_l1
+    ^
+    (* Littlewood-Wright (reference [12]) model: how much the second leg is
+       worth depends on its diagnostic power. *)
+    let lw =
+      Casekit.Two_leg.make ~p_fault_free:0.7 ~verification:(0.95, 0.3)
+        ~testing:(0.99, 0.1)
+    in
+    let sweep =
+      Casekit.Two_leg.diversity_sweep ~p_fault_free:0.7
+        ~verification:(0.95, 0.3)
+        ~testing_powers:[| 0.5; 0.3; 0.1; 0.03; 0.01 |]
+    in
+    let rows =
+      Array.to_list sweep
+      |> List.map (fun (power, posterior) ->
+             [ Report.Table.float_cell power;
+               Report.Table.float_cell posterior ])
+    in
+    Printf.sprintf
+      "\nLittlewood-Wright model (reference [12]): prior P(fault-free) = \
+       0.7,\nverification passes 95%%/30%% (fault-free/faulty).\n  P(ok | \
+       verification passed)        = %.4f\n  P(ok | both legs passed)      \
+       \   = %.4f  (gain %.4f)\n\nValue of the second leg vs its diagnostic \
+       power (pass rate when faulty):\n\n%s"
+      (Casekit.Two_leg.p_fault_free lw ~verification_passed:(Some true)
+         ~testing_passed:None)
+      (Casekit.Two_leg.p_fault_free lw ~verification_passed:(Some true)
+         ~testing_passed:(Some true))
+      (Casekit.Two_leg.second_leg_gain lw)
+      (Report.Table.render
+         ~columns:
+           [ { Report.Table.header = "pass-given-faulty"; align = Report.Table.Right };
+             { Report.Table.header = "P(ok | both pass)"; align = Report.Table.Right } ]
+         ~rows))
+
+let conservative_mtbf () =
+  let params = Experience.Growth.Jm.make ~n_faults:20 ~phi:0.01 in
+  let times = Numerics.Interp.logspace 1.0 1e4 13 in
+  let rows = Experience.Conservative_mtbf.bound_vs_model params ~times in
+  let table_rows =
+    Array.to_list rows
+    |> List.map (fun (t, bound, model) ->
+           [ Report.Table.float_cell t;
+             Printf.sprintf "%.3e" bound;
+             Printf.sprintf "%.3e" model;
+             Printf.sprintf "%.3e"
+               (Experience.Conservative_mtbf.worst_case_mtbf ~n_faults:20
+                  ~time:t) ])
+  in
+  section
+    "Reference [13]: conservative reliability-growth bound (rate <= N/(e t))"
+    ("Jelinski-Moranda system: 20 faults, each at rate 0.01.\n\n"
+    ^ Report.Table.render
+        ~columns:
+          [ { Report.Table.header = "operating time t"; align = Report.Table.Right };
+            { Report.Table.header = "worst-case rate"; align = Report.Table.Right };
+            { Report.Table.header = "JM expected rate"; align = Report.Table.Right };
+            { Report.Table.header = "MTBF bound e*t/N"; align = Report.Table.Right } ]
+        ~rows:table_rows
+    ^ "\nThe bound envelopes the model for every t and is tight at t = \
+       1/phi = 100.\n")
+
+let acarp_planning () =
+  let prior =
+    Dist.Mixture.of_dist
+      (Dist.Lognormal.of_mode_mean ~mode:Paper.mode ~mean:1e-2)
+  in
+  let activities =
+    [ { Confidence.Acarp.label = "independent design review";
+        cost = 20.0; effect = Confidence.Acarp.Spread_scale 0.85 };
+      { Confidence.Acarp.label = "1000 statistical tests";
+        cost = 60.0; effect = Confidence.Acarp.Failure_free_demands 1000 };
+      { Confidence.Acarp.label = "300 more operational demands";
+        cost = 25.0; effect = Confidence.Acarp.Failure_free_demands 300 };
+      { Confidence.Acarp.label = "formal verification of the core";
+        cost = 120.0; effect = Confidence.Acarp.Perfection_evidence 0.15 } ]
+  in
+  let plan =
+    Confidence.Acarp.greedy_plan prior ~target_bound:Paper.sil2_bound
+      ~required_confidence:0.95 activities
+  in
+  let rows =
+    List.map
+      (fun (s : Confidence.Acarp.step) ->
+        [ s.after;
+          Report.Table.float_cell s.cumulative_cost;
+          Report.Table.float_cell s.confidence;
+          Report.Table.float_cell s.mean_pfd ])
+      plan
+  in
+  section "ACARP: planning confidence-building activities (Sections 1, 4.1)"
+    ("Requirement: 95% confidence in SIL2.  Greedy plan (best confidence \
+      per cost):\n\n"
+    ^ Report.Table.render
+        ~columns:
+          [ { Report.Table.header = "activity"; align = Report.Table.Left };
+            { Report.Table.header = "cum. cost"; align = Report.Table.Right };
+            { Report.Table.header = "P(SIL2+)"; align = Report.Table.Right };
+            { Report.Table.header = "mean pfd"; align = Report.Table.Right } ]
+        ~rows)
+
+let decision_impact () =
+  let policies =
+    [ Regime.Policy.Mode_based; Regime.Policy.Mean_based;
+      Regime.Policy.Confidence_based 0.7; Regime.Policy.Confidence_based 0.9;
+      Regime.Policy.Conservative_based;
+      Regime.Policy.Test_first { demands = 500; confidence = 0.9 };
+      Regime.Policy.Test_tolerant
+        { demands = 500; max_failures = 3; confidence = 0.9 } ]
+  in
+  let table assessor =
+    Regime.Evaluate.summary_table
+      (Regime.Evaluate.compare ~world:Regime.Population.sil2_world ~assessor
+         ~band:Sil.Band.Sil2 ~policies ~systems:1000 ~seed:Paper.seed)
+  in
+  section
+    "Section 1: what assessment uncertainty does to decision-making"
+    ("World: ordinary systems near pfd 0.003 (mid-SIL2), 10% rogues 30x \
+      worse.\nEach of 1000 systems is assessed and an acceptance decision \
+      made for SIL2.\n\nCalibrated assessor (honest about a wide spread):\n\n"
+    ^ table Regime.Assessor.calibrated
+    ^ "\nOverconfident assessor (claims half the spread):\n\n"
+    ^ table Regime.Assessor.overconfident
+    ^ "\nReading: the mode-based regime (point judgement, no uncertainty) \
+       fields the\nmost truly-bad systems; explicit confidence requirements \
+       cut that at the price\nof rejecting good systems; the conservative \
+       route accepts almost nothing (the\npaper: \"how unforgiving this \
+       kind of reasoning can be\"); buying confidence\nwith testing \
+       restores acceptance without fielding bad systems.  Overconfident\n\
+       assessment erodes every regime except those that test or bound \
+       conservatively.\n")
+
+let pbox_view () =
+  let rows =
+    List.map
+      (fun (bound, confidence) ->
+        let box = Dist.Pbox.of_claim ~bound ~confidence in
+        let claim = Confidence.Claim.make ~bound ~confidence in
+        [ Printf.sprintf "P(pfd<%.0e) >= %.4f" bound confidence;
+          Printf.sprintf "%.6g" (Dist.Pbox.upper_mean box);
+          Printf.sprintf "%.6g" (Confidence.Conservative.failure_bound claim) ])
+      [ (1e-3, 0.99); (1e-4, 0.9991); (1e-2, 0.67) ]
+  in
+  let leg1 = Dist.Pbox.of_claim ~bound:1e-3 ~confidence:0.98 in
+  let leg2 = Dist.Pbox.of_claim ~bound:1e-2 ~confidence:0.999 in
+  let fused = Dist.Pbox.intersect leg1 leg2 in
+  section
+    "Section 3.4 as imprecise probability: the bound is a p-box upper mean"
+    ("The set of distributions consistent with a partial belief P(pfd <= y) \
+      >= 1-x is a\np-box; its upper expectation reproduces inequality (5) \
+      exactly:\n\n"
+    ^ Report.Table.render
+        ~columns:
+          [ { Report.Table.header = "partial belief"; align = Report.Table.Left };
+            { Report.Table.header = "p-box upper mean"; align = Report.Table.Right };
+            { Report.Table.header = "x + y - xy"; align = Report.Table.Right } ]
+        ~rows
+    ^ Printf.sprintf
+        "\nFusing two partial beliefs (two argument legs) tightens the \
+         worst case without\nany distributional assumption:\n  leg 1 alone: \
+         %.6g\n  leg 2 alone: %.6g\n  both:        %.6g\n"
+        (Dist.Pbox.upper_mean leg1) (Dist.Pbox.upper_mean leg2)
+        (Dist.Pbox.upper_mean fused))
+
+let all =
+  [ ("table1", "Table 1", table1);
+    ("figure1", "Figure 1", figure1);
+    ("figure2", "Figure 2", figure2);
+    ("figure3", "Figure 3", figure3);
+    ("figure4", "Figure 4", figure4);
+    ("figure5", "Figure 5 / Section 3.3", figure5);
+    ("conservative", "Section 3.4 examples", conservative_examples);
+    ("perfection", "Section 3.4 variants", perfection_bound);
+    ("pbox", "Section 3.4 as a p-box", pbox_view);
+    ("standards", "Section 4.3", standards);
+    ("gamma", "Section 3 sensitivity", gamma_sensitivity);
+    ("tailcut", "Section 4.1", tail_cutoff);
+    ("multileg", "Section 4.2", multileg);
+    ("mtbf", "Reference [13] bound", conservative_mtbf);
+    ("acarp", "ACARP planning", acarp_planning);
+    ("decisions", "Section 1 decision impact", decision_impact) ]
+
+let run_one id =
+  let _, _, f = List.find (fun (i, _, _) -> i = id) all in
+  f ()
+
+let csv_exports () =
+  let figure4_series =
+    let bounds = Numerics.Interp.logspace 1e-5 1e-1 17 in
+    List.map
+      (fun (label, (d : Dist.t)) ->
+        Report.Series.make label
+          (Array.to_list (Array.map (fun b -> (b, d.cdf b)) bounds)))
+      (Paper.figure1_beliefs ())
+  in
+  let tailcut_series =
+    let prior =
+      Dist.Mixture.of_dist
+        (Dist.Lognormal.of_mode_mean ~mode:Paper.mode ~mean:1e-2)
+    in
+    let ns = [ 0; 10; 30; 100; 300; 1000; 3000; 10000 ] in
+    let traj =
+      Experience.Tail_cutoff.trajectory prior ~bound:Paper.sil2_bound ~ns
+    in
+    [ Report.Series.make "mean_pfd"
+        (List.map
+           (fun (p : Experience.Tail_cutoff.point) ->
+             (float_of_int p.demands, p.mean))
+           traj);
+      Report.Series.make "confidence_sil2"
+        (List.map
+           (fun (p : Experience.Tail_cutoff.point) ->
+             (float_of_int p.demands, p.confidence))
+           traj) ]
+  in
+  let multileg_series =
+    let leg = Casekit.Multileg.leg ~label:"leg" ~doubt:0.05 in
+    [ Report.Series.make "combined_doubt"
+        (Array.to_list (Casekit.Multileg.dependence_sweep leg leg ~n:11)) ]
+  in
+  let mtbf_series =
+    let params = Experience.Growth.Jm.make ~n_faults:20 ~phi:0.01 in
+    let times = Numerics.Interp.logspace 1.0 1e4 13 in
+    let rows = Experience.Conservative_mtbf.bound_vs_model params ~times in
+    [ Report.Series.make "worst_case_rate"
+        (Array.to_list (Array.map (fun (t, b, _) -> (t, b)) rows));
+      Report.Series.make "jm_expected_rate"
+        (Array.to_list (Array.map (fun (t, _, m) -> (t, m)) rows)) ]
+  in
+  let figure5_csv =
+    let result = Elicit.Delphi.run Elicit.Delphi.default_config in
+    let rows =
+      List.map
+        (fun (s : Elicit.Delphi.snapshot) ->
+          [ Elicit.Delphi.phase_to_string s.phase;
+            Printf.sprintf "%.17g" s.pooled_mean;
+            Printf.sprintf "%.17g" s.confidence_sil2;
+            Printf.sprintf "%.17g" s.confidence_sil1 ])
+        result.snapshots
+    in
+    Report.Table.to_csv
+      ~header:[ "phase"; "pooled_mean_pfd"; "p_sil2_or_better"; "p_sil1_or_better" ]
+      ~rows
+  in
+  [ ("figure1.csv", Report.Series.to_csv (density_series ~log_grid:true));
+    ("figure2.csv", Report.Series.to_csv (density_series ~log_grid:false));
+    ("figure3.csv",
+     Report.Series.to_csv [ figure3_series Sil.Judgement.Lognormal ]);
+    ("figure3_gamma.csv",
+     Report.Series.to_csv [ figure3_series Sil.Judgement.Gamma ]);
+    ("figure4.csv", Report.Series.to_csv figure4_series);
+    ("figure5.csv", figure5_csv);
+    ("tailcut.csv", Report.Series.to_csv tailcut_series);
+    ("multileg.csv", Report.Series.to_csv multileg_series);
+    ("mtbf.csv", Report.Series.to_csv mtbf_series) ]

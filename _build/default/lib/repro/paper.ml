@@ -1,0 +1,18 @@
+let mode = 3e-3
+let sil2_bound = 1e-2
+let figure1_means = [| 4e-3; 6.3e-3; 1e-2 |]
+let seed = 61508
+
+let figure1_beliefs () =
+  Array.to_list figure1_means
+  |> List.map (fun mean ->
+         let d = Dist.Lognormal.of_mode_mean ~mode ~mean in
+         let _, sigma = Dist.Lognormal.params d in
+         (Printf.sprintf "sigma=%.2f (mean=%.4g)" sigma mean, d))
+
+let figure1_sigmas () =
+  Array.map
+    (fun mean ->
+      let d = Dist.Lognormal.of_mode_mean ~mode ~mean in
+      snd (Dist.Lognormal.params d))
+    figure1_means

@@ -1,0 +1,26 @@
+(** Shared constants of the paper's running example (Section 3).
+
+    All figures fix the most likely pfd at 0.003 — the middle of the SIL2
+    band — and vary the spread.  Figure 1's three curves are pinned by their
+    stated means: ~0.004 (dashed, narrow), an intermediate curve, and 0.01
+    (solid, widest — the mean sits exactly on the SIL2/SIL1 boundary). *)
+
+(** The mode of every judgement distribution: 0.003. *)
+val mode : float
+
+(** The SIL2 upper bound, 1e-2: the bound against which "confidence in
+    SIL2" is measured throughout. *)
+val sil2_bound : float
+
+(** Means of the three Figure-1 curves: 0.004, 0.0063, 0.01. *)
+val figure1_means : float array
+
+(** The three judgement distributions of Figure 1 (lognormal, mode 0.003),
+    labelled by their spread. *)
+val figure1_beliefs : unit -> (string * Dist.t) list
+
+(** The corresponding sigma values. *)
+val figure1_sigmas : unit -> float array
+
+(** Default RNG seed used by all stochastic reproductions. *)
+val seed : int

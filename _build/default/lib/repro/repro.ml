@@ -1,0 +1,6 @@
+(** Public interface of the [repro] library: the paper's running-example
+    constants and one generator per table/figure. *)
+
+module Paper = Paper
+module Experiments = Experiments
+module Ablations = Ablations

@@ -1,0 +1,1 @@
+lib/risk/risk.ml: Criteria Lopa

@@ -1,0 +1,1 @@
+lib/risk/criteria.ml: Dist

@@ -1,0 +1,1 @@
+lib/risk/lopa.ml: Array Confidence Dist List Numerics Printf Sil

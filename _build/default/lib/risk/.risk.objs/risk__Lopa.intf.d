@@ -1,0 +1,1 @@
+lib/risk/lopa.mli: Confidence Dist Sil

@@ -1,0 +1,35 @@
+type regions = { broadly_acceptable : float; tolerable : float }
+
+let regions ~broadly_acceptable ~tolerable =
+  if broadly_acceptable <= 0.0 then
+    invalid_arg "Criteria.regions: broadly_acceptable <= 0";
+  if tolerable <= broadly_acceptable then
+    invalid_arg "Criteria.regions: tolerable must exceed broadly_acceptable";
+  { broadly_acceptable; tolerable }
+
+let uk_hse_public = regions ~broadly_acceptable:1e-6 ~tolerable:1e-4
+
+type classification = Intolerable | Alarp | Broadly_acceptable
+
+let classification_to_string = function
+  | Intolerable -> "intolerable"
+  | Alarp -> "tolerable if ALARP"
+  | Broadly_acceptable -> "broadly acceptable"
+
+let classify r f =
+  if f < 0.0 then invalid_arg "Criteria.classify: negative frequency";
+  if f > r.tolerable then Intolerable
+  else if f > r.broadly_acceptable then Alarp
+  else Broadly_acceptable
+
+let confidence_profile r belief =
+  let p_ba = Dist.Empirical.cdf belief r.broadly_acceptable in
+  let p_tol = Dist.Empirical.cdf belief r.tolerable in
+  [ (Broadly_acceptable, p_ba);
+    (Alarp, p_tol -. p_ba);
+    (Intolerable, 1.0 -. p_tol) ]
+
+let acceptable_with_confidence r belief ~confidence =
+  if not (confidence > 0.0 && confidence < 1.0) then
+    invalid_arg "Criteria.acceptable_with_confidence: confidence not in (0,1)";
+  Dist.Empirical.cdf belief r.tolerable >= confidence

@@ -1,0 +1,40 @@
+(** Risk tolerability criteria (the ALARP framework the paper's ACARP
+    proposal mirrors).
+
+    A frequency criterion splits outcomes into three regions: intolerable,
+    the ALARP region (tolerable only if risk is As Low As Reasonably
+    Practicable), and broadly acceptable.  With uncertain pfds the region a
+    system lands in is itself uncertain — these helpers report the
+    confidence in each region. *)
+
+type regions = {
+  broadly_acceptable : float;  (** Frequencies at or below this are negligible. *)
+  tolerable : float;  (** Frequencies above this are intolerable. *)
+}
+
+(** [regions ~broadly_acceptable ~tolerable] with
+    [0 < broadly_acceptable < tolerable]. *)
+val regions : broadly_acceptable:float -> tolerable:float -> regions
+
+(** The UK HSE individual-risk guidance (R2P2): 1e-6/yr broadly acceptable,
+    1e-4/yr limit of tolerability for the public. *)
+val uk_hse_public : regions
+
+type classification = Intolerable | Alarp | Broadly_acceptable
+
+val classification_to_string : classification -> string
+
+(** [classify r f] — region of a point frequency. *)
+val classify : regions -> float -> classification
+
+(** [confidence_profile r belief] — probability of each region under a
+    frequency belief; sums to 1. *)
+val confidence_profile :
+  regions -> Dist.Empirical.t -> (classification * float) list
+
+(** [acceptable_with_confidence r belief ~confidence] — is the system
+    outside the intolerable region with at least the given confidence?
+    (The quantitative reading of "tolerable" the paper's Section 1 asks
+    for.) *)
+val acceptable_with_confidence :
+  regions -> Dist.Empirical.t -> confidence:float -> bool

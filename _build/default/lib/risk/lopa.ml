@@ -1,0 +1,111 @@
+type layer = { name : string; pfd : Dist.Mixture.t }
+
+let layer ~name ~pfd = { name; pfd }
+
+let layer_certain ~name ~pfd =
+  if pfd < 0.0 || pfd > 1.0 then
+    invalid_arg "Lopa.layer_certain: pfd must be a probability";
+  { name; pfd = Dist.Mixture.atom pfd }
+
+type scenario = {
+  description : string;
+  initiating_frequency : float;
+  layers : layer list;
+}
+
+let scenario ~description ~initiating_frequency layers =
+  if initiating_frequency <= 0.0 then
+    invalid_arg "Lopa.scenario: initiating frequency must be positive";
+  if layers = [] then invalid_arg "Lopa.scenario: no protection layers";
+  { description; initiating_frequency; layers }
+
+let clamp p = min 1.0 (max 0.0 p)
+
+let mean_frequency s =
+  List.fold_left
+    (fun acc l -> acc *. Dist.Mixture.mean l.pfd)
+    s.initiating_frequency s.layers
+
+let sample_frequency s rng =
+  List.fold_left
+    (fun acc l -> acc *. clamp (Dist.Mixture.sample l.pfd rng))
+    s.initiating_frequency s.layers
+
+let frequency_belief ?(n = 20_000) ?(seed = 61508) s =
+  if n < 2 then invalid_arg "Lopa.frequency_belief: n < 2";
+  let rng = Numerics.Rng.create seed in
+  Dist.Empirical.of_samples (Array.init n (fun _ -> sample_frequency s rng))
+
+let all_certain s =
+  List.for_all
+    (fun l ->
+      match Dist.Mixture.components l.pfd with
+      | [ (_, Dist.Mixture.Atom _) ] -> true
+      | _ -> false)
+    s.layers
+
+let confidence_below ?(n = 20_000) ?(seed = 61508) s ~target =
+  if target <= 0.0 then invalid_arg "Lopa.confidence_below: target <= 0";
+  if all_certain s then if mean_frequency s <= target then 1.0 else 0.0
+  else begin
+    let rng = Numerics.Rng.create seed in
+    let hits = ref 0 in
+    for _ = 1 to n do
+      if sample_frequency s rng <= target then incr hits
+    done;
+    float_of_int !hits /. float_of_int n
+  end
+
+let lognormal_frequency s =
+  let mu_sum, sigma2_sum =
+    List.fold_left
+      (fun (mu_acc, s2_acc) l ->
+        match Dist.Mixture.components l.pfd with
+        | [ (_, Dist.Mixture.Cont d) ] ->
+          let mu, sigma = Dist.Lognormal.params d in
+          (mu_acc +. mu, s2_acc +. (sigma *. sigma))
+        | _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Lopa.lognormal_frequency: layer %s is not a pure lognormal"
+               l.name))
+      (log s.initiating_frequency, 0.0)
+      s.layers
+  in
+  Dist.Lognormal.make ~mu:mu_sum ~sigma:(sqrt sigma2_sum)
+
+let worst_case_frequency s ~claims =
+  if List.length claims <> List.length s.layers then
+    invalid_arg "Lopa.worst_case_frequency: one claim per layer required";
+  List.fold_left
+    (fun acc claim -> acc *. Confidence.Conservative.failure_bound claim)
+    s.initiating_frequency claims
+
+let required_layer_pfd s ~target =
+  if target <= 0.0 then invalid_arg "Lopa.required_layer_pfd: target <= 0";
+  match List.rev s.layers with
+  | [] -> invalid_arg "Lopa.required_layer_pfd: no layers"
+  | _last :: others ->
+    let unmitigated =
+      List.fold_left
+        (fun acc l -> acc *. Dist.Mixture.mean l.pfd)
+        s.initiating_frequency others
+    in
+    if unmitigated <= 0.0 then Some 1.0
+    else begin
+      let needed = target /. unmitigated in
+      if needed >= 1.0 then Some 1.0 else if needed > 0.0 then Some needed
+      else None
+    end
+
+let allocate_sil s ~target =
+  match required_layer_pfd s ~target with
+  | None -> `Impossible
+  | Some pfd ->
+    if pfd >= 1.0 then `No_sil_needed
+    else begin
+      match Sil.Band.classify ~mode:Sil.Band.Low_demand pfd with
+      | Sil.Band.Below_sil1 -> `No_sil_needed
+      | Sil.Band.In_band b -> `Band b
+      | Sil.Band.Beyond_sil4 -> `Beyond_sil4
+    end

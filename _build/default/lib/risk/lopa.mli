@@ -1,0 +1,69 @@
+(** Layer-of-protection analysis over uncertain pfds.
+
+    The paper frames dependability claims as inputs to risk assessment:
+    "Risk involves notions of failure and consequence of failure."  This
+    module closes that loop: an initiating event at some frequency passes
+    a chain of independent protection layers, each failing on demand with
+    an *uncertain* pfd (a belief, not a number); the mitigated accident
+    frequency is then itself a random quantity, and "the risk is below the
+    criterion" is a claim held with computable confidence. *)
+
+type layer = {
+  name : string;
+  pfd : Dist.Mixture.t;  (** Belief about the layer's pfd. *)
+}
+
+val layer : name:string -> pfd:Dist.Mixture.t -> layer
+
+(** [layer_certain ~name ~pfd] — a layer with a point-valued pfd. *)
+val layer_certain : name:string -> pfd:float -> layer
+
+type scenario = {
+  description : string;
+  initiating_frequency : float;  (** Initiating events per year. *)
+  layers : layer list;
+}
+
+val scenario :
+  description:string -> initiating_frequency:float -> layer list -> scenario
+
+(** [mean_frequency s] — expected mitigated frequency per year: under
+    independence of layers, f0 * prod_i E[pfd_i]. *)
+val mean_frequency : scenario -> float
+
+(** [frequency_belief ?n ?seed s] — Monte-Carlo belief over the mitigated
+    frequency ([n] samples, default 20_000), as an empirical
+    distribution. *)
+val frequency_belief : ?n:int -> ?seed:int -> scenario -> Dist.Empirical.t
+
+(** [confidence_below ?n ?seed s ~target] — P(mitigated frequency <=
+    target), marginalised over all layer beliefs.  Exact (quadrature-free)
+    when every layer is certain; Monte-Carlo otherwise. *)
+val confidence_below : ?n:int -> ?seed:int -> scenario -> target:float -> float
+
+(** [lognormal_frequency s] — closed form: when every layer's belief is a
+    single lognormal, the product of independent lognormals is lognormal, so
+    the mitigated frequency has an exact distribution.
+    @raise Invalid_argument if some layer is not a pure lognormal. *)
+val lognormal_frequency : scenario -> Dist.t
+
+(** [worst_case_frequency s ~claims] — conservative frequency bound when
+    each layer is backed only by a single-point claim: f0 * prod_i
+    (x_i + y_i - x_i*y_i), by the paper's inequality (5) applied per
+    layer.  [claims] must align with [s.layers]. *)
+val worst_case_frequency : scenario -> claims:Confidence.Claim.t list -> float
+
+(** [required_layer_pfd s ~target] — the pfd the *last* layer must deliver
+    (point value) for the mean frequency to meet [target], holding the other
+    layers at their mean pfds; [None] if even a perfect layer cannot.  The
+    classic LOPA SIL-allocation step. *)
+val required_layer_pfd : scenario -> target:float -> float option
+
+(** [allocate_sil s ~target] — the SIL band (low-demand) implied by
+    {!required_layer_pfd}; [`Beyond_sil4] when the required pfd is below
+    1e-5, [`No_sil_needed] when above 1e-1, [`Impossible] when even zero
+    would not do. *)
+val allocate_sil :
+  scenario ->
+  target:float ->
+  [ `Band of Sil.Band.t | `Beyond_sil4 | `No_sil_needed | `Impossible ]

@@ -1,0 +1,5 @@
+(** Public interface of the [risk] library: layer-of-protection analysis
+    over uncertain pfds and tolerability criteria with confidence. *)
+
+module Lopa = Lopa
+module Criteria = Criteria

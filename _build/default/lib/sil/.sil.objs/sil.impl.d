@@ -1,0 +1,1 @@
+lib/sil/sil.ml: Band Discount Judgement

@@ -1,0 +1,1 @@
+lib/sil/band.ml: Format List Printf Report

@@ -1,0 +1,1 @@
+lib/sil/band.mli: Format

@@ -1,0 +1,1 @@
+lib/sil/discount.ml: Band Judgement

@@ -1,0 +1,1 @@
+lib/sil/discount.mli: Band Dist

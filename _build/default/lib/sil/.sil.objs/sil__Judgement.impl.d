@@ -1,0 +1,1 @@
+lib/sil/judgement.ml: Array Band Dist List Numerics

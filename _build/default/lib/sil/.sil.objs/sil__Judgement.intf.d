@@ -1,0 +1,1 @@
+lib/sil/judgement.mli: Band Dist

@@ -1,0 +1,79 @@
+type t = Sil1 | Sil2 | Sil3 | Sil4
+
+type mode = Low_demand | Continuous
+
+type classification = Below_sil1 | In_band of t | Beyond_sil4
+
+let all = [ Sil1; Sil2; Sil3; Sil4 ]
+
+let to_int = function Sil1 -> 1 | Sil2 -> 2 | Sil3 -> 3 | Sil4 -> 4
+
+let of_int = function
+  | 1 -> Sil1
+  | 2 -> Sil2
+  | 3 -> Sil3
+  | 4 -> Sil4
+  | n -> invalid_arg (Printf.sprintf "Band.of_int: %d not in 1..4" n)
+
+let to_string band = Printf.sprintf "SIL%d" (to_int band)
+let pp fmt band = Format.pp_print_string fmt (to_string band)
+let equal a b = to_int a = to_int b
+let compare_strength a b = compare (to_int a) (to_int b)
+
+let mode_shift = function Low_demand -> 0 | Continuous -> 4
+
+let range ~mode band =
+  let n = to_int band + mode_shift mode in
+  (10.0 ** float_of_int (-(n + 1)), 10.0 ** float_of_int (-n))
+
+let upper_bound ~mode band = snd (range ~mode band)
+let lower_bound ~mode band = fst (range ~mode band)
+
+let classify ~mode x =
+  if x <= 0.0 then invalid_arg "Band.classify: x <= 0";
+  if x >= upper_bound ~mode Sil1 then Below_sil1
+  else if x < lower_bound ~mode Sil4 then Beyond_sil4
+  else begin
+    let band =
+      List.find
+        (fun b -> x >= lower_bound ~mode b && x < upper_bound ~mode b)
+        all
+    in
+    In_band band
+  end
+
+let classification_to_string = function
+  | Below_sil1 -> "below SIL1"
+  | In_band b -> to_string b
+  | Beyond_sil4 -> "beyond SIL4"
+
+let next_stronger = function
+  | Sil1 -> Some Sil2
+  | Sil2 -> Some Sil3
+  | Sil3 -> Some Sil4
+  | Sil4 -> None
+
+let next_weaker = function
+  | Sil1 -> None
+  | Sil2 -> Some Sil1
+  | Sil3 -> Some Sil2
+  | Sil4 -> Some Sil3
+
+let table_1 ~mode =
+  let measure =
+    match mode with
+    | Low_demand -> "average pfd (low demand)"
+    | Continuous -> "dangerous failures / hour"
+  in
+  let columns =
+    [ { Report.Table.header = "SIL"; align = Report.Table.Left };
+      { Report.Table.header = measure; align = Report.Table.Left } ]
+  in
+  let rows =
+    List.rev_map
+      (fun band ->
+        let lo, hi = range ~mode band in
+        [ to_string band; Printf.sprintf ">= %.0e to < %.0e" lo hi ])
+      all
+  in
+  Report.Table.render ~columns ~rows

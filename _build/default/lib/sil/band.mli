@@ -1,0 +1,55 @@
+(** IEC 61508 safety integrity levels.
+
+    A SIL n safety function operating in low-demand mode has an average
+    probability of dangerous failure on demand in [1e-(n+1), 1e-n); in
+    continuous mode the ranges apply to the probability of dangerous failure
+    per hour, shifted four decades down. *)
+
+type t = Sil1 | Sil2 | Sil3 | Sil4
+
+type mode = Low_demand | Continuous
+
+(** Where a point value lands relative to the four bands. *)
+type classification =
+  | Below_sil1  (** Worse than the SIL1 band (pfd >= 0.1). *)
+  | In_band of t
+  | Beyond_sil4  (** Better than the SIL4 band. *)
+
+val all : t list
+
+(** [to_int Sil2] = 2. *)
+val to_int : t -> int
+
+(** [of_int n] for n in 1..4.
+    @raise Invalid_argument otherwise. *)
+val of_int : int -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+(** [compare_strength a b] — positive when [a] is the more demanding level
+    (SIL4 strongest). *)
+val compare_strength : t -> t -> int
+
+(** [range ~mode band] = (lower, upper) failure measure bounds; the band
+    contains values in [lower, upper). *)
+val range : mode:mode -> t -> float * float
+
+val upper_bound : mode:mode -> t -> float
+val lower_bound : mode:mode -> t -> float
+
+(** [classify ~mode x] for [x > 0]. *)
+val classify : mode:mode -> float -> classification
+
+val classification_to_string : classification -> string
+
+(** [next_stronger band] — SIL n+1 when it exists. *)
+val next_stronger : t -> t option
+
+(** [next_weaker band] — SIL n-1 when it exists. *)
+val next_weaker : t -> t option
+
+(** [table_1 ~mode] — the band-definition table the paper's Table 1 refers
+    to, rendered as text. *)
+val table_1 : mode:mode -> string

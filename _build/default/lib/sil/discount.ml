@@ -1,0 +1,55 @@
+type rigour =
+  | Qualitative_only
+  | Standards_compliance
+  | Growth_model
+  | Worst_case_quantitative
+  | Proof_of_perfection
+
+let rigour_to_string = function
+  | Qualitative_only -> "qualitative-only argument"
+  | Standards_compliance -> "standards-compliance expert judgement"
+  | Growth_model -> "reliability-growth model with margins"
+  | Worst_case_quantitative -> "worst-case quantitative model"
+  | Proof_of_perfection -> "proof-based zero-defect argument"
+
+type policy = {
+  discount : rigour -> int;
+  claim_limit : rigour -> Band.t option;
+}
+
+let default_policy =
+  let discount = function
+    | Qualitative_only -> 2
+    | Standards_compliance -> 2
+    | Growth_model -> 1
+    | Worst_case_quantitative -> 0
+    | Proof_of_perfection -> 0
+  in
+  let claim_limit = function
+    | Qualitative_only -> Some Band.Sil1
+    | Standards_compliance -> Some Band.Sil2
+    | Growth_model -> Some Band.Sil3
+    | Worst_case_quantitative | Proof_of_perfection -> None
+  in
+  { discount; claim_limit }
+
+let apply policy rigour judged =
+  let target = Band.to_int judged - policy.discount rigour in
+  if target < 1 then None
+  else begin
+    let band = Band.of_int target in
+    match policy.claim_limit rigour with
+    | None -> Some band
+    | Some limit ->
+      if Band.compare_strength band limit > 0 then Some limit else Some band
+  end
+
+let judge_then_claim policy rigour belief =
+  let judged = Judgement.judged_by_mean belief ~mode:Band.Low_demand in
+  let claim =
+    match judged with
+    | Band.In_band b -> apply policy rigour b
+    | Band.Beyond_sil4 -> apply policy rigour Band.Sil4
+    | Band.Below_sil1 -> None
+  in
+  (judged, claim)

@@ -1,0 +1,38 @@
+(** Claim-reduction policy (paper Sections 3.4 and 4.3).
+
+    The paper's heuristic: when confidence is lacking, a system whose
+    evidence points at SIL n should be *claimed* at a lower level; a
+    process-based qualitative argument "could be reduced by (at least) 2
+    levels", and a claim limit may apply regardless of evidence. *)
+
+(** How the SIL judgement was argued (paper Section 3, bullet list). *)
+type rigour =
+  | Qualitative_only  (** Purely qualitative direct assessment. *)
+  | Standards_compliance  (** Expert judgement of process compliance. *)
+  | Growth_model  (** Best-fit reliability growth + margins. *)
+  | Worst_case_quantitative  (** Worst-case model, quantified uncertainty. *)
+  | Proof_of_perfection  (** High confidence in zero defects. *)
+
+val rigour_to_string : rigour -> string
+
+type policy = {
+  discount : rigour -> int;  (** Levels to subtract from the judged SIL. *)
+  claim_limit : rigour -> Band.t option;
+      (** Hard cap on the claimable SIL, if any. *)
+}
+
+(** The paper's recommended policy: qualitative/process arguments discounted
+    by 2 levels and capped at SIL2; growth models by 1; worst-case
+    quantitative and perfection arguments taken at face value. *)
+val default_policy : policy
+
+(** [apply policy rigour judged] — the claimable level: judged minus the
+    discount, clipped by the claim limit; [None] when the result falls below
+    SIL1 (no quantified claim supportable). *)
+val apply : policy -> rigour -> Band.t -> Band.t option
+
+(** [judge_then_claim policy rigour belief] — classify the belief by its
+    mean, then apply the discount.  Returns
+    [(judged_classification, claimable)]. *)
+val judge_then_claim :
+  policy -> rigour -> Dist.Mixture.t -> Band.classification * Band.t option

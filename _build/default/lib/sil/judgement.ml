@@ -1,0 +1,77 @@
+type family = Lognormal | Gamma
+
+let family_to_string = function Lognormal -> "lognormal" | Gamma -> "gamma"
+
+let belief_of_mode_sigma family ~mode ~sigma =
+  match family with
+  | Lognormal -> Dist.Lognormal.of_mode_sigma ~mode ~sigma
+  | Gamma ->
+    (* Comparable spread: use the standard deviation of the lognormal with
+       the same (mode, sigma), so the two families can be swapped in the
+       figures at equal dispersion. *)
+    let ln = Dist.Lognormal.of_mode_sigma ~mode ~sigma in
+    Dist.Gamma_d.of_mode_sigma ~mode ~sigma:(Dist.std ln)
+
+let confidence_at_least belief ~mode band =
+  Dist.Mixture.prob_le belief (Band.upper_bound ~mode band)
+
+let band_probability belief ~mode band =
+  let lo, hi = Band.range ~mode band in
+  Dist.Mixture.prob_le belief hi -. Dist.Mixture.prob_le belief lo
+
+let membership_profile belief ~mode =
+  let below =
+    1.0 -. Dist.Mixture.prob_le belief (Band.upper_bound ~mode Band.Sil1)
+  in
+  let beyond = Dist.Mixture.prob_lt belief (Band.lower_bound ~mode Band.Sil4) in
+  let bands =
+    List.map
+      (fun b -> (Band.In_band b, band_probability belief ~mode b))
+      Band.all
+  in
+  ((Band.Below_sil1, below) :: bands) @ [ (Band.Beyond_sil4, beyond) ]
+
+let judged_by_mean belief ~mode =
+  Band.classify ~mode (Dist.Mixture.mean belief)
+
+let mean_vs_confidence family ~mode_value ~band ~sigmas =
+  let bound = Band.upper_bound ~mode:Band.Low_demand band in
+  Array.map
+    (fun sigma ->
+      let d = belief_of_mode_sigma family ~mode:mode_value ~sigma in
+      (d.Dist.cdf bound, d.Dist.mean))
+    sigmas
+
+let crossover family ~mode_value ~band =
+  let bound = Band.upper_bound ~mode:Band.Low_demand band in
+  if bound <= mode_value then
+    invalid_arg "Judgement.crossover: mode lies outside (above) the band";
+  let sigma =
+    match family with
+    | Lognormal ->
+      (* mean = mode * exp(1.5 sigma^2); mean = bound at
+         sigma = sqrt(ln(bound/mode) / 1.5). *)
+      sqrt (log (bound /. mode_value) /. 1.5)
+    | Gamma ->
+      let f s =
+        let d = belief_of_mode_sigma Gamma ~mode:mode_value ~sigma:s in
+        d.Dist.mean -. bound
+      in
+      let lo, hi = Numerics.Rootfind.expand_bracket f 0.01 1.0 in
+      Numerics.Rootfind.brent f lo hi
+  in
+  let d = belief_of_mode_sigma family ~mode:mode_value ~sigma in
+  (sigma, d.Dist.cdf bound)
+
+let required_spread ~mode_value ~band ~confidence =
+  let bound = Band.upper_bound ~mode:Band.Low_demand band in
+  if bound <= mode_value then
+    invalid_arg "Judgement.required_spread: mode outside (above) the band";
+  if not (confidence > 0.0 && confidence < 1.0) then
+    invalid_arg "Judgement.required_spread: confidence not in (0,1)";
+  (* P(X <= bound) = Phi(ln(bound/mode)/sigma - sigma) is strictly
+     decreasing in sigma; the fitter solves the equality directly. *)
+  let d =
+    Dist.Fit.lognormal_of_mode_confidence ~mode:mode_value ~bound ~confidence
+  in
+  snd (Dist.Lognormal.params d)

@@ -1,0 +1,63 @@
+(** Judging the SIL of a system from a belief distribution over its failure
+    measure — the machinery behind the paper's Figures 1-4.
+
+    The central quantity is the one-sided confidence in SIL membership
+    (paper, Section 3):  confidence(SIL n) = P(lambda < 1e-n). *)
+
+(** The distribution family used to model the judgement. *)
+type family = Lognormal | Gamma
+
+val family_to_string : family -> string
+
+(** [belief_of_mode_sigma family ~mode ~sigma] — a belief with the given peak
+    and spread.  For the gamma family [sigma] is matched as the standard
+    deviation of ln(lambda)'s lognormal counterpart — i.e. the gamma is chosen
+    with the same mode and the same P(mean decade shift); concretely we match
+    the mode and the standard deviation of the equivalent lognormal so the
+    two families are comparable at equal spread. *)
+val belief_of_mode_sigma : family -> mode:float -> sigma:float -> Dist.t
+
+(** [confidence_at_least belief ~mode band] — P(lambda <= upper bound of
+    [band]): the one-sided confidence that the system is in [band] or
+    better. *)
+val confidence_at_least :
+  Dist.Mixture.t -> mode:Band.mode -> Band.t -> float
+
+(** [band_probability belief ~mode band] — P(lambda in the band's range). *)
+val band_probability : Dist.Mixture.t -> mode:Band.mode -> Band.t -> float
+
+(** [membership_profile belief ~mode] — probability of each classification:
+    (below SIL1, per-band, beyond SIL4); sums to 1. *)
+val membership_profile :
+  Dist.Mixture.t -> mode:Band.mode -> (Band.classification * float) list
+
+(** [judged_by_mean belief ~mode] — the band containing the mean failure
+    measure (the quantity IEC 61508's "average pfd" asks for). *)
+val judged_by_mean : Dist.Mixture.t -> mode:Band.mode -> Band.classification
+
+(** [mean_vs_confidence family ~mode_value ~band ~sigmas] — for a belief
+    family with fixed mode [mode_value] and each spread in [sigmas], the pair
+    (one-sided confidence in [band], mean failure measure).  This is the
+    paper's Figure 3 series. *)
+val mean_vs_confidence :
+  family ->
+  mode_value:float ->
+  band:Band.t ->
+  sigmas:float array ->
+  (float * float) array
+
+(** [crossover family ~mode_value ~band] — the spread at which the mean
+    leaves [band] (equals the band's upper bound), returned as
+    [(sigma, confidence)].  For the paper's example (lognormal, mode 0.003,
+    SIL2) the confidence is ~0.67: "if our confidence falls below about 67%
+    that the system is SIL2 then the mean rate is actually in the SIL1
+    band". *)
+val crossover : family -> mode_value:float -> band:Band.t -> float * float
+
+(** [required_spread ~mode_value ~band ~confidence] — the largest lognormal
+    sigma at which the one-sided confidence in [band] still reaches
+    [confidence]: how sharp analysis must make the judgement before the
+    claim is supportable.  Requires the band's upper bound to exceed
+    [mode_value]. *)
+val required_spread :
+  mode_value:float -> band:Band.t -> confidence:float -> float

@@ -1,0 +1,6 @@
+(** Public interface of the [sil] library: IEC 61508 bands, SIL judgement
+    from belief distributions, and claim-discount policies. *)
+
+module Band = Band
+module Judgement = Judgement
+module Discount = Discount

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Demand_sim Mc

@@ -1,0 +1,1 @@
+lib/sim/demand_sim.ml: Array Confidence Dist List Mc Numerics

@@ -1,0 +1,1 @@
+lib/sim/demand_sim.mli: Confidence Dist Mc Numerics

@@ -1,0 +1,43 @@
+let clamp_pfd p = min 1.0 (max 0.0 p)
+
+let failure_probability ~n rng belief =
+  Mc.probability ~n rng (fun rng ->
+      let pfd = clamp_pfd (Dist.Mixture.sample belief rng) in
+      Numerics.Rng.bernoulli rng pfd)
+
+let failures_in_campaign ~n_systems ~demands rng belief =
+  if n_systems < 1 then invalid_arg "Demand_sim: n_systems < 1";
+  if demands < 0 then invalid_arg "Demand_sim: demands < 0";
+  Array.init n_systems (fun _ ->
+      let pfd = clamp_pfd (Dist.Mixture.sample belief rng) in
+      Numerics.Rng.binomial rng ~n:demands ~p:pfd)
+
+let check_conservative_bound ~n rng claim =
+  let belief = Confidence.Conservative.worst_case_belief claim in
+  let estimate = failure_probability ~n rng belief in
+  (estimate, Confidence.Conservative.failure_bound claim)
+
+let survival_curve ~n_systems ~checkpoints rng belief =
+  if n_systems < 1 then invalid_arg "Demand_sim: n_systems < 1";
+  let checkpoints = List.sort_uniq compare checkpoints in
+  List.iter
+    (fun c -> if c < 0 then invalid_arg "Demand_sim: negative checkpoint")
+    checkpoints;
+  (* For each system, the first failure happens at a geometric demand
+     index; a system survives checkpoint c iff that index exceeds c. *)
+  let first_failures =
+    Array.init n_systems (fun _ ->
+        let pfd = clamp_pfd (Dist.Mixture.sample belief rng) in
+        if pfd <= 0.0 then max_int
+        else if pfd >= 1.0 then 1
+        else 1 + Numerics.Rng.geometric rng ~p:pfd)
+  in
+  List.map
+    (fun c ->
+      let survived =
+        Array.fold_left
+          (fun acc first -> if first > c then acc + 1 else acc)
+          0 first_failures
+      in
+      (c, float_of_int survived /. float_of_int n_systems))
+    checkpoints

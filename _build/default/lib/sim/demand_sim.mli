@@ -1,0 +1,33 @@
+(** Demand-based failure simulation against a belief over pfd.
+
+    Verifies the paper's equation (4) — P(system fails on a randomly
+    selected demand) = integral of p f(p) dp — and the conservative bound
+    (5) empirically: draw a pfd from the belief, then draw demands. *)
+
+(** [failure_probability ~n rng belief] — Monte-Carlo estimate of the
+    probability that a randomly selected demand fails, marginalised over the
+    belief.  Should agree with [Dist.Mixture.mean belief]. *)
+val failure_probability :
+  n:int -> Numerics.Rng.t -> Dist.Mixture.t -> Mc.estimate
+
+(** [failures_in_campaign ~n_systems ~demands rng belief] — for each
+    simulated system (pfd drawn from the belief), count failures over a
+    test campaign; returns the per-system failure counts. *)
+val failures_in_campaign :
+  n_systems:int -> demands:int -> Numerics.Rng.t -> Dist.Mixture.t -> int array
+
+(** [check_conservative_bound ~n rng claim] — simulate demand failures under
+    the worst-case belief for [claim] and also return the analytic bound;
+    the estimate's CI should cover the bound (the worst case attains it). *)
+val check_conservative_bound :
+  n:int -> Numerics.Rng.t -> Confidence.Claim.t -> Mc.estimate * float
+
+(** [survival_curve ~n_systems ~checkpoints rng belief] — fraction of
+    simulated systems still failure-free at each demand checkpoint;
+    converges to E[(1-p)^n]. *)
+val survival_curve :
+  n_systems:int ->
+  checkpoints:int list ->
+  Numerics.Rng.t ->
+  Dist.Mixture.t ->
+  (int * float) list

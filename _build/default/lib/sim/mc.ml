@@ -1,0 +1,33 @@
+type estimate = {
+  mean : float;
+  std_error : float;
+  ci95_lo : float;
+  ci95_hi : float;
+  n : int;
+}
+
+let of_online acc n =
+  let mean = Numerics.Summary.Online.mean acc in
+  let std_error =
+    Numerics.Summary.Online.std acc /. sqrt (float_of_int n)
+  in
+  {
+    mean;
+    std_error;
+    ci95_lo = mean -. (1.96 *. std_error);
+    ci95_hi = mean +. (1.96 *. std_error);
+    n;
+  }
+
+let estimate ~n rng f =
+  if n < 2 then invalid_arg "Mc.estimate: n < 2";
+  let acc = Numerics.Summary.Online.create () in
+  for _ = 1 to n do
+    Numerics.Summary.Online.add acc (f rng)
+  done;
+  of_online acc n
+
+let probability ~n rng event =
+  estimate ~n rng (fun rng -> if event rng then 1.0 else 0.0)
+
+let within e x = x >= e.ci95_lo && x <= e.ci95_hi

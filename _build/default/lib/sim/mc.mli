@@ -1,0 +1,19 @@
+(** Monte-Carlo estimation with error reporting. *)
+
+type estimate = {
+  mean : float;
+  std_error : float;
+  ci95_lo : float;
+  ci95_hi : float;
+  n : int;
+}
+
+(** [estimate ~n rng f] — sample [f rng] [n] times ([n >= 2]). *)
+val estimate : n:int -> Numerics.Rng.t -> (Numerics.Rng.t -> float) -> estimate
+
+(** [probability ~n rng event] — estimate P(event) from Bernoulli trials,
+    with the normal-approximation CI. *)
+val probability : n:int -> Numerics.Rng.t -> (Numerics.Rng.t -> bool) -> estimate
+
+(** [within estimate x] — does [x] fall inside the 95% CI? *)
+val within : estimate -> float -> bool

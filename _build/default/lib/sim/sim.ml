@@ -1,0 +1,5 @@
+(** Public interface of the [sim] library: Monte-Carlo estimators and
+    demand-based failure simulation used to verify the analytic results. *)
+
+module Mc = Mc
+module Demand_sim = Demand_sim

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Numerics QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_acarp.ml: Alcotest Confidence Dist Helpers List Option

@@ -1,0 +1,1 @@
+test/test_band.ml: Helpers List QCheck2 Sil String

@@ -1,0 +1,1 @@
+test/test_base.ml: Alcotest Array Dist Helpers List Numerics Option

@@ -1,0 +1,1 @@
+test/test_bayes.ml: Dist Experience Helpers List Printf QCheck2

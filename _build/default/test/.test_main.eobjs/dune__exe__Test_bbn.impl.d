@@ -1,0 +1,1 @@
+test/test_bbn.ml: Alcotest Array Casekit Helpers

@@ -1,0 +1,1 @@
+test/test_belief.ml: Alcotest Confidence Dist Elicit Helpers Option

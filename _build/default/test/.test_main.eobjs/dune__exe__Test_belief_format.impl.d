@@ -1,0 +1,1 @@
+test/test_belief_format.ml: Alcotest Dist Elicit Helpers List Numerics

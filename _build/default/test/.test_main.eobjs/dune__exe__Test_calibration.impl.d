@@ -1,0 +1,1 @@
+test/test_calibration.ml: Alcotest Dist Elicit Helpers List

@@ -1,0 +1,1 @@
+test/test_case_format.ml: Alcotest Casekit Helpers List Printf QCheck2

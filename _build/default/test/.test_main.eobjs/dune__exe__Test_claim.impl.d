@@ -1,0 +1,1 @@
+test/test_claim.ml: Confidence Dist Helpers String

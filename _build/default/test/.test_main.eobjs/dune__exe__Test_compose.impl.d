@@ -1,0 +1,1 @@
+test/test_compose.ml: Confidence Dist Helpers List Numerics Sim

@@ -1,0 +1,1 @@
+test/test_conservative.ml: Alcotest Array Confidence Dist Helpers List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_conservative_mtbf.ml: Alcotest Array Experience Helpers QCheck2

@@ -1,0 +1,1 @@
+test/test_criteria.ml: Alcotest Array Dist Helpers List Risk

@@ -1,0 +1,1 @@
+test/test_decision.ml: Alcotest Confidence Dist Helpers QCheck2 Sil

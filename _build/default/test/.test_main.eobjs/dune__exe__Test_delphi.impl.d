@@ -1,0 +1,1 @@
+test/test_delphi.ml: Alcotest Array Dist Elicit Helpers Lazy List Numerics Option String

@@ -1,0 +1,1 @@
+test/test_discount.ml: Alcotest Dist Helpers List Sil

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Buffer Casekit Confidence Dist Elicit Filename Format Helpers List Numerics Report Sil String Sys

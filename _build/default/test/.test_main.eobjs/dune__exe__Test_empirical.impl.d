@@ -1,0 +1,1 @@
+test/test_empirical.ml: Alcotest Array Dist Helpers Numerics QCheck2

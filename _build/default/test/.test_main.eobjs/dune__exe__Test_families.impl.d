@@ -1,0 +1,1 @@
+test/test_families.ml: Alcotest Array Dist Float Helpers Numerics Option QCheck2

@@ -1,0 +1,1 @@
+test/test_fit.ml: Alcotest Array Dist Helpers Option QCheck2

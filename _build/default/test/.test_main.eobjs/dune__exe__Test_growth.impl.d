@@ -1,0 +1,1 @@
+test/test_growth.ml: Alcotest Array Dist Experience Helpers List Numerics

@@ -1,0 +1,1 @@
+test/test_integrate.ml: Array Helpers Numerics QCheck2

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Helpers Numerics QCheck2

@@ -1,0 +1,1 @@
+test/test_invariants.ml: Casekit Confidence Dist Experience Helpers List QCheck2

@@ -1,0 +1,1 @@
+test/test_judgement.ml: Alcotest Array Dist Helpers List Option QCheck2 Sil

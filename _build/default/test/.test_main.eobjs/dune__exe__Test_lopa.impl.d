@@ -1,0 +1,1 @@
+test/test_lopa.ml: Alcotest Confidence Dist Helpers List Risk Sil

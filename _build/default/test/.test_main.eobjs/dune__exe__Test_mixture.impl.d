@@ -1,0 +1,1 @@
+test/test_mixture.ml: Alcotest Dist Float Helpers List QCheck2

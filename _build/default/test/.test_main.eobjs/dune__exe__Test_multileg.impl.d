@@ -1,0 +1,1 @@
+test/test_multileg.ml: Alcotest Array Casekit Dist Helpers QCheck2

@@ -1,0 +1,1 @@
+test/test_node.ml: Alcotest Casekit Helpers List String

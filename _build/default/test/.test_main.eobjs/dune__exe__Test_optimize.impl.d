@@ -1,0 +1,1 @@
+test/test_optimize.ml: Helpers Numerics QCheck2

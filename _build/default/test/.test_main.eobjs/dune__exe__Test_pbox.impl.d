@@ -1,0 +1,1 @@
+test/test_pbox.ml: Confidence Dist Helpers List Printf QCheck2

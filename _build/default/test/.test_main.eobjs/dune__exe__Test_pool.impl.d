@@ -1,0 +1,1 @@
+test/test_pool.ml: Alcotest Dist Elicit Helpers List Printf QCheck2

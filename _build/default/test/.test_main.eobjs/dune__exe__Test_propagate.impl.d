@@ -1,0 +1,1 @@
+test/test_propagate.ml: Alcotest Array Casekit Helpers List QCheck2

@@ -1,0 +1,1 @@
+test/test_provisional.ml: Alcotest Dist Experience Helpers List Sil String

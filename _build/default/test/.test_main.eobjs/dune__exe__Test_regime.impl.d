@@ -1,0 +1,1 @@
+test/test_regime.ml: Alcotest Array Dist Helpers Regime Sil String

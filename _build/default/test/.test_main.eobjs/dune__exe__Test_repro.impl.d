@@ -1,0 +1,1 @@
+test/test_repro.ml: Alcotest Array Filename Helpers List Repro String

@@ -1,0 +1,1 @@
+test/test_reweighted.ml: Alcotest Array Dist Helpers List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_rootfind.ml: Alcotest Helpers Numerics QCheck2

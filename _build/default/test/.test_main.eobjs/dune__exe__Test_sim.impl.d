@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Confidence Dist Experience Helpers List Numerics Sim

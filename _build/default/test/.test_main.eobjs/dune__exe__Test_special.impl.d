@@ -1,0 +1,1 @@
+test/test_special.ml: Alcotest Helpers List Numerics QCheck2

@@ -1,0 +1,1 @@
+test/test_stat_tests.ml: Array Dist Helpers List Numerics

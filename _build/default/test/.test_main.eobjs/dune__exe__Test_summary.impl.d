@@ -1,0 +1,1 @@
+test/test_summary.ml: Alcotest Array Helpers Numerics QCheck2

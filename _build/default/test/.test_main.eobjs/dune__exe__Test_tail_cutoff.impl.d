@@ -1,0 +1,1 @@
+test/test_tail_cutoff.ml: Alcotest Dist Experience Helpers List Sil

@@ -1,0 +1,1 @@
+test/test_truncated.ml: Alcotest Dist Helpers Numerics Option QCheck2

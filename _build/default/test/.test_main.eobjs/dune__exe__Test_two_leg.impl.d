@@ -1,0 +1,1 @@
+test/test_two_leg.ml: Alcotest Array Casekit Helpers

@@ -1,0 +1,101 @@
+open Helpers
+module A = Confidence.Acarp
+
+let prior () =
+  Dist.Mixture.of_dist (Dist.Lognormal.of_mode_sigma ~mode:3e-3 ~sigma:0.9)
+
+let test_apply_demands () =
+  let b = prior () in
+  let b' = A.apply_effect b (A.Failure_free_demands 1000) in
+  check_true "confidence grows"
+    (Dist.Mixture.prob_le b' 1e-2 > Dist.Mixture.prob_le b 1e-2);
+  check_true "mean shrinks" (Dist.Mixture.mean b' < Dist.Mixture.mean b);
+  check_true "zero demands is identity"
+    (A.apply_effect b (A.Failure_free_demands 0) == b);
+  check_raises_invalid "negative demands" (fun () ->
+      ignore (A.apply_effect b (A.Failure_free_demands (-1))))
+
+let test_apply_spread_scale () =
+  let b = prior () in
+  let b' = A.apply_effect b (A.Spread_scale 0.5) in
+  check_true "narrower belief is more confident"
+    (Dist.Mixture.prob_le b' 1e-2 > Dist.Mixture.prob_le b 1e-2);
+  (* Mode is preserved by the scaling. *)
+  (match Dist.Mixture.components b' with
+  | [ (_, Dist.Mixture.Cont d) ] ->
+    check_close ~eps:1e-9 "mode kept" 3e-3 (Option.get d.Dist.mode)
+  | _ -> Alcotest.fail "expected a single continuous component");
+  check_raises_invalid "scale <= 0" (fun () ->
+      ignore (A.apply_effect b (A.Spread_scale 0.0)));
+  (* Applying to a non-lognormal is rejected. *)
+  let u = Dist.Mixture.of_dist (Dist.Uniform_d.make ~lo:0.0 ~hi:1.0) in
+  check_raises_invalid "non-lognormal" (fun () ->
+      ignore (A.apply_effect u (A.Spread_scale 0.5)))
+
+let test_apply_perfection () =
+  let b = prior () in
+  let b' = A.apply_effect b (A.Perfection_evidence 0.2) in
+  check_close "atom installed" 0.2 (Dist.Mixture.atom_weight b' 0.0);
+  check_close ~eps:1e-9 "mean scaled" (0.8 *. Dist.Mixture.mean b)
+    (Dist.Mixture.mean b')
+
+let activities =
+  [ { A.label = "static analysis"; cost = 10.0; effect = A.Spread_scale 0.8 };
+    { A.label = "1000 statistical tests"; cost = 50.0;
+      effect = A.Failure_free_demands 1000 };
+    { A.label = "formal proof of core"; cost = 80.0;
+      effect = A.Perfection_evidence 0.1 } ]
+
+let test_programme () =
+  let steps = A.programme (prior ()) ~target_bound:1e-2 activities in
+  Alcotest.(check int) "one step per activity" 3 (List.length steps);
+  let confs = List.map (fun (s : A.step) -> s.confidence) steps in
+  check_true "confidence nondecreasing along this programme"
+    (List.sort compare confs = confs);
+  let last = List.nth steps 2 in
+  check_close "cumulative cost" 140.0 last.cumulative_cost
+
+let test_greedy_plan () =
+  let steps =
+    A.greedy_plan (prior ()) ~target_bound:1e-2 ~required_confidence:0.9
+      activities
+  in
+  check_true "plan nonempty" (steps <> []);
+  let final = List.nth steps (List.length steps - 1) in
+  check_true "requirement reached" (final.confidence >= 0.9);
+  (* The requirement already met -> empty plan. *)
+  let easy =
+    A.greedy_plan (prior ()) ~target_bound:1e-1 ~required_confidence:0.5
+      activities
+  in
+  check_true "no work when already confident" (easy = [])
+
+let test_stop_acarp () =
+  (* Diminishing returns: first step earns 0.1 confidence per 10 cost, the
+     next ones much less. *)
+  let steps =
+    [ { A.after = "a"; cumulative_cost = 10.0; confidence = 0.60; mean_pfd = 0.0 };
+      { A.after = "b"; cumulative_cost = 20.0; confidence = 0.70; mean_pfd = 0.0 };
+      { A.after = "c"; cumulative_cost = 30.0; confidence = 0.7001; mean_pfd = 0.0 } ]
+  in
+  (match A.stop_acarp ~gross_disproportion:10.0 steps with
+  | Some 2 -> ()
+  | Some i -> Alcotest.failf "expected stop at 2, got %d" i
+  | None -> Alcotest.fail "expected a stopping point");
+  (* All steps keep earning -> no stop. *)
+  let steady =
+    [ { A.after = "a"; cumulative_cost = 10.0; confidence = 0.6; mean_pfd = 0.0 };
+      { A.after = "b"; cumulative_cost = 20.0; confidence = 0.7; mean_pfd = 0.0 } ]
+  in
+  check_true "no stop while earning"
+    (A.stop_acarp ~gross_disproportion:10.0 steady = None);
+  check_raises_invalid "disproportion <= 1" (fun () ->
+      ignore (A.stop_acarp ~gross_disproportion:1.0 steps))
+
+let suite =
+  [ case "failure-free demands effect" test_apply_demands;
+    case "spread-scale effect" test_apply_spread_scale;
+    case "perfection-evidence effect" test_apply_perfection;
+    case "programme execution" test_programme;
+    case "greedy planning" test_greedy_plan;
+    case "ACARP stopping rule" test_stop_acarp ]

@@ -1,0 +1,90 @@
+open Helpers
+module B = Sil.Band
+
+let test_int_roundtrip () =
+  List.iter
+    (fun b -> check_true "roundtrip" (B.equal b (B.of_int (B.to_int b))))
+    B.all;
+  check_raises_invalid "of_int 0" (fun () -> ignore (B.of_int 0));
+  check_raises_invalid "of_int 5" (fun () -> ignore (B.of_int 5))
+
+let test_ranges_low_demand () =
+  let lo, hi = B.range ~mode:B.Low_demand B.Sil2 in
+  check_close "SIL2 lower" 1e-3 lo;
+  check_close "SIL2 upper" 1e-2 hi;
+  let lo4, hi4 = B.range ~mode:B.Low_demand B.Sil4 in
+  check_close "SIL4 lower" 1e-5 lo4;
+  check_close "SIL4 upper" 1e-4 hi4
+
+let test_ranges_continuous () =
+  (* Continuous mode is four decades down (per-hour rates). *)
+  let lo, hi = B.range ~mode:B.Continuous B.Sil1 in
+  check_close "SIL1 pfh lower" 1e-6 lo;
+  check_close "SIL1 pfh upper" 1e-5 hi
+
+let test_ranges_are_contiguous () =
+  List.iter
+    (fun b ->
+      match B.next_stronger b with
+      | None -> ()
+      | Some stronger ->
+        check_close
+          (B.to_string b ^ " meets " ^ B.to_string stronger)
+          (B.lower_bound ~mode:B.Low_demand b)
+          (B.upper_bound ~mode:B.Low_demand stronger))
+    B.all
+
+let test_classify () =
+  let c = B.classify ~mode:B.Low_demand in
+  check_true "0.5 below SIL1" (c 0.5 = B.Below_sil1);
+  check_true "0.1 below SIL1 (boundary)" (c 0.1 = B.Below_sil1);
+  check_true "0.05 in SIL1" (c 0.05 = B.In_band B.Sil1);
+  check_true "3e-3 in SIL2" (c 3e-3 = B.In_band B.Sil2);
+  check_true "1e-3 in SIL2 (boundary)" (c 1e-3 = B.In_band B.Sil2);
+  check_true "5e-7 beyond SIL4" (c 5e-7 = B.Beyond_sil4);
+  check_raises_invalid "zero" (fun () -> ignore (c 0.0))
+
+let test_ordering_navigation () =
+  check_true "SIL4 strongest" (B.compare_strength B.Sil4 B.Sil1 > 0);
+  check_true "no stronger than SIL4" (B.next_stronger B.Sil4 = None);
+  check_true "no weaker than SIL1" (B.next_weaker B.Sil1 = None);
+  check_true "SIL2 -> SIL3" (B.next_stronger B.Sil2 = Some B.Sil3);
+  check_true "SIL2 -> SIL1" (B.next_weaker B.Sil2 = Some B.Sil1)
+
+let test_table_1 () =
+  let t = B.table_1 ~mode:B.Low_demand in
+  check_true "mentions SIL4" (String.length t > 0);
+  List.iter
+    (fun b ->
+      let name = B.to_string b in
+      let found =
+        let rec scan i =
+          if i + String.length name > String.length t then false
+          else if String.sub t i (String.length name) = name then true
+          else scan (i + 1)
+        in
+        scan 0
+      in
+      check_true (name ^ " listed") found)
+    B.all
+
+let test_classify_consistent_with_range =
+  qcheck "classify agrees with range bounds"
+    QCheck2.Gen.(map (fun u -> exp (log 1e-7 +. (u *. log (1.0 /. 1e-7)))) (float_bound_inclusive 1.0))
+    (fun x ->
+      match B.classify ~mode:B.Low_demand x with
+      | B.Below_sil1 -> x >= 0.1
+      | B.Beyond_sil4 -> x < 1e-5
+      | B.In_band b ->
+        let lo, hi = B.range ~mode:B.Low_demand b in
+        x >= lo && x < hi)
+
+let suite =
+  [ case "int roundtrip" test_int_roundtrip;
+    case "low-demand ranges" test_ranges_low_demand;
+    case "continuous ranges" test_ranges_continuous;
+    case "bands are contiguous" test_ranges_are_contiguous;
+    case "classification" test_classify;
+    case "ordering and navigation" test_ordering_navigation;
+    case "table 1 rendering" test_table_1;
+    test_classify_consistent_with_range ]

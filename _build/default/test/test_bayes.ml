@@ -1,0 +1,92 @@
+open Helpers
+module By = Experience.Bayes
+module M = Dist.Mixture
+
+let test_demand_likelihood () =
+  check_close ~eps:1e-12 "all survive" (0.99 ** 10.0)
+    (By.demand_likelihood ~failures:0 ~demands:10 0.01);
+  check_close ~eps:1e-12 "with failures"
+    (0.01 ** 2.0 *. (0.99 ** 8.0))
+    (By.demand_likelihood ~failures:2 ~demands:10 0.01);
+  check_close "outside [0,1]" 0.0
+    (By.demand_likelihood ~failures:0 ~demands:10 1.5);
+  check_close "p=0 with failures" 0.0
+    (By.demand_likelihood ~failures:1 ~demands:10 0.0);
+  check_close "p=0 no failures" 1.0
+    (By.demand_likelihood ~failures:0 ~demands:10 0.0);
+  check_raises_invalid "failures > demands" (fun () ->
+      ignore (By.demand_likelihood ~failures:3 ~demands:2 0.1))
+
+let test_time_likelihood () =
+  check_close ~eps:1e-12 "no failures" (exp (-0.5))
+    (By.time_likelihood ~failures:0 ~time:100.0 0.005);
+  check_close ~eps:1e-12 "two failures"
+    (0.005 ** 2.0 *. exp (-0.5))
+    (By.time_likelihood ~failures:2 ~time:100.0 0.005);
+  check_close "negative rate" 0.0
+    (By.time_likelihood ~failures:0 ~time:10.0 (-1.0))
+
+let test_update_matches_beta_conjugate () =
+  let a = 1.5 and b = 60.0 in
+  let prior = M.of_dist (Dist.Beta_d.make ~a ~b) in
+  List.iter
+    (fun (failures, demands) ->
+      let posterior, _ = By.update_demands prior ~failures ~demands in
+      let exact = By.beta_posterior ~a ~b ~failures ~demands in
+      check_close ~eps:2e-4
+        (Printf.sprintf "mean after %d/%d" failures demands)
+        exact.Dist.mean (M.mean posterior);
+      check_close ~eps:2e-4 "cdf" (exact.Dist.cdf 0.03)
+        (M.prob_le posterior 0.03))
+    [ (0, 100); (1, 100); (3, 500) ]
+
+let test_update_matches_gamma_conjugate () =
+  let shape = 2.0 and rate = 1000.0 in
+  let prior = M.of_dist (Dist.Gamma_d.make ~shape ~rate) in
+  List.iter
+    (fun (failures, time) ->
+      let posterior, _ = By.update_time prior ~failures ~time in
+      let exact = By.gamma_posterior ~shape ~rate ~failures ~time in
+      check_close ~eps:2e-4
+        (Printf.sprintf "mean after %d in %g" failures time)
+        exact.Dist.mean (M.mean posterior))
+    [ (0, 2000.0); (2, 5000.0) ]
+
+let test_evidence_is_marginal_likelihood () =
+  (* For a beta(1,1) = uniform prior, the evidence of observing 0 failures
+     in n demands is B(1, n+1)/B(1,1) = 1/(n+1). *)
+  let prior = M.of_dist (Dist.Beta_d.make ~a:1.0 ~b:1.0) in
+  let _, ev = By.update_demands prior ~failures:0 ~demands:9 in
+  check_close ~eps:1e-3 "uniform prior evidence" 0.1 ev
+
+let test_failures_push_mass_up () =
+  let prior = M.of_dist (Dist.Beta_d.make ~a:1.5 ~b:200.0) in
+  let survived, _ = By.update_demands prior ~failures:0 ~demands:500 in
+  let failed, _ = By.update_demands prior ~failures:5 ~demands:500 in
+  check_true "failure-free lowers the mean" (M.mean survived < M.mean prior);
+  check_true "failures raise the mean" (M.mean failed > M.mean prior)
+
+let test_conjugate_validation () =
+  check_raises_invalid "beta bad counts" (fun () ->
+      ignore (By.beta_posterior ~a:1.0 ~b:1.0 ~failures:5 ~demands:2));
+  check_raises_invalid "gamma bad time" (fun () ->
+      ignore (By.gamma_posterior ~shape:1.0 ~rate:1.0 ~failures:0 ~time:(-1.0)))
+
+let test_posterior_mean_between_prior_and_mle =
+  qcheck ~count:50 "posterior mean between prior mean and the MLE"
+    QCheck2.Gen.(int_range 10 2000)
+    (fun n ->
+      let a = 2.0 and b = 100.0 in
+      let exact = By.beta_posterior ~a ~b ~failures:0 ~demands:n in
+      let prior_mean = a /. (a +. b) in
+      exact.Dist.mean < prior_mean && exact.Dist.mean > 0.0)
+
+let suite =
+  [ case "demand likelihood" test_demand_likelihood;
+    case "time likelihood" test_time_likelihood;
+    case "reweighting matches beta conjugacy" test_update_matches_beta_conjugate;
+    case "reweighting matches gamma conjugacy" test_update_matches_gamma_conjugate;
+    case "evidence is the marginal likelihood" test_evidence_is_marginal_likelihood;
+    case "failures push mass up" test_failures_push_mass_up;
+    case "conjugate input validation" test_conjugate_validation;
+    test_posterior_mean_between_prior_and_mle ]

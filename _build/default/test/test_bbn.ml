@@ -1,0 +1,192 @@
+open Helpers
+module Bn = Casekit.Bbn
+
+(* The classic sprinkler network: Rain -> Sprinkler, (Rain, Sprinkler) ->
+   GrassWet, with hand-computable posteriors. *)
+let sprinkler () =
+  let t = Bn.create () in
+  let rain =
+    Bn.add_var t ~name:"rain" ~states:[| "no"; "yes" |] ~parents:[]
+      ~cpt:[| 0.8; 0.2 |]
+  in
+  let sprinkler =
+    Bn.add_var t ~name:"sprinkler" ~states:[| "off"; "on" |] ~parents:[ rain ]
+      ~cpt:[| 0.6; 0.4; 0.99; 0.01 |]
+  in
+  let wet =
+    Bn.add_var t ~name:"wet" ~states:[| "no"; "yes" |]
+      ~parents:[ rain; sprinkler ]
+      ~cpt:[| 1.0; 0.0; 0.2; 0.8; 0.1; 0.9; 0.01; 0.99 |]
+  in
+  (t, rain, sprinkler, wet)
+
+let test_construction_validation () =
+  let t = Bn.create () in
+  check_raises_invalid "one state" (fun () ->
+      ignore (Bn.add_var t ~name:"x" ~states:[| "a" |] ~parents:[] ~cpt:[| 1.0 |]));
+  let _ =
+    Bn.add_var t ~name:"a" ~states:[| "f"; "t" |] ~parents:[] ~cpt:[| 0.5; 0.5 |]
+  in
+  check_raises_invalid "duplicate name" (fun () ->
+      ignore
+        (Bn.add_var t ~name:"a" ~states:[| "f"; "t" |] ~parents:[]
+           ~cpt:[| 0.5; 0.5 |]));
+  check_raises_invalid "bad cpt size" (fun () ->
+      ignore
+        (Bn.add_var t ~name:"b" ~states:[| "f"; "t" |] ~parents:[]
+           ~cpt:[| 0.5; 0.25; 0.25 |]));
+  check_raises_invalid "unnormalised row" (fun () ->
+      ignore
+        (Bn.add_var t ~name:"c" ~states:[| "f"; "t" |] ~parents:[]
+           ~cpt:[| 0.5; 0.6 |]))
+
+let test_prior_marginals () =
+  let t, rain, sprinkler, wet = sprinkler () in
+  let p_rain = Bn.query t ~evidence:[] rain in
+  check_close ~eps:1e-12 "P(rain)" 0.2 p_rain.(1);
+  let p_sprinkler = Bn.query t ~evidence:[] sprinkler in
+  (* 0.8*0.4 + 0.2*0.01 = 0.322 *)
+  check_close ~eps:1e-12 "P(sprinkler)" 0.322 p_sprinkler.(1);
+  let p_wet = Bn.query t ~evidence:[] wet in
+  (* Sum over joint: 0.8*(0.6*0 + 0.4*0.8) + 0.2*(0.99*0.9 + 0.01*0.99) *)
+  let expected = (0.8 *. ((0.6 *. 0.0) +. (0.4 *. 0.8)))
+                 +. (0.2 *. ((0.99 *. 0.9) +. (0.01 *. 0.99))) in
+  check_close ~eps:1e-12 "P(wet)" expected p_wet.(1)
+
+let test_posterior_inference () =
+  let t, rain, _sprinkler, wet = sprinkler () in
+  (* P(rain | wet): classic explaining-away setup. *)
+  let p = Bn.prob t ~evidence:[ (wet, 1) ] rain 1 in
+  (* joint(rain, wet) = 0.2*(0.99*0.9 + 0.01*0.99) = 0.18018;
+     P(wet) computed above = 0.436180... *)
+  let p_wet = (0.8 *. 0.32) +. (0.2 *. 0.9009) in
+  check_close ~eps:1e-10 "P(rain | wet)" (0.18018 /. p_wet) p;
+  (* Conditioning on the cause: P(wet | rain). *)
+  let p2 = Bn.prob t ~evidence:[ (rain, 1) ] wet 1 in
+  check_close ~eps:1e-10 "P(wet | rain)" 0.9009 p2
+
+let test_evidence_validation () =
+  let t, rain, _, wet = sprinkler () in
+  check_raises_invalid "state out of range" (fun () ->
+      ignore (Bn.query t ~evidence:[ (rain, 7) ] wet));
+  check_raises_invalid "contradictory evidence" (fun () ->
+      ignore (Bn.query t ~evidence:[ (rain, 0); (rain, 1) ] wet));
+  (* Zero-probability evidence. *)
+  let t2 = Bn.create () in
+  let a =
+    Bn.add_var t2 ~name:"a" ~states:[| "f"; "t" |] ~parents:[]
+      ~cpt:[| 1.0; 0.0 |]
+  in
+  let b =
+    Bn.add_var t2 ~name:"b" ~states:[| "f"; "t" |] ~parents:[ a ]
+      ~cpt:[| 1.0; 0.0; 0.0; 1.0 |]
+  in
+  check_raises_invalid "impossible evidence" (fun () ->
+      ignore (Bn.query t2 ~evidence:[ (b, 1) ] a))
+
+let test_joint_prob () =
+  let t, rain, sprinkler, wet = sprinkler () in
+  check_close ~eps:1e-12 "P(rain, no sprinkler, wet)"
+    (0.2 *. 0.99 *. 0.9)
+    (Bn.joint_prob t ~assignment:[ (rain, 1); (sprinkler, 0); (wet, 1) ]);
+  check_raises_invalid "incomplete assignment" (fun () ->
+      ignore (Bn.joint_prob t ~assignment:[ (rain, 1) ]))
+
+let test_name_lookup () =
+  let t, rain, _, _ = sprinkler () in
+  check_true "lookup hit" (Bn.var_by_name t "rain" = Some rain);
+  check_true "lookup miss" (Bn.var_by_name t "snow" = None);
+  Alcotest.(check string) "var_name" "rain" (Bn.var_name t rain);
+  Alcotest.(check int) "n_states" 2 (Bn.n_states t rain);
+  Alcotest.(check int) "state_index" 1 (Bn.state_index t rain "yes")
+
+let test_chain_matches_hand_computation () =
+  (* X1 -> X2 -> X3 chain with asymmetric noise. *)
+  let t = Bn.create () in
+  let x1 =
+    Bn.add_var t ~name:"x1" ~states:[| "f"; "t" |] ~parents:[]
+      ~cpt:[| 0.7; 0.3 |]
+  in
+  let x2 =
+    Bn.add_var t ~name:"x2" ~states:[| "f"; "t" |] ~parents:[ x1 ]
+      ~cpt:[| 0.9; 0.1; 0.2; 0.8 |]
+  in
+  let x3 =
+    Bn.add_var t ~name:"x3" ~states:[| "f"; "t" |] ~parents:[ x2 ]
+      ~cpt:[| 0.95; 0.05; 0.3; 0.7 |]
+  in
+  let p_x2 = (0.7 *. 0.1) +. (0.3 *. 0.8) in
+  check_close ~eps:1e-12 "P(x2)" p_x2 (Bn.prob t ~evidence:[] x2 1);
+  let p_x3 = ((1.0 -. p_x2) *. 0.05) +. (p_x2 *. 0.7) in
+  check_close ~eps:1e-12 "P(x3)" p_x3 (Bn.prob t ~evidence:[] x3 1);
+  (* Backward inference P(x1 | x3 = t) via Bayes on the hand-computed joint. *)
+  let joint_x1t_x3t =
+    0.3 *. ((0.2 *. 0.05) +. (0.8 *. 0.7))
+  in
+  check_close ~eps:1e-10 "P(x1 | x3)" (joint_x1t_x3t /. p_x3)
+    (Bn.prob t ~evidence:[ (x3, 1) ] x1 1)
+
+let test_shared_assumption_two_legs () =
+  (* Two argument legs sharing an assumption: the BBN quantifies the
+     dependence that Multileg models with rho. *)
+  let t = Bn.create () in
+  let assumption =
+    Bn.add_var t ~name:"assumption_ok" ~states:[| "f"; "t" |] ~parents:[]
+      ~cpt:[| 0.1; 0.9 |]
+  in
+  let leg alpha name =
+    Bn.add_var t ~name ~states:[| "fails"; "holds" |] ~parents:[ assumption ]
+      ~cpt:[| 0.9; 0.1; 1.0 -. alpha; alpha |]
+  in
+  let leg1 = leg 0.95 "leg1" in
+  let leg2 = leg 0.9 "leg2" in
+  let claim =
+    Bn.add_var t ~name:"claim" ~states:[| "unsupported"; "supported" |]
+      ~parents:[ leg1; leg2 ]
+      ~cpt:[| 1.0; 0.0; 0.0; 1.0; 0.0; 1.0; 0.0; 1.0 |]
+  in
+  let p = Bn.prob t ~evidence:[] claim 1 in
+  (* By hand: P(supported) = sum over assumption of P(a) * (1 - P(both legs
+     fail | a)). *)
+  let expected =
+    (0.1 *. (1.0 -. (0.9 *. 0.9))) +. (0.9 *. (1.0 -. (0.05 *. 0.1)))
+  in
+  check_close ~eps:1e-10 "two legs with shared assumption" expected p;
+  (* Observing leg1 failing makes leg2 failure more likely (dependence). *)
+  let p_leg2_fail = Bn.prob t ~evidence:[] leg2 0 in
+  let p_leg2_fail_given = Bn.prob t ~evidence:[ (leg1, 0) ] leg2 0 in
+  check_true "legs positively dependent" (p_leg2_fail_given > p_leg2_fail)
+
+let test_three_state_variable () =
+  (* Severity with three states, influenced by a binary cause. *)
+  let t = Bn.create () in
+  let cause =
+    Bn.add_var t ~name:"cause" ~states:[| "absent"; "present" |] ~parents:[]
+      ~cpt:[| 0.7; 0.3 |]
+  in
+  let severity =
+    Bn.add_var t ~name:"severity" ~states:[| "low"; "medium"; "high" |]
+      ~parents:[ cause ]
+      ~cpt:[| 0.8; 0.15; 0.05; 0.2; 0.3; 0.5 |]
+  in
+  let p = Bn.query t ~evidence:[] severity in
+  check_close ~eps:1e-12 "P(low)" ((0.7 *. 0.8) +. (0.3 *. 0.2)) p.(0);
+  check_close ~eps:1e-12 "P(medium)" ((0.7 *. 0.15) +. (0.3 *. 0.3)) p.(1);
+  check_close ~eps:1e-12 "P(high)" ((0.7 *. 0.05) +. (0.3 *. 0.5)) p.(2);
+  (* Diagnostic: P(cause | severity = high). *)
+  let posterior = Bn.prob t ~evidence:[ (severity, 2) ] cause 1 in
+  check_close ~eps:1e-12 "P(cause | high)"
+    (0.3 *. 0.5 /. ((0.7 *. 0.05) +. (0.3 *. 0.5)))
+    posterior;
+  Alcotest.(check int) "n_states" 3 (Bn.n_states t severity)
+
+let suite =
+  [ case "construction validation" test_construction_validation;
+    case "three-state variables" test_three_state_variable;
+    case "prior marginals (sprinkler)" test_prior_marginals;
+    case "posterior inference (sprinkler)" test_posterior_inference;
+    case "evidence validation" test_evidence_validation;
+    case "joint probability" test_joint_prob;
+    case "name lookup" test_name_lookup;
+    case "chain network by hand" test_chain_matches_hand_computation;
+    case "two legs sharing an assumption" test_shared_assumption_two_legs ]

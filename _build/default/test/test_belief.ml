@@ -1,0 +1,95 @@
+open Helpers
+module B = Elicit.Belief
+
+let test_point_validation () =
+  check_raises_invalid "bound 0" (fun () ->
+      ignore (B.point ~bound:0.0 ~confidence:0.5));
+  check_raises_invalid "confidence 1" (fun () ->
+      ignore (B.point ~bound:1e-3 ~confidence:1.0))
+
+let test_coherence () =
+  let p1 = B.point ~bound:1e-4 ~confidence:0.5 in
+  let p2 = B.point ~bound:1e-3 ~confidence:0.9 in
+  let p3 = B.point ~bound:1e-2 ~confidence:0.8 in
+  check_true "coherent pair" (B.coherent [ p1; p2 ] = Ok ());
+  check_true "singleton coherent" (B.coherent [ p2 ] = Ok ());
+  (match B.coherent [ p1; p2; p3 ] with
+  | Error (a, b) ->
+    check_close "offender 1" 1e-3 a.bound;
+    check_close "offender 2" 1e-2 b.bound
+  | Ok () -> Alcotest.fail "expected incoherence");
+  (* Order independence. *)
+  check_true "unsorted input" (B.coherent [ p2; p1 ] = Ok ())
+
+let test_to_claim () =
+  let p = B.point ~bound:1e-3 ~confidence:0.99 in
+  let c = B.to_claim p in
+  check_close "bound" 1e-3 (c :> Confidence.Claim.t).bound;
+  check_close "confidence" 0.99 c.confidence
+
+let test_fit_lognormal_mode_point () =
+  let a =
+    B.assessment ~most_likely:3e-3 [ B.point ~bound:1e-2 ~confidence:0.67 ]
+  in
+  let d = B.fit_lognormal a in
+  check_close ~eps:1e-9 "mode" 3e-3 (Option.get d.Dist.mode);
+  check_close ~eps:1e-9 "confidence" 0.67 (d.Dist.cdf 1e-2)
+
+let test_fit_lognormal_two_points () =
+  let a =
+    B.assessment
+      [ B.point ~bound:1e-3 ~confidence:0.25;
+        B.point ~bound:1e-2 ~confidence:0.9 ]
+  in
+  let d = B.fit_lognormal a in
+  check_close ~eps:1e-9 "q25" 0.25 (d.Dist.cdf 1e-3);
+  check_close ~eps:1e-9 "q90" 0.9 (d.Dist.cdf 1e-2)
+
+let test_fit_errors () =
+  let fit_error f =
+    match f () with
+    | exception Dist.Fit.Fit_error _ -> ()
+    | _ -> Alcotest.fail "expected Fit_error"
+  in
+  fit_error (fun () ->
+      B.fit_lognormal (B.assessment [ B.point ~bound:1e-3 ~confidence:0.5 ]));
+  fit_error (fun () ->
+      B.fit_lognormal
+        (B.assessment ~most_likely:3e-3
+           [ B.point ~bound:1e-2 ~confidence:0.67;
+             B.point ~bound:1e-1 ~confidence:0.99 ]));
+  (* Incoherent two-point assessment. *)
+  fit_error (fun () ->
+      B.fit_lognormal
+        (B.assessment
+           [ B.point ~bound:1e-3 ~confidence:0.9;
+             B.point ~bound:1e-2 ~confidence:0.5 ]));
+  fit_error (fun () ->
+      B.fit_gamma
+        (B.assessment
+           [ B.point ~bound:1e-3 ~confidence:0.5;
+             B.point ~bound:1e-2 ~confidence:0.9 ]))
+
+let test_fit_gamma () =
+  let a =
+    B.assessment ~most_likely:3e-3 [ B.point ~bound:1e-2 ~confidence:0.67 ]
+  in
+  let d = B.fit_gamma a in
+  check_close ~eps:1e-6 "mode" 3e-3 (Option.get d.Dist.mode);
+  check_close ~eps:1e-6 "confidence" 0.67 (d.Dist.cdf 1e-2)
+
+let test_assessment_validation () =
+  check_raises_invalid "no points" (fun () -> ignore (B.assessment []));
+  check_raises_invalid "bad most_likely" (fun () ->
+      ignore
+        (B.assessment ~most_likely:0.0 [ B.point ~bound:1e-3 ~confidence:0.5 ]))
+
+let suite =
+  [ case "point validation" test_point_validation;
+    case "coherence checking" test_coherence;
+    case "reinterpretation as a claim" test_to_claim;
+    case "lognormal fit from mode + point" test_fit_lognormal_mode_point;
+    case "lognormal fit from two points" test_fit_lognormal_two_points;
+    case "fit error cases" test_fit_errors;
+    case "gamma fit" test_fit_gamma;
+    case "assessment validation" test_assessment_validation ]

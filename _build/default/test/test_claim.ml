@@ -1,0 +1,49 @@
+open Helpers
+module C = Confidence.Claim
+
+let test_make_validation () =
+  let c = C.make ~bound:1e-3 ~confidence:0.99 in
+  check_close "bound" 1e-3 c.bound;
+  check_close "doubt" 0.01 (C.doubt c);
+  check_raises_invalid "bound > 1" (fun () ->
+      ignore (C.make ~bound:1.5 ~confidence:0.5));
+  check_raises_invalid "bound < 0" (fun () ->
+      ignore (C.make ~bound:(-0.1) ~confidence:0.5));
+  check_raises_invalid "confidence 0" (fun () ->
+      ignore (C.make ~bound:0.5 ~confidence:0.0));
+  check_raises_invalid "confidence > 1" (fun () ->
+      ignore (C.make ~bound:0.5 ~confidence:1.1))
+
+let test_certain () =
+  let c = C.certain 1e-4 in
+  check_close "no doubt" 0.0 (C.doubt c);
+  check_close "bound kept" 1e-4 c.bound
+
+let test_of_belief () =
+  let belief =
+    Dist.Mixture.of_dist (Dist.Lognormal.of_mode_mean ~mode:3e-3 ~mean:1e-2)
+  in
+  let c = C.of_belief belief ~bound:1e-2 in
+  check_in_range "confidence read off belief" ~lo:0.66 ~hi:0.68 c.confidence;
+  check_raises_invalid "no mass below bound" (fun () ->
+      ignore (C.of_belief (Dist.Mixture.atom 0.5) ~bound:0.1))
+
+let test_strength_order () =
+  let strong = C.make ~bound:1e-4 ~confidence:0.99 in
+  let weak = C.make ~bound:1e-3 ~confidence:0.9 in
+  check_true "strong beats weak" (C.is_at_least_as_strong strong weak);
+  check_true "weak does not beat strong"
+    (not (C.is_at_least_as_strong weak strong));
+  check_true "reflexive" (C.is_at_least_as_strong weak weak)
+
+let test_to_string () =
+  let c = C.make ~bound:1e-3 ~confidence:0.999 in
+  let s = C.to_string c in
+  check_true "mentions bound" (String.length s > 0)
+
+let suite =
+  [ case "construction and validation" test_make_validation;
+    case "certain claims" test_certain;
+    case "claims read off beliefs" test_of_belief;
+    case "strength ordering" test_strength_order;
+    case "rendering" test_to_string ]

@@ -1,0 +1,113 @@
+open Helpers
+module C = Confidence.Claim
+module Co = Confidence.Compose
+
+let c1 = C.make ~bound:1e-4 ~confidence:0.999
+let c2 = C.make ~bound:5e-4 ~confidence:0.995
+let c3 = C.make ~bound:2e-4 ~confidence:0.99
+
+let test_series_claim () =
+  let s = Co.series [ c1; c2; c3 ] in
+  check_close ~eps:1e-12 "bounds add" 8e-4 s.bound;
+  check_close ~eps:1e-12 "doubts add" (0.001 +. 0.005 +. 0.01)
+    (C.doubt s);
+  (* Singleton is the claim itself. *)
+  let single = Co.series [ c1 ] in
+  check_close "singleton bound" 1e-4 single.bound;
+  check_close ~eps:1e-12 "singleton confidence" 0.999 single.confidence;
+  check_raises_invalid "empty" (fun () -> ignore (Co.series []));
+  check_raises_invalid "doubts saturate" (fun () ->
+      ignore
+        (Co.series
+           [ C.make ~bound:0.1 ~confidence:0.5; C.make ~bound:0.1 ~confidence:0.5 ]))
+
+let test_series_bound_clamped () =
+  let big = C.make ~bound:0.8 ~confidence:0.99 in
+  let s = Co.series [ big; big ] in
+  check_close "bound clamped at 1" 1.0 s.bound
+
+let test_series_failure_bound () =
+  let expected =
+    Confidence.Conservative.failure_bound c1
+    +. Confidence.Conservative.failure_bound c2
+  in
+  check_close ~eps:1e-12 "union bound" expected
+    (Co.series_failure_bound [ c1; c2 ]);
+  (* Series of many bad claims clamps to 1. *)
+  let bad = C.make ~bound:0.5 ~confidence:0.6 in
+  check_close "clamped" 1.0 (Co.series_failure_bound [ bad; bad; bad ])
+
+let test_series_bound_dominates_simulation () =
+  (* Simulate a 3-subsystem series: each subsystem's pfd drawn from its
+     worst-case belief; the system fails if any fails. *)
+  let claims = [ c1; c2; c3 ] in
+  let rng = rng_of_seed 121 in
+  let worst = List.map Confidence.Conservative.worst_case_belief claims in
+  let est =
+    Sim.Mc.probability ~n:200_000 rng (fun rng ->
+        List.exists
+          (fun belief ->
+            let pfd = min 1.0 (Dist.Mixture.sample belief rng) in
+            Numerics.Rng.bernoulli rng pfd)
+          worst)
+  in
+  let bound = Co.series_failure_bound claims in
+  check_true "bound dominates simulated series system"
+    (est.Sim.Mc.mean <= bound +. (3.0 *. est.std_error))
+
+let test_parallel () =
+  let b1 = Confidence.Conservative.failure_bound c1 in
+  let b2 = Confidence.Conservative.failure_bound c2 in
+  check_close ~eps:1e-15 "independent product" (b1 *. b2)
+    (Co.parallel_failure_bound c1 c2);
+  check_close ~eps:1e-15 "full common cause" (max b1 b2)
+    (Co.parallel_failure_bound ~common_cause_beta:1.0 c1 c2);
+  let mid = Co.parallel_failure_bound ~common_cause_beta:0.1 c1 c2 in
+  check_true "beta interpolates" (mid > b1 *. b2 && mid < max b1 b2);
+  check_raises_invalid "bad beta" (fun () ->
+      ignore (Co.parallel_failure_bound ~common_cause_beta:1.5 c1 c2));
+  let claim = Co.parallel_claim c1 c2 in
+  check_close ~eps:1e-15 "claim wraps the bound" (b1 *. b2) claim.bound;
+  check_close "claim is certain" 0.0 (C.doubt claim)
+
+let test_parallel_beats_single_channel () =
+  (* Redundancy helps: the pair's bound is far below either channel's,
+     unless the common cause dominates. *)
+  let b1 = Confidence.Conservative.failure_bound c1 in
+  check_true "pair better than channel"
+    (Co.parallel_failure_bound c1 c1 < b1 /. 100.0);
+  check_true "common cause erodes redundancy"
+    (Co.parallel_failure_bound ~common_cause_beta:0.1 c1 c1 > b1 /. 100.0)
+
+let test_koon () =
+  let b = Confidence.Conservative.failure_bound c1 in
+  (* 1oo1 = the channel itself. *)
+  check_close ~eps:1e-15 "1oo1" b (Co.koon_failure_bound ~k:1 ~n:1 c1);
+  (* 1oo2 without common cause = the parallel product. *)
+  check_close ~eps:1e-12 "1oo2 = parallel" (Co.parallel_failure_bound c1 c1)
+    (Co.koon_failure_bound ~k:1 ~n:2 c1);
+  (* 2oo2 fails if either channel fails: P(X >= 1) = 1 - (1-b)^2. *)
+  check_close ~eps:1e-12 "2oo2" (1.0 -. ((1.0 -. b) ** 2.0))
+    (Co.koon_failure_bound ~k:2 ~n:2 c1);
+  (* 2oo3 fails when >= 2 of 3 fail: 3b^2(1-b) + b^3. *)
+  check_close ~eps:1e-12 "2oo3"
+    ((3.0 *. b *. b *. (1.0 -. b)) +. (b ** 3.0))
+    (Co.koon_failure_bound ~k:2 ~n:3 c1);
+  (* Ordering: 1oo2 < 2oo3 < 1oo1 < 2oo2 for small b. *)
+  let f k n = Co.koon_failure_bound ~k ~n c1 in
+  check_true "architecture ordering"
+    (f 1 2 < f 2 3 && f 2 3 < f 1 1 && f 1 1 < f 2 2);
+  (* Common cause floors everything at beta * b. *)
+  let with_beta = Co.koon_failure_bound ~common_cause_beta:0.02 ~k:1 ~n:3 c1 in
+  check_true "beta floor" (with_beta >= 0.02 *. b);
+  check_raises_invalid "k > n" (fun () ->
+      ignore (Co.koon_failure_bound ~k:3 ~n:2 c1))
+
+let suite =
+  [ case "series claim (union bound)" test_series_claim;
+    case "k-out-of-n architectures" test_koon;
+    case "series bound clamped" test_series_bound_clamped;
+    case "series failure bound" test_series_failure_bound;
+    case "series bound dominates simulation" test_series_bound_dominates_simulation;
+    case "parallel (1oo2) bound" test_parallel;
+    case "redundancy vs common cause" test_parallel_beats_single_channel ]

@@ -1,0 +1,183 @@
+open Helpers
+module C = Confidence.Claim
+module Cons = Confidence.Conservative
+
+let test_failure_bound_formula () =
+  (* x + y - xy with x = doubt, y = bound. *)
+  let c = C.make ~bound:1e-3 ~confidence:0.99 in
+  check_close ~eps:1e-12 "bound" (0.01 +. 1e-3 -. (0.01 *. 1e-3))
+    (Cons.failure_bound c);
+  (* Example 1: certainty of the bound -> the bound itself. *)
+  check_close ~eps:1e-12 "example 1" 1e-3 (Cons.failure_bound (C.certain 1e-3));
+  (* Example 2: 99.9% confidence in perfection -> 1e-3. *)
+  check_close ~eps:1e-12 "example 2" 1e-3
+    (Cons.failure_bound (C.make ~bound:0.0 ~confidence:(1.0 -. 1e-3)))
+
+let test_worst_case_belief_attains_bound () =
+  let c = C.make ~bound:1e-3 ~confidence:0.995 in
+  let wc = Cons.worst_case_belief c in
+  check_close ~eps:1e-15 "mean of worst case = bound" (Cons.failure_bound c)
+    (Dist.Mixture.mean wc);
+  (* The worst case still satisfies the stated belief. *)
+  check_close ~eps:1e-12 "P(pfd <= y) kept" 0.995
+    (Dist.Mixture.prob_le wc 1e-3)
+
+let test_bound_dominates_all_admissible_beliefs =
+  (* For ANY belief consistent with P(pfd <= y) >= 1-x, the mean failure
+     probability is below x + y - xy.  Admissible test family: mass 1-x
+     spread as a uniform on [0, y] mixed with mass x at some point in
+     [y, 1]. *)
+  let gen =
+    QCheck2.Gen.(
+      triple
+        (map (fun u -> 0.001 +. (0.2 *. u)) (float_bound_inclusive 1.0))
+        (map (fun u -> 0.001 +. (0.3 *. u)) (float_bound_inclusive 1.0))
+        (float_bound_inclusive 1.0))
+  in
+  qcheck "conservative bound dominates" gen (fun (x, y, t) ->
+      let tail_pos = y +. (t *. (1.0 -. y)) in
+      let belief =
+        Dist.Mixture.make
+          [ (1.0 -. x, Dist.Mixture.Cont (Dist.Uniform_d.make ~lo:0.0 ~hi:y));
+            (x, Dist.Mixture.Atom tail_pos) ]
+      in
+      let claim = C.make ~bound:y ~confidence:(1.0 -. x) in
+      Dist.Mixture.mean belief <= Cons.failure_bound claim +. 1e-12)
+
+let test_perfection_variant () =
+  let c = C.make ~bound:1e-3 ~confidence:0.99 in
+  let x = 0.01 and y = 1e-3 in
+  List.iter
+    (fun p0 ->
+      check_close ~eps:1e-12
+        (Printf.sprintf "perfection %g" p0)
+        (x +. y -. ((x +. p0) *. y))
+        (Cons.failure_bound_perfection c ~p0))
+    [ 0.0; 0.3; 0.9 ];
+  (* More perfection mass never hurts. *)
+  check_true "monotone in p0"
+    (Cons.failure_bound_perfection c ~p0:0.5
+     <= Cons.failure_bound_perfection c ~p0:0.1);
+  check_close ~eps:1e-12 "p0 = 0 recovers base bound" (Cons.failure_bound c)
+    (Cons.failure_bound_perfection c ~p0:0.0);
+  check_raises_invalid "p0 beyond confidence" (fun () ->
+      ignore (Cons.failure_bound_perfection c ~p0:0.995))
+
+let test_factor_variant () =
+  let c = C.make ~bound:1e-3 ~confidence:0.99 in
+  (* "sure we were not wrong by more than a factor of 100". *)
+  let b100 = Cons.failure_bound_factor c ~k:100.0 in
+  check_close ~eps:1e-12 "factor bound"
+    ((0.99 *. 1e-3) +. (0.01 *. 0.1))
+    b100;
+  check_true "tighter than the worst case" (b100 < Cons.failure_bound c);
+  (* Enormous factors saturate at the worst case. *)
+  check_close ~eps:1e-12 "saturation" (Cons.failure_bound c)
+    (Cons.failure_bound_factor c ~k:1e9);
+  check_raises_invalid "k < 1" (fun () ->
+      ignore (Cons.failure_bound_factor c ~k:0.5))
+
+let test_required_confidence () =
+  (* Example 3: target 1e-3 via a one-decade-stronger claim. *)
+  let conf = Cons.required_confidence ~target:1e-3 ~bound:1e-4 in
+  check_close ~eps:1e-6 "99.91% needed" 0.9991 conf;
+  (* Verify by plugging back. *)
+  let claim = C.make ~bound:1e-4 ~confidence:conf in
+  check_close ~eps:1e-12 "achieves target exactly" 1e-3
+    (Cons.failure_bound claim);
+  (match Cons.required_confidence ~target:1e-3 ~bound:1e-3 with
+  | exception Cons.Infeasible _ -> ()
+  | _ -> Alcotest.fail "bound = target must be infeasible")
+
+let test_required_bound () =
+  let y = Cons.required_bound ~target:1e-3 ~confidence:0.9995 in
+  let claim = C.make ~bound:y ~confidence:0.9995 in
+  check_close ~eps:1e-9 "achieves target" 1e-3 (Cons.failure_bound claim);
+  (match Cons.required_bound ~target:1e-3 ~confidence:0.999 with
+  | exception Cons.Infeasible _ -> ()
+  | _ -> Alcotest.fail "doubt 1e-3 >= target must be infeasible")
+
+let test_decade_rule_and_unforgivingness () =
+  let claim = Cons.decade_rule ~target:1e-3 ~decades:1.0 in
+  check_close "decade bound" 1e-4 claim.bound;
+  check_in_range "confidence ~99.91%" ~lo:0.9990 ~hi:0.99911 claim.confidence;
+  (* "Imagine that the requirement is the more stringent 1e-5 ... the expert
+     would need ... confidence greater than 99.999%". *)
+  let stringent = Cons.decade_rule ~target:1e-5 ~decades:1.0 in
+  check_true "target 1e-5 needs > 99.999%" (stringent.confidence > 0.99999);
+  check_raises_invalid "decades <= 0" (fun () ->
+      ignore (Cons.decade_rule ~target:1e-3 ~decades:0.0))
+
+let test_examples_table () =
+  let rows = Cons.examples ~target:1e-3 in
+  Alcotest.(check int) "three examples" 3 (List.length rows);
+  List.iter
+    (fun (label, _claim, bound) ->
+      check_true (label ^ " achieves the target") (bound <= 1e-3 +. 1e-12))
+    rows
+
+let test_feasibility_profile () =
+  let bounds = [| 1e-6; 1e-5; 1e-4; 5e-4; 1e-3; 1e-2 |] in
+  let profile = Cons.feasibility_profile ~target:1e-3 ~bounds in
+  Array.iter
+    (fun (bound, conf) ->
+      match conf with
+      | Some c ->
+        check_true "feasible only below target" (bound < 1e-3);
+        check_in_range "confidence sensible" ~lo:0.999 ~hi:1.0 c
+      | None -> check_true "infeasible at/above target" (bound >= 1e-3))
+    profile
+
+let test_required_confidence_solves_bound =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (map (fun u -> exp (log 1e-6 +. (u *. log 1e3))) (float_bound_inclusive 1.0))
+        (map (fun u -> 0.01 +. (0.98 *. u)) (float_bound_inclusive 1.0)))
+  in
+  qcheck "required_confidence inverts failure_bound" gen (fun (target, frac) ->
+      let bound = target *. frac in
+      match Cons.required_confidence ~target ~bound with
+      | conf ->
+        let claim = C.make ~bound ~confidence:conf in
+        abs_float (Cons.failure_bound claim -. target) < 1e-12
+      | exception Cons.Infeasible _ -> false)
+
+let test_solver_duality =
+  (* required_bound and required_confidence are inverses of each other. *)
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (map (fun u -> exp (log 1e-6 +. (u *. log 1e4))) (float_bound_inclusive 1.0))
+        (map (fun u -> u) (float_bound_inclusive 1.0)))
+  in
+  qcheck "required_bound / required_confidence duality" gen
+    (fun (target, u) ->
+      (* Pick a feasible confidence: doubt strictly below the target. *)
+      let confidence = 1.0 -. (u *. target *. 0.99) in
+      if confidence >= 1.0 then true
+      else begin
+        match Cons.required_bound ~target ~confidence with
+        | bound ->
+          if bound <= 0.0 then true
+          else begin
+            match Cons.required_confidence ~target ~bound with
+            | confidence' -> abs_float (confidence -. confidence') < 1e-9
+            | exception Cons.Infeasible _ -> false
+          end
+        | exception Cons.Infeasible _ -> true
+      end)
+
+let suite =
+  [ case "inequality (5) and the paper's extremes" test_failure_bound_formula;
+    test_solver_duality;
+    case "worst-case belief attains the bound" test_worst_case_belief_attains_bound;
+    test_bound_dominates_all_admissible_beliefs;
+    case "perfection-atom variant" test_perfection_variant;
+    case "factor-k variant" test_factor_variant;
+    case "required confidence (Example 3)" test_required_confidence;
+    case "required bound" test_required_bound;
+    case "decade rule and 1e-5 unforgivingness" test_decade_rule_and_unforgivingness;
+    case "examples table" test_examples_table;
+    case "feasibility profile" test_feasibility_profile;
+    test_required_confidence_solves_bound ]

@@ -1,0 +1,81 @@
+open Helpers
+module C = Experience.Conservative_mtbf
+module G = Experience.Growth
+
+let test_bound_values () =
+  check_close ~eps:1e-12 "rate bound" (10.0 /. (exp 1.0 *. 100.0))
+    (C.worst_case_rate ~n_faults:10 ~time:100.0);
+  check_close ~eps:1e-12 "mtbf bound" (exp 1.0 *. 100.0 /. 10.0)
+    (C.worst_case_mtbf ~n_faults:10 ~time:100.0);
+  check_close ~eps:1e-12 "rate * mtbf = 1" 1.0
+    (C.worst_case_rate ~n_faults:7 ~time:33.0
+    *. C.worst_case_mtbf ~n_faults:7 ~time:33.0);
+  check_raises_invalid "bad faults" (fun () ->
+      ignore (C.worst_case_rate ~n_faults:0 ~time:1.0));
+  check_raises_invalid "bad time" (fun () ->
+      ignore (C.worst_case_rate ~n_faults:1 ~time:0.0))
+
+let test_fault_contribution_peak () =
+  (* phi e^(-phi t) is maximised at phi = 1/t with value 1/(e t). *)
+  let t = 50.0 in
+  check_close ~eps:1e-12 "peak value" (1.0 /. (exp 1.0 *. t))
+    (C.fault_contribution ~phi:(1.0 /. t) ~time:t)
+
+let test_bound_dominates_every_phi =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (map (fun u -> exp (log 1e-4 +. (u *. log 1e6))) (float_bound_inclusive 1.0))
+        (map (fun u -> 1.0 +. (999.0 *. u)) (float_bound_inclusive 1.0)))
+  in
+  qcheck "n * phi * exp(-phi t) <= n/(e t) for all phi" gen (fun (phi, t) ->
+      let n = 25 in
+      let model =
+        C.expected_rate_jm (G.Jm.make ~n_faults:n ~phi) ~time:t
+      in
+      model <= C.worst_case_rate ~n_faults:n ~time:t +. 1e-15)
+
+let test_bound_vs_model_table () =
+  let p = G.Jm.make ~n_faults:20 ~phi:0.01 in
+  let times = [| 10.0; 100.0; 1000.0 |] in
+  let rows = C.bound_vs_model p ~times in
+  Alcotest.(check int) "rows" 3 (Array.length rows);
+  Array.iter
+    (fun (_, bound, model) -> check_true "bound envelopes model" (model <= bound))
+    rows;
+  (* The bound is tight exactly at t = 1/phi. *)
+  let _, bound, model = (C.bound_vs_model p ~times:[| 100.0 |]).(0) in
+  check_close ~eps:1e-12 "tight at t = 1/phi" bound model
+
+let test_bound_dominates_simulated_growth () =
+  (* Monte-Carlo: simulate JM fault-fixing and measure the empirical rate
+     around time t; it must respect the bound. *)
+  let rng = rng_of_seed 91 in
+  let n = 30 and phi = 0.02 in
+  let t_check = 50.0 in
+  let n_runs = 2000 in
+  let failures_after = ref 0 in
+  for _ = 1 to n_runs do
+    (* Count failures in [t_check, t_check + dt) with dt = 1. *)
+    let p = G.Jm.make ~n_faults:n ~phi in
+    let times = G.Jm.simulate p rng in
+    let cumulative = ref 0.0 in
+    Array.iter
+      (fun dt ->
+        let event_time = !cumulative +. dt in
+        if event_time >= t_check && event_time < t_check +. 1.0 then
+          incr failures_after;
+        cumulative := event_time)
+      times
+  done;
+  let empirical_rate = float_of_int !failures_after /. float_of_int n_runs in
+  let bound = C.worst_case_rate ~n_faults:n ~time:t_check in
+  check_true "simulated rate below the worst case"
+    (empirical_rate <= bound *. 1.1)
+
+let suite =
+  [ case "bound closed forms" test_bound_values;
+    case "single-fault contribution peak" test_fault_contribution_peak;
+    test_bound_dominates_every_phi;
+    case "bound vs JM model table" test_bound_vs_model_table;
+    case "bound dominates simulated growth" test_bound_dominates_simulated_growth ]

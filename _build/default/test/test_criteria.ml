@@ -1,0 +1,58 @@
+open Helpers
+module C = Risk.Criteria
+
+let test_regions () =
+  let r = C.regions ~broadly_acceptable:1e-6 ~tolerable:1e-4 in
+  check_true "classify low" (C.classify r 1e-7 = C.Broadly_acceptable);
+  check_true "classify boundary ba" (C.classify r 1e-6 = C.Broadly_acceptable);
+  check_true "classify mid" (C.classify r 1e-5 = C.Alarp);
+  check_true "classify boundary tol" (C.classify r 1e-4 = C.Alarp);
+  check_true "classify high" (C.classify r 1e-3 = C.Intolerable);
+  check_raises_invalid "inverted regions" (fun () ->
+      ignore (C.regions ~broadly_acceptable:1e-4 ~tolerable:1e-6));
+  check_raises_invalid "negative frequency" (fun () ->
+      ignore (C.classify r (-1.0)))
+
+let test_uk_hse () =
+  check_close "ba" 1e-6 C.uk_hse_public.broadly_acceptable;
+  check_close "tol" 1e-4 C.uk_hse_public.tolerable
+
+let test_confidence_profile () =
+  (* Frequency belief: half the mass at 1e-7, half at 1e-5, a sliver at 1. *)
+  let samples =
+    Array.concat
+      [ Array.make 50 1e-7; Array.make 45 1e-5; Array.make 5 1.0 ]
+  in
+  let belief = Dist.Empirical.of_samples samples in
+  let profile = C.confidence_profile C.uk_hse_public belief in
+  let get c = List.assoc c profile in
+  check_close ~eps:1e-12 "broadly acceptable" 0.5 (get C.Broadly_acceptable);
+  check_close ~eps:1e-12 "alarp" 0.45 (get C.Alarp);
+  check_close ~eps:1e-12 "intolerable" 0.05 (get C.Intolerable);
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 profile in
+  check_close ~eps:1e-12 "sums to 1" 1.0 total
+
+let test_acceptable_with_confidence () =
+  let samples = Array.concat [ Array.make 96 1e-6; Array.make 4 1.0 ] in
+  let belief = Dist.Empirical.of_samples samples in
+  check_true "acceptable at 95%"
+    (C.acceptable_with_confidence C.uk_hse_public belief ~confidence:0.95);
+  check_true "not acceptable at 99%"
+    (not (C.acceptable_with_confidence C.uk_hse_public belief ~confidence:0.99));
+  check_raises_invalid "bad confidence" (fun () ->
+      ignore
+        (C.acceptable_with_confidence C.uk_hse_public belief ~confidence:1.0))
+
+let test_strings () =
+  let names =
+    List.map C.classification_to_string
+      [ C.Intolerable; C.Alarp; C.Broadly_acceptable ]
+  in
+  Alcotest.(check int) "distinct" 3 (List.length (List.sort_uniq compare names))
+
+let suite =
+  [ case "region classification" test_regions;
+    case "UK HSE guidance values" test_uk_hse;
+    case "confidence profile" test_confidence_profile;
+    case "acceptability with confidence" test_acceptable_with_confidence;
+    case "classification names" test_strings ]

@@ -1,0 +1,74 @@
+open Helpers
+module D = Confidence.Decision
+module B = Sil.Band
+
+let belief_of_sigma sigma =
+  Dist.Mixture.of_dist (Dist.Lognormal.of_mode_sigma ~mode:3e-3 ~sigma)
+
+let test_requirement_validation () =
+  check_raises_invalid "confidence 1" (fun () ->
+      ignore (D.requirement ~band:B.Sil2 ~confidence:1.0));
+  check_raises_invalid "confidence 0" (fun () ->
+      ignore (D.requirement ~band:B.Sil2 ~confidence:0.0))
+
+let test_assess_accept () =
+  (* Tight belief: P(<= 1e-2) ~ 0.99, meets a 70% SIL2 requirement. *)
+  let req = D.requirement ~band:B.Sil2 ~confidence:0.7 in
+  check_true "accepted" (D.assess req (belief_of_sigma 0.44) = D.Accept)
+
+let test_assess_reduced () =
+  (* Wide belief: ~67% at SIL2 fails a 90% requirement but SIL1 passes. *)
+  let req = D.requirement ~band:B.Sil2 ~confidence:0.9 in
+  match D.assess req (belief_of_sigma 0.9) with
+  | D.Accept_reduced b -> check_true "reduced to SIL1" (B.equal b B.Sil1)
+  | v -> Alcotest.failf "expected reduction, got %s" (D.verdict_to_string v)
+
+let test_assess_reject () =
+  (* Belief centred beyond SIL1 entirely. *)
+  let hopeless =
+    Dist.Mixture.of_dist (Dist.Lognormal.of_mode_sigma ~mode:0.3 ~sigma:1.0)
+  in
+  let req = D.requirement ~band:B.Sil1 ~confidence:0.9 in
+  check_true "rejected" (D.assess req hopeless = D.Reject)
+
+let test_strongest_claimable () =
+  let b = belief_of_sigma 0.44 in
+  (match D.strongest_claimable ~confidence:0.7 b with
+  | Some band -> check_true "SIL2 claimable at 70%" (B.equal band B.Sil2)
+  | None -> Alcotest.fail "expected a claimable band");
+  (* At 99.99% only a weaker band (or nothing) survives. *)
+  match D.strongest_claimable ~confidence:0.9999 b with
+  | Some band ->
+    check_true "weaker under extreme confidence"
+      (B.compare_strength band B.Sil2 < 0)
+  | None -> ()
+
+let test_shortfall () =
+  let req = D.requirement ~band:B.Sil2 ~confidence:0.9 in
+  let wide = belief_of_sigma 0.9 in
+  let s = D.confidence_shortfall req wide in
+  check_in_range "shortfall ~0.23" ~lo:0.2 ~hi:0.26 s;
+  let tight = belief_of_sigma 0.3 in
+  check_close "no shortfall when met" 0.0 (D.confidence_shortfall req tight)
+
+let test_monotone_in_requirement =
+  qcheck "stronger requirement never flips reject into accept"
+    QCheck2.Gen.(map (fun u -> 0.3 +. (1.2 *. u)) (float_bound_inclusive 1.0))
+    (fun sigma ->
+      let belief = belief_of_sigma sigma in
+      let verdict_at c = D.assess (D.requirement ~band:B.Sil2 ~confidence:c) belief in
+      let rank = function
+        | D.Accept -> 2
+        | D.Accept_reduced _ -> 1
+        | D.Reject -> 0
+      in
+      rank (verdict_at 0.6) >= rank (verdict_at 0.95))
+
+let suite =
+  [ case "requirement validation" test_requirement_validation;
+    case "accept" test_assess_accept;
+    case "accept at reduced claim" test_assess_reduced;
+    case "reject" test_assess_reject;
+    case "strongest claimable band" test_strongest_claimable;
+    case "confidence shortfall" test_shortfall;
+    test_monotone_in_requirement ]

@@ -1,0 +1,94 @@
+open Helpers
+module D = Elicit.Delphi
+
+let result = lazy (D.run D.default_config)
+
+let test_structure () =
+  let r = Lazy.force result in
+  Alcotest.(check int) "four phases" 4 (List.length r.snapshots);
+  List.iter2
+    (fun (s : D.snapshot) phase -> check_true "phase order" (s.phase = phase))
+    r.snapshots D.phases;
+  List.iter
+    (fun (s : D.snapshot) ->
+      Alcotest.(check int) "all experts present" 12 (List.length s.experts);
+      Alcotest.(check int) "three doubters" 3 (List.length s.doubter_modes))
+    r.snapshots
+
+let test_paper_end_state () =
+  (* Section 3.3: "The group were about 90% confident that the system was in
+     SIL2 or better yet the resulting pfd (0.01) is on the 2-1 boundary." *)
+  let final = D.final (Lazy.force result) in
+  check_in_range "~90% confident of SIL2+" ~lo:0.85 ~hi:0.95
+    final.confidence_sil2;
+  check_in_range "pooled pfd near the SIL2/SIL1 boundary" ~lo:5e-3 ~hi:2e-2
+    final.pooled_mean;
+  check_true "tension between confidence and mean"
+    (final.confidence_sil2 > 0.85 && final.pooled_mean >= 9e-3)
+
+let test_doubters_never_move () =
+  let r = Lazy.force result in
+  let first = List.hd r.snapshots and last = D.final r in
+  List.iter2
+    (fun m1 m2 -> check_close ~eps:1e-12 "doubter mode fixed" m1 m2)
+    first.doubter_modes last.doubter_modes;
+  (* Doubters sit decades above the believers. *)
+  List.iter
+    (fun m -> check_true "doubters report high rates" (m > 0.05))
+    last.doubter_modes
+
+let test_convergence () =
+  let r = Lazy.force result in
+  let spread_of (s : D.snapshot) =
+    let believers =
+      List.filter (fun (e : D.expert) -> e.profile = D.Believer) s.experts
+    in
+    let peaks = List.map (fun (e : D.expert) -> e.log_peak) believers in
+    let arr = Array.of_list peaks in
+    Numerics.Summary.std arr
+  in
+  let first = List.hd r.snapshots and last = D.final r in
+  check_true "believer peaks converge" (spread_of last < spread_of first);
+  check_true "confidence grows over phases"
+    (last.confidence_sil2 > first.confidence_sil2)
+
+let test_determinism () =
+  let r1 = D.run D.default_config and r2 = D.run D.default_config in
+  check_close "same final mean" (D.final r1).pooled_mean
+    (D.final r2).pooled_mean;
+  let other = D.run { D.default_config with seed = 99 } in
+  check_true "different seed differs"
+    (abs_float ((D.final other).pooled_mean -. (D.final r1).pooled_mean) > 1e-12)
+
+let test_config_validation () =
+  let c = D.default_config in
+  check_raises_invalid "no believers" (fun () ->
+      ignore (D.run { c with n_doubters = 12 }));
+  check_raises_invalid "bad gain" (fun () ->
+      ignore (D.run { c with info_gain = 1.5 }));
+  check_raises_invalid "bad true_pfd" (fun () ->
+      ignore (D.run { c with true_pfd = 0.0 }));
+  check_raises_invalid "bad sigma range" (fun () ->
+      ignore (D.run { c with sigma_range = (1.0, 0.5) }))
+
+let test_summary_table () =
+  let t = D.summary_table (Lazy.force result) in
+  check_true "non-empty" (String.length t > 100)
+
+let test_belief_of () =
+  let e =
+    { D.id = 0; profile = D.Believer; log_peak = log 3e-3; sigma = 0.9;
+      learning = 1.0 }
+  in
+  let d = D.belief_of e in
+  check_close ~eps:1e-9 "mode" 3e-3 (Option.get d.Dist.mode)
+
+let suite =
+  [ case "protocol structure" test_structure;
+    case "paper's reported end state" test_paper_end_state;
+    case "doubters never move" test_doubters_never_move;
+    case "believers converge" test_convergence;
+    case "determinism by seed" test_determinism;
+    case "config validation" test_config_validation;
+    case "summary table" test_summary_table;
+    case "expert belief construction" test_belief_of ]

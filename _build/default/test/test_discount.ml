@@ -1,0 +1,72 @@
+open Helpers
+module D = Sil.Discount
+module B = Sil.Band
+
+let test_default_policy_paper_rules () =
+  (* "if a process-based qualitative argument was used SIL could be reduced
+     by (at least) 2 levels" — Section 4.3. *)
+  Alcotest.(check int) "qualitative discount" 2
+    (D.default_policy.discount D.Qualitative_only);
+  Alcotest.(check int) "standards discount" 2
+    (D.default_policy.discount D.Standards_compliance);
+  Alcotest.(check int) "worst-case quantitative at face value" 0
+    (D.default_policy.discount D.Worst_case_quantitative)
+
+let test_apply () =
+  let p = D.default_policy in
+  check_true "SIL4 qualitative -> SIL1 (cap)"
+    (D.apply p D.Qualitative_only B.Sil4 = Some B.Sil1);
+  check_true "SIL4 standards -> SIL2"
+    (D.apply p D.Standards_compliance B.Sil4 = Some B.Sil2);
+  check_true "SIL2 qualitative -> nothing claimable"
+    (D.apply p D.Qualitative_only B.Sil2 = None);
+  check_true "SIL3 growth -> SIL2"
+    (D.apply p D.Growth_model B.Sil3 = Some B.Sil2);
+  check_true "SIL4 growth capped at SIL3"
+    (D.apply p D.Growth_model B.Sil4 = Some B.Sil3);
+  check_true "worst-case SIL3 kept"
+    (D.apply p D.Worst_case_quantitative B.Sil3 = Some B.Sil3)
+
+let test_judge_then_claim () =
+  (* Mode mid-SIL2 but wide spread: mean lands in SIL1, and a qualitative
+     argument cannot claim anything. *)
+  let wide =
+    Dist.Mixture.of_dist (Dist.Lognormal.of_mode_sigma ~mode:3e-3 ~sigma:1.2)
+  in
+  let judged, claim =
+    D.judge_then_claim D.default_policy D.Qualitative_only wide
+  in
+  check_true "judged SIL1" (judged = B.In_band B.Sil1);
+  check_true "no claim" (claim = None);
+  (* A tight worst-case argument keeps the judged level. *)
+  let tight =
+    Dist.Mixture.of_dist (Dist.Lognormal.of_mode_sigma ~mode:3e-3 ~sigma:0.3)
+  in
+  let judged2, claim2 =
+    D.judge_then_claim D.default_policy D.Worst_case_quantitative tight
+  in
+  check_true "judged SIL2" (judged2 = B.In_band B.Sil2);
+  check_true "claims SIL2" (claim2 = Some B.Sil2)
+
+let test_custom_policy () =
+  let harsh = { D.discount = (fun _ -> 3); claim_limit = (fun _ -> None) } in
+  check_true "SIL4 -> SIL1 under harsh policy"
+    (D.apply harsh D.Proof_of_perfection B.Sil4 = Some B.Sil1);
+  check_true "SIL3 -> none under harsh policy"
+    (D.apply harsh D.Proof_of_perfection B.Sil3 = None)
+
+let test_rigour_strings () =
+  let names =
+    List.map D.rigour_to_string
+      [ D.Qualitative_only; D.Standards_compliance; D.Growth_model;
+        D.Worst_case_quantitative; D.Proof_of_perfection ]
+  in
+  Alcotest.(check int) "distinct descriptions" 5
+    (List.length (List.sort_uniq compare names))
+
+let suite =
+  [ case "paper's discount rules" test_default_policy_paper_rules;
+    case "apply with caps and floors" test_apply;
+    case "judge then claim" test_judge_then_claim;
+    case "custom policies" test_custom_policy;
+    case "rigour descriptions" test_rigour_strings ]

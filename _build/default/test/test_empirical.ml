@@ -1,0 +1,87 @@
+open Helpers
+module E = Dist.Empirical
+
+let samples = [| 3.0; 1.0; 4.0; 1.0; 5.0; 9.0; 2.0; 6.0 |]
+
+let test_basic_stats () =
+  let e = E.of_samples samples in
+  Alcotest.(check int) "size" 8 (E.size e);
+  check_close "mean" (Numerics.Summary.mean samples) (E.mean e);
+  check_close "variance" (Numerics.Summary.variance samples) (E.variance e);
+  check_raises_invalid "empty" (fun () -> ignore (E.of_samples [||]))
+
+let test_ecdf () =
+  let e = E.of_samples samples in
+  check_close "below all" 0.0 (E.cdf e 0.5);
+  check_close "at duplicate" 0.25 (E.cdf e 1.0);
+  check_close "mid" 0.5 (E.cdf e 3.5);
+  check_close "at max" 1.0 (E.cdf e 9.0);
+  check_close "above all" 1.0 (E.cdf e 100.0)
+
+let test_quantile () =
+  let e = E.of_samples samples in
+  check_close "q0" 1.0 (E.quantile e 0.0);
+  check_close "q1" 9.0 (E.quantile e 1.0);
+  check_close "median" 3.5 (E.quantile e 0.5)
+
+let test_resample () =
+  let e = E.of_samples samples in
+  let rng = rng_of_seed 31 in
+  for _ = 1 to 500 do
+    let x = E.resample e rng in
+    if not (Array.exists (fun s -> s = x) samples) then
+      Alcotest.failf "resample produced foreign value %g" x
+  done
+
+let test_to_dist () =
+  let rng = rng_of_seed 32 in
+  let exact = Dist.Normal.make ~mu:5.0 ~sigma:2.0 in
+  let big = Array.init 20_000 (fun _ -> exact.sample rng) in
+  let e = E.of_samples big in
+  let d = E.to_dist e in
+  check_close ~eps:0.05 "mean recovered" 5.0 d.mean;
+  check_close ~eps:0.05 "cdf at mu" 0.5 (d.cdf 5.0);
+  check_close ~eps:0.06 "quantile 0.975" (exact.quantile 0.975)
+    (d.quantile 0.975);
+  check_raises_invalid "too few distinct values" (fun () ->
+      ignore (E.to_dist (E.of_samples [| 1.0; 1.0; 2.0 |])))
+
+let test_ecdf_is_monotone =
+  qcheck "ecdf monotone"
+    QCheck2.Gen.(
+      pair
+        (array_size (int_range 1 30) (float_bound_inclusive 10.0))
+        (pair (float_bound_inclusive 10.0) (float_bound_inclusive 10.0)))
+    (fun (data, (x1, x2)) ->
+      let e = E.of_samples data in
+      let lo = min x1 x2 and hi = max x1 x2 in
+      E.cdf e lo <= E.cdf e hi)
+
+let test_kde () =
+  let rng = rng_of_seed 33 in
+  let exact = Dist.Normal.make ~mu:0.0 ~sigma:1.0 in
+  let e = E.of_samples (Array.init 5000 (fun _ -> exact.Dist.sample rng)) in
+  let d = E.kde e in
+  check_close ~eps:0.03 "mean" 0.0 d.Dist.mean;
+  check_close ~eps:0.05 "variance (inflated by bandwidth)" 1.0 d.Dist.variance;
+  check_close ~eps:0.02 "cdf at 0" 0.5 (d.Dist.cdf 0.0);
+  (* Density near the peak is close to the true one. *)
+  check_close ~eps:0.03 "pdf at 0" (exact.Dist.pdf 0.0) (d.Dist.pdf 0.0);
+  (* Explicit bandwidth. *)
+  let wide = E.kde ~bandwidth:2.0 e in
+  check_true "wider bandwidth, flatter peak" (wide.Dist.pdf 0.0 < d.Dist.pdf 0.0);
+  check_raises_invalid "bad bandwidth" (fun () ->
+      ignore (E.kde ~bandwidth:0.0 e));
+  check_raises_invalid "too few samples" (fun () ->
+      ignore (E.kde (E.of_samples [| 1.0; 2.0 |])));
+  check_raises_invalid "zero spread" (fun () ->
+      ignore (E.kde (E.of_samples (Array.make 20 1.0))))
+
+let suite =
+  [ case "basic statistics" test_basic_stats;
+    case "kernel density estimate" test_kde;
+    case "ecdf" test_ecdf;
+    case "quantiles" test_quantile;
+    case "bootstrap resampling" test_resample;
+    case "continuous approximation" test_to_dist;
+    test_ecdf_is_monotone ]

@@ -1,0 +1,88 @@
+open Helpers
+module F = Dist.Fit
+
+let test_lognormal_of_mode_confidence () =
+  let d = F.lognormal_of_mode_confidence ~mode:3e-3 ~bound:1e-2 ~confidence:0.67 in
+  check_close ~eps:1e-9 "mode honoured" 3e-3 (Option.get d.Dist.mode);
+  check_close ~eps:1e-9 "confidence honoured" 0.67 (d.Dist.cdf 1e-2);
+  (* The paper's anchor: 67% confidence in SIL2 with mode mid-SIL2 puts the
+     mean right at the SIL2/SIL1 boundary. *)
+  check_in_range "mean near boundary" ~lo:0.0099 ~hi:0.0103 d.Dist.mean
+
+let test_lognormal_of_mode_confidence_errors () =
+  let expect_fit_error f =
+    match f () with
+    | exception F.Fit_error _ -> ()
+    | _ -> Alcotest.fail "expected Fit_error"
+  in
+  expect_fit_error (fun () ->
+      F.lognormal_of_mode_confidence ~mode:1e-2 ~bound:1e-3 ~confidence:0.9);
+  expect_fit_error (fun () ->
+      F.lognormal_of_mode_confidence ~mode:0.0 ~bound:1e-3 ~confidence:0.9);
+  expect_fit_error (fun () ->
+      F.lognormal_of_mode_confidence ~mode:1e-3 ~bound:1e-2 ~confidence:1.0)
+
+let test_lognormal_mode_confidence_roundtrip =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (map (fun u -> 0.05 +. (0.9 *. u)) (float_bound_inclusive 1.0))
+        (map (fun u -> 1.5 +. (50.0 *. u)) (float_bound_inclusive 1.0)))
+  in
+  qcheck "solver honours (mode, bound, confidence)" gen
+    (fun (confidence, bound_ratio) ->
+      let mode = 3e-3 in
+      let bound = mode *. bound_ratio in
+      let d = F.lognormal_of_mode_confidence ~mode ~bound ~confidence in
+      abs_float (d.Dist.cdf bound -. confidence) < 1e-9
+      && abs_float (Option.get d.Dist.mode -. mode) < 1e-12)
+
+let test_gamma_of_mode_confidence () =
+  let d = F.gamma_of_mode_confidence ~mode:3e-3 ~bound:1e-2 ~confidence:0.67 in
+  check_close ~eps:1e-6 "mode honoured" 3e-3 (Option.get d.Dist.mode);
+  check_close ~eps:1e-6 "confidence honoured" 0.67 (d.Dist.cdf 1e-2);
+  (match
+     F.gamma_of_mode_confidence ~mode:1e-2 ~bound:1e-3 ~confidence:0.9
+   with
+  | exception F.Fit_error _ -> ()
+  | _ -> Alcotest.fail "expected Fit_error for bound below mode")
+
+let test_lognormal_of_quantiles () =
+  let d = F.lognormal_of_quantiles (0.25, 2e-3) (0.9, 2e-2) in
+  check_close ~eps:1e-9 "first quantile" 0.25 (d.Dist.cdf 2e-3);
+  check_close ~eps:1e-9 "second quantile" 0.9 (d.Dist.cdf 2e-2);
+  (match F.lognormal_of_quantiles (0.9, 2e-3) (0.25, 2e-2) with
+  | exception F.Fit_error _ -> ()
+  | _ -> Alcotest.fail "expected Fit_error for decreasing confidences")
+
+let test_lognormal_mle () =
+  let rng = rng_of_seed 41 in
+  let exact = Dist.Lognormal.make ~mu:(-5.0) ~sigma:0.8 in
+  let data = Array.init 20_000 (fun _ -> exact.Dist.sample rng) in
+  let d = F.lognormal_mle data in
+  let mu, sigma = Dist.Lognormal.params d in
+  check_in_range "mu" ~lo:(-5.05) ~hi:(-4.95) mu;
+  check_in_range "sigma" ~lo:0.78 ~hi:0.82 sigma;
+  (match F.lognormal_mle [| 1.0; -1.0 |] with
+  | exception F.Fit_error _ -> ()
+  | _ -> Alcotest.fail "expected Fit_error on nonpositive sample")
+
+let test_gamma_moments () =
+  let rng = rng_of_seed 42 in
+  let exact = Dist.Gamma_d.make ~shape:3.0 ~rate:200.0 in
+  let data = Array.init 20_000 (fun _ -> exact.Dist.sample rng) in
+  let d = F.gamma_moments data in
+  check_in_range "mean" ~lo:0.0146 ~hi:0.0154 d.Dist.mean;
+  check_in_range "variance"
+    ~lo:(exact.Dist.variance *. 0.9)
+    ~hi:(exact.Dist.variance *. 1.1)
+    d.Dist.variance
+
+let suite =
+  [ case "lognormal from mode + confidence" test_lognormal_of_mode_confidence;
+    case "lognormal fit errors" test_lognormal_of_mode_confidence_errors;
+    test_lognormal_mode_confidence_roundtrip;
+    case "gamma from mode + confidence" test_gamma_of_mode_confidence;
+    case "lognormal from two quantiles" test_lognormal_of_quantiles;
+    case "lognormal MLE" test_lognormal_mle;
+    case "gamma method of moments" test_gamma_moments ]

@@ -1,0 +1,75 @@
+open Helpers
+module I = Numerics.Integrate
+module Sp = Numerics.Special
+
+let test_simpson_polynomials () =
+  check_close ~eps:1e-10 "x^2 over [0,1]" (1.0 /. 3.0)
+    (I.simpson (fun x -> x *. x) 0.0 1.0);
+  check_close ~eps:1e-10 "x^3 over [-1,2]" 3.75
+    (I.simpson (fun x -> x ** 3.0) (-1.0) 2.0);
+  check_close "empty interval" 0.0 (I.simpson sin 1.0 1.0)
+
+let test_simpson_transcendental () =
+  check_close ~eps:1e-9 "sin over [0,pi]" 2.0 (I.simpson sin 0.0 Sp.pi);
+  check_close ~eps:1e-9 "exp over [0,1]" (exp 1.0 -. 1.0)
+    (I.simpson exp 0.0 1.0)
+
+let test_simpson_rejects_reversed () =
+  check_raises_invalid "a > b" (fun () -> ignore (I.simpson sin 1.0 0.0))
+
+let test_gk15 () =
+  let v, err = I.gk15 sin 0.0 Sp.pi in
+  check_close ~eps:1e-9 "sin over [0,pi]" 2.0 v;
+  check_true "error estimate sane" (err < 1e-6);
+  let v2, _ = I.gk15 (fun x -> x *. x) 2.0 5.0 in
+  check_close ~eps:1e-12 "x^2 over [2,5]" 39.0 v2
+
+let test_adaptive () =
+  check_close ~eps:1e-9 "sin over [0, 20pi]" 0.0
+    (I.adaptive sin 0.0 (20.0 *. Sp.pi));
+  (* A sharp peak the fixed rule would miss. *)
+  let peak x = 1.0 /. (1e-6 +. ((x -. 0.3) *. (x -. 0.3))) in
+  let exact =
+    (atan ((1.0 -. 0.3) /. 1e-3) -. atan ((0.0 -. 0.3) /. 1e-3)) /. 1e-3
+  in
+  check_close ~eps:1e-7 "sharp peak" exact (I.adaptive peak 0.0 1.0)
+
+let test_to_infinity () =
+  check_close ~eps:1e-8 "exp decay" 1.0 (I.to_infinity (fun x -> exp (-.x)) 0.0);
+  check_close ~eps:1e-8 "shifted exp decay" (exp (-2.0))
+    (I.to_infinity (fun x -> exp (-.x)) 2.0);
+  (* Gaussian integral: total mass of a standard normal above 0 is 1/2. *)
+  let phi x = exp (-.x *. x /. 2.0) /. sqrt (2.0 *. Sp.pi) in
+  check_close ~eps:1e-8 "half gaussian" 0.5 (I.to_infinity phi 0.0)
+
+let test_trapezoid_cumulative () =
+  let xs = [| 0.0; 1.0; 2.0; 4.0 |] in
+  let ys = [| 0.0; 2.0; 4.0; 8.0 |] in
+  let cum = I.trapezoid_cumulative xs ys in
+  check_close "starts at 0" 0.0 cum.(0);
+  check_close "first panel" 1.0 cum.(1);
+  check_close "second panel" 4.0 cum.(2);
+  check_close "third panel" 16.0 cum.(3);
+  check_raises_invalid "length mismatch" (fun () ->
+      ignore (I.trapezoid_cumulative [| 0.0 |] [| 1.0; 2.0 |]))
+
+let test_adaptive_matches_simpson =
+  let gen = QCheck2.Gen.(map (fun u -> 0.5 +. (3.0 *. u)) (float_bound_inclusive 1.0)) in
+  qcheck "adaptive = simpson on smooth integrands" gen (fun k ->
+      let f x = exp (-.k *. x) *. sin (k *. x) in
+      let a = I.adaptive ~tol:1e-11 f 0.0 3.0 in
+      let s = I.simpson ~tol:1e-11 f 0.0 3.0 in
+      (* Adaptive-Simpson's local stopping rule can under-resolve
+         oscillatory integrands near its tolerance; agreement to 1e-6 is
+         the cross-validation we need. *)
+      abs_float (a -. s) < 1e-6)
+
+let suite =
+  [ case "simpson on polynomials" test_simpson_polynomials;
+    case "simpson on transcendentals" test_simpson_transcendental;
+    case "simpson rejects reversed interval" test_simpson_rejects_reversed;
+    case "gauss-kronrod 15" test_gk15;
+    case "globally adaptive" test_adaptive;
+    case "semi-infinite integrals" test_to_infinity;
+    case "cumulative trapezoid" test_trapezoid_cumulative;
+    test_adaptive_matches_simpson ]

@@ -1,0 +1,115 @@
+open Helpers
+module J = Sil.Judgement
+module B = Sil.Band
+
+let paper_belief sigma =
+  J.belief_of_mode_sigma J.Lognormal ~mode:3e-3 ~sigma
+
+let test_confidence_at_least () =
+  (* The paper's widest curve: mode 3e-3, mean 1e-2. *)
+  let d = Dist.Lognormal.of_mode_mean ~mode:3e-3 ~mean:1e-2 in
+  let belief = Dist.Mixture.of_dist d in
+  let conf2 = J.confidence_at_least belief ~mode:B.Low_demand B.Sil2 in
+  check_in_range "~67% SIL2 or better" ~lo:0.66 ~hi:0.68 conf2;
+  let conf1 = J.confidence_at_least belief ~mode:B.Low_demand B.Sil1 in
+  check_in_range "~99.9% SIL1 or better" ~lo:0.9975 ~hi:0.9995 conf1
+
+let test_band_probability_sums () =
+  let belief = Dist.Mixture.of_dist (paper_belief 0.9) in
+  let profile = J.membership_profile belief ~mode:B.Low_demand in
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 profile in
+  check_close ~eps:1e-9 "profile sums to 1" 1.0 total;
+  List.iter
+    (fun (_, p) -> check_in_range "each within [0,1]" ~lo:0.0 ~hi:1.0 p)
+    profile
+
+let test_judged_by_mean () =
+  let narrow = Dist.Mixture.of_dist (paper_belief 0.3) in
+  check_true "narrow belief stays SIL2"
+    (J.judged_by_mean narrow ~mode:B.Low_demand = B.In_band B.Sil2);
+  let wide = Dist.Mixture.of_dist (paper_belief 1.2) in
+  check_true "wide belief degrades to SIL1"
+    (J.judged_by_mean wide ~mode:B.Low_demand = B.In_band B.Sil1)
+
+let test_mean_vs_confidence_series () =
+  let sigmas = [| 0.2; 0.5; 0.9; 1.2; 1.5 |] in
+  let series =
+    J.mean_vs_confidence J.Lognormal ~mode_value:3e-3 ~band:B.Sil2 ~sigmas
+  in
+  Alcotest.(check int) "one point per sigma" 5 (Array.length series);
+  (* Confidence decreases and mean increases with spread. *)
+  for i = 0 to 3 do
+    let c1, m1 = series.(i) and c2, m2 = series.(i + 1) in
+    check_true "confidence decreasing" (c2 < c1);
+    check_true "mean increasing" (m2 > m1)
+  done
+
+let test_crossover_lognormal () =
+  (* Figure 3's anchor: confidence ~67% when the mean hits the SIL2/SIL1
+     boundary. *)
+  let sigma, confidence =
+    J.crossover J.Lognormal ~mode_value:3e-3 ~band:B.Sil2
+  in
+  check_in_range "sigma" ~lo:0.88 ~hi:0.91 sigma;
+  check_in_range "confidence" ~lo:0.66 ~hi:0.68 confidence;
+  (* At the crossover spread the mean equals the band's upper bound. *)
+  let d = paper_belief sigma in
+  check_close ~eps:1e-9 "mean at boundary" 1e-2 d.Dist.mean
+
+let test_crossover_gamma_sensitivity () =
+  (* The paper repeats the analysis under a gamma: same effect, slightly
+     different numbers — "low sensitivity to the log-normal assumptions". *)
+  let _sigma, confidence = J.crossover J.Gamma ~mode_value:3e-3 ~band:B.Sil2 in
+  check_in_range "gamma crossover in the same region" ~lo:0.55 ~hi:0.75
+    confidence
+
+let test_crossover_rejects_bad_mode () =
+  check_raises_invalid "mode above band" (fun () ->
+      ignore (J.crossover J.Lognormal ~mode_value:0.5 ~band:B.Sil2))
+
+let test_gamma_belief_comparable () =
+  let ln = J.belief_of_mode_sigma J.Lognormal ~mode:3e-3 ~sigma:0.9 in
+  let gm = J.belief_of_mode_sigma J.Gamma ~mode:3e-3 ~sigma:0.9 in
+  check_close ~eps:1e-6 "same mode" (Option.get ln.Dist.mode)
+    (Option.get gm.Dist.mode);
+  check_close ~eps:1e-6 "same dispersion" (Dist.std ln) (Dist.std gm)
+
+let test_required_spread () =
+  (* At the crossover confidence the required spread is the crossover
+     sigma. *)
+  let sigma_x, conf_x =
+    J.crossover J.Lognormal ~mode_value:3e-3 ~band:B.Sil2
+  in
+  check_close ~eps:1e-6 "consistency with the crossover" sigma_x
+    (J.required_spread ~mode_value:3e-3 ~band:B.Sil2 ~confidence:conf_x);
+  (* Higher confidence demands a sharper judgement. *)
+  let s90 = J.required_spread ~mode_value:3e-3 ~band:B.Sil2 ~confidence:0.9 in
+  let s99 = J.required_spread ~mode_value:3e-3 ~band:B.Sil2 ~confidence:0.99 in
+  check_true "monotone" (s99 < s90);
+  (* The solved spread actually achieves the confidence. *)
+  let d = J.belief_of_mode_sigma J.Lognormal ~mode:3e-3 ~sigma:s90 in
+  check_close ~eps:1e-9 "achieves 90%" 0.9 (d.Dist.cdf 1e-2);
+  check_raises_invalid "mode above band" (fun () ->
+      ignore (J.required_spread ~mode_value:0.5 ~band:B.Sil2 ~confidence:0.9))
+
+let test_confidence_monotone_in_band =
+  qcheck "weaker band always has higher one-sided confidence"
+    QCheck2.Gen.(map (fun u -> 0.2 +. (1.6 *. u)) (float_bound_inclusive 1.0))
+    (fun sigma ->
+      let belief = Dist.Mixture.of_dist (paper_belief sigma) in
+      let conf b = J.confidence_at_least belief ~mode:B.Low_demand b in
+      conf B.Sil1 >= conf B.Sil2
+      && conf B.Sil2 >= conf B.Sil3
+      && conf B.Sil3 >= conf B.Sil4)
+
+let suite =
+  [ case "one-sided confidence (paper anchors)" test_confidence_at_least;
+    case "membership profile sums to 1" test_band_probability_sums;
+    case "judgement by mean" test_judged_by_mean;
+    case "figure-3 series monotonicity" test_mean_vs_confidence_series;
+    case "lognormal crossover at ~67%" test_crossover_lognormal;
+    case "gamma sensitivity" test_crossover_gamma_sensitivity;
+    case "crossover input validation" test_crossover_rejects_bad_mode;
+    case "gamma belief comparability" test_gamma_belief_comparable;
+    case "required spread solver" test_required_spread;
+    test_confidence_monotone_in_band ]

@@ -1,0 +1,127 @@
+open Helpers
+module L = Risk.Lopa
+module M = Dist.Mixture
+
+let uncertain_scenario () =
+  L.scenario ~description:"overpressure" ~initiating_frequency:0.1
+    [ L.layer ~name:"operator response"
+        ~pfd:(M.of_dist (Dist.Beta_d.make ~a:2.0 ~b:18.0));
+      L.layer ~name:"SIS"
+        ~pfd:(M.of_dist (Dist.Lognormal.of_mode_sigma ~mode:3e-3 ~sigma:0.9)) ]
+
+let certain_scenario () =
+  L.scenario ~description:"certain" ~initiating_frequency:0.1
+    [ L.layer_certain ~name:"a" ~pfd:0.1; L.layer_certain ~name:"b" ~pfd:0.01 ]
+
+let test_construction () =
+  check_raises_invalid "no layers" (fun () ->
+      ignore (L.scenario ~description:"x" ~initiating_frequency:1.0 []));
+  check_raises_invalid "bad frequency" (fun () ->
+      ignore (L.scenario ~description:"x" ~initiating_frequency:0.0
+                [ L.layer_certain ~name:"a" ~pfd:0.1 ]));
+  check_raises_invalid "pfd out of range" (fun () ->
+      ignore (L.layer_certain ~name:"a" ~pfd:1.5))
+
+let test_mean_frequency () =
+  check_close ~eps:1e-12 "certain product" (0.1 *. 0.1 *. 0.01)
+    (L.mean_frequency (certain_scenario ()));
+  let s = uncertain_scenario () in
+  let ln_mean = (Dist.Lognormal.of_mode_sigma ~mode:3e-3 ~sigma:0.9).Dist.mean in
+  let expected = 0.1 *. 0.1 *. ln_mean in
+  check_close ~eps:1e-9 "uncertain product of means" 1.0
+    (L.mean_frequency s /. expected)
+
+let test_monte_carlo_matches_mean () =
+  let s = uncertain_scenario () in
+  let belief = L.frequency_belief ~n:60_000 ~seed:7 s in
+  let analytic = L.mean_frequency s in
+  check_in_range "MC mean near analytic"
+    ~lo:(analytic *. 0.93) ~hi:(analytic *. 1.07)
+    (Dist.Empirical.mean belief)
+
+let test_confidence_below () =
+  let s = certain_scenario () in
+  check_close "certain meets" 1.0 (L.confidence_below s ~target:1e-3);
+  check_close "certain misses" 0.0 (L.confidence_below s ~target:1e-5);
+  let u = uncertain_scenario () in
+  let c = L.confidence_below ~n:40_000 ~seed:11 u ~target:1e-4 in
+  check_in_range "uncertain confidence strictly inside (0,1)" ~lo:0.05
+    ~hi:0.95 c;
+  (* Monotone in the target. *)
+  let c_loose = L.confidence_below ~n:40_000 ~seed:11 u ~target:1e-3 in
+  check_true "looser target, higher confidence" (c_loose >= c)
+
+let test_lognormal_closed_form () =
+  let s =
+    L.scenario ~description:"ln" ~initiating_frequency:0.5
+      [ L.layer ~name:"a"
+          ~pfd:(M.of_dist (Dist.Lognormal.make ~mu:(-4.0) ~sigma:0.5));
+        L.layer ~name:"b"
+          ~pfd:(M.of_dist (Dist.Lognormal.make ~mu:(-6.0) ~sigma:1.2)) ]
+  in
+  let d = L.lognormal_frequency s in
+  let mu, sigma = Dist.Lognormal.params d in
+  check_close ~eps:1e-9 "mu adds" (log 0.5 -. 10.0) mu;
+  check_close ~eps:1e-9 "sigma in quadrature" (sqrt (0.25 +. 1.44)) sigma;
+  (* Against Monte-Carlo. *)
+  let mc = L.frequency_belief ~n:60_000 ~seed:13 s in
+  check_in_range "closed form matches MC median"
+    ~lo:(d.Dist.quantile 0.5 *. 0.95)
+    ~hi:(d.Dist.quantile 0.5 *. 1.05)
+    (Dist.Empirical.quantile mc 0.5);
+  check_raises_invalid "non-lognormal layer" (fun () ->
+      ignore (L.lognormal_frequency (certain_scenario ())))
+
+let test_worst_case_frequency () =
+  let s = certain_scenario () in
+  let claims =
+    [ Confidence.Claim.make ~bound:0.1 ~confidence:0.99;
+      Confidence.Claim.make ~bound:0.01 ~confidence:0.999 ]
+  in
+  let expected =
+    0.1 *. (0.01 +. 0.1 -. (0.01 *. 0.1)) *. (0.001 +. 0.01 -. (0.001 *. 0.01))
+  in
+  check_close ~eps:1e-12 "per-layer inequality (5)" expected
+    (L.worst_case_frequency s ~claims);
+  check_raises_invalid "claim arity" (fun () ->
+      ignore (L.worst_case_frequency s ~claims:[ List.hd claims ]))
+
+let test_sil_allocation () =
+  (* Initiating 0.1/yr, operator layer mean 0.1 -> unmitigated 0.01/yr.
+     Target 1e-5/yr: last layer needs pfd 1e-3 -> SIL2 (boundary value
+     1e-3 belongs to SIL2). *)
+  let s =
+    L.scenario ~description:"alloc" ~initiating_frequency:0.1
+      [ L.layer_certain ~name:"operator" ~pfd:0.1;
+        L.layer_certain ~name:"SIS (to be sized)" ~pfd:1.0 ]
+  in
+  (match L.required_layer_pfd s ~target:1e-5 with
+  | Some pfd -> check_close ~eps:1e-9 "required pfd" 1e-3 pfd
+  | None -> Alcotest.fail "expected a requirement");
+  (* Use an off-boundary target: 2e-5 needs pfd 2e-3, squarely SIL2. *)
+  (match L.allocate_sil s ~target:2e-5 with
+  | `Band b -> check_true "SIL2 allocated" (Sil.Band.equal b Sil.Band.Sil2)
+  | _ -> Alcotest.fail "expected a band");
+  (match L.allocate_sil s ~target:1e-2 with
+  | `No_sil_needed -> ()
+  | _ -> Alcotest.fail "loose target needs no SIL");
+  match L.allocate_sil s ~target:1e-9 with
+  | `Beyond_sil4 -> ()
+  | _ -> Alcotest.fail "extreme target is beyond SIL4"
+
+let test_frequency_belief_deterministic () =
+  let s = uncertain_scenario () in
+  let b1 = L.frequency_belief ~n:2000 ~seed:5 s in
+  let b2 = L.frequency_belief ~n:2000 ~seed:5 s in
+  check_close "same seed, same mean" (Dist.Empirical.mean b1)
+    (Dist.Empirical.mean b2)
+
+let suite =
+  [ case "construction validation" test_construction;
+    case "mean frequency" test_mean_frequency;
+    case "monte-carlo belief" test_monte_carlo_matches_mean;
+    case "confidence below a target" test_confidence_below;
+    case "lognormal closed form" test_lognormal_closed_form;
+    case "worst-case frequency from claims" test_worst_case_frequency;
+    case "SIL allocation" test_sil_allocation;
+    case "deterministic by seed" test_frequency_belief_deterministic ]

@@ -1,0 +1,133 @@
+open Helpers
+module M = Dist.Mixture
+
+let two_atoms = M.make [ (0.7, M.Atom 1e-4); (0.3, M.Atom 1.0) ]
+
+let with_cont =
+  M.make
+    [ (0.5, M.Cont (Dist.Uniform_d.make ~lo:0.0 ~hi:1.0)); (0.5, M.Atom 0.0) ]
+
+let test_make_validation () =
+  check_raises_invalid "empty" (fun () -> ignore (M.make []));
+  check_raises_invalid "weights must sum to 1" (fun () ->
+      ignore (M.make [ (0.4, M.Atom 0.0) ]));
+  check_raises_invalid "negative weight" (fun () ->
+      ignore (M.make [ (-0.5, M.Atom 0.0); (1.5, M.Atom 1.0) ]));
+  (* Zero-weight components are dropped. *)
+  let m = M.make [ (0.0, M.Atom 5.0); (1.0, M.Atom 1.0) ] in
+  Alcotest.(check int) "dropped" 1 (List.length (M.components m))
+
+let test_prob_le_lt_atoms () =
+  check_close "le at lower atom" 0.7 (M.prob_le two_atoms 1e-4);
+  check_close "lt at lower atom" 0.0 (M.prob_lt two_atoms 1e-4);
+  check_close "le below" 0.0 (M.prob_le two_atoms 1e-5);
+  check_close "le between" 0.7 (M.prob_le two_atoms 0.5);
+  check_close "le at 1" 1.0 (M.prob_le two_atoms 1.0);
+  check_close "lt at 1" 0.7 (M.prob_lt two_atoms 1.0)
+
+let test_mean_variance () =
+  check_close ~eps:1e-12 "two-atom mean" ((0.7 *. 1e-4) +. 0.3)
+    (M.mean two_atoms);
+  let m = (0.7 *. 1e-4) +. 0.3 in
+  let second = (0.7 *. 1e-8) +. 0.3 in
+  check_close ~eps:1e-12 "two-atom variance" (second -. (m *. m))
+    (M.variance two_atoms);
+  check_close ~eps:1e-9 "uniform+perfection mean" 0.25 (M.mean with_cont);
+  (* E[X^2] = 0.5 * 1/3; var = 1/6 - 1/16. *)
+  check_close ~eps:1e-9 "uniform+perfection variance"
+    ((1.0 /. 6.0) -. (1.0 /. 16.0))
+    (M.variance with_cont)
+
+let test_expect () =
+  check_close ~eps:1e-7 "E[x^2] mixture" (1.0 /. 6.0)
+    (M.expect with_cont (fun x -> x *. x));
+  check_close ~eps:1e-12 "expect over atoms"
+    ((0.7 *. exp 1e-4) +. (0.3 *. exp 1.0))
+    (M.expect two_atoms exp)
+
+let test_quantile () =
+  (* Generalized inverse with jumps. *)
+  check_close ~eps:1e-6 "q(0.5) hits first atom" 1e-4
+    (M.quantile two_atoms 0.5);
+  check_close ~eps:1e-6 "q(0.8) hits second atom" 1.0
+    (M.quantile two_atoms 0.8);
+  let m = with_cont in
+  check_close ~eps:1e-6 "q(0.25) inside atom at 0" 0.0 (M.quantile m 0.25);
+  check_close ~eps:1e-4 "q(0.75) in continuous part" 0.5 (M.quantile m 0.75)
+
+let test_support_and_atoms () =
+  let lo, hi = M.support two_atoms in
+  check_close "support lo" 1e-4 lo;
+  check_close "support hi" 1.0 hi;
+  check_close "atom weight" 0.3 (M.atom_weight two_atoms 1.0);
+  check_close "no atom" 0.0 (M.atom_weight two_atoms 0.5)
+
+let test_with_perfection () =
+  let m = M.with_perfection ~p0:0.2 two_atoms in
+  check_close "atom at origin" 0.2 (M.atom_weight m 0.0);
+  check_close ~eps:1e-12 "mass rescaled" (0.8 *. 0.3) (M.atom_weight m 1.0);
+  check_close ~eps:1e-12 "mean rescaled" (0.8 *. M.mean two_atoms) (M.mean m);
+  check_true "p0 = 0 is identity" (M.with_perfection ~p0:0.0 two_atoms == two_atoms);
+  check_raises_invalid "p0 = 1" (fun () ->
+      ignore (M.with_perfection ~p0:1.0 two_atoms))
+
+let test_credible_interval () =
+  let d = Dist.Lognormal.of_mode_sigma ~mode:3e-3 ~sigma:0.9 in
+  let m = M.of_dist d in
+  let lo, hi = M.credible_interval m ~level:0.9 in
+  check_close ~eps:1e-4 "lower matches quantile (ratio)" 1.0
+    (lo /. d.Dist.quantile 0.05);
+  check_close ~eps:1e-4 "upper matches quantile (ratio)" 1.0
+    (hi /. d.Dist.quantile 0.95);
+  check_true "ordered" (lo < hi);
+  (* With an unbounded-support component the search still terminates. *)
+  let mixed = M.with_perfection ~p0:0.3 m in
+  let lo2, hi2 = M.credible_interval mixed ~level:0.5 in
+  check_true "perfection atom pulls the lower end to 0"
+    (abs_float lo2 < 1e-9);
+  check_true "upper finite" (Float.is_finite hi2);
+  check_raises_invalid "bad level" (fun () ->
+      ignore (M.credible_interval m ~level:1.0))
+
+let test_sampling () =
+  let rng = rng_of_seed 5 in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if M.sample two_atoms rng = 1.0 then incr hits
+  done;
+  check_in_range "atom frequencies" ~lo:0.29 ~hi:0.31
+    (float_of_int !hits /. float_of_int n)
+
+let test_scale_weights () =
+  (* Reweighting atoms by a likelihood: here weight(x) = 1 - x kills the
+     atom at 1 entirely. *)
+  let posterior, z = M.scale_weights two_atoms (function
+    | M.Atom a -> 1.0 -. a
+    | M.Cont _ -> 1.0)
+  in
+  check_close ~eps:1e-12 "evidence" (0.7 *. (1.0 -. 1e-4)) z;
+  check_close ~eps:1e-12 "posterior is the surviving atom" 1.0
+    (M.prob_le posterior 1e-4);
+  check_raises_invalid "all mass killed" (fun () ->
+      ignore (M.scale_weights two_atoms (fun _ -> 0.0)))
+
+let test_quantile_mean_consistency =
+  qcheck "prob_le (quantile p) >= p for mixtures"
+    QCheck2.Gen.(map (fun u -> 0.01 +. (0.98 *. u)) (float_bound_inclusive 1.0))
+    (fun p ->
+      let q = M.quantile with_cont p in
+      M.prob_le with_cont q >= p -. 1e-6)
+
+let suite =
+  [ case "construction validation" test_make_validation;
+    case "prob_le / prob_lt with atoms" test_prob_le_lt_atoms;
+    case "mean and variance" test_mean_variance;
+    case "expectation" test_expect;
+    case "generalized-inverse quantile" test_quantile;
+    case "support and atom weights" test_support_and_atoms;
+    case "perfection atom" test_with_perfection;
+    case "credible intervals" test_credible_interval;
+    case "sampling frequencies" test_sampling;
+    case "likelihood scaling of weights" test_scale_weights;
+    test_quantile_mean_consistency ]

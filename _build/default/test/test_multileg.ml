@@ -1,0 +1,120 @@
+open Helpers
+module M = Casekit.Multileg
+
+let l1 = M.leg ~label:"testing" ~doubt:0.05
+let l2 = M.leg ~label:"proof" ~doubt:0.02
+
+let test_leg_validation () =
+  check_raises_invalid "doubt 0" (fun () -> ignore (M.leg ~label:"x" ~doubt:0.0));
+  check_raises_invalid "doubt 1" (fun () -> ignore (M.leg ~label:"x" ~doubt:1.0))
+
+let test_combined_doubt () =
+  check_close ~eps:1e-12 "independent" (0.05 *. 0.02) (M.combined_doubt l1 l2);
+  check_close ~eps:1e-12 "fully dependent" 0.02
+    (M.combined_doubt ~dependence:1.0 l1 l2);
+  check_close ~eps:1e-12 "half dependent"
+    ((0.5 *. 0.02) +. (0.5 *. 0.001))
+    (M.combined_doubt ~dependence:0.5 l1 l2);
+  check_raises_invalid "rho out of range" (fun () ->
+      ignore (M.combined_doubt ~dependence:2.0 l1 l2))
+
+let test_gain_erodes_with_dependence () =
+  check_close ~eps:1e-12 "independent gain" (0.02 -. 0.001)
+    (M.confidence_gain l1 l2);
+  check_close "no gain under total dependence" 0.0
+    (M.confidence_gain ~dependence:1.0 l1 l2);
+  let sweep = M.dependence_sweep l1 l2 ~n:11 in
+  Alcotest.(check int) "grid size" 11 (Array.length sweep);
+  for i = 0 to 9 do
+    check_true "combined doubt grows with rho"
+      (snd sweep.(i) <= snd sweep.(i + 1) +. 1e-15)
+  done
+
+let test_required_second_leg () =
+  (* Independent legs: need x2 = target / x1. *)
+  (match M.required_second_leg l1 ~target_doubt:0.001 with
+  | Some x2 -> check_close ~eps:1e-12 "independent solve" 0.02 x2
+  | None -> Alcotest.fail "expected a solution");
+  (* Under strong dependence the same target may be unreachable. *)
+  (match M.required_second_leg ~dependence:1.0 l1 ~target_doubt:0.001 with
+  | Some x2 ->
+    (* With rho = 1 combined = min(x1, x2), so x2 = 0.001 works. *)
+    check_close ~eps:1e-12 "comonotone solve" 0.001 x2
+  | None -> Alcotest.fail "expected solution at rho = 1");
+  (* Dependent floor above the target: impossible. *)
+  let leg_wide = M.leg ~label:"w" ~doubt:0.5 in
+  (match
+     M.required_second_leg ~dependence:0.9 leg_wide ~target_doubt:0.001
+   with
+  | Some x2 -> check_true "if solvable, x2 must be tiny" (x2 < 0.002)
+  | None -> ());
+  (* Leg 1 already sufficient. *)
+  (match M.required_second_leg l1 ~target_doubt:0.1 with
+  | Some x2 -> check_close "anything works" 1.0 x2
+  | None -> Alcotest.fail "leg 1 suffices")
+
+let test_required_second_leg_solves =
+  let gen =
+    QCheck2.Gen.(
+      triple
+        (map (fun u -> 0.02 +. (0.4 *. u)) (float_bound_inclusive 1.0))
+        (map (fun u -> 0.9 *. u) (float_bound_inclusive 1.0))
+        (map (fun u -> 0.001 +. (0.01 *. u)) (float_bound_inclusive 1.0)))
+  in
+  qcheck "solution actually meets the target" gen (fun (x1, rho, target) ->
+      let leg1 = M.leg ~label:"a" ~doubt:x1 in
+      match M.required_second_leg ~dependence:rho leg1 ~target_doubt:target with
+      | None -> true
+      | Some x2 when x2 >= 1.0 -> true
+      | Some x2 ->
+        if x1 <= target then true
+        else begin
+          let leg2 = M.leg ~label:"b" ~doubt:(max x2 1e-12) in
+          M.combined_doubt ~dependence:rho leg1 leg2 <= target +. 1e-9
+        end)
+
+let test_many_legs () =
+  let legs =
+    [ M.leg ~label:"a" ~doubt:0.1; M.leg ~label:"b" ~doubt:0.2;
+      M.leg ~label:"c" ~doubt:0.3 ]
+  in
+  check_close ~eps:1e-12 "independent product" 0.006
+    (M.combined_doubt_many legs);
+  check_close ~eps:1e-12 "comonotone min" 0.1
+    (M.combined_doubt_many ~dependence:1.0 legs);
+  check_raises_invalid "no legs" (fun () ->
+      ignore (M.combined_doubt_many []))
+
+let test_combine_beliefs () =
+  let d = Dist.Lognormal.make ~mu:(-5.5) ~sigma:0.8 in
+  (* rho = 1: the second leg restates the first; combination = d. *)
+  let same = M.combine_beliefs ~dependence:1.0 d d in
+  check_close ~eps:5e-3 "rho=1 keeps the belief (median ratio)" 1.0
+    (same.Dist.quantile 0.5 /. d.Dist.quantile 0.5);
+  check_close ~eps:5e-3 "rho=1 keeps the spread" 1.0
+    (same.Dist.quantile 0.9 /. d.Dist.quantile 0.9);
+  (* rho = 0 with identical lognormals: product of densities is lognormal
+     with sigma / sqrt 2. *)
+  let indep = M.combine_beliefs ~dependence:0.0 d d in
+  let expected = Dist.Lognormal.make ~mu:(-5.5 -. (0.8 *. 0.8 /. 2.0)) ~sigma:(0.8 /. sqrt 2.0) in
+  (* Density product: exp(-(x-mu)^2/s^2) peaks at mu with width s/sqrt 2;
+     the extra 1/x factors shift mu by -sigma^2/2 in log space. *)
+  check_close ~eps:0.01 "rho=0 tightens (median ratio)" 1.0
+    (indep.Dist.quantile 0.5 /. expected.Dist.quantile 0.5);
+  (* Dependence interpolates the achieved confidence. *)
+  let conf rho =
+    (M.combine_beliefs ~dependence:rho d d).Dist.cdf 1e-2
+  in
+  check_true "more dependence, less sharpening"
+    (conf 0.0 >= conf 0.5 && conf 0.5 >= conf 1.0 -. 1e-9);
+  check_raises_invalid "bad rho" (fun () ->
+      ignore (M.combine_beliefs ~dependence:2.0 d d))
+
+let suite =
+  [ case "leg validation" test_leg_validation;
+    case "Bayesian leg combination" test_combine_beliefs;
+    case "combined doubt" test_combined_doubt;
+    case "gain erodes with dependence" test_gain_erodes_with_dependence;
+    case "required second leg" test_required_second_leg;
+    test_required_second_leg_solves;
+    case "many legs" test_many_legs ]

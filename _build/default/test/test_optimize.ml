@@ -1,0 +1,42 @@
+open Helpers
+module O = Numerics.Optimize
+
+let quartic x = ((x -. 1.5) ** 4.0) +. 2.0
+
+let test_golden_section () =
+  check_close ~eps:1e-6 "parabola" 3.0
+    (O.golden_section (fun x -> (x -. 3.0) *. (x -. 3.0)) 0.0 10.0);
+  check_close ~eps:1e-4 "quartic" 1.5 (O.golden_section quartic (-5.0) 5.0);
+  check_raises_invalid "a > b" (fun () ->
+      ignore (O.golden_section quartic 1.0 0.0))
+
+let test_brent_min () =
+  let x, fx = O.brent_min (fun x -> (x -. 3.0) *. (x -. 3.0)) 0.0 10.0 in
+  check_close ~eps:1e-7 "parabola argmin" 3.0 x;
+  check_close ~eps:1e-7 "parabola min" 0.0 fx;
+  let x, _ = O.brent_min cos 0.0 (2.0 *. Numerics.Special.pi) in
+  check_close ~eps:1e-6 "cos argmin" Numerics.Special.pi x
+
+let test_grid_min () =
+  check_close ~eps:0.11 "coarse grid near min" 3.0
+    (O.grid_min (fun x -> (x -. 3.0) *. (x -. 3.0)) 0.0 10.0 101);
+  (* Multimodal: the grid finds the global basin, not a local one. *)
+  let f x = sin (5.0 *. x) +. (0.1 *. (x -. 2.0) *. (x -. 2.0)) in
+  let seed = O.grid_min f 0.0 6.0 301 in
+  let refined, value = O.brent_min f (max 0.0 (seed -. 0.3)) (min 6.0 (seed +. 0.3)) in
+  check_true "global minimum found" (value < f 0.3 && value <= f refined +. 1e-12);
+  check_raises_invalid "n < 2" (fun () -> ignore (O.grid_min f 0.0 1.0 1))
+
+let test_brent_min_matches_golden =
+  let gen = QCheck2.Gen.(map (fun u -> -3.0 +. (6.0 *. u)) (float_bound_inclusive 1.0)) in
+  qcheck "brent_min = golden_section on shifted parabolas" gen (fun c ->
+      let f x = ((x -. c) *. (x -. c)) +. 1.0 in
+      let x1, _ = O.brent_min f (-10.0) 10.0 in
+      let x2 = O.golden_section f (-10.0) 10.0 in
+      abs_float (x1 -. x2) < 1e-4)
+
+let suite =
+  [ case "golden section" test_golden_section;
+    case "brent minimiser" test_brent_min;
+    case "grid seeding" test_grid_min;
+    test_brent_min_matches_golden ]

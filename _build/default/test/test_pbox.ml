@@ -1,0 +1,120 @@
+open Helpers
+module P = Dist.Pbox
+
+let test_constraint_validation () =
+  check_raises_invalid "x out of range" (fun () ->
+      ignore (P.constraint_ ~x:2.0 ~at_least:0.5 ~at_most:0.6));
+  check_raises_invalid "bounds inverted" (fun () ->
+      ignore (P.constraint_ ~x:0.5 ~at_least:0.7 ~at_most:0.6));
+  check_raises_invalid "empty" (fun () -> ignore (P.of_constraints []))
+
+let test_envelopes () =
+  let box =
+    P.of_constraints
+      [ P.constraint_ ~x:0.01 ~at_least:0.7 ~at_most:0.9;
+        P.constraint_ ~x:0.1 ~at_least:0.95 ~at_most:1.0 ]
+  in
+  let lo, hi = P.cdf_bounds box 0.005 in
+  check_close "below both: lower 0" 0.0 lo;
+  check_close "below both: upper from nearest right" 0.9 hi;
+  let lo, hi = P.cdf_bounds box 0.05 in
+  check_close "between: lower from left" 0.7 lo;
+  check_close "between: upper from right" 1.0 hi;
+  let lo, hi = P.cdf_bounds box 0.5 in
+  check_close "beyond both: lower" 0.95 lo;
+  check_close "beyond both: upper" 1.0 hi;
+  let lo, hi = P.cdf_bounds box 1.0 in
+  check_close "at 1: pinned" 1.0 lo;
+  check_close "at 1: pinned upper" 1.0 hi
+
+let test_infeasible () =
+  check_raises_invalid "crossing envelopes" (fun () ->
+      ignore
+        (P.of_constraints
+           [ P.constraint_ ~x:0.01 ~at_least:0.9 ~at_most:1.0;
+             P.constraint_ ~x:0.1 ~at_least:0.0 ~at_most:0.5 ]))
+
+let test_paper_theorem () =
+  (* upper_mean (of_claim y conf) = x + y - x*y: inequality (5) is the
+     upper expectation of the single-constraint p-box. *)
+  List.iter
+    (fun (bound, confidence) ->
+      let box = P.of_claim ~bound ~confidence in
+      let claim = Confidence.Claim.make ~bound ~confidence in
+      check_close ~eps:1e-12
+        (Printf.sprintf "claim (%g, %g)" bound confidence)
+        (Confidence.Conservative.failure_bound claim)
+        (P.upper_mean box))
+    [ (1e-3, 0.99); (1e-4, 0.9991); (0.0, 0.999); (0.5, 0.5) ]
+
+let test_paper_theorem_property =
+  let gen =
+    QCheck2.Gen.(
+      pair (float_bound_inclusive 1.0)
+        (map (fun u -> 0.01 +. (0.98 *. u)) (float_bound_inclusive 1.0)))
+  in
+  qcheck "(5) = upper mean, for all claims" gen (fun (bound, confidence) ->
+      let box = P.of_claim ~bound ~confidence in
+      let claim = Confidence.Claim.make ~bound ~confidence in
+      abs_float
+        (P.upper_mean box -. Confidence.Conservative.failure_bound claim)
+      < 1e-12)
+
+let test_means () =
+  let box = P.of_claim ~bound:1e-3 ~confidence:0.99 in
+  check_close "lower mean of a one-sided claim" 0.0 (P.lower_mean box);
+  check_true "ordering" (P.lower_mean box <= P.upper_mean box);
+  (* Two-sided information tightens both. *)
+  let tight =
+    P.of_constraints
+      [ P.constraint_ ~x:1e-3 ~at_least:0.99 ~at_most:0.995;
+        P.constraint_ ~x:1e-4 ~at_least:0.0 ~at_most:0.2 ]
+  in
+  check_true "positive lower mean with an at_most constraint"
+    (P.lower_mean tight > 0.0);
+  check_true "vacuous spans everything"
+    (P.lower_mean P.vacuous = 0.0 && P.upper_mean P.vacuous = 1.0)
+
+let test_contains () =
+  let box = P.of_claim ~bound:0.5 ~confidence:0.6 in
+  check_true "uniform respects P(X<=0.5)>=0.6? no"
+    (not (P.contains box (Dist.Uniform_d.make ~lo:0.0 ~hi:1.0)));
+  check_true "beta(2,6) has cdf(0.5) ~ 0.94: inside"
+    (P.contains box (Dist.Beta_d.make ~a:2.0 ~b:6.0))
+
+let test_intersect () =
+  let a = P.of_claim ~bound:1e-2 ~confidence:0.67 in
+  let b = P.of_claim ~bound:1e-3 ~confidence:0.5 in
+  let both = P.intersect a b in
+  (* More information can only tighten the upper mean. *)
+  check_true "upper mean shrinks"
+    (P.upper_mean both <= min (P.upper_mean a) (P.upper_mean b) +. 1e-12);
+  (* Conflicting information raises. *)
+  let conflict =
+    P.of_constraints [ P.constraint_ ~x:0.3 ~at_least:0.0 ~at_most:0.1 ]
+  in
+  check_raises_invalid "conflict detected" (fun () ->
+      ignore
+        (P.intersect conflict (P.of_claim ~bound:0.2 ~confidence:0.9)))
+
+let test_fusion_strengthens_the_case () =
+  (* Two independent legs stated only as partial beliefs: fusing them
+     tightens the conservative failure bound — the p-box version of the
+     multi-leg strategy. *)
+  let leg1 = P.of_claim ~bound:1e-3 ~confidence:0.98 in
+  let leg2 = P.of_claim ~bound:1e-2 ~confidence:0.999 in
+  let fused = P.intersect leg1 leg2 in
+  check_true "fused bound better than either leg"
+    (P.upper_mean fused < P.upper_mean leg1
+    && P.upper_mean fused < P.upper_mean leg2)
+
+let suite =
+  [ case "constraint validation" test_constraint_validation;
+    case "cdf envelopes" test_envelopes;
+    case "infeasible constraints rejected" test_infeasible;
+    case "inequality (5) = upper mean (paper anchors)" test_paper_theorem;
+    test_paper_theorem_property;
+    case "mean bounds" test_means;
+    case "membership" test_contains;
+    case "information fusion" test_intersect;
+    case "fusing legs tightens the bound" test_fusion_strengthens_the_case ]

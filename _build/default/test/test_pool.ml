@@ -1,0 +1,121 @@
+open Helpers
+module P = Elicit.Pool
+module M = Dist.Mixture
+
+let expert sigma = Dist.Lognormal.of_mode_sigma ~mode:3e-3 ~sigma
+
+let test_linear_pool () =
+  let b1 = M.of_dist (expert 0.5) and b2 = M.of_dist (expert 1.0) in
+  let pool = P.linear [ (1.0, b1); (3.0, b2) ] in
+  (* Linear pooling averages CDFs with normalised weights. *)
+  List.iter
+    (fun x ->
+      check_close ~eps:1e-12
+        (Printf.sprintf "cdf at %g" x)
+        ((0.25 *. M.prob_le b1 x) +. (0.75 *. M.prob_le b2 x))
+        (M.prob_le pool x))
+    [ 1e-3; 3e-3; 1e-2 ];
+  check_close ~eps:1e-12 "mean is weighted"
+    ((0.25 *. M.mean b1) +. (0.75 *. M.mean b2))
+    (M.mean pool);
+  check_raises_invalid "no experts" (fun () -> ignore (P.linear []));
+  check_raises_invalid "bad weight" (fun () ->
+      ignore (P.linear [ (0.0, b1) ]))
+
+let test_linear_pool_atoms_survive () =
+  let b1 = M.with_perfection ~p0:0.5 (M.of_dist (expert 0.5)) in
+  let b2 = M.of_dist (expert 0.5) in
+  let pool = P.linear [ (1.0, b1); (1.0, b2) ] in
+  check_close ~eps:1e-12 "perfection mass averaged" 0.25
+    (M.atom_weight pool 0.0)
+
+let test_logarithmic_pool_identical_experts () =
+  (* Log pool of identical beliefs is the belief itself. *)
+  let d = expert 0.8 in
+  let pool = P.logarithmic [ (1.0, d); (1.0, d) ] in
+  List.iter
+    (fun x ->
+      check_close ~eps:2e-3
+        (Printf.sprintf "cdf at %g" x)
+        (d.Dist.cdf x) (pool.Dist.cdf x))
+    [ 1e-3; 3e-3; 1e-2 ]
+
+let test_logarithmic_pool_lognormals_closed_form () =
+  (* Log pool of lognormals is lognormal with precision-weighted log
+     parameters: mu = (w1 mu1/s1^2 + w2 mu2/s2^2) / (w1/s1^2 + w2/s2^2). *)
+  let d1 = Dist.Lognormal.make ~mu:(-6.0) ~sigma:0.5 in
+  let d2 = Dist.Lognormal.make ~mu:(-4.0) ~sigma:1.0 in
+  let pool = P.logarithmic [ (1.0, d1); (1.0, d2) ] in
+  let w1 = 0.5 /. 0.25 and w2 = 0.5 /. 1.0 in
+  let mu = ((-6.0 *. w1) +. (-4.0 *. w2)) /. (w1 +. w2) in
+  let sigma = sqrt (1.0 /. (w1 +. w2)) in
+  let exact = Dist.Lognormal.make ~mu ~sigma in
+  check_close ~eps:5e-3 "median ratio" 1.0
+    (pool.Dist.quantile 0.5 /. exact.Dist.quantile 0.5);
+  check_close ~eps:5e-3 "q90/q50 ratio" 1.0
+    (pool.Dist.quantile 0.9 /. pool.Dist.quantile 0.5
+    /. (exact.Dist.quantile 0.9 /. exact.Dist.quantile 0.5))
+
+let test_quantile_average_identical () =
+  let d = expert 0.8 in
+  let pool = P.quantile_average [ (1.0, d); (1.0, d) ] in
+  List.iter
+    (fun p ->
+      let exact = d.Dist.quantile p in
+      let got = pool.Dist.quantile p in
+      if abs_float (got -. exact) > 0.02 *. exact then
+        Alcotest.failf "quantile %g: %g vs %g" p got exact)
+    [ 0.1; 0.5; 0.9 ]
+
+let test_quantile_average_shifts () =
+  (* Vincent average of two lognormals with the same sigma but different
+     medians: pooled median is the arithmetic mean of the medians. *)
+  let d1 = Dist.Lognormal.make ~mu:(log 1e-3) ~sigma:0.5 in
+  let d2 = Dist.Lognormal.make ~mu:(log 4e-3) ~sigma:0.5 in
+  let pool = P.quantile_average [ (1.0, d1); (1.0, d2) ] in
+  check_close ~eps:0.02 "median averaged (ratio)" 1.0
+    (pool.Dist.quantile 0.5 /. 2.5e-3)
+
+let test_equal_weights () =
+  let ws = P.equal_weights [ "a"; "b"; "c" ] in
+  Alcotest.(check int) "length" 3 (List.length ws);
+  List.iter (fun (w, _) -> check_close "weight 1" 1.0 w) ws
+
+let test_linear_pool_weights_normalised =
+  qcheck "scaling all weights leaves the pool unchanged"
+    QCheck2.Gen.(map (fun u -> 0.1 +. (10.0 *. u)) (float_bound_inclusive 1.0))
+    (fun k ->
+      let b1 = M.of_dist (expert 0.5) and b2 = M.of_dist (expert 1.2) in
+      let p1 = P.linear [ (1.0, b1); (2.0, b2) ] in
+      let p2 = P.linear [ (k, b1); (2.0 *. k, b2) ] in
+      abs_float (M.mean p1 -. M.mean p2) < 1e-12)
+
+let test_calibration_weights () =
+  let rng = rng_of_seed 61 in
+  let truth = Dist.Lognormal.of_mode_sigma ~mode:3e-3 ~sigma:0.8 in
+  let track belief =
+    List.init 300 (fun _ -> belief.Dist.cdf (truth.Dist.sample rng))
+  in
+  (* Expert 1 calibrated; expert 2 overconfident. *)
+  let good = track truth in
+  let bad = track (Dist.Lognormal.of_mode_sigma ~mode:3e-3 ~sigma:0.3) in
+  (match P.calibration_weights ~pit_histories:[ good; bad ] with
+  | [ w_good; w_bad ] ->
+    check_true "calibrated expert weighted higher" (w_good > 10.0 *. w_bad);
+    check_true "no expert silenced" (w_bad >= 1e-6)
+  | _ -> Alcotest.fail "two weights expected");
+  check_raises_invalid "no experts" (fun () ->
+      ignore (P.calibration_weights ~pit_histories:[]));
+  check_raises_invalid "short history" (fun () ->
+      ignore (P.calibration_weights ~pit_histories:[ [ 0.5; 0.5 ] ]))
+
+let suite =
+  [ case "linear pool" test_linear_pool;
+    case "calibration (Cooke) weights" test_calibration_weights;
+    case "linear pool preserves atoms" test_linear_pool_atoms_survive;
+    case "log pool of identical experts" test_logarithmic_pool_identical_experts;
+    case "log pool closed form" test_logarithmic_pool_lognormals_closed_form;
+    case "quantile average of identical experts" test_quantile_average_identical;
+    case "quantile average of shifted experts" test_quantile_average_shifts;
+    case "equal weights helper" test_equal_weights;
+    test_linear_pool_weights_normalised ]

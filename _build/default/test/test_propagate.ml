@@ -1,0 +1,138 @@
+open Helpers
+module P = Casekit.Propagate
+module N = Casekit.Node
+
+let test_and_combinators () =
+  let cs = [ 0.9; 0.8 ] in
+  check_close ~eps:1e-12 "independent" 0.72 (P.and_combine P.Independent cs);
+  check_close ~eps:1e-12 "frechet lower" 0.7 (P.and_combine P.Frechet_lower cs);
+  check_close ~eps:1e-12 "frechet upper (comonotone)" 0.8
+    (P.and_combine P.Frechet_upper cs);
+  check_close ~eps:1e-12 "correlated 0 = independent" 0.72
+    (P.and_combine (P.Correlated 0.0) cs);
+  check_close ~eps:1e-12 "correlated 1 = comonotone" 0.8
+    (P.and_combine (P.Correlated 1.0) cs);
+  check_close ~eps:1e-12 "correlated 0.5 blends" 0.76
+    (P.and_combine (P.Correlated 0.5) cs);
+  (* Deep lower bound clips at 0. *)
+  check_close "lower clipped" 0.0
+    (P.and_combine P.Frechet_lower [ 0.5; 0.5; 0.5 ])
+
+let test_or_combinators () =
+  let cs = [ 0.3; 0.4 ] in
+  check_close ~eps:1e-12 "independent" (1.0 -. (0.7 *. 0.6))
+    (P.or_combine P.Independent cs);
+  check_close ~eps:1e-12 "frechet lower (max)" 0.4
+    (P.or_combine P.Frechet_lower cs);
+  check_close ~eps:1e-12 "frechet upper (sum)" 0.7
+    (P.or_combine P.Frechet_upper cs);
+  check_close "upper clipped at 1" 1.0
+    (P.or_combine P.Frechet_upper [ 0.8; 0.9 ])
+
+let test_validation () =
+  check_raises_invalid "confidence above 1" (fun () ->
+      ignore (P.and_combine P.Independent [ 1.5 ]));
+  check_raises_invalid "rho out of range" (fun () ->
+      ignore (P.and_combine (P.Correlated 1.5) [ 0.5 ]))
+
+let case_tree () =
+  N.goal ~id:"G" ~statement:"claim"
+    ~assumptions:[ N.assumption ~id:"A" ~statement:"env" ~p_valid:0.95 ]
+    [ N.evidence ~id:"E1" ~statement:"test" ~confidence:0.9;
+      N.evidence ~id:"E2" ~statement:"analysis" ~confidence:0.8 ]
+
+let test_tree_confidence () =
+  let t = case_tree () in
+  check_close ~eps:1e-12 "independent AND with assumption"
+    (0.9 *. 0.8 *. 0.95)
+    (P.confidence P.Independent t);
+  let lo, hi = P.bounds t in
+  check_close ~eps:1e-12 "lower" (0.7 *. 0.95) lo;
+  check_close ~eps:1e-12 "upper" (0.8 *. 0.95) hi;
+  check_true "independent within bounds"
+    (lo <= P.confidence P.Independent t && P.confidence P.Independent t <= hi)
+
+let test_or_tree () =
+  let t =
+    N.goal ~id:"G" ~statement:"claim" ~combinator:N.Any
+      [ N.evidence ~id:"L1" ~statement:"leg 1" ~confidence:0.9;
+        N.evidence ~id:"L2" ~statement:"leg 2" ~confidence:0.8 ]
+  in
+  check_close ~eps:1e-12 "two legs independent" 0.98
+    (P.confidence P.Independent t);
+  check_close ~eps:1e-12 "two legs fully dependent" 0.9
+    (P.confidence (P.Correlated 1.0) t)
+
+let test_sensitivity () =
+  let t = case_tree () in
+  let s = P.sensitivity t ~rhos:[| 0.0; 0.5; 1.0 |] in
+  Alcotest.(check int) "points" 3 (Array.length s);
+  (* For AND of positively dependent supports, higher rho helps. *)
+  check_true "monotone in rho" (snd s.(0) <= snd s.(1) && snd s.(1) <= snd s.(2))
+
+let test_frechet_envelope_property =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 2 5)
+           (map (fun u -> 0.05 +. (0.9 *. u)) (float_bound_inclusive 1.0)))
+        (float_bound_inclusive 1.0))
+  in
+  qcheck "correlated AND lies inside the Frechet envelope" gen
+    (fun (cs, rho) ->
+      let v = P.and_combine (P.Correlated rho) cs in
+      P.and_combine P.Frechet_lower cs -. 1e-12 <= v
+      && v <= P.and_combine P.Frechet_upper cs +. 1e-12)
+
+let test_what_if () =
+  let t = case_tree () in
+  let t' = P.what_if t ~id:"E1" ~confidence:0.99 in
+  check_close ~eps:1e-12 "updated confidence"
+    (0.99 *. 0.8 *. 0.95)
+    (P.confidence P.Independent t');
+  (* Original untouched. *)
+  check_close ~eps:1e-12 "original unchanged"
+    (0.9 *. 0.8 *. 0.95)
+    (P.confidence P.Independent t);
+  (match P.what_if t ~id:"missing" ~confidence:0.5 with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found")
+
+let test_leaf_sensitivities () =
+  let t = case_tree () in
+  let sens = P.leaf_sensitivities P.Independent t in
+  Alcotest.(check int) "one entry per leaf" 2 (List.length sens);
+  (* For an independent AND, d(root)/d(E1) = conf(E2) * assumption factor. *)
+  check_close ~eps:1e-6 "E1 sensitivity" (0.8 *. 0.95)
+    (List.assoc "E1" sens);
+  check_close ~eps:1e-6 "E2 sensitivity" (0.9 *. 0.95)
+    (List.assoc "E2" sens);
+  (* In an OR of strong legs, each leg's sensitivity is small. *)
+  let or_tree =
+    N.goal ~id:"G" ~statement:"claim" ~combinator:N.Any
+      [ N.evidence ~id:"L1" ~statement:"a" ~confidence:0.99;
+        N.evidence ~id:"L2" ~statement:"b" ~confidence:0.99 ]
+  in
+  let or_sens = P.leaf_sensitivities P.Independent or_tree in
+  List.iter
+    (fun (_, s) -> check_in_range "redundant legs matter little" ~lo:0.0 ~hi:0.02 s)
+    or_sens
+
+let test_assumption_sensitivities () =
+  let t = case_tree () in
+  let sens = P.assumption_sensitivities P.Independent t in
+  Alcotest.(check int) "one entry" 1 (List.length sens);
+  (* d(root)/d(p_valid) = AND of children = 0.72. *)
+  check_close ~eps:1e-6 "assumption sensitivity" 0.72 (List.assoc "A" sens)
+
+let suite =
+  [ case "AND combinators" test_and_combinators;
+    case "what-if edits" test_what_if;
+    case "leaf sensitivities" test_leaf_sensitivities;
+    case "assumption sensitivities" test_assumption_sensitivities;
+    case "OR combinators" test_or_combinators;
+    case "input validation" test_validation;
+    case "tree confidence with assumptions" test_tree_confidence;
+    case "alternative legs (OR) tree" test_or_tree;
+    case "dependence sensitivity" test_sensitivity;
+    test_frechet_envelope_property ]

@@ -1,0 +1,83 @@
+open Helpers
+module P = Experience.Provisional
+module M = Dist.Mixture
+module B = Sil.Band
+
+let prior () =
+  M.of_dist (Dist.Lognormal.of_mode_mean ~mode:3e-3 ~mean:1e-2)
+
+let test_upgrade_schedule () =
+  let stages =
+    P.upgrade_schedule (prior ()) ~required_confidence:0.9 ~max_demands:200_000
+  in
+  Alcotest.(check int) "one stage per band" 4 (List.length stages);
+  let demands band =
+    let s = List.find (fun (s : P.stage) -> B.equal s.band band) stages in
+    s.demands_needed
+  in
+  (* SIL1 at 90% should already hold (P(<=0.1) ~ 0.999). *)
+  (match demands B.Sil1 with
+  | Some 0 -> ()
+  | other ->
+    Alcotest.failf "SIL1 should need 0 demands, got %s"
+      (match other with None -> "None" | Some n -> string_of_int n));
+  (* SIL2 needs testing; SIL3 needs much more. *)
+  (match (demands B.Sil2, demands B.Sil3) with
+  | Some n2, Some n3 ->
+    check_true "SIL2 needs some tests" (n2 > 0);
+    check_true "SIL3 needs more than SIL2" (n3 > n2)
+  | _ -> Alcotest.fail "SIL2 and SIL3 should be reachable");
+  (* Stages report survival probabilities in (0, 1]. *)
+  List.iter
+    (fun (s : P.stage) ->
+      check_in_range "survival prob" ~lo:0.0 ~hi:1.0 s.survival_probability)
+    stages
+
+let test_initial_rating () =
+  (match P.initial_rating (prior ()) ~required_confidence:0.9 with
+  | Some band -> check_true "initially SIL1" (B.equal band B.Sil1)
+  | None -> Alcotest.fail "expected SIL1 initially");
+  let hopeless = M.of_dist (Dist.Lognormal.of_mode_sigma ~mode:0.5 ~sigma:0.5) in
+  check_true "nothing claimable"
+    (P.initial_rating hopeless ~required_confidence:0.9 = None)
+
+let test_period_of_risk () =
+  let b = prior () in
+  check_close ~eps:1e-9 "expected failures" (1000.0 *. M.mean b)
+    (P.expected_failures_during b ~demands:1000);
+  let p0 = P.failure_free_probability b ~demands:0 in
+  check_close "no demands, no risk" 1.0 p0;
+  let p1000 = P.failure_free_probability b ~demands:1000 in
+  check_in_range "some risk" ~lo:0.0 ~hi:1.0 p1000;
+  check_true "risk grows with exposure"
+    (P.failure_free_probability b ~demands:10_000 < p1000);
+  check_raises_invalid "negative demands" (fun () ->
+      ignore (P.expected_failures_during b ~demands:(-1)))
+
+let test_schedule_table () =
+  let stages =
+    P.upgrade_schedule (prior ()) ~required_confidence:0.9 ~max_demands:10_000
+  in
+  let table = P.schedule_table stages in
+  check_true "mentions unreachable for SIL4"
+    (let needle = "unreachable" in
+     let n = String.length needle in
+     let rec scan i =
+       if i + n > String.length table then false
+       else if String.sub table i n = needle then true
+       else scan (i + 1)
+     in
+     scan 0)
+
+let test_validation () =
+  check_raises_invalid "bad confidence" (fun () ->
+      ignore
+        (P.upgrade_schedule (prior ()) ~required_confidence:1.0
+           ~max_demands:100))
+
+let suite =
+  [ case "upgrade schedule" test_upgrade_schedule;
+    case "initial rating" test_initial_rating;
+    case "period-of-risk accounting" test_period_of_risk;
+    case "schedule table rendering" test_schedule_table;
+    case "validation" test_validation ]

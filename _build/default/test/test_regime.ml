@@ -1,0 +1,168 @@
+open Helpers
+module R = Regime
+
+let world = R.Population.sil2_world
+
+let test_population () =
+  let rng = rng_of_seed 131 in
+  let samples = Array.init 20_000 (fun _ -> R.Population.sample world rng) in
+  Array.iter
+    (fun p ->
+      if not (p > 0.0 && p < 1.0) then Alcotest.failf "pfd %g out of range" p)
+    samples;
+  (* Rogue fraction shows up as mass far above the ordinary mode. *)
+  let rogues =
+    Array.fold_left
+      (fun acc p -> if p > 0.03 then acc + 1 else acc)
+      0 samples
+  in
+  let fraction = float_of_int rogues /. 20_000.0 in
+  check_in_range "rogue mass visible" ~lo:0.05 ~hi:0.20 fraction;
+  check_raises_invalid "bad rogue fraction" (fun () ->
+      ignore
+        (R.Population.make ~label:"x" ~ordinary_mode:1e-3 ~ordinary_sigma:0.5
+           ~rogue_fraction:1.0 ~rogue_factor:10.0));
+  check_true "ground truth label"
+    (R.Population.is_in_band world ~band:Sil.Band.Sil2 5e-3);
+  check_true "ground truth label (bad)"
+    (not (R.Population.is_in_band world ~band:Sil.Band.Sil2 5e-2))
+
+let test_assessor () =
+  let rng = rng_of_seed 132 in
+  let belief = R.Assessor.assess R.Assessor.calibrated rng ~true_pfd:3e-3 in
+  check_in_range "belief mean in a plausible range" ~lo:1e-4 ~hi:0.3
+    (Dist.Mixture.mean belief);
+  (* Calibration: over many systems, P(true <= q_p) should be ~p. *)
+  let hits = ref 0 in
+  let n = 2000 in
+  for _ = 1 to n do
+    let true_pfd = R.Population.sample world rng in
+    let belief = R.Assessor.assess R.Assessor.calibrated rng ~true_pfd in
+    if Dist.Mixture.prob_le belief true_pfd <= 0.9 then incr hits
+  done;
+  check_in_range "calibrated assessor covers at the 90% level" ~lo:0.86
+    ~hi:0.94
+    (float_of_int !hits /. float_of_int n);
+  check_raises_invalid "bad true_pfd" (fun () ->
+      ignore (R.Assessor.assess R.Assessor.calibrated rng ~true_pfd:0.0))
+
+let test_policy_decisions () =
+  let rng = rng_of_seed 133 in
+  let tight =
+    Dist.Mixture.of_dist (Dist.Lognormal.of_mode_sigma ~mode:3e-3 ~sigma:0.3)
+  in
+  let wide =
+    Dist.Mixture.of_dist (Dist.Lognormal.of_mode_sigma ~mode:3e-3 ~sigma:1.2)
+  in
+  let accepts p belief =
+    R.Policy.accepts p ~band:Sil.Band.Sil2 belief rng ~true_pfd:3e-3
+  in
+  (* Mode-based ignores spread: accepts both. *)
+  check_true "mode accepts tight" (accepts R.Policy.Mode_based tight);
+  check_true "mode accepts wide" (accepts R.Policy.Mode_based wide);
+  (* Mean-based rejects the wide one (its mean is in SIL1). *)
+  check_true "mean accepts tight" (accepts R.Policy.Mean_based tight);
+  check_true "mean rejects wide" (not (accepts R.Policy.Mean_based wide));
+  (* Confidence-based is stricter as the requirement rises. *)
+  check_true "70% accepts tight" (accepts (R.Policy.Confidence_based 0.7) tight);
+  check_true "99.9% rejects wide"
+    (not (accepts (R.Policy.Confidence_based 0.999) wide));
+  (* Conservative: needs massive confidence a decade down. *)
+  check_true "conservative rejects wide"
+    (not (accepts R.Policy.Conservative_based wide));
+  Alcotest.(check int) "testing cost" 500
+    (R.Policy.testing_cost (R.Policy.Test_first { demands = 500; confidence = 0.9 }));
+  Alcotest.(check int) "no cost" 0 (R.Policy.testing_cost R.Policy.Mean_based)
+
+let test_test_first_rejects_failing_systems () =
+  (* A rogue system nearly always fails a 500-demand campaign. *)
+  let rng = rng_of_seed 134 in
+  let belief =
+    Dist.Mixture.of_dist (Dist.Lognormal.of_mode_sigma ~mode:3e-3 ~sigma:0.3)
+  in
+  let policy = R.Policy.Test_first { demands = 500; confidence = 0.5 } in
+  let accepted_rogue = ref 0 in
+  for _ = 1 to 200 do
+    if R.Policy.accepts policy ~band:Sil.Band.Sil2 belief rng ~true_pfd:0.05
+    then incr accepted_rogue
+  done;
+  check_true "rogues caught by testing" (!accepted_rogue < 5)
+
+let test_test_tolerant () =
+  let rng = rng_of_seed 135 in
+  let belief =
+    Dist.Mixture.of_dist (Dist.Lognormal.of_mode_sigma ~mode:3e-3 ~sigma:0.5)
+  in
+  (* A decent system (pfd 3e-3, ~1.5 failures expected in 500 demands):
+     the zero-tolerance policy usually rejects it; tolerating 5 failures
+     usually accepts it. *)
+  let strict = R.Policy.Test_first { demands = 500; confidence = 0.6 } in
+  let tolerant =
+    R.Policy.Test_tolerant { demands = 500; max_failures = 5; confidence = 0.6 }
+  in
+  let count policy =
+    let acc = ref 0 in
+    for _ = 1 to 200 do
+      if R.Policy.accepts policy ~band:Sil.Band.Sil2 belief rng ~true_pfd:3e-3
+      then incr acc
+    done;
+    !acc
+  in
+  let strict_n = count strict and tolerant_n = count tolerant in
+  check_true "tolerance accepts more good systems" (tolerant_n > strict_n + 50);
+  (* But a rogue still fails the tolerant campaign. *)
+  let rogue_accepted = ref 0 in
+  for _ = 1 to 200 do
+    if R.Policy.accepts tolerant ~band:Sil.Band.Sil2 belief rng ~true_pfd:0.05
+    then incr rogue_accepted
+  done;
+  check_true "rogues still caught" (!rogue_accepted < 5);
+  Alcotest.(check int) "cost recorded" 500 (R.Policy.testing_cost tolerant)
+
+let test_evaluate_ordering () =
+  let policies =
+    [ R.Policy.Mode_based; R.Policy.Confidence_based 0.9 ]
+  in
+  let outcomes =
+    R.Evaluate.compare ~world ~assessor:R.Assessor.calibrated
+      ~band:Sil.Band.Sil2 ~policies ~systems:1500 ~seed:42
+  in
+  match outcomes with
+  | [ mode; conf90 ] ->
+    check_true "confidence policy fields fewer bad systems"
+      (conf90.accepted_bad < mode.accepted_bad);
+    check_true "confidence policy fields a safer fleet"
+      (conf90.mean_accepted_pfd < mode.mean_accepted_pfd);
+    check_true "but rejects more good systems"
+      (conf90.rejected_good > mode.rejected_good);
+    Alcotest.(check int) "systems recorded" 1500 mode.systems
+  | _ -> Alcotest.fail "two outcomes expected"
+
+let test_evaluate_deterministic () =
+  let run () =
+    R.Evaluate.run ~world ~assessor:R.Assessor.calibrated ~band:Sil.Band.Sil2
+      ~policy:R.Policy.Mean_based ~systems:500 ~seed:7
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same accepted" a.accepted b.accepted;
+  check_close "same fleet pfd" a.mean_accepted_pfd b.mean_accepted_pfd
+
+let test_summary_table () =
+  let outcomes =
+    R.Evaluate.compare ~world ~assessor:R.Assessor.calibrated
+      ~band:Sil.Band.Sil2
+      ~policies:[ R.Policy.Mean_based ]
+      ~systems:200 ~seed:9
+  in
+  let t = R.Evaluate.summary_table outcomes in
+  check_true "table mentions the policy" (String.length t > 50)
+
+let suite =
+  [ case "population sampling" test_population;
+    case "assessor calibration" test_assessor;
+    case "policy decisions" test_policy_decisions;
+    case "testing catches rogues" test_test_first_rejects_failing_systems;
+    case "failure-tolerant testing" test_test_tolerant;
+    case "policies ordered by safety" test_evaluate_ordering;
+    case "evaluation deterministic by seed" test_evaluate_deterministic;
+    case "summary table" test_summary_table ]

@@ -1,0 +1,80 @@
+open Helpers
+module T = Report.Table
+module S = Report.Series
+
+let contains haystack needle =
+  let n = String.length needle in
+  let rec scan i =
+    if i + n > String.length haystack then false
+    else if String.sub haystack i n = needle then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let test_table_render () =
+  let columns =
+    [ { T.header = "name"; align = T.Left };
+      { T.header = "value"; align = T.Right } ]
+  in
+  let rows = [ [ "alpha"; "1" ]; [ "b"; "22" ] ] in
+  let out = T.render ~columns ~rows in
+  check_true "headers present" (contains out "name" && contains out "value");
+  check_true "rule present" (contains out "-----");
+  (* Right-aligned column pads on the left. *)
+  check_true "alignment" (contains out "    1");
+  check_raises_invalid "arity mismatch" (fun () ->
+      ignore (T.render ~columns ~rows:[ [ "only-one" ] ]))
+
+let test_csv () =
+  let out =
+    T.to_csv ~header:[ "a"; "b" ]
+      ~rows:[ [ "1"; "plain" ]; [ "2"; "has,comma" ]; [ "3"; "has\"quote" ] ]
+  in
+  check_true "quoted comma field" (contains out "\"has,comma\"");
+  check_true "doubled quote" (contains out "\"has\"\"quote\"");
+  check_true "plain untouched" (contains out "1,plain")
+
+let test_float_cell () =
+  Alcotest.(check string) "compact" "0.001" (T.float_cell 1e-3);
+  Alcotest.(check string) "scientific" "1e-09" (T.float_cell 1e-9)
+
+let test_series () =
+  let s1 = S.make "a" [ (1.0, 10.0); (2.0, 20.0) ] in
+  let s2 = S.make "b" [ (1.0, 1.0); (2.0, 4.0) ] in
+  let table = S.render_table ~x_label:"t" [ s1; s2 ] in
+  check_true "headers" (contains table "t" && contains table "a" && contains table "b");
+  check_close "y_at" 20.0 (S.y_at s1 2.0);
+  (match S.y_at s1 99.0 with
+  | exception Not_found -> ()
+  | v -> Alcotest.failf "expected Not_found, got %g" v);
+  let mapped = S.map_y (fun y -> y *. 2.0) s1 in
+  check_close "map_y" 40.0 (S.y_at mapped 2.0);
+  let csv = S.to_csv [ s1; s2 ] in
+  check_true "csv header" (contains csv "x,a,b");
+  check_raises_invalid "mismatched grids" (fun () ->
+      ignore (S.render_table [ s1; S.make "c" [ (9.0, 0.0); (10.0, 1.0) ] ]))
+
+let test_ascii_plot () =
+  let s =
+    S.make "curve" (List.init 50 (fun i ->
+        let x = float_of_int (i + 1) in
+        (x, x *. x)))
+  in
+  let plot = Report.Ascii_plot.plot ~width:40 ~height:10 [ s ] in
+  check_true "has legend" (contains plot "curve");
+  check_true "has axis" (contains plot "+");
+  check_true "has glyphs" (contains plot "*");
+  let logplot =
+    Report.Ascii_plot.plot ~x_scale:Report.Ascii_plot.Log10
+      ~y_scale:Report.Ascii_plot.Log10 [ s ]
+  in
+  check_true "log-scale annotated" (contains logplot "log x");
+  check_raises_invalid "no series" (fun () ->
+      ignore (Report.Ascii_plot.plot []))
+
+let suite =
+  [ case "table rendering" test_table_render;
+    case "csv escaping" test_csv;
+    case "float cells" test_float_cell;
+    case "series" test_series;
+    case "ascii plots" test_ascii_plot ]

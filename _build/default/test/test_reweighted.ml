@@ -1,0 +1,96 @@
+open Helpers
+module R = Dist.Reweighted
+module M = Dist.Mixture
+
+let test_flat_weight_is_identity () =
+  let prior = M.of_dist (Dist.Lognormal.of_mode_sigma ~mode:3e-3 ~sigma:0.9) in
+  let post, z = R.posterior prior ~weight:(fun _ -> 1.0) in
+  (* Grid quadrature on 1025 points carries ~1e-5 of trapezoid error. *)
+  check_close ~eps:1e-4 "evidence 1" 1.0 z;
+  check_close ~eps:1e-4 "mean unchanged" (M.mean prior) (M.mean post);
+  List.iter
+    (fun x ->
+      check_close ~eps:1e-4
+        (Printf.sprintf "cdf at %g" x)
+        (M.prob_le prior x) (M.prob_le post x))
+    [ 1e-3; 3e-3; 1e-2 ]
+
+let test_matches_conjugate_beta () =
+  (* Beta prior + binomial survival likelihood has a closed-form posterior;
+     the grid reweighting must reproduce it. *)
+  let a = 2.0 and b = 50.0 and n = 200 in
+  let prior = M.of_dist (Dist.Beta_d.make ~a ~b) in
+  let weight p =
+    if p >= 1.0 then 0.0 else exp (float_of_int n *. log (1.0 -. p))
+  in
+  let post, _ = R.posterior prior ~weight in
+  let exact = Dist.Beta_d.make ~a ~b:(b +. float_of_int n) in
+  check_close ~eps:1e-4 "posterior mean" exact.mean (M.mean post);
+  List.iter
+    (fun x ->
+      check_close ~eps:1e-4
+        (Printf.sprintf "posterior cdf at %g" x)
+        (exact.cdf x) (M.prob_le post x))
+    [ 0.005; 0.01; 0.02 ]
+
+let test_atoms_reweighted_exactly () =
+  let prior =
+    M.make [ (0.5, M.Atom 0.0); (0.3, M.Atom 0.5); (0.2, M.Atom 1.0) ]
+  in
+  let post, z = R.posterior prior ~weight:(fun x -> 1.0 -. x) in
+  check_close ~eps:1e-12 "evidence" ((0.5 *. 1.0) +. (0.3 *. 0.5)) z;
+  check_close ~eps:1e-12 "atom at 0" (0.5 /. 0.65) (M.atom_weight post 0.0);
+  check_close ~eps:1e-12 "atom at 0.5" (0.15 /. 0.65) (M.atom_weight post 0.5);
+  check_close "atom at 1 killed" 0.0 (M.atom_weight post 1.0)
+
+let test_mixed_atom_and_continuous () =
+  (* Perfection atom survives survival-weighting untouched in relative
+     terms: weight(0) = 1 while the continuous part shrinks. *)
+  let d = Dist.Lognormal.of_mode_sigma ~mode:3e-3 ~sigma:0.9 in
+  let prior = M.with_perfection ~p0:0.1 (M.of_dist d) in
+  let weight p = if p >= 1.0 then 0.0 else exp (1000.0 *. log (1.0 -. p)) in
+  let post, z = R.posterior prior ~weight in
+  check_true "evidence < 1" (z < 1.0);
+  check_true "perfection mass grows" (M.atom_weight post 0.0 > 0.1);
+  check_true "mean shrinks" (M.mean post < M.mean prior)
+
+let test_bad_weight_rejected () =
+  let prior = M.of_dist (Dist.Uniform_d.make ~lo:0.0 ~hi:1.0) in
+  check_raises_invalid "negative weight" (fun () ->
+      ignore (R.posterior prior ~weight:(fun _ -> -1.0)));
+  check_raises_invalid "nan weight" (fun () ->
+      ignore (R.posterior prior ~weight:(fun _ -> nan)));
+  check_raises_invalid "annihilating weight" (fun () ->
+      ignore
+        (R.posterior (M.atom 0.5) ~weight:(fun _ -> 0.0)))
+
+let test_component_grid () =
+  let d = Dist.Lognormal.of_mode_sigma ~mode:3e-3 ~sigma:0.9 in
+  let grid = R.component_grid d 101 in
+  Alcotest.(check int) "size" 101 (Array.length grid);
+  check_true "sorted strictly"
+    (Array.for_all (fun b -> b) (Array.init 100 (fun i -> grid.(i) < grid.(i + 1))));
+  check_true "positive support uses log spacing" (grid.(0) > 0.0)
+
+let test_sequential_composition =
+  (* Reweighting by n then m failure-free demands = reweighting by n+m. *)
+  qcheck ~count:20 "survival weights compose"
+    QCheck2.Gen.(pair (int_range 10 300) (int_range 10 300))
+    (fun (n, m) ->
+      let survival k p =
+        if p >= 1.0 then 0.0 else exp (float_of_int k *. log (1.0 -. p))
+      in
+      let prior = M.of_dist (Dist.Beta_d.make ~a:1.5 ~b:80.0) in
+      let once, _ = R.posterior prior ~weight:(survival (n + m)) in
+      let step1, _ = R.posterior prior ~weight:(survival n) in
+      let step2, _ = R.posterior step1 ~weight:(survival m) in
+      abs_float (M.mean once -. M.mean step2) < 1e-5)
+
+let suite =
+  [ case "flat weight is identity" test_flat_weight_is_identity;
+    case "matches conjugate beta posterior" test_matches_conjugate_beta;
+    case "atoms reweighted exactly" test_atoms_reweighted_exactly;
+    case "atom + continuous interplay" test_mixed_atom_and_continuous;
+    case "weight validation" test_bad_weight_rejected;
+    case "evaluation grid construction" test_component_grid;
+    test_sequential_composition ]

@@ -1,0 +1,65 @@
+open Helpers
+module Rf = Numerics.Rootfind
+
+let cubic x = (x *. x *. x) -. (2.0 *. x) -. 5.0
+(* Real root of x^3 - 2x - 5 (Newton's classic example). *)
+let cubic_root = 2.0945514815423265
+
+let test_bisect () =
+  check_close ~eps:1e-9 "cubic" cubic_root (Rf.bisect cubic 0.0 3.0);
+  check_close ~eps:1e-9 "cos" (Numerics.Special.pi /. 2.0)
+    (Rf.bisect cos 0.0 3.0);
+  check_close "exact at endpoint" 2.0 (Rf.bisect (fun x -> x -. 2.0) 2.0 5.0)
+
+let test_bisect_bad_bracket () =
+  match Rf.bisect (fun x -> (x *. x) +. 1.0) (-1.0) 1.0 with
+  | exception Rf.No_root _ -> ()
+  | v -> Alcotest.failf "expected No_root, got %g" v
+
+let test_brent () =
+  check_close ~eps:1e-12 "cubic" cubic_root (Rf.brent cubic 0.0 3.0);
+  check_close ~eps:1e-12 "cos" (Numerics.Special.pi /. 2.0)
+    (Rf.brent cos 0.0 3.0);
+  (* A root with a flat approach. *)
+  check_close ~eps:1e-6 "x^9" 0.0 (Rf.brent (fun x -> x ** 9.0) (-1.0) 1.5)
+
+let test_brent_bad_bracket () =
+  match Rf.brent (fun _ -> 1.0) 0.0 1.0 with
+  | exception Rf.No_root _ -> ()
+  | v -> Alcotest.failf "expected No_root, got %g" v
+
+let test_newton () =
+  let df x = (3.0 *. x *. x) -. 2.0 in
+  check_close ~eps:1e-12 "cubic" cubic_root
+    (Rf.newton_bracketed ~f:cubic ~df 0.0 3.0 1.0);
+  (* A wild starting point still converges thanks to the bracket. *)
+  check_close ~eps:1e-12 "cubic bad start" cubic_root
+    (Rf.newton_bracketed ~f:cubic ~df 0.0 3.0 2.999)
+
+let test_expand_bracket () =
+  let f x = x -. 100.0 in
+  let lo, hi = Rf.expand_bracket f 0.0 1.0 in
+  check_true "bracket straddles" (f lo *. f hi <= 0.0);
+  (match Rf.expand_bracket (fun _ -> 1.0) 0.0 1.0 with
+  | exception Rf.No_root _ -> ()
+  | _ -> Alcotest.fail "expected No_root");
+  check_raises_invalid "lo >= hi is rejected" (fun () ->
+      match Rf.expand_bracket (fun x -> x) 1.0 1.0 with
+      | exception Rf.No_root m -> invalid_arg m
+      | v -> ignore v)
+
+let test_brent_matches_bisect =
+  let gen = QCheck2.Gen.(map (fun u -> 1.0 +. (50.0 *. u)) (float_bound_inclusive 1.0)) in
+  qcheck "brent and bisect agree on shifted cubics" gen (fun c ->
+      let f x = (x *. x *. x) -. c in
+      let b1 = Rf.brent f 0.0 4.0 and b2 = Rf.bisect f 0.0 4.0 in
+      abs_float (b1 -. b2) < 1e-7)
+
+let suite =
+  [ case "bisect" test_bisect;
+    case "bisect rejects bad bracket" test_bisect_bad_bracket;
+    case "brent" test_brent;
+    case "brent rejects bad bracket" test_brent_bad_bracket;
+    case "newton (bracketed)" test_newton;
+    case "expand_bracket" test_expand_bracket;
+    test_brent_matches_bisect ]

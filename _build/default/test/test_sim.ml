@@ -1,0 +1,88 @@
+open Helpers
+module Mc = Sim.Mc
+module Ds = Sim.Demand_sim
+module M = Dist.Mixture
+
+let test_mc_estimate () =
+  let rng = rng_of_seed 51 in
+  let est = Mc.estimate ~n:20_000 rng (fun rng -> Numerics.Rng.float rng) in
+  check_in_range "uniform mean" ~lo:0.49 ~hi:0.51 est.mean;
+  check_true "stderr positive" (est.std_error > 0.0);
+  check_true "CI ordered" (est.ci95_lo < est.mean && est.mean < est.ci95_hi);
+  check_true "CI covers 0.5" (Mc.within est 0.5);
+  Alcotest.(check int) "n recorded" 20_000 est.n;
+  check_raises_invalid "n < 2" (fun () ->
+      ignore (Mc.estimate ~n:1 rng (fun _ -> 0.0)))
+
+let test_mc_probability () =
+  let rng = rng_of_seed 52 in
+  let est =
+    Mc.probability ~n:50_000 rng (fun rng -> Numerics.Rng.float rng < 0.3)
+  in
+  check_true "covers 0.3" (Mc.within est 0.3)
+
+let test_equation_4 () =
+  (* P(fail on a random demand) = E[p] — the paper's equation (4), verified
+     by simulation for a structured belief with perfection mass. *)
+  let belief =
+    M.with_perfection ~p0:0.2
+      (M.of_dist (Dist.Beta_d.make ~a:2.0 ~b:30.0))
+  in
+  let rng = rng_of_seed 53 in
+  let est = Ds.failure_probability ~n:400_000 rng belief in
+  check_true "MC estimate covers E[p]" (Mc.within est (M.mean belief))
+
+let test_conservative_bound_attained () =
+  (* The worst-case belief attains x + y - xy exactly. *)
+  let claim = Confidence.Claim.make ~bound:1e-2 ~confidence:0.95 in
+  let rng = rng_of_seed 54 in
+  let est, bound = Ds.check_conservative_bound ~n:400_000 rng claim in
+  check_true "simulated failure rate matches the bound" (Mc.within est bound)
+
+let test_campaign () =
+  let belief = M.atom 0.01 in
+  let rng = rng_of_seed 55 in
+  let counts = Ds.failures_in_campaign ~n_systems:2000 ~demands:100 rng belief in
+  Alcotest.(check int) "one count per system" 2000 (Array.length counts);
+  let mean_failures =
+    Numerics.Summary.mean (Array.map float_of_int counts)
+  in
+  (* Binomial(100, 0.01): mean 1. *)
+  check_in_range "campaign failure counts" ~lo:0.9 ~hi:1.1 mean_failures
+
+let test_survival_curve () =
+  let belief = M.of_dist (Dist.Beta_d.make ~a:2.0 ~b:100.0) in
+  let rng = rng_of_seed 56 in
+  let curve =
+    Ds.survival_curve ~n_systems:30_000 ~checkpoints:[ 0; 10; 100; 500 ] rng
+      belief
+  in
+  Alcotest.(check int) "four checkpoints" 4 (List.length curve);
+  check_close "all survive zero demands" 1.0 (List.assoc 0 curve);
+  (* Monotone decreasing. *)
+  let values = List.map snd curve in
+  check_true "monotone" (List.sort (fun a b -> compare b a) values = values);
+  (* Matches the analytic prior predictive E[(1-p)^n]. *)
+  let analytic =
+    Experience.Tail_cutoff.survival_probability belief ~n:100
+  in
+  let simulated = List.assoc 100 curve in
+  check_in_range "matches E[(1-p)^100]"
+    ~lo:(analytic -. 0.01) ~hi:(analytic +. 0.01) simulated
+
+let test_survival_validation () =
+  let rng = rng_of_seed 57 in
+  check_raises_invalid "negative checkpoint" (fun () ->
+      ignore
+        (Ds.survival_curve ~n_systems:10 ~checkpoints:[ -1 ] rng (M.atom 0.5)));
+  check_raises_invalid "no systems" (fun () ->
+      ignore (Ds.failures_in_campaign ~n_systems:0 ~demands:1 rng (M.atom 0.5)))
+
+let suite =
+  [ case "MC estimator" test_mc_estimate;
+    case "MC probability" test_mc_probability;
+    case "equation (4) verified by simulation" test_equation_4;
+    case "conservative bound attained by the worst case" test_conservative_bound_attained;
+    case "test campaigns" test_campaign;
+    case "survival curves" test_survival_curve;
+    case "simulation validation" test_survival_validation ]

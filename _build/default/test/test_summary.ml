@@ -1,0 +1,63 @@
+open Helpers
+module S = Numerics.Summary
+
+let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |]
+
+let test_moments () =
+  check_close "mean" 5.0 (S.mean xs);
+  check_close "variance" (32.0 /. 7.0) (S.variance xs);
+  check_close "std" (sqrt (32.0 /. 7.0)) (S.std xs);
+  check_raises_invalid "mean of empty" (fun () -> ignore (S.mean [||]));
+  check_raises_invalid "variance of singleton" (fun () ->
+      ignore (S.variance [| 1.0 |]))
+
+let test_quantiles () =
+  let data = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_close "q0" 1.0 (S.quantile data 0.0);
+  check_close "q1" 4.0 (S.quantile data 1.0);
+  check_close "median (type 7)" 2.5 (S.median data);
+  check_close "q25" 1.75 (S.quantile data 0.25);
+  check_raises_invalid "p out of range" (fun () -> ignore (S.quantile data 1.5));
+  (* Does not mutate. *)
+  let orig = [| 3.0; 1.0; 2.0 |] in
+  ignore (S.median orig);
+  Alcotest.(check (array (float 0.0))) "input untouched" [| 3.0; 1.0; 2.0 |] orig
+
+let test_extrema () =
+  check_close "min" 2.0 (S.minimum xs);
+  check_close "max" 9.0 (S.maximum xs)
+
+let test_histogram () =
+  let edges = [| 0.0; 3.0; 6.0; 10.0 |] in
+  let counts = S.histogram ~edges xs in
+  Alcotest.(check (array int)) "counts" [| 1; 5; 2 |] counts;
+  (* Out-of-range values are dropped. *)
+  let counts2 = S.histogram ~edges [| -1.0; 11.0; 1.0 |] in
+  Alcotest.(check (array int)) "drops outliers" [| 1; 0; 0 |] counts2;
+  check_raises_invalid "needs 2 edges" (fun () ->
+      ignore (S.histogram ~edges:[| 1.0 |] xs))
+
+let test_online_matches_batch () =
+  let acc = S.Online.create () in
+  Array.iter (S.Online.add acc) xs;
+  Alcotest.(check int) "count" 8 (S.Online.count acc);
+  check_close "online mean" (S.mean xs) (S.Online.mean acc);
+  check_close "online variance" (S.variance xs) (S.Online.variance acc);
+  check_raises_invalid "online mean of empty" (fun () ->
+      ignore (S.Online.mean (S.Online.create ())))
+
+let test_online_property =
+  let gen = QCheck2.Gen.(array_size (int_range 2 40) (float_bound_inclusive 100.0)) in
+  qcheck "online = batch on random data" gen (fun data ->
+      let acc = S.Online.create () in
+      Array.iter (S.Online.add acc) data;
+      abs_float (S.Online.mean acc -. S.mean data) < 1e-9
+      && abs_float (S.Online.variance acc -. S.variance data) < 1e-7)
+
+let suite =
+  [ case "moments" test_moments;
+    case "quantiles" test_quantiles;
+    case "extrema" test_extrema;
+    case "histogram" test_histogram;
+    case "online accumulator" test_online_matches_batch;
+    test_online_property ]

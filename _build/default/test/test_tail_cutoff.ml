@@ -1,0 +1,142 @@
+open Helpers
+module T = Experience.Tail_cutoff
+module M = Dist.Mixture
+
+let prior () =
+  M.of_dist (Dist.Lognormal.of_mode_mean ~mode:3e-3 ~mean:1e-2)
+
+let test_trajectory_monotone () =
+  (* Section 4.1: "tests rapidly increase confidence and reduce the mean". *)
+  let traj = T.trajectory (prior ()) ~bound:1e-2 ~ns:[ 0; 10; 100; 1000 ] in
+  Alcotest.(check int) "points" 4 (List.length traj);
+  let rec scan = function
+    | (a : T.point) :: (b :: _ as rest) ->
+      check_true "mean decreasing" (b.mean <= a.mean +. 1e-12);
+      check_true "confidence increasing" (b.confidence >= a.confidence -. 1e-12);
+      scan rest
+    | [ _ ] | [] -> ()
+  in
+  scan traj
+
+let test_trajectory_upgrades_sil () =
+  let traj = T.trajectory (prior ()) ~bound:1e-2 ~ns:[ 0; 2000 ] in
+  match traj with
+  | [ start; after ] ->
+    check_true "starts judged SIL1 by the mean"
+      (start.judged = Sil.Band.In_band Sil.Band.Sil1);
+    check_true "mean moves into SIL2 after testing"
+      (after.judged = Sil.Band.In_band Sil.Band.Sil2
+      || after.judged = Sil.Band.In_band Sil.Band.Sil3)
+  | _ -> Alcotest.fail "expected two points"
+
+let test_after_demands_identity_and_validation () =
+  let b = prior () in
+  check_true "n = 0 is identity" (T.after_demands b ~n:0 == b);
+  check_raises_invalid "negative n" (fun () ->
+      ignore (T.after_demands b ~n:(-1)))
+
+let test_demands_needed () =
+  let b = prior () in
+  (match T.demands_needed b ~bound:1e-2 ~confidence:0.9 ~max_demands:100_000 with
+  | Some n ->
+    check_true "positive" (n > 0);
+    (* Minimality: n achieves it, n-1 does not. *)
+    let conf_at k = M.prob_le (T.after_demands b ~n:k) 1e-2 in
+    check_true "achieves" (conf_at n >= 0.9);
+    check_true "minimal" (conf_at (n - 1) < 0.9)
+  | None -> Alcotest.fail "expected a demand count");
+  (* Already confident enough. *)
+  (match T.demands_needed b ~bound:1e-1 ~confidence:0.9 ~max_demands:10 with
+  | Some 0 -> ()
+  | _ -> Alcotest.fail "expected 0 demands");
+  (* Unreachable within budget. *)
+  match T.demands_needed b ~bound:1e-4 ~confidence:0.999 ~max_demands:10 with
+  | None -> ()
+  | Some n -> Alcotest.failf "expected None, got %d" n
+
+let test_survival_probability () =
+  let b = prior () in
+  check_close "n = 0" 1.0 (T.survival_probability b ~n:0);
+  let s100 = T.survival_probability b ~n:100 in
+  let s1000 = T.survival_probability b ~n:1000 in
+  check_in_range "survival in (0,1)" ~lo:0.0 ~hi:1.0 s100;
+  check_true "monotone in n" (s1000 < s100);
+  (* Perfection mass floors the survival probability. *)
+  let with_perfection = M.with_perfection ~p0:0.3 b in
+  check_true "perfection floor"
+    (T.survival_probability with_perfection ~n:100_000 >= 0.3 -. 1e-6)
+
+let test_matches_conjugate () =
+  (* Same operation through the beta conjugate. *)
+  let a = 1.5 and bb = 100.0 in
+  let prior_beta = M.of_dist (Dist.Beta_d.make ~a ~b:bb) in
+  let cut = T.after_demands prior_beta ~n:400 in
+  let exact = Experience.Bayes.beta_posterior ~a ~b:bb ~failures:0 ~demands:400 in
+  check_close ~eps:2e-4 "means agree" exact.Dist.mean (M.mean cut)
+
+let rate_prior () =
+  (* Continuous-mode belief over a per-hour dangerous failure rate. *)
+  M.of_dist (Dist.Lognormal.of_mode_sigma ~mode:3e-7 ~sigma:0.9)
+
+let test_hours_trajectory () =
+  let traj =
+    T.trajectory_hours (rate_prior ()) ~bound:1e-6
+      ~ts:[ 0.0; 1e5; 1e6; 1e7 ]
+  in
+  Alcotest.(check int) "points" 4 (List.length traj);
+  let rec scan = function
+    | (a : T.time_point) :: (b :: _ as rest) ->
+      check_true "rate mean decreasing" (b.rate_mean <= a.rate_mean +. 1e-15);
+      check_true "confidence increasing"
+        (b.rate_confidence >= a.rate_confidence -. 1e-12);
+      scan rest
+    | [ _ ] | [] -> ()
+  in
+  scan traj;
+  (* Continuous-mode banding: a 3e-7/h mode sits in the SIL2 pfh band. *)
+  let last = List.nth traj 3 in
+  (match last.rate_judged with
+  | Sil.Band.In_band b ->
+    check_true "band improves with experience"
+      (Sil.Band.to_int b >= 2)
+  | other ->
+    Alcotest.failf "unexpected classification %s"
+      (Sil.Band.classification_to_string other))
+
+let test_hours_matches_gamma_conjugate () =
+  let shape = 2.0 and rate = 1e6 in
+  let prior = M.of_dist (Dist.Gamma_d.make ~shape ~rate) in
+  let cut = T.after_hours prior ~t:5e6 in
+  let exact =
+    Experience.Bayes.gamma_posterior ~shape ~rate ~failures:0 ~time:5e6
+  in
+  check_close ~eps:1e-3 "means agree (ratio)" 1.0
+    (M.mean cut /. exact.Dist.mean)
+
+let test_hours_needed () =
+  let prior = rate_prior () in
+  (match T.hours_needed prior ~bound:1e-6 ~confidence:0.95 ~max_hours:1e9 with
+  | Some t ->
+    check_true "positive" (t > 0.0);
+    let conf =
+      M.prob_le (T.after_hours prior ~t) 1e-6
+    in
+    check_in_range "achieves the confidence" ~lo:0.949 ~hi:0.96 conf
+  | None -> Alcotest.fail "expected an hours figure");
+  (match T.hours_needed prior ~bound:1e-4 ~confidence:0.5 ~max_hours:10.0 with
+  | Some 0.0 -> ()
+  | _ -> Alcotest.fail "already confident -> 0 hours");
+  match T.hours_needed prior ~bound:1e-8 ~confidence:0.999 ~max_hours:10.0 with
+  | None -> ()
+  | Some t -> Alcotest.failf "expected None, got %g" t
+
+let suite =
+  [ case "confidence up, mean down" test_trajectory_monotone;
+    case "time-based trajectory (continuous mode)" test_hours_trajectory;
+    case "time-based agrees with gamma conjugate" test_hours_matches_gamma_conjugate;
+    case "hours needed" test_hours_needed;
+    case "provisional SIL upgrade in the trajectory" test_trajectory_upgrades_sil;
+    case "identity and validation" test_after_demands_identity_and_validation;
+    case "minimal demand count" test_demands_needed;
+    case "prior predictive survival" test_survival_probability;
+    case "agrees with the conjugate path" test_matches_conjugate ]

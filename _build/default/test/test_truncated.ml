@@ -1,0 +1,62 @@
+open Helpers
+module T = Dist.Truncated
+
+let test_truncated_uniform () =
+  (* Truncating a uniform is another uniform — everything has closed form. *)
+  let u = Dist.Uniform_d.make ~lo:0.0 ~hi:10.0 in
+  let t = T.make u ~lo:2.0 ~hi:4.0 in
+  check_close ~eps:1e-7 "mean" 3.0 t.mean;
+  check_close ~eps:1e-9 "cdf mid" 0.5 (t.cdf 3.0);
+  check_close "cdf below" 0.0 (t.cdf 1.0);
+  check_close "cdf above" 1.0 (t.cdf 5.0);
+  check_close ~eps:1e-9 "pdf inside" 0.5 (t.pdf 3.0);
+  check_close "pdf outside" 0.0 (t.pdf 5.0);
+  check_close ~eps:1e-9 "quantile" 2.5 (t.quantile 0.25);
+  check_close ~eps:1e-6 "variance" (4.0 /. 12.0) t.variance
+
+let test_truncated_normal_mean () =
+  (* Standard normal truncated to [0, inf): mean = sqrt(2/pi). *)
+  let n = Dist.Normal.make ~mu:0.0 ~sigma:1.0 in
+  let t = T.lower n ~bound:0.0 in
+  check_close ~eps:1e-6 "half-normal mean" (sqrt (2.0 /. Numerics.Special.pi))
+    t.mean
+
+let test_upper_tail_cutoff () =
+  (* Conditioning a pfd belief on "certainly below 1e-2" (an idealised,
+     infinitely strong tail cut). *)
+  let d = Dist.Lognormal.of_mode_sigma ~mode:3e-3 ~sigma:0.9 in
+  let t = T.upper d ~bound:1e-2 in
+  check_close "all mass below bound" 1.0 (t.cdf 1e-2);
+  check_true "mean reduced" (t.mean < d.mean);
+  check_true "mode preserved when interior"
+    (abs_float (Option.get t.mode -. 3e-3) < 1e-12)
+
+let test_errors () =
+  let u = Dist.Uniform_d.make ~lo:0.0 ~hi:1.0 in
+  check_raises_invalid "lo >= hi" (fun () -> ignore (T.make u ~lo:0.5 ~hi:0.5));
+  check_raises_invalid "no mass" (fun () -> ignore (T.make u ~lo:5.0 ~hi:6.0))
+
+let test_quantile_roundtrip =
+  qcheck "cdf (quantile p) = p on truncated lognormal"
+    QCheck2.Gen.(map (fun u -> 0.02 +. (0.96 *. u)) (float_bound_inclusive 1.0))
+    (fun p ->
+      let d = Dist.Lognormal.of_mode_sigma ~mode:3e-3 ~sigma:0.9 in
+      let t = T.make d ~lo:1e-3 ~hi:1e-2 in
+      abs_float (t.Dist.cdf (t.Dist.quantile p) -. p) < 1e-8)
+
+let test_sampling_stays_inside () =
+  let d = Dist.Lognormal.of_mode_sigma ~mode:3e-3 ~sigma:0.9 in
+  let t = T.make d ~lo:1e-3 ~hi:1e-2 in
+  let rng = rng_of_seed 17 in
+  for _ = 1 to 2000 do
+    let x = t.sample rng in
+    if x < 1e-3 || x > 1e-2 then Alcotest.failf "sample %g escaped" x
+  done
+
+let suite =
+  [ case "truncated uniform closed form" test_truncated_uniform;
+    case "half-normal mean" test_truncated_normal_mean;
+    case "upper conditioning cuts the tail" test_upper_tail_cutoff;
+    case "input validation" test_errors;
+    test_quantile_roundtrip;
+    case "samples stay inside" test_sampling_stays_inside ]

@@ -1,0 +1,86 @@
+open Helpers
+module T = Casekit.Two_leg
+
+(* Hand-computable reference: p0 = 0.5, verification (0.9, 0.2),
+   testing (0.8, 0.1). *)
+let model () =
+  T.make ~p_fault_free:0.5 ~verification:(0.9, 0.2) ~testing:(0.8, 0.1)
+
+let test_prior () =
+  let m = model () in
+  check_close ~eps:1e-12 "no evidence -> prior" 0.5
+    (T.p_fault_free m ~verification_passed:None ~testing_passed:None)
+
+let test_single_leg_posterior () =
+  let m = model () in
+  (* Bayes: P(ok | V pass) = 0.5*0.9 / (0.5*0.9 + 0.5*0.2). *)
+  check_close ~eps:1e-12 "verification passes"
+    (0.45 /. (0.45 +. 0.1))
+    (T.p_fault_free m ~verification_passed:(Some true) ~testing_passed:None);
+  (* P(ok | V fail) = 0.5*0.1 / (0.5*0.1 + 0.5*0.8). *)
+  check_close ~eps:1e-12 "verification fails"
+    (0.05 /. (0.05 +. 0.4))
+    (T.p_fault_free m ~verification_passed:(Some false) ~testing_passed:None)
+
+let test_both_legs_posterior () =
+  let m = model () in
+  (* Legs conditionally independent:
+     P(ok | both pass) = 0.5*0.9*0.8 / (0.5*0.9*0.8 + 0.5*0.2*0.1). *)
+  check_close ~eps:1e-12 "both pass"
+    (0.36 /. (0.36 +. 0.01))
+    (T.p_fault_free m ~verification_passed:(Some true)
+       ~testing_passed:(Some true));
+  (* A failing second leg undoes the first. *)
+  let conflicted =
+    T.p_fault_free m ~verification_passed:(Some true)
+      ~testing_passed:(Some false)
+  in
+  check_true "conflict drops below the single-leg posterior"
+    (conflicted < T.p_fault_free m ~verification_passed:(Some true) ~testing_passed:None)
+
+let test_second_leg_gain () =
+  let m = model () in
+  let gain = T.second_leg_gain m in
+  check_close ~eps:1e-9 "gain by hand"
+    ((0.36 /. 0.37) -. (0.45 /. 0.55))
+    gain;
+  check_true "second leg helps" (gain > 0.0)
+
+let test_marginal_dependence () =
+  let m = model () in
+  let marginal, given = T.legs_conditionally_dependent m in
+  (* P(T pass) = 0.5*0.8 + 0.5*0.1 = 0.45;
+     P(T pass | V pass) = P(ok|Vp)*0.8 + P(faulty|Vp)*0.1. *)
+  check_close ~eps:1e-12 "marginal" 0.45 marginal;
+  let p_ok_vp = 0.45 /. 0.55 in
+  check_close ~eps:1e-12 "conditioned"
+    ((p_ok_vp *. 0.8) +. ((1.0 -. p_ok_vp) *. 0.1))
+    given;
+  check_true "legs marginally dependent" (given > marginal)
+
+let test_diversity_sweep () =
+  let sweep =
+    T.diversity_sweep ~p_fault_free:0.7 ~verification:(0.95, 0.3)
+      ~testing_powers:[| 0.5; 0.2; 0.05; 0.01 |]
+  in
+  Alcotest.(check int) "points" 4 (Array.length sweep);
+  (* More diagnostic power (lower pass-given-faulty) -> higher posterior. *)
+  for i = 0 to 2 do
+    check_true "monotone in diagnostic power"
+      (snd sweep.(i) < snd sweep.(i + 1))
+  done
+
+let test_validation () =
+  check_raises_invalid "bad prior" (fun () ->
+      ignore (T.make ~p_fault_free:1.0 ~verification:(0.9, 0.1) ~testing:(0.9, 0.1)));
+  check_raises_invalid "pass-given-faulty = 1" (fun () ->
+      ignore (T.make ~p_fault_free:0.5 ~verification:(0.9, 1.0) ~testing:(0.9, 0.1)))
+
+let suite =
+  [ case "prior recovered" test_prior;
+    case "single-leg posterior (Bayes by hand)" test_single_leg_posterior;
+    case "two-leg posterior" test_both_legs_posterior;
+    case "second-leg gain" test_second_leg_gain;
+    case "legs marginally dependent" test_marginal_dependence;
+    case "diversity sweep" test_diversity_sweep;
+    case "validation" test_validation ]
