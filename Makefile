@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples csv clean
+.PHONY: all build test check bench bench-json examples csv clean
 
 all: build
 
@@ -8,9 +8,18 @@ build:
 test:
 	dune runtest
 
+# Tier-1 verification in one command.
+check:
+	dune build @all && dune runtest
+
 # Regenerate every paper table/figure + ablations + Bechamel timings.
 bench:
 	dune exec bench/main.exe
+
+# Timings + sequential-vs-parallel MC speedup rows, written as JSON at the
+# repo root (the perf trajectory across PRs: BENCH_1.json, BENCH_2.json, ...).
+bench-json:
+	dune exec bench/main.exe -- --json BENCH_1.json
 
 # Run every example end to end.
 examples: build

@@ -3,9 +3,10 @@
    generator with Bechamel.
 
    Usage:
-     main.exe            reproduction output + timings
-     main.exe --no-perf  reproduction output only
-     main.exe <id>       one experiment (see the registry for ids) *)
+     main.exe                 reproduction output + timings
+     main.exe --no-perf       reproduction output only
+     main.exe --json <path>   timings + MC-kernel speedup rows as JSON
+     main.exe <id>            one experiment (see the registry for ids) *)
 
 let print_experiment (id, anchor, f) =
   Printf.printf "################ [%s] %s ################\n\n%s\n" id anchor
@@ -20,45 +21,269 @@ let run_reproductions () =
     "################ Ablations (library design choices) ################\n";
   List.iter print_experiment Repro.Ablations.all
 
-let run_perf () =
+(* ------------------------------------------------------------------ *)
+(* Timing                                                             *)
+
+type row = { name : string; nanos : float; samples : int }
+
+let ols_nanos ~name thunk =
   let open Bechamel in
   let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) () in
   let instance = Toolkit.Instance.monotonic_clock in
   let analysis =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
-  print_endline "################ Bechamel timings ################\n";
-  Printf.printf "%-16s %16s %8s\n" "experiment" "time/run" "samples";
-  print_endline (String.make 42 '-');
+  let test =
+    Test.make ~name (Staged.stage (fun () -> ignore (Sys.opaque_identity (thunk ()))))
+  in
+  match Test.elements test with
+  | [ elt ] ->
+    let result = Benchmark.run cfg [ instance ] elt in
+    let ols = Analyze.one analysis instance result in
+    let nanos =
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> est
+      | Some _ | None -> nan
+    in
+    { name; nanos; samples = result.Benchmark.stats.samples }
+  | _ -> { name; nanos = nan; samples = 0 }
+
+let time_string nanos =
+  if nanos >= 1e9 then Printf.sprintf "%.3f s" (nanos /. 1e9)
+  else if nanos >= 1e6 then Printf.sprintf "%.3f ms" (nanos /. 1e6)
+  else Printf.sprintf "%.3f us" (nanos /. 1e3)
+
+let print_rows rows =
+  Printf.printf "%-28s %16s %8s\n" "experiment" "time/run" "samples";
+  print_endline (String.make 54 '-');
   List.iter
-    (fun (id, _, f) ->
-      let test =
-        Test.make ~name:id
-          (Staged.stage (fun () -> ignore (Sys.opaque_identity (f ()))))
-      in
-      List.iter
-        (fun elt ->
-          let result = Benchmark.run cfg [ instance ] elt in
-          let ols = Analyze.one analysis instance result in
-          let nanos =
-            match Analyze.OLS.estimates ols with
-            | Some [ est ] -> est
-            | Some _ | None -> nan
-          in
-          let time_str =
-            if nanos >= 1e9 then Printf.sprintf "%.3f s" (nanos /. 1e9)
-            else if nanos >= 1e6 then Printf.sprintf "%.3f ms" (nanos /. 1e6)
-            else Printf.sprintf "%.3f us" (nanos /. 1e3)
-          in
-          Printf.printf "%-16s %16s %8d\n" (Test.Elt.name elt) time_str
-            result.Benchmark.stats.samples)
-        (Test.elements test))
+    (fun r ->
+      Printf.printf "%-28s %16s %8d\n" r.name (time_string r.nanos) r.samples)
+    rows
+
+let time_experiments () =
+  List.map
+    (fun (id, _, f) -> ols_nanos ~name:id (fun () -> f ()))
     Repro.Experiments.all
+
+let run_perf () =
+  print_endline "################ Bechamel timings ################\n";
+  print_rows (time_experiments ())
+
+(* ------------------------------------------------------------------ *)
+(* MC kernel speedups: the n = 300,000 conservative-bound check and the
+   100,000-system survival curve, sequential vs the domain pool at 1, 2
+   and 4 domains.  The parallel results must be bit-identical across
+   domain counts (fixed seed and chunk count). *)
+
+type kernel_row = { kernel : string; variant : string; domains : int; r : row }
+
+let domain_counts = [ 1; 2; 4 ]
+
+let conservative_kernel () =
+  let n = 300_000 and chunks = 64 and seed = Repro.Paper.seed in
+  let claim = Confidence.Claim.make ~bound:1e-4 ~confidence:0.9991 in
+  let belief = Confidence.Conservative.worst_case_belief claim in
+  let seq =
+    ols_nanos ~name:"conservative_mc/seq" (fun () ->
+        let rng = Numerics.Rng.create seed in
+        Sim.Demand_sim.failure_probability ~n rng belief)
+  in
+  let par d =
+    Numerics.Parallel.with_pool ~num_domains:d (fun pool ->
+        let r =
+          ols_nanos ~name:(Printf.sprintf "conservative_mc/par%d" d) (fun () ->
+              Sim.Demand_sim.failure_probability_par ~pool ~n ~chunks ~seed
+                belief)
+        in
+        let estimate =
+          Sim.Demand_sim.failure_probability_par ~pool ~n ~chunks ~seed belief
+        in
+        (r, estimate))
+  in
+  let runs = List.map (fun d -> (d, par d)) domain_counts in
+  let estimates = List.map (fun (_, (_, e)) -> e) runs in
+  let identical =
+    match estimates with
+    | first :: rest ->
+      List.for_all
+        (fun (e : Sim.Mc.estimate) ->
+          e.mean = first.Sim.Mc.mean
+          && e.std_error = first.Sim.Mc.std_error
+          && e.ci95_lo = first.Sim.Mc.ci95_lo
+          && e.ci95_hi = first.Sim.Mc.ci95_hi
+          && e.n = first.Sim.Mc.n)
+        rest
+    | [] -> true
+  in
+  let rows =
+    { kernel = "conservative_mc"; variant = "sequential"; domains = 1; r = seq }
+    :: List.map
+         (fun (d, (r, _)) ->
+           { kernel = "conservative_mc"; variant = "parallel"; domains = d; r })
+         runs
+  in
+  (rows, identical)
+
+let survival_kernel () =
+  let n_systems = 100_000 and chunks = 64 and seed = Repro.Paper.seed + 41 in
+  let checkpoints = [ 0; 10; 100; 1000; 10000 ] in
+  let prior =
+    Dist.Mixture.of_dist
+      (Dist.Lognormal.of_mode_mean ~mode:Repro.Paper.mode ~mean:1e-2)
+  in
+  let seq =
+    ols_nanos ~name:"survival_mc/seq" (fun () ->
+        let rng = Numerics.Rng.create seed in
+        Sim.Demand_sim.survival_curve ~n_systems ~checkpoints rng prior)
+  in
+  let par d =
+    Numerics.Parallel.with_pool ~num_domains:d (fun pool ->
+        let r =
+          ols_nanos ~name:(Printf.sprintf "survival_mc/par%d" d) (fun () ->
+              Sim.Demand_sim.survival_curve_par ~pool ~n_systems ~chunks ~seed
+                ~checkpoints prior)
+        in
+        let curve =
+          Sim.Demand_sim.survival_curve_par ~pool ~n_systems ~chunks ~seed
+            ~checkpoints prior
+        in
+        (r, curve))
+  in
+  let runs = List.map (fun d -> (d, par d)) domain_counts in
+  let identical =
+    match List.map (fun (_, (_, c)) -> c) runs with
+    | first :: rest -> List.for_all (fun c -> c = first) rest
+    | [] -> true
+  in
+  let rows =
+    { kernel = "survival_mc"; variant = "sequential"; domains = 1; r = seq }
+    :: List.map
+         (fun (d, (r, _)) ->
+           { kernel = "survival_mc"; variant = "parallel"; domains = d; r })
+         runs
+  in
+  (rows, identical)
+
+let speedups rows =
+  let nanos_of kernel variant domains =
+    List.find_opt
+      (fun k -> k.kernel = kernel && k.variant = variant && k.domains = domains)
+      rows
+    |> Option.map (fun k -> k.r.nanos)
+  in
+  List.filter_map
+    (fun k ->
+      if k.variant <> "parallel" || k.domains = 1 then None
+      else
+        let vs_one =
+          match nanos_of k.kernel "parallel" 1 with
+          | Some base when Float.is_finite base && k.r.nanos > 0.0 ->
+            base /. k.r.nanos
+          | _ -> nan
+        in
+        let vs_seq =
+          match nanos_of k.kernel "sequential" 1 with
+          | Some base when Float.is_finite base && k.r.nanos > 0.0 ->
+            base /. k.r.nanos
+          | _ -> nan
+        in
+        Some (k.kernel, k.domains, vs_one, vs_seq))
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                               *)
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json oc ~experiments ~kernels ~deterministic =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n  \"schema\": \"confcase-bench-1\",\n";
+  add "  \"experiments\": [\n";
+  List.iteri
+    (fun i r ->
+      add "    {\"name\": \"%s\", \"nanos_per_run\": %s, \"samples\": %d}%s\n"
+        (json_escape r.name) (json_float r.nanos) r.samples
+        (if i = List.length experiments - 1 then "" else ","))
+    experiments;
+  add "  ],\n  \"mc_kernels\": [\n";
+  List.iteri
+    (fun i k ->
+      add
+        "    {\"name\": \"%s\", \"variant\": \"%s\", \"domains\": %d, \
+         \"nanos_per_run\": %s, \"samples\": %d}%s\n"
+        (json_escape k.kernel) k.variant k.domains (json_float k.r.nanos)
+        k.r.samples
+        (if i = List.length kernels - 1 then "" else ","))
+    kernels;
+  let sp = speedups kernels in
+  add "  ],\n  \"speedups\": [\n";
+  List.iteri
+    (fun i (kernel, domains, vs_one, vs_seq) ->
+      add
+        "    {\"name\": \"%s\", \"domains\": %d, \"speedup_vs_one_domain\": \
+         %s, \"speedup_vs_sequential\": %s}%s\n"
+        (json_escape kernel) domains (json_float vs_one) (json_float vs_seq)
+        (if i = List.length sp - 1 then "" else ","))
+    sp;
+  add "  ],\n  \"deterministic_across_domains\": %b\n}\n" deterministic;
+  Buffer.output_buffer oc buf;
+  close_out oc
+
+let run_json path =
+  (* Open the output up front: an unwritable path must fail before the
+     benchmarks spend minutes running, not after. *)
+  let oc =
+    try open_out path
+    with Sys_error msg ->
+      Printf.eprintf "cannot write %s\n" msg;
+      exit 1
+  in
+  print_endline "################ Bechamel timings ################\n";
+  let experiments = time_experiments () in
+  print_rows experiments;
+  print_endline "\n################ MC kernels (seq vs domain pool) ################\n";
+  let conservative_rows, conservative_id = conservative_kernel () in
+  let survival_rows, survival_id = survival_kernel () in
+  let kernels = conservative_rows @ survival_rows in
+  print_rows (List.map (fun k -> k.r) kernels);
+  let deterministic = conservative_id && survival_id in
+  List.iter
+    (fun (kernel, domains, vs_one, vs_seq) ->
+      Printf.printf
+        "%s: %d domains -> %.2fx vs 1-domain pool, %.2fx vs sequential\n"
+        kernel domains vs_one vs_seq)
+    (speedups kernels);
+  Printf.printf "parallel results bit-identical across domain counts: %b\n"
+    deterministic;
+  write_json oc ~experiments ~kernels ~deterministic;
+  Printf.printf "\nwrote %s\n" path;
+  if not deterministic then exit 1
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | [ "--no-perf" ] -> run_reproductions ()
+  | [ "--json"; path ] -> run_json path
+  | [ "--json" ] ->
+    prerr_endline "--json requires an output path, e.g. --json BENCH_1.json";
+    exit 1
   | [] ->
     run_reproductions ();
     run_perf ()
@@ -72,5 +297,5 @@ let () =
         Repro.Experiments.all;
       exit 1)
   | _ ->
-    prerr_endline "usage: main.exe [--no-perf | <experiment-id>]";
+    prerr_endline "usage: main.exe [--no-perf | --json <path> | <experiment-id>]";
     exit 1

@@ -1,6 +1,19 @@
 type component = Atom of float | Cont of Base.t
 
-type t = { parts : (float * component) array }
+type t = { parts : (float * component) array; cum : float array }
+
+(* Cumulative-weight table for O(log k) sampling.  The final entry is
+   pinned to 1.0 so floating-point drift in the running sum can never push
+   mass past the table (nor silently inflate the last component). *)
+let of_parts parts =
+  let k = Array.length parts in
+  let cum = Array.make k 1.0 in
+  let acc = ref 0.0 in
+  for i = 0 to k - 2 do
+    acc := !acc +. fst parts.(i);
+    cum.(i) <- !acc
+  done;
+  { parts; cum }
 
 let make components =
   if components = [] then invalid_arg "Mixture.make: no components";
@@ -17,10 +30,10 @@ let make components =
     |> List.map (fun (w, c) -> (w /. total, c))
     |> Array.of_list
   in
-  { parts }
+  of_parts parts
 
-let of_dist d = { parts = [| (1.0, Cont d) |] }
-let atom x = { parts = [| (1.0, Atom x) |] }
+let of_dist d = of_parts [| (1.0, Cont d) |]
+let atom x = of_parts [| (1.0, Atom x) |]
 let components t = Array.to_list t.parts
 
 let with_perfection ~p0 t =
@@ -129,12 +142,14 @@ let credible_interval t ~level =
 
 let sample t rng =
   let u = Numerics.Rng.float rng in
-  let rec pick i acc =
-    let w, c = t.parts.(i) in
-    let acc = acc +. w in
-    if u < acc || i = Array.length t.parts - 1 then c else pick (i + 1) acc
-  in
-  match pick 0 0.0 with
+  (* Binary search for the smallest i with u < cum.(i); u < 1 = cum.(k-1)
+     guarantees a hit, so no fallback clause is needed. *)
+  let lo = ref 0 and hi = ref (Array.length t.cum - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if u < t.cum.(mid) then hi := mid else lo := mid + 1
+  done;
+  match snd t.parts.(!lo) with
   | Atom a -> a
   | Cont d -> d.Base.sample rng
 
@@ -156,7 +171,7 @@ let scale_weights t f =
     |> List.map (fun (w, c) -> (w /. z, c))
     |> Array.of_list
   in
-  ({ parts }, z)
+  (of_parts parts, z)
 
 let name t =
   let part_name (w, c) =

@@ -50,7 +50,10 @@ val quantile : t -> float -> float
     [(quantile ((1-level)/2), quantile ((1+level)/2))], [0 < level < 1]. *)
 val credible_interval : t -> level:float -> float * float
 
-(** [sample t rng]. *)
+(** [sample t rng] — O(log k) in the component count: the component is
+    found by binary search of a cumulative-weight table precomputed at
+    construction (whose last entry is pinned to 1, so floating-point weight
+    drift cannot leak mass into the final component). *)
 val sample : t -> Numerics.Rng.t -> float
 
 (** [support t] — smallest interval containing all mass. *)

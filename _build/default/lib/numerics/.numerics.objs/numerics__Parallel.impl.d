@@ -1,0 +1,1 @@
+lib/numerics/parallel.ml: Array Condition Domain Fun Mutex Queue String Sys

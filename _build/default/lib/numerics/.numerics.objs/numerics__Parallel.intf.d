@@ -1,0 +1,1 @@
+lib/numerics/parallel.mli:

@@ -1,0 +1,147 @@
+type pool = {
+  mutable workers : unit Domain.t array;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  mutable closed : bool;
+}
+
+let default_num_domains () =
+  match Sys.getenv_opt "CONFCASE_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && not pool.closed do
+    Condition.wait pool.work_available pool.mutex
+  done;
+  if Queue.is_empty pool.queue then (
+    (* Only reachable when closed: drain fully before exiting. *)
+    Mutex.unlock pool.mutex)
+  else begin
+    let job = Queue.pop pool.queue in
+    Mutex.unlock pool.mutex;
+    job ();
+    worker_loop pool
+  end
+
+let create ?num_domains () =
+  let requested =
+    match num_domains with Some n -> n | None -> default_num_domains ()
+  in
+  if requested < 1 then invalid_arg "Parallel.create: num_domains < 1";
+  let pool =
+    {
+      workers = [||];
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      closed = false;
+    }
+  in
+  if requested > 1 then begin
+    (* The caller participates in batches, so spawn one fewer.  A failed
+       spawn (resource limits) just leaves a smaller pool. *)
+    let spawned = ref [] in
+    (try
+       for _ = 2 to requested do
+         spawned := Domain.spawn (fun () -> worker_loop pool) :: !spawned
+       done
+     with _ -> ());
+    pool.workers <- Array.of_list !spawned
+  end;
+  pool
+
+let num_domains pool = 1 + Array.length pool.workers
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.closed <- true;
+  Condition.broadcast pool.work_available;
+  Mutex.unlock pool.mutex;
+  Array.iter Domain.join pool.workers;
+  pool.workers <- [||]
+
+let with_pool ?num_domains f =
+  let pool = create ?num_domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let chunk_sizes ~n ~chunks =
+  if n < 0 then invalid_arg "Parallel.chunk_sizes: n < 0";
+  if chunks < 1 then invalid_arg "Parallel.chunk_sizes: chunks < 1";
+  let base = n / chunks and extra = n mod chunks in
+  Array.init chunks (fun i -> if i < extra then base + 1 else base)
+
+let run_batch pool ~chunks body =
+  let results = Array.make chunks None in
+  let remaining = ref chunks in
+  let error = ref None in
+  let batch_mutex = Mutex.create () in
+  let batch_done = Condition.create () in
+  let job i () =
+    (match body i with
+    | v -> results.(i) <- Some v
+    | exception e ->
+      Mutex.lock batch_mutex;
+      if !error = None then error := Some e;
+      Mutex.unlock batch_mutex);
+    Mutex.lock batch_mutex;
+    decr remaining;
+    if !remaining = 0 then Condition.broadcast batch_done;
+    Mutex.unlock batch_mutex
+  in
+  Mutex.lock pool.mutex;
+  for i = 0 to chunks - 1 do
+    Queue.push (job i) pool.queue
+  done;
+  Condition.broadcast pool.work_available;
+  Mutex.unlock pool.mutex;
+  (* The caller drains the queue alongside the workers. *)
+  let rec help () =
+    Mutex.lock pool.mutex;
+    let job =
+      if Queue.is_empty pool.queue then None else Some (Queue.pop pool.queue)
+    in
+    Mutex.unlock pool.mutex;
+    match job with
+    | Some j ->
+      j ();
+      help ()
+    | None -> ()
+  in
+  help ();
+  Mutex.lock batch_mutex;
+  while !remaining > 0 do
+    Condition.wait batch_done batch_mutex
+  done;
+  Mutex.unlock batch_mutex;
+  (match !error with Some e -> raise e | None -> ());
+  Array.map (function Some v -> v | None -> assert false) results
+
+let map_chunks_in pool ~chunks body =
+  if chunks < 1 then invalid_arg "Parallel.map_chunks: chunks < 1";
+  if Array.length pool.workers = 0 then begin
+    (* Sequential path: no queue traffic, exceptions propagate directly. *)
+    if chunks = 1 then [| body 0 |]
+    else begin
+      let first = body 0 in
+      let results = Array.make chunks first in
+      for i = 1 to chunks - 1 do
+        results.(i) <- body i
+      done;
+      results
+    end
+  end
+  else run_batch pool ~chunks body
+
+let map_chunks ?pool ~chunks body =
+  match pool with
+  | Some pool -> map_chunks_in pool ~chunks body
+  | None -> with_pool (fun pool -> map_chunks_in pool ~chunks body)
+
+let parallel_for_reduce ?pool ~chunks ~init ~body ~merge =
+  Array.fold_left merge init (map_chunks ?pool ~chunks body)

@@ -1,0 +1,66 @@
+(** Fixed-size domain pool for deterministic fan-out of chunked work.
+
+    The pool owns [num_domains - 1] worker domains (stdlib [Domain]); the
+    calling domain participates in every batch, so a pool of size 1 never
+    spawns and runs everything sequentially in the caller.  Work is always
+    expressed as [chunks] independent chunk indices; results are collected
+    into an array indexed by chunk and reduced {e in chunk order}, so the
+    outcome of a batch is a pure function of [(chunks, body)] — it does not
+    depend on how many domains exist or how the scheduler interleaves them.
+    That property is what lets the Monte-Carlo layer promise bit-identical
+    results for a fixed (seed, chunk count) at any domain count.
+
+    Pools degrade gracefully: if [Domain.spawn] fails (resource limits,
+    nested spawn restrictions), the pool simply runs with fewer workers —
+    in the worst case sequentially — without raising. *)
+
+type pool
+
+(** [default_num_domains ()] — the [CONFCASE_DOMAINS] environment variable
+    if set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+val default_num_domains : unit -> int
+
+(** [create ?num_domains ()] — build a pool; [num_domains] defaults to
+    [default_num_domains ()] and must be >= 1.  The pool holds
+    [num_domains - 1] spawned workers (fewer if spawning fails). *)
+val create : ?num_domains:int -> unit -> pool
+
+(** [num_domains pool] — effective parallelism: spawned workers plus the
+    participating caller.  May be less than requested if spawning failed. *)
+val num_domains : pool -> int
+
+(** [shutdown pool] — stop and join the workers.  Idempotent.  Batches must
+    not be in flight. *)
+val shutdown : pool -> unit
+
+(** [with_pool ?num_domains f] — [create], run [f], [shutdown] (also on
+    exceptions). *)
+val with_pool : ?num_domains:int -> (pool -> 'a) -> 'a
+
+(** [chunk_sizes ~n ~chunks] — split [n] work items into [chunks] near-equal
+    chunk sizes (the first [n mod chunks] chunks get one extra item); the
+    sizes sum to [n].  [n >= 0], [chunks >= 1]. *)
+val chunk_sizes : n:int -> chunks:int -> int array
+
+(** [map_chunks ?pool ~chunks body] — evaluate [body i] for every
+    [i in 0 .. chunks - 1] across the pool and return the results in chunk
+    order.  Without [?pool] a transient pool of [default_num_domains ()]
+    domains is created for the call.  If any [body i] raises, one of the
+    raised exceptions is re-raised in the caller after the batch drains; the
+    pool remains usable.  Not reentrant: [body] must not itself submit work
+    to the same pool. *)
+val map_chunks : ?pool:pool -> chunks:int -> (int -> 'a) -> 'a array
+
+(** [parallel_for_reduce ?pool ~chunks ~init ~body ~merge] — fold [merge]
+    over the chunk results {e in chunk index order}:
+    [merge (... (merge init (body 0)) ...) (body (chunks-1))].  The fold
+    order is fixed, so a non-commutative (or floating-point) [merge] still
+    yields domain-count-independent results. *)
+val parallel_for_reduce :
+  ?pool:pool ->
+  chunks:int ->
+  init:'b ->
+  body:(int -> 'a) ->
+  merge:('b -> 'a -> 'b) ->
+  'b

@@ -42,6 +42,19 @@ let split t =
   let s3 = splitmix64 state in
   { s0; s1; s2; s3 }
 
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: n < 0";
+  if n = 0 then [||]
+  else begin
+    (* Explicit loop so stream [i] is always the i-th split of [t],
+       independent of any evaluation-order choices. *)
+    let streams = Array.make n t in
+    for i = 0 to n - 1 do
+      streams.(i) <- split t
+    done;
+    streams
+  end
+
 let float t =
   (* Top 53 bits scaled to [0, 1). *)
   let bits = Int64.shift_right_logical (bits64 t) 11 in

@@ -12,6 +12,12 @@ val create : int -> t
 (** [split t] derives an independent generator (for parallel streams). *)
 val split : t -> t
 
+(** [split_n t n] — derive [n] independent generators by splitting [t]
+    repeatedly; stream [i] is deterministically the i-th split, so a fixed
+    seed always fans out into the same family of streams (the basis of the
+    parallel Monte-Carlo determinism contract). *)
+val split_n : t -> int -> t array
+
 (** [copy t] duplicates the generator state. *)
 val copy : t -> t
 

@@ -70,4 +70,22 @@ module Online = struct
     t.m2 /. float_of_int (t.n - 1)
 
   let std t = sqrt (variance t)
+
+  (* Chan, Golub & LeVeque (1983) pairwise combination: exact in n, and the
+     mean/M2 updates introduce only one rounding step per merge, so folding
+     per-chunk accumulators in a fixed order is reproducible bit for bit. *)
+  let merge a b =
+    if a.n = 0 then { n = b.n; mu = b.mu; m2 = b.m2 }
+    else if b.n = 0 then { n = a.n; mu = a.mu; m2 = a.m2 }
+    else begin
+      let n = a.n + b.n in
+      let na = float_of_int a.n and nb = float_of_int b.n in
+      let nf = float_of_int n in
+      let delta = b.mu -. a.mu in
+      {
+        n;
+        mu = a.mu +. (delta *. (nb /. nf));
+        m2 = a.m2 +. b.m2 +. (delta *. delta *. na *. nb /. nf);
+      }
+    end
 end

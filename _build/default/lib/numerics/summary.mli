@@ -39,4 +39,10 @@ module Online : sig
   val variance : t -> float
 
   val std : t -> float
+
+  (** [merge a b] — a fresh accumulator equivalent to having observed [a]'s
+      samples followed by [b]'s (Chan et al. pairwise mean/M2 combination).
+      Neither argument is mutated; an empty accumulator is the identity.
+      Used to reduce per-domain Welford accumulators deterministically. *)
+  val merge : t -> t -> t
 end

@@ -1,1 +1,1 @@
-lib/repro/experiments.ml: Array Casekit Confidence Dist Elicit Experience List Numerics Option Paper Printf Regime Report Sil Sim String
+lib/repro/experiments.ml: Array Casekit Confidence Dist Elicit Experience Int64 List Numerics Option Paper Printf Regime Report Sil Sim String

@@ -21,12 +21,13 @@ val figure3 : unit -> string
     three Figure-1 beliefs. *)
 val figure4 : unit -> string
 
-(** Figure 5 — the simulated 12-expert, 4-phase Delphi experiment. *)
+(** Figure 5 — the simulated 12-expert, 4-phase Delphi experiment, plus a
+    200-panel replication study fanned out over the domain pool. *)
 val figure5 : unit -> string
 
 (** Section 3.4 — conservative-bound worked examples and the feasibility
     profile at targets 1e-3 and 1e-5, with a Monte-Carlo check of
-    inequality (5). *)
+    inequality (5) run on the parallel split-stream path (n = 300,000). *)
 val conservative_examples : unit -> string
 
 (** Section 3.4 footnote — the perfection-atom variant of the bound. *)
@@ -46,7 +47,8 @@ val standards : unit -> string
 val gamma_sensitivity : unit -> string
 
 (** Section 4.1 — tail cut-off by failure-free demands: confidence and mean
-    trajectories, demands needed per SIL, provisional upgrade schedule. *)
+    trajectories, demands needed per SIL, provisional upgrade schedule, and
+    a parallel simulated cross-check of the survival probabilities. *)
 val tail_cutoff : unit -> string
 
 (** Section 4.2 — two-legged arguments: dependence sweep of the combined

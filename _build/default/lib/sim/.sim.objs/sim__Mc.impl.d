@@ -1,1 +1,1 @@
-lib/sim/mc.ml: Numerics
+lib/sim/mc.ml: Array Numerics

@@ -17,6 +17,16 @@ let check_conservative_bound ~n rng claim =
   let estimate = failure_probability ~n rng belief in
   (estimate, Confidence.Conservative.failure_bound claim)
 
+let failure_probability_par ?pool ~n ~chunks ~seed belief =
+  Mc.probability_par ?pool ~n ~chunks ~seed (fun rng ->
+      let pfd = clamp_pfd (Dist.Mixture.sample belief rng) in
+      Numerics.Rng.bernoulli rng pfd)
+
+let check_conservative_bound_par ?pool ~n ~chunks ~seed claim =
+  let belief = Confidence.Conservative.worst_case_belief claim in
+  let estimate = failure_probability_par ?pool ~n ~chunks ~seed belief in
+  (estimate, Confidence.Conservative.failure_bound claim)
+
 let survival_curve ~n_systems ~checkpoints rng belief =
   if n_systems < 1 then invalid_arg "Demand_sim: n_systems < 1";
   let checkpoints = List.sort_uniq compare checkpoints in
@@ -41,3 +51,42 @@ let survival_curve ~n_systems ~checkpoints rng belief =
       in
       (c, float_of_int survived /. float_of_int n_systems))
     checkpoints
+
+let survival_curve_par ?pool ~n_systems ~chunks ~seed ~checkpoints belief =
+  if n_systems < 1 then invalid_arg "Demand_sim: n_systems < 1";
+  if chunks < 1 then invalid_arg "Demand_sim: chunks < 1";
+  let checkpoints = List.sort_uniq compare checkpoints in
+  List.iter
+    (fun c -> if c < 0 then invalid_arg "Demand_sim: negative checkpoint")
+    checkpoints;
+  let cps = Array.of_list checkpoints in
+  let n_cps = Array.length cps in
+  let sizes = Numerics.Parallel.chunk_sizes ~n:n_systems ~chunks in
+  let streams = Numerics.Rng.split_n (Numerics.Rng.create seed) chunks in
+  let body i =
+    let rng = streams.(i) in
+    let survived = Array.make n_cps 0 in
+    for _ = 1 to sizes.(i) do
+      let pfd = clamp_pfd (Dist.Mixture.sample belief rng) in
+      let first =
+        if pfd <= 0.0 then max_int
+        else if pfd >= 1.0 then 1
+        else 1 + Numerics.Rng.geometric rng ~p:pfd
+      in
+      Array.iteri
+        (fun j c -> if first > c then survived.(j) <- survived.(j) + 1)
+        cps
+    done;
+    survived
+  in
+  (* Survivor counts are integers, so the merge is exact as well as
+     order-fixed: the curve is bit-identical at any domain count. *)
+  let totals =
+    Numerics.Parallel.parallel_for_reduce ?pool ~chunks
+      ~init:(Array.make n_cps 0) ~body
+      ~merge:(fun acc counts -> Array.map2 ( + ) acc counts)
+  in
+  Array.to_list
+    (Array.mapi
+       (fun j c -> (c, float_of_int totals.(j) /. float_of_int n_systems))
+       cps)

@@ -10,6 +10,17 @@
 val failure_probability :
   n:int -> Numerics.Rng.t -> Dist.Mixture.t -> Mc.estimate
 
+(** [failure_probability_par ?pool ~n ~chunks ~seed belief] — parallel
+    [failure_probability] via [Mc.probability_par]: bit-identical for a
+    fixed [(seed, chunks)] at any domain count. *)
+val failure_probability_par :
+  ?pool:Numerics.Parallel.pool ->
+  n:int ->
+  chunks:int ->
+  seed:int ->
+  Dist.Mixture.t ->
+  Mc.estimate
+
 (** [failures_in_campaign ~n_systems ~demands rng belief] — for each
     simulated system (pfd drawn from the belief), count failures over a
     test campaign; returns the per-system failure counts. *)
@@ -22,6 +33,16 @@ val failures_in_campaign :
 val check_conservative_bound :
   n:int -> Numerics.Rng.t -> Confidence.Claim.t -> Mc.estimate * float
 
+(** [check_conservative_bound_par ?pool ~n ~chunks ~seed claim] — the same
+    check over the parallel path (deterministic split-stream fan-out). *)
+val check_conservative_bound_par :
+  ?pool:Numerics.Parallel.pool ->
+  n:int ->
+  chunks:int ->
+  seed:int ->
+  Confidence.Claim.t ->
+  Mc.estimate * float
+
 (** [survival_curve ~n_systems ~checkpoints rng belief] — fraction of
     simulated systems still failure-free at each demand checkpoint;
     converges to E[(1-p)^n]. *)
@@ -29,5 +50,18 @@ val survival_curve :
   n_systems:int ->
   checkpoints:int list ->
   Numerics.Rng.t ->
+  Dist.Mixture.t ->
+  (int * float) list
+
+(** [survival_curve_par ?pool ~n_systems ~chunks ~seed ~checkpoints belief]
+    — parallel [survival_curve].  Per-chunk survivor counts are integers and
+    merge by exact summation in chunk order, so the curve is bit-identical
+    for a fixed [(seed, chunks)] at any domain count. *)
+val survival_curve_par :
+  ?pool:Numerics.Parallel.pool ->
+  n_systems:int ->
+  chunks:int ->
+  seed:int ->
+  checkpoints:int list ->
   Dist.Mixture.t ->
   (int * float) list

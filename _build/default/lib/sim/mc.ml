@@ -30,4 +30,32 @@ let estimate ~n rng f =
 let probability ~n rng event =
   estimate ~n rng (fun rng -> if event rng then 1.0 else 0.0)
 
+(* Parallel fan-out: one seed expands into [chunks] independent streams in
+   chunk order, each chunk accumulates its own Welford state, and the
+   accumulators are merged left to right.  Every step is a pure function of
+   (seed, chunks, n), so the result is bit-identical at any domain count. *)
+let estimate_par ?pool ~n ~chunks ~seed f =
+  if n < 2 then invalid_arg "Mc.estimate_par: n < 2";
+  if chunks < 1 then invalid_arg "Mc.estimate_par: chunks < 1";
+  let sizes = Numerics.Parallel.chunk_sizes ~n ~chunks in
+  let streams = Numerics.Rng.split_n (Numerics.Rng.create seed) chunks in
+  let body i =
+    let rng = streams.(i) in
+    let acc = Numerics.Summary.Online.create () in
+    for _ = 1 to sizes.(i) do
+      Numerics.Summary.Online.add acc (f rng)
+    done;
+    acc
+  in
+  let total =
+    Numerics.Parallel.parallel_for_reduce ?pool ~chunks
+      ~init:(Numerics.Summary.Online.create ())
+      ~body ~merge:Numerics.Summary.Online.merge
+  in
+  of_online total n
+
+let probability_par ?pool ~n ~chunks ~seed event =
+  estimate_par ?pool ~n ~chunks ~seed (fun rng ->
+      if event rng then 1.0 else 0.0)
+
 let within e x = x >= e.ci95_lo && x <= e.ci95_hi

@@ -15,5 +15,33 @@ val estimate : n:int -> Numerics.Rng.t -> (Numerics.Rng.t -> float) -> estimate
     with the normal-approximation CI. *)
 val probability : n:int -> Numerics.Rng.t -> (Numerics.Rng.t -> bool) -> estimate
 
+(** [estimate_par ?pool ~n ~chunks ~seed f] — parallel [estimate].  The seed
+    fans out into [chunks] independent streams ([Rng.split_n]); chunk [i]
+    draws its share of the [n] samples from stream [i]; per-chunk Welford
+    accumulators merge in chunk order ([Summary.Online.merge]).
+
+    Determinism contract: for a fixed [(seed, chunks)] the result is
+    bit-identical whatever the pool size (1 domain, 4 domains, or the
+    sequential fallback) — only changing [chunks] or [seed] changes the
+    sample streams.  [f] must be safe to call from several domains at once
+    on distinct [Rng.t] values (pure apart from its generator argument). *)
+val estimate_par :
+  ?pool:Numerics.Parallel.pool ->
+  n:int ->
+  chunks:int ->
+  seed:int ->
+  (Numerics.Rng.t -> float) ->
+  estimate
+
+(** [probability_par ?pool ~n ~chunks ~seed event] — parallel [probability]
+    under the same determinism contract as [estimate_par]. *)
+val probability_par :
+  ?pool:Numerics.Parallel.pool ->
+  n:int ->
+  chunks:int ->
+  seed:int ->
+  (Numerics.Rng.t -> bool) ->
+  estimate
+
 (** [within estimate x] — does [x] fall inside the 95% CI? *)
 val within : estimate -> float -> bool

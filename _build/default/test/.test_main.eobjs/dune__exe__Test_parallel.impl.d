@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Confidence Dist Experience Helpers List Numerics Printf Sim

@@ -1,1 +1,1 @@
-test/test_rng.ml: Alcotest Array Helpers Numerics
+test/test_rng.ml: Alcotest Array Helpers List Numerics

@@ -19,6 +19,60 @@ let test_copy_and_split () =
   let c = R.split a in
   check_true "split stream differs" (R.bits64 a <> R.bits64 c)
 
+let test_split_n () =
+  (* Stream i is deterministically the i-th split of the parent. *)
+  let fam1 = R.split_n (R.create 7) 5 in
+  let fam2 = R.split_n (R.create 7) 5 in
+  Array.iteri
+    (fun i s1 ->
+      if R.bits64 s1 <> R.bits64 fam2.(i) then
+        Alcotest.failf "family diverged at stream %d" i)
+    fam1;
+  (* Distinct streams start differently. *)
+  let firsts = Array.map R.bits64 (R.split_n (R.create 7) 8) in
+  let uniq = List.sort_uniq compare (Array.to_list firsts) in
+  Alcotest.(check int) "distinct streams" 8 (List.length uniq);
+  Alcotest.(check int) "n = 0 allowed" 0 (Array.length (R.split_n (R.create 7) 0));
+  check_raises_invalid "n < 0" (fun () -> ignore (R.split_n (R.create 7) (-1)))
+
+let test_split_independence () =
+  (* Guard the parallel fan-out: the split stream must look uniform on its
+     own and uncorrelated with the parent stream it was derived from. *)
+  let parent = R.create 424242 in
+  let child = R.split parent in
+  let n = 20_000 in
+  let xs = Array.init n (fun _ -> R.float parent) in
+  let ys = Array.init n (fun _ -> R.float child) in
+  let ks_child = Numerics.Stat_tests.ks_uniform ys in
+  check_true "split stream uniform (KS)" (ks_child.p_value > 1e-4);
+  let ks_parent = Numerics.Stat_tests.ks_uniform xs in
+  check_true "parent stream uniform (KS)" (ks_parent.p_value > 1e-4);
+  let mx = S.mean xs and my = S.mean ys in
+  let cov = ref 0.0 in
+  for i = 0 to n - 1 do
+    cov := !cov +. ((xs.(i) -. mx) *. (ys.(i) -. my))
+  done;
+  let r = !cov /. float_of_int (n - 1) /. (S.std xs *. S.std ys) in
+  (* Under independence r ~ N(0, 1/sqrt n); 4 sigma with a fixed seed. *)
+  check_in_range "parent/child correlation"
+    ~lo:(-4.0 /. sqrt (float_of_int n))
+    ~hi:(4.0 /. sqrt (float_of_int n))
+    r;
+  (* Sibling streams from the same fan-out must also decorrelate. *)
+  let fam = R.split_n (R.create 424242) 2 in
+  let a = Array.init n (fun _ -> R.float fam.(0)) in
+  let b = Array.init n (fun _ -> R.float fam.(1)) in
+  let ma = S.mean a and mb = S.mean b in
+  let cov2 = ref 0.0 in
+  for i = 0 to n - 1 do
+    cov2 := !cov2 +. ((a.(i) -. ma) *. (b.(i) -. mb))
+  done;
+  let r2 = !cov2 /. float_of_int (n - 1) /. (S.std a *. S.std b) in
+  check_in_range "sibling correlation"
+    ~lo:(-4.0 /. sqrt (float_of_int n))
+    ~hi:(4.0 /. sqrt (float_of_int n))
+    r2
+
 let test_float_range () =
   let rng = R.create 3 in
   for _ = 1 to 10_000 do
@@ -142,6 +196,8 @@ let test_shuffle_choose () =
 let suite =
   [ case "determinism by seed" test_determinism;
     case "copy and split" test_copy_and_split;
+    case "split_n stream family" test_split_n;
+    case "split-stream independence" test_split_independence;
     case "float ranges" test_float_range;
     case "int uniformity" test_int_uniformity;
     case "normal sampler moments" test_normal_moments;

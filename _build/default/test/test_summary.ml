@@ -54,10 +54,75 @@ let test_online_property =
       abs_float (S.Online.mean acc -. S.mean data) < 1e-9
       && abs_float (S.Online.variance acc -. S.variance data) < 1e-7)
 
+let acc_of arr =
+  let acc = S.Online.create () in
+  Array.iter (S.Online.add acc) arr;
+  acc
+
+let test_merge () =
+  let whole = acc_of xs in
+  let left = acc_of (Array.sub xs 0 3) in
+  let right = acc_of (Array.sub xs 3 5) in
+  let merged = S.Online.merge left right in
+  Alcotest.(check int) "count" (S.Online.count whole) (S.Online.count merged);
+  check_close "mean" (S.Online.mean whole) (S.Online.mean merged);
+  check_close "variance" (S.Online.variance whole) (S.Online.variance merged);
+  (* Merging must not mutate its arguments. *)
+  Alcotest.(check int) "left untouched" 3 (S.Online.count left);
+  Alcotest.(check int) "right untouched" 5 (S.Online.count right);
+  (* The empty accumulator is a two-sided identity. *)
+  let empty = S.Online.create () in
+  check_close "left identity" (S.Online.mean whole)
+    (S.Online.mean (S.Online.merge empty whole));
+  check_close "right identity" (S.Online.variance whole)
+    (S.Online.variance (S.Online.merge whole empty));
+  Alcotest.(check int) "empty + empty" 0
+    (S.Online.count (S.Online.merge empty (S.Online.create ())))
+
+(* Any split of a sample array must merge back to the whole-array
+   accumulator (the Chan et al. combination is exact up to rounding). *)
+let test_merge_split_property =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (array_size (int_range 2 60) (float_bound_inclusive 100.0))
+        (int_bound 1000))
+  in
+  qcheck "merge of any split = whole" gen (fun (data, k) ->
+      let cut = k mod (Array.length data + 1) in
+      let left = acc_of (Array.sub data 0 cut) in
+      let right = acc_of (Array.sub data cut (Array.length data - cut)) in
+      let merged = S.Online.merge left right in
+      let whole = acc_of data in
+      S.Online.count merged = S.Online.count whole
+      && abs_float (S.Online.mean merged -. S.Online.mean whole) < 1e-9
+      && abs_float (S.Online.variance merged -. S.Online.variance whole) < 1e-7)
+
+let test_merge_associative =
+  let gen =
+    QCheck2.Gen.(
+      triple
+        (array_size (int_range 1 30) (float_bound_inclusive 100.0))
+        (array_size (int_range 1 30) (float_bound_inclusive 100.0))
+        (array_size (int_range 1 30) (float_bound_inclusive 100.0)))
+  in
+  qcheck "merge is associative" gen (fun (a, b, c) ->
+      let aa = acc_of a and bb = acc_of b and cc = acc_of c in
+      let l = S.Online.merge (S.Online.merge aa bb) cc in
+      let r = S.Online.merge aa (S.Online.merge bb cc) in
+      S.Online.count l = S.Online.count r
+      && abs_float (S.Online.mean l -. S.Online.mean r) < 1e-9
+      && abs_float
+           (S.Online.variance l -. S.Online.variance r)
+         < 1e-7)
+
 let suite =
   [ case "moments" test_moments;
     case "quantiles" test_quantiles;
     case "extrema" test_extrema;
     case "histogram" test_histogram;
     case "online accumulator" test_online_matches_batch;
-    test_online_property ]
+    test_online_property;
+    case "online merge (Chan et al.)" test_merge;
+    test_merge_split_property;
+    test_merge_associative ]
