@@ -19,7 +19,7 @@ bench:
 # Timings + sequential-vs-parallel MC speedup rows, written as JSON at the
 # repo root (the perf trajectory across PRs: BENCH_1.json, BENCH_2.json, ...).
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_1.json
+	dune exec bench/main.exe -- --json BENCH_2.json
 
 # Run every example end to end.
 examples: build

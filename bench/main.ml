@@ -76,7 +76,13 @@ let run_perf () =
    and 4 domains.  The parallel results must be bit-identical across
    domain counts (fixed seed and chunk count). *)
 
-type kernel_row = { kernel : string; variant : string; domains : int; r : row }
+type kernel_row = {
+  kernel : string;
+  variant : string;
+  domains : int;  (** requested *)
+  pool_domains : int;  (** what [Domain.spawn] actually delivered *)
+  r : row;
+}
 
 let domain_counts = [ 1; 2; 4 ]
 
@@ -99,10 +105,10 @@ let conservative_kernel () =
         let estimate =
           Sim.Demand_sim.failure_probability_par ~pool ~n ~chunks ~seed belief
         in
-        (r, estimate))
+        (r, estimate, Numerics.Parallel.num_domains pool))
   in
   let runs = List.map (fun d -> (d, par d)) domain_counts in
-  let estimates = List.map (fun (_, (_, e)) -> e) runs in
+  let estimates = List.map (fun (_, (_, e, _)) -> e) runs in
   let identical =
     match estimates with
     | first :: rest ->
@@ -117,10 +123,22 @@ let conservative_kernel () =
     | [] -> true
   in
   let rows =
-    { kernel = "conservative_mc"; variant = "sequential"; domains = 1; r = seq }
+    {
+      kernel = "conservative_mc";
+      variant = "sequential";
+      domains = 1;
+      pool_domains = 1;
+      r = seq;
+    }
     :: List.map
-         (fun (d, (r, _)) ->
-           { kernel = "conservative_mc"; variant = "parallel"; domains = d; r })
+         (fun (d, (r, _, pool_domains)) ->
+           {
+             kernel = "conservative_mc";
+             variant = "parallel";
+             domains = d;
+             pool_domains;
+             r;
+           })
          runs
   in
   (rows, identical)
@@ -148,22 +166,67 @@ let survival_kernel () =
           Sim.Demand_sim.survival_curve_par ~pool ~n_systems ~chunks ~seed
             ~checkpoints prior
         in
-        (r, curve))
+        (r, curve, Numerics.Parallel.num_domains pool))
   in
   let runs = List.map (fun d -> (d, par d)) domain_counts in
   let identical =
-    match List.map (fun (_, (_, c)) -> c) runs with
+    match List.map (fun (_, (_, c, _)) -> c) runs with
     | first :: rest -> List.for_all (fun c -> c = first) rest
     | [] -> true
   in
   let rows =
-    { kernel = "survival_mc"; variant = "sequential"; domains = 1; r = seq }
+    {
+      kernel = "survival_mc";
+      variant = "sequential";
+      domains = 1;
+      pool_domains = 1;
+      r = seq;
+    }
     :: List.map
-         (fun (d, (r, _)) ->
-           { kernel = "survival_mc"; variant = "parallel"; domains = d; r })
+         (fun (d, (r, _, pool_domains)) ->
+           {
+             kernel = "survival_mc";
+             variant = "parallel";
+             domains = d;
+             pool_domains;
+             r;
+           })
          runs
   in
   (rows, identical)
+
+(* ------------------------------------------------------------------ *)
+(* Micro regressions: the primitives the MC speedups rest on.  The
+   quantile row guards the [Float.compare] sort (the polymorphic-compare
+   sort was the dominant cost of large-sample summaries); the RNG pair
+   records the scalar-vs-batched draw gap so a regression in either shows
+   up as a ratio change. *)
+
+let micro_n = 1_000_000
+
+let micro_rows () =
+  let quantile =
+    let rng = Numerics.Rng.create 7 in
+    let xs = Array.init micro_n (fun _ -> Numerics.Rng.float rng) in
+    ols_nanos ~name:"quantile_1e6" (fun () ->
+        Numerics.Summary.quantile xs 0.99)
+  in
+  let rng_scalar =
+    ols_nanos ~name:"rng_float_scalar_1e6" (fun () ->
+        let rng = Numerics.Rng.create 7 in
+        let acc = ref 0.0 in
+        for _ = 1 to micro_n do
+          acc := !acc +. Numerics.Rng.float rng
+        done;
+        !acc)
+  in
+  let rng_fill =
+    let buf = Stdlib.Float.Array.create micro_n in
+    ols_nanos ~name:"rng_fill_floats_1e6" (fun () ->
+        let rng = Numerics.Rng.create 7 in
+        Numerics.Rng.fill_floats rng buf ~pos:0 ~len:micro_n)
+  in
+  [ quantile; rng_scalar; rng_fill ]
 
 let speedups rows =
   let nanos_of kernel variant domains =
@@ -211,10 +274,10 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json oc ~experiments ~kernels ~deterministic =
+let write_json oc ~experiments ~micro ~kernels ~deterministic =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "{\n  \"schema\": \"confcase-bench-1\",\n";
+  add "{\n  \"schema\": \"confcase-bench-2\",\n";
   add "  \"experiments\": [\n";
   List.iteri
     (fun i r ->
@@ -222,14 +285,21 @@ let write_json oc ~experiments ~kernels ~deterministic =
         (json_escape r.name) (json_float r.nanos) r.samples
         (if i = List.length experiments - 1 then "" else ","))
     experiments;
+  add "  ],\n  \"micro\": [\n";
+  List.iteri
+    (fun i r ->
+      add "    {\"name\": \"%s\", \"nanos_per_run\": %s, \"samples\": %d}%s\n"
+        (json_escape r.name) (json_float r.nanos) r.samples
+        (if i = List.length micro - 1 then "" else ","))
+    micro;
   add "  ],\n  \"mc_kernels\": [\n";
   List.iteri
     (fun i k ->
       add
         "    {\"name\": \"%s\", \"variant\": \"%s\", \"domains\": %d, \
-         \"nanos_per_run\": %s, \"samples\": %d}%s\n"
-        (json_escape k.kernel) k.variant k.domains (json_float k.r.nanos)
-        k.r.samples
+         \"pool_domains\": %d, \"nanos_per_run\": %s, \"samples\": %d}%s\n"
+        (json_escape k.kernel) k.variant k.domains k.pool_domains
+        (json_float k.r.nanos) k.r.samples
         (if i = List.length kernels - 1 then "" else ","))
     kernels;
   let sp = speedups kernels in
@@ -258,6 +328,9 @@ let run_json path =
   print_endline "################ Bechamel timings ################\n";
   let experiments = time_experiments () in
   print_rows experiments;
+  print_endline "\n################ Micro regressions ################\n";
+  let micro = micro_rows () in
+  print_rows micro;
   print_endline "\n################ MC kernels (seq vs domain pool) ################\n";
   let conservative_rows, conservative_id = conservative_kernel () in
   let survival_rows, survival_id = survival_kernel () in
@@ -272,7 +345,7 @@ let run_json path =
     (speedups kernels);
   Printf.printf "parallel results bit-identical across domain counts: %b\n"
     deterministic;
-  write_json oc ~experiments ~kernels ~deterministic;
+  write_json oc ~experiments ~micro ~kernels ~deterministic;
   Printf.printf "\nwrote %s\n" path;
   if not deterministic then exit 1
 
@@ -282,7 +355,7 @@ let () =
   | [ "--no-perf" ] -> run_reproductions ()
   | [ "--json"; path ] -> run_json path
   | [ "--json" ] ->
-    prerr_endline "--json requires an output path, e.g. --json BENCH_1.json";
+    prerr_endline "--json requires an output path, e.g. --json BENCH_2.json";
     exit 1
   | [] ->
     run_reproductions ();

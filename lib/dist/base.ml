@@ -1,3 +1,10 @@
+type kernel =
+  | Normal_k of { mu : float; sigma : float }
+  | Lognormal_k of { mu : float; sigma : float }
+  | Uniform_k of { lo : float; hi : float }
+  | Exponential_k of { rate : float }
+  | Generic
+
 type t = {
   name : string;
   support : float * float;
@@ -9,7 +16,27 @@ type t = {
   variance : float;
   mode : float option;
   sample : Numerics.Rng.t -> float;
+  kernel : kernel;
 }
+
+(* Batched sampling: families with a closed-form sampler dispatch to the
+   allocation-free [Rng.fill_*] kernels; everything else falls back to a
+   scalar loop over [t.sample].  Either way the draws are bit-identical to
+   [len] successive [t.sample rng] calls (the fill kernels reproduce the
+   scalar draw sequences exactly). *)
+let sample_into t rng buf ~pos ~len =
+  match t.kernel with
+  | Normal_k { mu; sigma } -> Numerics.Rng.fill_normals rng buf ~pos ~len ~mu ~sigma
+  | Lognormal_k { mu; sigma } ->
+    Numerics.Rng.fill_lognormals rng buf ~pos ~len ~mu ~sigma
+  | Uniform_k { lo; hi } -> Numerics.Rng.fill_uniforms rng buf ~pos ~len ~a:lo ~b:hi
+  | Exponential_k { rate } -> Numerics.Rng.fill_exponentials rng buf ~pos ~len ~rate
+  | Generic ->
+    if pos < 0 || len < 0 || len > Stdlib.Float.Array.length buf - pos then
+      invalid_arg "Dist.sample_into";
+    for i = pos to pos + len - 1 do
+      Stdlib.Float.Array.unsafe_set buf i (t.sample rng)
+    done
 
 let std t = sqrt t.variance
 let survival t x = 1.0 -. t.cdf x
@@ -78,6 +105,7 @@ let of_grid_pdf ~name ~grid ~pdf () =
       variance;
       mode;
       sample;
+      kernel = Generic;
     },
     z )
 

@@ -5,6 +5,16 @@
     ...) construct it directly; {!val:of_grid_pdf} builds one numerically from
     a tabulated density (used for reweighted posteriors and opinion pools). *)
 
+(** Identifies the closed-form sampling kernel of a family so that batched
+    sampling can dispatch to the allocation-free [Rng.fill_*] loops;
+    [Generic] falls back to the scalar [sample] closure. *)
+type kernel =
+  | Normal_k of { mu : float; sigma : float }
+  | Lognormal_k of { mu : float; sigma : float }
+  | Uniform_k of { lo : float; hi : float }
+  | Exponential_k of { rate : float }
+  | Generic
+
 type t = {
   name : string;
   support : float * float;  (** Interval carrying all the mass. *)
@@ -16,7 +26,14 @@ type t = {
   variance : float;
   mode : float option;  (** [None] when not unique / not defined. *)
   sample : Numerics.Rng.t -> float;
+  kernel : kernel;  (** Batch-sampling dispatch tag; [Generic] is always safe. *)
 }
+
+(** [sample_into t rng buf ~pos ~len] — write [len] independent samples
+    into [buf.(pos) ..].  Bit-identical to [len] successive [t.sample rng]
+    calls, but closed-form families run the allocation-free batched RNG
+    kernels instead of a closure call per draw. *)
+val sample_into : t -> Numerics.Rng.t -> floatarray -> pos:int -> len:int -> unit
 
 val std : t -> float
 

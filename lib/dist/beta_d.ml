@@ -37,6 +37,7 @@ let make ~a ~b =
     variance = a *. b /. ((a +. b) *. (a +. b) *. (a +. b +. 1.0));
     mode;
     sample = (fun rng -> Numerics.Rng.beta rng ~a ~b);
+    kernel = Base.Generic;
   }
 
 let of_mean_strength ~mean ~strength =

@@ -15,4 +15,5 @@ let make ~rate =
     variance = 1.0 /. (rate *. rate);
     mode = Some 0.0;
     sample = (fun rng -> Numerics.Rng.exponential rng ~rate);
+    kernel = Base.Exponential_k { rate };
   }

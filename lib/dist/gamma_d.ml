@@ -28,6 +28,7 @@ let make ~shape ~rate =
     variance = shape /. (rate *. rate);
     mode = (if shape >= 1.0 then Some ((shape -. 1.0) /. rate) else Some 0.0);
     sample = (fun rng -> Numerics.Rng.gamma rng ~shape ~rate);
+    kernel = Base.Generic;
   }
 
 let of_mode_sigma ~mode ~sigma =

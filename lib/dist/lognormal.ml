@@ -32,6 +32,7 @@ let make ~mu ~sigma =
     variance;
     mode = Some (exp (mu -. (sigma *. sigma)));
     sample = (fun rng -> Numerics.Rng.lognormal rng ~mu ~sigma);
+    kernel = Base.Lognormal_k { mu; sigma };
   }
 
 let of_log_mean_mode ~lmean ~lmode =

@@ -56,6 +56,15 @@ val credible_interval : t -> level:float -> float * float
     drift cannot leak mass into the final component). *)
 val sample : t -> Numerics.Rng.t -> float
 
+(** [sample_into t rng buf ~pos ~len] — write [len] independent samples
+    into [buf.(pos) ..] using the batched kernels: atoms-only and
+    single-component mixtures are fully vectorised, mixed mixtures batch
+    the component selection and draw continuous slots scalar-wise.  The
+    draw scheme differs from repeated {!sample} (it is a faster stream,
+    not the same one) but is a pure function of (rng state, [t], [len]) —
+    the property the parallel Monte-Carlo determinism contract relies on. *)
+val sample_into : t -> Numerics.Rng.t -> floatarray -> pos:int -> len:int -> unit
+
 (** [support t] — smallest interval containing all mass. *)
 val support : t -> float * float
 

@@ -21,6 +21,7 @@ let make ~mu ~sigma =
     variance = sigma *. sigma;
     mode = Some mu;
     sample = (fun rng -> Numerics.Rng.normal rng ~mu ~sigma);
+    kernel = Base.Normal_k { mu; sigma };
   }
 
 let standard = make ~mu:0.0 ~sigma:1.0

@@ -44,6 +44,7 @@ let make (d : Base.t) ~lo ~hi =
     variance = max 0.0 (second -. (mean *. mean));
     mode;
     sample = (fun rng -> quantile (Numerics.Rng.float_pos rng));
+    kernel = Base.Generic;
   }
 
 let upper d ~bound =

@@ -18,4 +18,5 @@ let make ~lo ~hi =
     variance = width *. width /. 12.0;
     mode = None;
     sample = (fun rng -> Numerics.Rng.uniform rng lo hi);
+    kernel = Base.Uniform_k { lo; hi };
   }

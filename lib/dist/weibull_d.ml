@@ -37,4 +37,5 @@ let make ~shape ~scale =
     sample =
       (fun rng ->
         l *. ((-.log (Numerics.Rng.float_pos rng)) ** (1.0 /. k)));
+    kernel = Base.Generic;
   }

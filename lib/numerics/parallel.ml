@@ -44,14 +44,18 @@ let create ?num_domains () =
     }
   in
   if requested > 1 then begin
-    (* The caller participates in batches, so spawn one fewer.  A failed
-       spawn (resource limits) just leaves a smaller pool. *)
+    (* The caller participates in batches, so spawn one fewer.  Only
+       resource exhaustion degrades the pool: [Domain.spawn] signals it by
+       raising [Failure] (e.g. at the runtime's domain cap), and then the
+       pool simply runs with the workers it got.  Anything else escaping
+       here is a programming error and must propagate, not silently turn
+       the pool sequential. *)
     let spawned = ref [] in
     (try
        for _ = 2 to requested do
          spawned := Domain.spawn (fun () -> worker_loop pool) :: !spawned
        done
-     with _ -> ());
+     with Failure _ -> ());
     pool.workers <- Array.of_list !spawned
   end;
   pool
@@ -69,6 +73,22 @@ let shutdown pool =
 let with_pool ?num_domains f =
   let pool = create ?num_domains () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* Process-wide shared pool.  Spawning a domain costs hundreds of
+   microseconds plus a stop-the-world synchronisation of every running
+   domain, so creating a pool per experiment call (as the repro layer once
+   did) dominates short Monte-Carlo runs.  The shared pool is created on
+   first use and shut down by [at_exit]. *)
+let global = ref None
+
+let global_pool () =
+  match !global with
+  | Some pool -> pool
+  | None ->
+    let pool = create () in
+    global := Some pool;
+    at_exit (fun () -> shutdown pool);
+    pool
 
 let chunk_sizes ~n ~chunks =
   if n < 0 then invalid_arg "Parallel.chunk_sizes: n < 0";

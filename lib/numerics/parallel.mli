@@ -38,6 +38,13 @@ val shutdown : pool -> unit
     exceptions). *)
 val with_pool : ?num_domains:int -> (pool -> 'a) -> 'a
 
+(** [global_pool ()] — the process-wide shared pool ([default_num_domains]
+    wide), created lazily on first call and shut down at process exit.
+    Reusing it across experiments and bench iterations avoids re-spawning
+    domains (each spawn costs a stop-the-world synchronisation).  Intended
+    to be called from the main domain; do not [shutdown] it yourself. *)
+val global_pool : unit -> pool
+
 (** [chunk_sizes ~n ~chunks] — split [n] work items into [chunks] near-equal
     chunk sizes (the first [n mod chunks] chunks get one extra item); the
     sizes sum to [n].  [n >= 0], [chunks >= 1]. *)

@@ -68,6 +68,40 @@ val binomial : t -> n:int -> p:float -> int
 (** [geometric t ~p] — number of failures before the first success. *)
 val geometric : t -> p:float -> int
 
+(** {1 Batched generation}
+
+    Batch kernels write [len] draws into [buf.(pos) .. buf.(pos+len-1)],
+    carrying the xoshiro256++ state in unboxed locals for the whole batch —
+    the inner loops are allocation-free, unlike the scalar API whose every
+    draw re-boxes the four [int64] state words.
+
+    Bit-compatibility contract: [fill_xs t buf ~pos ~len] writes exactly
+    the values [len] successive scalar [xs t] calls would return and
+    leaves [t] in exactly the state those calls would leave it in, so
+    batched and scalar code paths are interchangeable without changing any
+    reproduced number. *)
+
+(** [fill_floats t buf ~pos ~len] — [len] draws of [float t]. *)
+val fill_floats : t -> floatarray -> pos:int -> len:int -> unit
+
+(** [fill_floats_pos t buf ~pos ~len] — [len] draws of [float_pos t]. *)
+val fill_floats_pos : t -> floatarray -> pos:int -> len:int -> unit
+
+(** [fill_uniforms t buf ~pos ~len ~a ~b] — [len] draws of [uniform t a b]. *)
+val fill_uniforms : t -> floatarray -> pos:int -> len:int -> a:float -> b:float -> unit
+
+(** [fill_exponentials t buf ~pos ~len ~rate] — [len] draws of
+    [exponential t ~rate]. *)
+val fill_exponentials : t -> floatarray -> pos:int -> len:int -> rate:float -> unit
+
+(** [fill_normals t buf ~pos ~len ~mu ~sigma] — [len] draws of
+    [normal t ~mu ~sigma] (polar Marsaglia, same rejection sequence). *)
+val fill_normals : t -> floatarray -> pos:int -> len:int -> mu:float -> sigma:float -> unit
+
+(** [fill_lognormals t buf ~pos ~len ~mu ~sigma] — [len] draws of
+    [lognormal t ~mu ~sigma]. *)
+val fill_lognormals : t -> floatarray -> pos:int -> len:int -> mu:float -> sigma:float -> unit
+
 (** [shuffle t arr] — in-place Fisher-Yates. *)
 val shuffle : t -> 'a array -> unit
 

@@ -17,7 +17,10 @@ let quantile xs p =
   check_nonempty "Summary.quantile" xs;
   if p < 0.0 || p > 1.0 then invalid_arg "Summary.quantile: p not in [0,1]";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  (* [Float.compare], not polymorphic [compare]: no generic-compare
+     dispatch per element, and a total order that places NaNs first
+     instead of raising surprises deep inside the sort. *)
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let h = p *. float_of_int (n - 1) in
   let i = int_of_float (floor h) in
@@ -49,25 +52,51 @@ let histogram ~edges xs =
   counts
 
 module Online = struct
-  type t = { mutable n : int; mutable mu : float; mutable m2 : float }
+  (* All-float record: OCaml stores it flat, so [add] updates the fields in
+     place without allocating.  (The previous mixed int/float layout boxed
+     both float fields, costing two allocations and two write barriers per
+     observation — per sample on the Monte-Carlo hot path.)  [n] is always
+     integer-valued and exact below 2^53. *)
+  type t = { mutable n : float; mutable mu : float; mutable m2 : float }
 
-  let create () = { n = 0; mu = 0.0; m2 = 0.0 }
+  let create () = { n = 0.0; mu = 0.0; m2 = 0.0 }
 
   let add t x =
-    t.n <- t.n + 1;
+    let n = t.n +. 1.0 in
+    t.n <- n;
     let delta = x -. t.mu in
-    t.mu <- t.mu +. (delta /. float_of_int t.n);
+    t.mu <- t.mu +. (delta /. n);
     t.m2 <- t.m2 +. (delta *. (x -. t.mu))
 
-  let count t = t.n
+  (* Fold a buffer segment with the Welford state in unboxed locals; the
+     result is bit-identical to calling [add] once per element. *)
+  let add_floatarray t buf ~pos ~len =
+    if pos < 0 || len < 0 || len > Stdlib.Float.Array.length buf - pos then
+      invalid_arg "Summary.Online.add_floatarray";
+    let n = ref t.n and mu = ref t.mu and m2 = ref t.m2 in
+    for i = pos to pos + len - 1 do
+      let x = Stdlib.Float.Array.unsafe_get buf i in
+      let nn = !n +. 1.0 in
+      n := nn;
+      let delta = x -. !mu in
+      let mu' = !mu +. (delta /. nn) in
+      mu := mu';
+      m2 := !m2 +. (delta *. (x -. mu'))
+    done;
+    t.n <- !n;
+    t.mu <- !mu;
+    t.m2 <- !m2
+
+  let count t = int_of_float t.n
 
   let mean t =
-    if t.n = 0 then invalid_arg "Summary.Online.mean: no observations";
+    if t.n = 0.0 then invalid_arg "Summary.Online.mean: no observations";
     t.mu
 
   let variance t =
-    if t.n < 2 then invalid_arg "Summary.Online.variance: need >= 2 observations";
-    t.m2 /. float_of_int (t.n - 1)
+    if t.n < 2.0 then
+      invalid_arg "Summary.Online.variance: need >= 2 observations";
+    t.m2 /. (t.n -. 1.0)
 
   let std t = sqrt (variance t)
 
@@ -75,17 +104,15 @@ module Online = struct
      mean/M2 updates introduce only one rounding step per merge, so folding
      per-chunk accumulators in a fixed order is reproducible bit for bit. *)
   let merge a b =
-    if a.n = 0 then { n = b.n; mu = b.mu; m2 = b.m2 }
-    else if b.n = 0 then { n = a.n; mu = a.mu; m2 = a.m2 }
+    if a.n = 0.0 then { n = b.n; mu = b.mu; m2 = b.m2 }
+    else if b.n = 0.0 then { n = a.n; mu = a.mu; m2 = a.m2 }
     else begin
-      let n = a.n + b.n in
-      let na = float_of_int a.n and nb = float_of_int b.n in
-      let nf = float_of_int n in
+      let n = a.n +. b.n in
       let delta = b.mu -. a.mu in
       {
         n;
-        mu = a.mu +. (delta *. (nb /. nf));
-        m2 = a.m2 +. b.m2 +. (delta *. delta *. na *. nb /. nf);
+        mu = a.mu +. (delta *. (b.n /. n));
+        m2 = a.m2 +. b.m2 +. (delta *. delta *. a.n *. b.n /. n);
       }
     end
 end

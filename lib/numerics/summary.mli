@@ -32,6 +32,13 @@ module Online : sig
 
   val create : unit -> t
   val add : t -> float -> unit
+
+  (** [add_floatarray t buf ~pos ~len] — observe
+      [buf.(pos) .. buf.(pos+len-1)] in order; bit-identical to calling
+      [add] per element, but the fold runs with the Welford state in
+      unboxed locals (the batched Monte-Carlo hot path). *)
+  val add_floatarray : t -> floatarray -> pos:int -> len:int -> unit
+
   val count : t -> int
   val mean : t -> float
 

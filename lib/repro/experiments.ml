@@ -7,7 +7,10 @@ let section title body =
    are bit-identical whatever the machine's core count. *)
 let mc_chunks = 64
 
-let with_default_pool f = Numerics.Parallel.with_pool f
+(* All experiment sections share one lazily-created pool ([global_pool]):
+   spawning domains per section was a large fixed cost and, worse, per-call
+   spawn/join barriers dominated the PR-1 parallel numbers. *)
+let with_default_pool f = f (Numerics.Parallel.global_pool ())
 
 let table1 () =
   section "Table 1: IEC 61508 safety integrity levels"

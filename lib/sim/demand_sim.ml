@@ -17,10 +17,34 @@ let check_conservative_bound ~n rng claim =
   let estimate = failure_probability ~n rng belief in
   (estimate, Confidence.Conservative.failure_bound claim)
 
+(* Per-domain scratch for the batched kernels below (see the note on
+   [Mc.domain_scratch]: always fully written before being read, so caching
+   is invisible to results and saves a major-heap allocation per chunk). *)
+let scratch_key =
+  Domain.DLS.new_key (fun () -> ref (Float.Array.create 0))
+
+let domain_scratch len =
+  let r = Domain.DLS.get scratch_key in
+  if Float.Array.length !r < len then r := Float.Array.create len;
+  !r
+
+(* Batched Bernoulli marginalisation: fill a segment with pfd draws, fill a
+   scratch segment with uniforms, and resolve each slot to 0/1 in place.
+   [u < pfd] with u uniform on [0,1) is an exact Bernoulli(clamp pfd) trial
+   (never fires at pfd <= 0, always fires at pfd >= 1) and consumes exactly
+   one uniform per sample, keeping the stream a pure function of the chunk
+   state. *)
 let failure_probability_par ?pool ~n ~chunks ~seed belief =
-  Mc.probability_par ?pool ~n ~chunks ~seed (fun rng ->
-      let pfd = clamp_pfd (Dist.Mixture.sample belief rng) in
-      Numerics.Rng.bernoulli rng pfd)
+  Mc.estimate_par_batched ?pool ~n ~chunks ~seed (fun () ->
+      fun rng buf ~pos ~len ->
+        let u = domain_scratch len in
+        Dist.Mixture.sample_into belief rng buf ~pos ~len;
+        Numerics.Rng.fill_floats rng u ~pos:0 ~len;
+        for j = 0 to len - 1 do
+          let pfd = clamp_pfd (Float.Array.unsafe_get buf (pos + j)) in
+          Float.Array.unsafe_set buf (pos + j)
+            (if Float.Array.unsafe_get u j < pfd then 1.0 else 0.0)
+        done)
 
 let check_conservative_bound_par ?pool ~n ~chunks ~seed claim =
   let belief = Confidence.Conservative.worst_case_belief claim in
@@ -64,19 +88,45 @@ let survival_curve_par ?pool ~n_systems ~chunks ~seed ~checkpoints belief =
   let sizes = Numerics.Parallel.chunk_sizes ~n:n_systems ~chunks in
   let streams = Numerics.Rng.split_n (Numerics.Rng.create seed) chunks in
   let body i =
-    let rng = streams.(i) in
+    let size = sizes.(i) in
     let survived = Array.make n_cps 0 in
-    for _ = 1 to sizes.(i) do
-      let pfd = clamp_pfd (Dist.Mixture.sample belief rng) in
-      let first =
-        if pfd <= 0.0 then max_int
-        else if pfd >= 1.0 then 1
-        else 1 + Numerics.Rng.geometric rng ~p:pfd
-      in
-      Array.iteri
-        (fun j c -> if first > c then survived.(j) <- survived.(j) + 1)
-        cps
-    done;
+    if size > 0 then begin
+      (* Chunk state is copied and scratch allocated inside the executing
+         domain; pfds and first-failure uniforms are drawn a segment at a
+         time.  The first failure is geometric by inverse transform:
+         1 + floor(log u / log(1 - pfd)) with u in (0,1) — a different
+         (batched) stream than the scalar path's [Rng.geometric], but a
+         pure function of the chunk state, which is what the domain-count
+         determinism contract requires. *)
+      let rng = Numerics.Rng.copy streams.(i) in
+      let seg = min size Mc.batch_size in
+      (* Two disjoint halves of one scratch buffer: pfd draws in the first,
+         first-failure uniforms in the second. *)
+      let scratch = domain_scratch (2 * seg) in
+      let remaining = ref size in
+      while !remaining > 0 do
+        let len = min !remaining seg in
+        Dist.Mixture.sample_into belief rng scratch ~pos:0 ~len;
+        Numerics.Rng.fill_floats_pos rng scratch ~pos:seg ~len;
+        for k = 0 to len - 1 do
+          let pfd = clamp_pfd (Float.Array.unsafe_get scratch k) in
+          let first =
+            if pfd <= 0.0 then max_int
+            else if pfd >= 1.0 then 1
+            else begin
+              let u = Float.Array.unsafe_get scratch (seg + k) in
+              let g = log u /. Numerics.Special.log1p (-.pfd) in
+              if g >= 4.0e18 then max_int else 1 + int_of_float g
+            end
+          in
+          for j = 0 to n_cps - 1 do
+            if first > Array.unsafe_get cps j then
+              Array.unsafe_set survived j (Array.unsafe_get survived j + 1)
+          done
+        done;
+        remaining := !remaining - len
+      done
+    end;
     survived
   in
   (* Survivor counts are integers, so the merge is exact as well as

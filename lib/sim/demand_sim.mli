@@ -11,8 +11,10 @@ val failure_probability :
   n:int -> Numerics.Rng.t -> Dist.Mixture.t -> Mc.estimate
 
 (** [failure_probability_par ?pool ~n ~chunks ~seed belief] — parallel
-    [failure_probability] via [Mc.probability_par]: bit-identical for a
-    fixed [(seed, chunks)] at any domain count. *)
+    [failure_probability] via [Mc.estimate_par_batched]: pfds and Bernoulli
+    uniforms are drawn a segment at a time into reusable scratch buffers.
+    Bit-identical for a fixed [(seed, chunks)] at any domain count; the
+    batched stream differs from the scalar [failure_probability] one. *)
 val failure_probability_par :
   ?pool:Numerics.Parallel.pool ->
   n:int ->
@@ -56,7 +58,9 @@ val survival_curve :
 (** [survival_curve_par ?pool ~n_systems ~chunks ~seed ~checkpoints belief]
     — parallel [survival_curve].  Per-chunk survivor counts are integers and
     merge by exact summation in chunk order, so the curve is bit-identical
-    for a fixed [(seed, chunks)] at any domain count. *)
+    for a fixed [(seed, chunks)] at any domain count.  The per-chunk stream
+    is batched (segment-wise pfd draws, inverse-transform geometrics) and so
+    differs from the scalar [survival_curve] one. *)
 val survival_curve_par :
   ?pool:Numerics.Parallel.pool ->
   n_systems:int ->

@@ -33,18 +33,82 @@ let probability ~n rng event =
 (* Parallel fan-out: one seed expands into [chunks] independent streams in
    chunk order, each chunk accumulates its own Welford state, and the
    accumulators are merged left to right.  Every step is a pure function of
-   (seed, chunks, n), so the result is bit-identical at any domain count. *)
+   (seed, chunks, n), so the result is bit-identical at any domain count.
+
+   Each chunk works on a fresh copy of its stream state made *inside* the
+   executing domain: the split-stream array itself is only ever read, so
+   domains never mutate adjacently-allocated records (false sharing). *)
 let estimate_par ?pool ~n ~chunks ~seed f =
   if n < 2 then invalid_arg "Mc.estimate_par: n < 2";
   if chunks < 1 then invalid_arg "Mc.estimate_par: chunks < 1";
   let sizes = Numerics.Parallel.chunk_sizes ~n ~chunks in
   let streams = Numerics.Rng.split_n (Numerics.Rng.create seed) chunks in
   let body i =
-    let rng = streams.(i) in
+    let rng = Numerics.Rng.copy streams.(i) in
     let acc = Numerics.Summary.Online.create () in
     for _ = 1 to sizes.(i) do
       Numerics.Summary.Online.add acc (f rng)
     done;
+    acc
+  in
+  let total =
+    Numerics.Parallel.parallel_for_reduce ?pool ~chunks
+      ~init:(Numerics.Summary.Online.create ())
+      ~body ~merge:Numerics.Summary.Online.merge
+  in
+  of_online total n
+
+(* Scratch-buffer segmentation constant for the batched path.  Like
+   [chunks], it is part of the stream definition: a fill function may draw
+   differently for one segment of 2k than for two segments of 1k (e.g.
+   [Mixture.sample_into] batches its selection uniforms per segment), so
+   this is a fixed constant rather than a tunable — changing it is a
+   stream change, exactly like changing the chunk count. *)
+let batch_size = 4096
+
+type batch_fill = Numerics.Rng.t -> floatarray -> pos:int -> len:int -> unit
+
+(* Per-domain scratch, reused across chunks and calls.  Every byte is
+   written by the fill before the Welford fold reads it, so caching the
+   buffer in domain-local storage cannot change any result; what it does
+   do is stop the hot path from churning the major heap (a 32 kB buffer
+   per chunk per call), which matters under parallelism because every
+   collection is a stop-the-world rendezvous of all domains. *)
+let scratch_key =
+  Domain.DLS.new_key (fun () -> ref (Stdlib.Float.Array.create 0))
+
+let domain_scratch len =
+  let r = Domain.DLS.get scratch_key in
+  if Stdlib.Float.Array.length !r < len then
+    r := Stdlib.Float.Array.create len;
+  !r
+
+let estimate_par_batched ?pool ~n ~chunks ~seed make_fill =
+  if n < 2 then invalid_arg "Mc.estimate_par_batched: n < 2";
+  if chunks < 1 then invalid_arg "Mc.estimate_par_batched: chunks < 1";
+  let sizes = Numerics.Parallel.chunk_sizes ~n ~chunks in
+  let streams = Numerics.Rng.split_n (Numerics.Rng.create seed) chunks in
+  let body i =
+    let size = sizes.(i) in
+    let acc = Numerics.Summary.Online.create () in
+    if size > 0 then begin
+      let rng = Numerics.Rng.copy streams.(i) in
+      (* Instantiated per chunk, in the executing domain, so any scratch
+         state the fill closes over is domain-local. *)
+      let fill = make_fill () in
+      (* The cached buffer may be longer than requested; segment lengths
+         must come from [batch_size] alone so the stream never depends on
+         what earlier calls left in domain-local storage. *)
+      let seg = min size batch_size in
+      let buf = domain_scratch seg in
+      let remaining = ref size in
+      while !remaining > 0 do
+        let len = min !remaining seg in
+        fill rng buf ~pos:0 ~len;
+        Numerics.Summary.Online.add_floatarray acc buf ~pos:0 ~len;
+        remaining := !remaining - len
+      done
+    end;
     acc
   in
   let total =

@@ -33,6 +33,38 @@ val estimate_par :
   (Numerics.Rng.t -> float) ->
   estimate
 
+(** Samples per scratch-buffer refill on the batched path.  Part of the
+    stream definition, like [chunks]: a fill function may legitimately
+    draw differently for one long segment than for two short ones, so the
+    segmentation is pinned rather than tunable. *)
+val batch_size : int
+
+(** A batched sampler: [fill rng buf ~pos ~len] writes [len] samples into
+    [buf.(pos) ..], advancing [rng].  Must be a pure function of the
+    generator state (and [len]) — no dependence on domain identity. *)
+type batch_fill = Numerics.Rng.t -> floatarray -> pos:int -> len:int -> unit
+
+(** [estimate_par_batched ?pool ~n ~chunks ~seed make_fill] — the
+    allocation-free fast path of [estimate_par].  Same fan-out (one stream
+    per chunk, Welford merge in chunk order) but each chunk draws samples
+    [batch_size] at a time into a reusable [floatarray] scratch buffer via
+    the fill returned by [make_fill ()], and folds the buffer with
+    [Summary.Online.add_floatarray].
+
+    [make_fill] is called once per chunk, inside the executing domain, so
+    any scratch state the fill closes over is domain-local.  Determinism
+    contract: bit-identical at any domain count for fixed [(seed, chunks)].
+    The batched stream is generally a different (faster) stream than the
+    scalar [estimate_par] one — segmentation by [batch_size] is part of
+    its definition. *)
+val estimate_par_batched :
+  ?pool:Numerics.Parallel.pool ->
+  n:int ->
+  chunks:int ->
+  seed:int ->
+  (unit -> batch_fill) ->
+  estimate
+
 (** [probability_par ?pool ~n ~chunks ~seed event] — parallel [probability]
     under the same determinism contract as [estimate_par]. *)
 val probability_par :

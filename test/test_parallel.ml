@@ -92,6 +92,90 @@ let test_estimate_par_determinism () =
   check_raises_invalid "chunks < 1" (fun () ->
       ignore (Mc.estimate_par ~n:10 ~chunks:0 ~seed:0 (fun _ -> 0.0)))
 
+let test_estimate_par_degenerate_chunking () =
+  (* More chunks than samples: most chunks draw nothing and contribute an
+     empty accumulator to the chunk-order merge. *)
+  let run d =
+    P.with_pool ~num_domains:d (fun pool ->
+        Mc.estimate_par ~pool ~n:3 ~chunks:16 ~seed:101 (fun rng ->
+            Numerics.Rng.float rng))
+  in
+  let a = run 1 and b = run 2 and c = run 4 in
+  check_true "1 domain = 2 domains" (estimates_equal a b);
+  check_true "2 domains = 4 domains" (estimates_equal b c);
+  Alcotest.(check int) "all 3 samples drawn" 3 a.n;
+  (* The batched path hits the same degenerate sizes (and must skip the
+     zero-size chunks without touching its scratch buffer). *)
+  let batched d =
+    P.with_pool ~num_domains:d (fun pool ->
+        Mc.estimate_par_batched ~pool ~n:3 ~chunks:16 ~seed:101 (fun () ->
+            fun rng buf ~pos ~len -> Numerics.Rng.fill_floats rng buf ~pos ~len))
+  in
+  let ba = batched 1 and bb = batched 4 in
+  check_true "batched: 1 domain = 4 domains" (estimates_equal ba bb);
+  (* fill_floats is bit-compatible with scalar [Rng.float] and the
+     floatarray Welford fold with per-element add, so here the batched
+     path reproduces the scalar stream exactly. *)
+  check_true "batched = scalar stream" (estimates_equal a ba)
+
+let test_estimate_par_batched_determinism () =
+  let run d =
+    P.with_pool ~num_domains:d (fun pool ->
+        Mc.estimate_par_batched ~pool ~n:20_000 ~chunks:16 ~seed:917
+          (fun () ->
+            fun rng buf ~pos ~len ->
+              Numerics.Rng.fill_normals rng buf ~pos ~len ~mu:1.0 ~sigma:2.0))
+  in
+  let a = run 1 and b = run 2 and c = run 4 in
+  check_true "1 domain = 2 domains" (estimates_equal a b);
+  check_true "2 domains = 4 domains" (estimates_equal b c);
+  let scalar =
+    Mc.estimate_par ~n:20_000 ~chunks:16 ~seed:917 (fun rng ->
+        Numerics.Rng.normal rng ~mu:1.0 ~sigma:2.0)
+  in
+  check_true "bit-compatible kernel reproduces the scalar stream"
+    (estimates_equal a scalar);
+  check_raises_invalid "n < 2" (fun () ->
+      ignore
+        (Mc.estimate_par_batched ~n:1 ~chunks:1 ~seed:0 (fun () ->
+             fun _ _ ~pos:_ ~len:_ -> ())));
+  check_raises_invalid "chunks < 1" (fun () ->
+      ignore
+        (Mc.estimate_par_batched ~n:10 ~chunks:0 ~seed:0 (fun () ->
+             fun _ _ ~pos:_ ~len:_ -> ())))
+
+let test_failure_probability_par_batched () =
+  let claim = Confidence.Claim.make ~bound:1e-3 ~confidence:0.99 in
+  let belief = Confidence.Conservative.worst_case_belief claim in
+  let run d =
+    P.with_pool ~num_domains:d (fun pool ->
+        Ds.failure_probability_par ~pool ~n:50_000 ~chunks:16 ~seed:77 belief)
+  in
+  let a = run 1 and b = run 4 in
+  check_true "bit-identical across domain counts" (estimates_equal a b);
+  check_true "CI covers the analytic failure probability"
+    (Mc.within a (Dist.Mixture.mean belief))
+
+let test_global_pool () =
+  let p1 = P.global_pool () in
+  let p2 = P.global_pool () in
+  check_true "second call returns the same pool" (p1 == p2);
+  check_true "at least one domain" (P.num_domains p1 >= 1);
+  let out = P.map_chunks ~pool:p1 ~chunks:5 (fun i -> i) in
+  Alcotest.(check (array int)) "usable for batches" [| 0; 1; 2; 3; 4 |] out
+
+let test_create_overcommit () =
+  (* Requesting far more domains than the runtime allows must degrade to a
+     smaller pool ([Domain.spawn] signals the cap with [Failure]), never
+     raise out of [create]. *)
+  let pool = P.create ~num_domains:1000 () in
+  check_true "pool exists" (P.num_domains pool >= 1);
+  let out = P.map_chunks ~pool ~chunks:7 (fun i -> i * 2) in
+  Alcotest.(check (array int)) "degraded pool still works"
+    (Array.init 7 (fun i -> i * 2))
+    out;
+  P.shutdown pool
+
 let test_estimate_par_chunk_sensitivity () =
   (* Changing the chunk count legitimately changes the streams; the answer
      must stay statistically equivalent, not bitwise. *)
@@ -152,6 +236,12 @@ let suite =
     case "exceptions propagate, pool survives" test_exception_propagates;
     case "shutdown idempotent" test_shutdown_idempotent;
     case "estimate_par bit-identical across domains" test_estimate_par_determinism;
+    case "degenerate chunking (zero-size chunks)" test_estimate_par_degenerate_chunking;
+    case "estimate_par_batched bit-identical across domains"
+      test_estimate_par_batched_determinism;
+    case "batched failure_probability_par" test_failure_probability_par_batched;
+    case "global pool is shared and reusable" test_global_pool;
+    case "create degrades gracefully when over-committed" test_create_overcommit;
     case "chunk count is part of the contract" test_estimate_par_chunk_sensitivity;
     case "probability_par" test_probability_par;
     case "conservative bound on the parallel path" test_conservative_bound_par;

@@ -23,6 +23,17 @@ let test_quantiles () =
   ignore (S.median orig);
   Alcotest.(check (array (float 0.0))) "input untouched" [| 3.0; 1.0; 2.0 |] orig
 
+let test_quantile_total_order () =
+  (* [Float.compare] gives the sort a total order: NaNs gather at the front
+     instead of leaving the array partially sorted, so the upper quantiles
+     of a NaN-polluted sample are still the real data. *)
+  let data = [| 3.0; Float.nan; 1.0; 2.0 |] in
+  check_true "NaNs sort first" (Float.is_nan (S.quantile data 0.0));
+  check_close "top quantile is real data" 3.0 (S.quantile data 1.0);
+  (* Signed zeros are ordered, not treated as equal-and-arbitrary. *)
+  check_close "negative zero before positive" (-0.0)
+    (S.quantile [| 0.0; -0.0 |] 0.0)
+
 let test_extrema () =
   check_close "min" 2.0 (S.minimum xs);
   check_close "max" 9.0 (S.maximum xs)
@@ -58,6 +69,27 @@ let acc_of arr =
   let acc = S.Online.create () in
   Array.iter (S.Online.add acc) arr;
   acc
+
+let test_add_floatarray () =
+  let scalar = acc_of xs in
+  let buf = Stdlib.Float.Array.init (Array.length xs) (fun i -> xs.(i)) in
+  let batched = S.Online.create () in
+  S.Online.add_floatarray batched buf ~pos:0 ~len:(Array.length xs);
+  Alcotest.(check int) "count" (S.Online.count scalar) (S.Online.count batched);
+  check_true "mean bitwise equal to per-element add"
+    (S.Online.mean batched = S.Online.mean scalar);
+  check_true "variance bitwise equal to per-element add"
+    (S.Online.variance batched = S.Online.variance scalar);
+  (* Segmentation (including an empty segment) must not change the fold. *)
+  let seg = S.Online.create () in
+  S.Online.add_floatarray seg buf ~pos:0 ~len:3;
+  S.Online.add_floatarray seg buf ~pos:3 ~len:0;
+  S.Online.add_floatarray seg buf ~pos:3 ~len:5;
+  check_true "segmented fold bitwise equal"
+    (S.Online.mean seg = S.Online.mean scalar
+    && S.Online.variance seg = S.Online.variance scalar);
+  check_raises_invalid "range check" (fun () ->
+      S.Online.add_floatarray seg buf ~pos:6 ~len:5)
 
 let test_merge () =
   let whole = acc_of xs in
@@ -119,10 +151,12 @@ let test_merge_associative =
 let suite =
   [ case "moments" test_moments;
     case "quantiles" test_quantiles;
+    case "quantile total order (NaN, signed zero)" test_quantile_total_order;
     case "extrema" test_extrema;
     case "histogram" test_histogram;
     case "online accumulator" test_online_matches_batch;
     test_online_property;
+    case "batched fold matches per-element add" test_add_floatarray;
     case "online merge (Chan et al.)" test_merge;
     test_merge_split_property;
     test_merge_associative ]
