@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json examples csv clean
+.PHONY: all build test check bench bench-json examples csv clean lint-src check-fixtures
 
 all: build
 
@@ -11,6 +11,20 @@ test:
 # Tier-1 verification in one command.
 check:
 	dune build @all && dune runtest
+
+# Grep-level lint over lib/ (polymorphic compare on floats etc.); see the
+# script for the rules and the allow-comment escape hatch.
+lint-src:
+	sh scripts/lint_src.sh
+
+# The static analyser over the shipped fixtures: good ones must be clean
+# even under --strict, the deliberately-bad ones must exit 2.
+check-fixtures: build
+	dune exec bin/confcase.exe -- check \
+	  examples/shutdown.case examples/sis.belief --strict
+	dune exec bin/confcase.exe -- check \
+	  examples/bad_shutdown.case examples/bad_sis.belief; \
+	  code=$$?; test "$$code" -eq 2
 
 # Regenerate every paper table/figure + ablations + Bechamel timings.
 bench:

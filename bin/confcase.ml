@@ -8,6 +8,7 @@
      experience   plan failure-free testing toward a confidence target
      elicit       fit a belief from elicited points, emit a belief file
      case         evaluate a dependability-case file
+     check        statically check case/belief files (lib/analysis)
      risk         layer-of-protection analysis with confidence *)
 
 open Cmdliner
@@ -474,6 +475,87 @@ let case_cmd =
   in
   Cmd.v info Term.(ret (const run $ file_arg $ rho_arg $ sensitivities_arg))
 
+(* --- check ------------------------------------------------------------------- *)
+
+let check_cmd =
+  let files_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:"Case ($(b,.case)) or belief ($(b,.belief)) files; other \
+                extensions are classified by content")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Exit 1 when warnings are present (errors \
+                                always exit 2)")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Machine-readable report on stdout")
+  in
+  let codes_arg =
+    Arg.(
+      value & flag
+      & info [ "codes" ] ~doc:"Print the diagnostic-code table and exit")
+  in
+  let run files strict json codes =
+    if codes then begin
+      print_string (Analysis.Check.codes_table ());
+      `Ok ()
+    end
+    else if files = [] then
+      `Error (true, "no input files (or use --codes for the rule table)")
+    else begin
+      let module D = Analysis.Diagnostic in
+      let reports =
+        List.map (fun f -> (f, D.sort (Analysis.Check.check_file f))) files
+      in
+      let all = List.concat_map snd reports in
+      if json then print_endline (D.json_of_report reports)
+      else begin
+        List.iter
+          (fun (_, diags) ->
+            List.iter (fun d -> print_endline (D.to_string d)) diags)
+          reports;
+        Printf.printf "%d file%s checked: %d error%s, %d warning%s, %d info%s\n"
+          (List.length files)
+          (if List.length files = 1 then "" else "s")
+          (D.errors all)
+          (if D.errors all = 1 then "" else "s")
+          (D.warnings all)
+          (if D.warnings all = 1 then "" else "s")
+          (D.infos all)
+          (if D.infos all = 1 then "" else "s")
+      end;
+      (* 0 clean / 1 warnings under --strict / 2 errors: the CI contract. *)
+      let code = D.exit_code ~strict all in
+      if code <> 0 then exit code;
+      `Ok ()
+    end
+  in
+  let info =
+    Cmd.info "check"
+      ~doc:"Statically check case and belief files before trusting them"
+      ~man:
+        [ `S Manpage.s_description;
+          `P
+            "Runs the analysis rule sets over each file without evaluating \
+             anything: duplicate or dangling ids, out-of-range confidences, \
+             vacuous goals, broken mixture weights, shared evidence between \
+             the legs of an $(b,any) goal, and the paper's band-migration \
+             trap (a lognormal judgement whose mean sits in a worse SIL \
+             band than its mode, log10(mean/mode) = 0.651 sigma^2).";
+          `P
+            "Exit status: 0 when clean (infos allowed), 1 when warnings \
+             are present and $(b,--strict) is given, 2 when any error is \
+             present." ]
+  in
+  Cmd.v info
+    Term.(ret (const run $ files_arg $ strict_arg $ json_arg $ codes_arg))
+
 (* --- risk -------------------------------------------------------------------- *)
 
 let risk_cmd =
@@ -557,6 +639,6 @@ let main =
   let info = Cmd.info "confcase" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ figures_cmd; judge_cmd; conservative_cmd; delphi_cmd; experience_cmd;
-      elicit_cmd; case_cmd; risk_cmd ]
+      elicit_cmd; case_cmd; check_cmd; risk_cmd ]
 
 let () = exit (Cmd.eval main)

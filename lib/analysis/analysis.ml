@@ -1,0 +1,10 @@
+(** Public interface of the [analysis] library: a static-analysis subsystem
+    for case and belief documents — stable diagnostic codes, line-anchored
+    spans threaded from the parsers' raw layers, and rule sets that catch
+    structural defects (duplicate ids, broken weights, vacuous goals) and
+    the paper's band-migration trap before any evaluation runs. *)
+
+module Diagnostic = Diagnostic
+module Case_rules = Case_rules
+module Belief_rules = Belief_rules
+module Check = Check

@@ -1,0 +1,325 @@
+module D = Diagnostic
+module F = Elicit.Belief_format
+
+let weight_tolerance = 1e-6
+
+(* Below this spread a lognormal is a spike: the assessor is claiming
+   near-certainty about the pfd's exact value, which elicitation practice
+   (and Section 3.1's mean/mode gap collapsing to nothing) says is almost
+   never an honest belief. *)
+let min_sigma = 0.05
+
+let codes =
+  [ ("B000", D.Error, "document does not lex; nothing can be analysed");
+    ("B001", D.Error, "weight bookkeeping broken (weight outside (0,1], sum \
+                       not 1, or ambiguous implicit weights)");
+    ("B002", D.Error, "atom outside [0,1] — a pfd belief lives in the unit \
+                       interval");
+    ("B003", D.Error, "degenerate sigma (error when sigma <= 0; warning when \
+                       it is a near-point spike)");
+    ("B004", D.Warning, "band migration: the component's mean sits in a \
+                         worse SIL band than its mode (log10(mean/mode) = \
+                         0.651 sigma^2, paper Sections 3.1-3.2)");
+    ("B005", D.Error, "malformed component (missing, conflicting or invalid \
+                       parameters)");
+    ("B006", D.Warning, "uniform support extends outside [0,1]");
+    ("B007", D.Warning, "field unknown to this component kind, or given \
+                         twice (the parser ignores it)") ]
+
+let known_fields = function
+  | "atom" -> [ "value" ]
+  | "lognormal" -> [ "mode"; "mu"; "sigma" ]
+  | "gamma" -> [ "shape"; "rate" ]
+  | "beta" -> [ "a"; "b" ]
+  | "uniform" -> [ "lo"; "hi" ]
+  | _ -> []
+
+let get (raw : F.raw_component) name = List.assoc_opt name raw.fields
+
+let err raw fmt =
+  Printf.ksprintf
+    (fun m -> D.make ~code:"B005" ~severity:D.Error ~line:raw.F.line ~col:raw.F.col m)
+    fmt
+
+(* --- SIL band ranking ------------------------------------------------------ *)
+
+(* Higher is better; 0 is off the bottom of the scale, 5 off the top
+   (a non-positive value means perfection-or-better). *)
+let band_rank x =
+  if x <= 0.0 then 5
+  else
+    match Sil.Band.classify ~mode:Sil.Band.Low_demand x with
+    | Sil.Band.Below_sil1 -> 0
+    | Sil.Band.In_band b -> Sil.Band.to_int b
+    | Sil.Band.Beyond_sil4 -> 5
+
+let band_name x =
+  if x <= 0.0 then "beyond SIL4"
+  else
+    Sil.Band.classification_to_string
+      (Sil.Band.classify ~mode:Sil.Band.Low_demand x)
+
+(* --- per-component views --------------------------------------------------- *)
+
+(* The lognormal (mode, sigma) pair when both are recoverable. *)
+let lognormal_mode_sigma (raw : F.raw_component) =
+  if raw.F.kind <> "lognormal" then None
+  else
+    match (get raw "sigma", get raw "mode", get raw "mu") with
+    | Some sigma, Some mode, None when sigma > 0.0 && mode > 0.0 ->
+      Some (mode, sigma)
+    | Some sigma, None, Some mu when sigma > 0.0 ->
+      Some (exp (mu -. (sigma *. sigma)), sigma)
+    | _ -> None
+
+(* The component's mean, when its parameters make sense — used to judge
+   whether a migrated component is offset by the rest of the mixture. *)
+let component_mean (raw : F.raw_component) =
+  match raw.F.kind with
+  | "atom" -> get raw "value"
+  | "lognormal" ->
+    Option.map
+      (fun (mode, sigma) ->
+        mode *. (10.0 ** Dist.Lognormal.mean_mode_ratio_log10 ~sigma))
+      (lognormal_mode_sigma raw)
+  | "gamma" ->
+    (match (get raw "shape", get raw "rate") with
+    | Some shape, Some rate when shape > 0.0 && rate > 0.0 ->
+      Some (shape /. rate)
+    | _ -> None)
+  | "beta" ->
+    (match (get raw "a", get raw "b") with
+    | Some a, Some b when a > 0.0 && b > 0.0 -> Some (a /. (a +. b))
+    | _ -> None)
+  | "uniform" ->
+    (match (get raw "lo", get raw "hi") with
+    | Some lo, Some hi when lo < hi -> Some (0.5 *. (lo +. hi))
+    | _ -> None)
+  | _ -> None
+
+(* --- weight bookkeeping ---------------------------------------------------- *)
+
+(* Resolve each component's weight the way the strict parser would; emit
+   B001 diagnostics where the bookkeeping is broken.  Returns the resolved
+   weights (aligned with [comps]) when they are coherent. *)
+let check_weights comps =
+  let diags = ref [] in
+  let emit raw fmt =
+    Printf.ksprintf
+      (fun m ->
+        diags :=
+          D.make ~code:"B001" ~severity:D.Error ~line:raw.F.line ~col:raw.F.col m
+          :: !diags)
+      fmt
+  in
+  List.iter
+    (fun (raw : F.raw_component) ->
+      match raw.F.weight with
+      | Some w when not (w > 0.0 && w <= 1.0) ->
+        emit raw "weight %g of this component is outside (0,1]" w
+      | _ -> ())
+    comps;
+  let explicit =
+    List.fold_left
+      (fun acc (r : F.raw_component) ->
+        acc +. Option.value ~default:0.0 r.F.weight)
+      0.0 comps
+  in
+  let implicit =
+    List.filter (fun (r : F.raw_component) -> r.F.weight = None) comps
+  in
+  let resolved =
+    match implicit with
+    | [] ->
+      if abs_float (explicit -. 1.0) > weight_tolerance then begin
+        emit (List.hd comps) "weights sum to %g, not 1" explicit;
+        None
+      end
+      else Some (List.map (fun (r : F.raw_component) -> Option.get r.F.weight) comps)
+    | [ _ ] ->
+      let remaining = 1.0 -. explicit in
+      if remaining <= 0.0 then begin
+        emit (List.hd comps)
+          "explicit weights already reach %g: nothing is left for the \
+           weightless component"
+          explicit;
+        None
+      end
+      else
+        Some
+          (List.map
+             (fun (r : F.raw_component) ->
+               Option.value ~default:remaining r.F.weight)
+             comps)
+    | _ :: second :: _ ->
+      emit second "at most one component may omit its weight";
+      None
+  in
+  let ok = !diags = [] in
+  (!diags, if ok then resolved else None)
+
+(* --- per-component rules --------------------------------------------------- *)
+
+let check_fields (raw : F.raw_component) =
+  let known = known_fields raw.F.kind in
+  let seen = Hashtbl.create 4 in
+  List.filter_map
+    (fun (key, _) ->
+      if not (List.mem key known) then
+        Some
+          (D.make ~code:"B007" ~severity:D.Warning ~line:raw.F.line
+             ~col:raw.F.col
+             (Printf.sprintf "field %S is not used by %s components (the \
+                              parser ignores it)"
+                key raw.F.kind))
+      else if Hashtbl.mem seen key then
+        Some
+          (D.make ~code:"B007" ~severity:D.Warning ~line:raw.F.line
+             ~col:raw.F.col
+             (Printf.sprintf "field %S is given twice (the parser keeps the \
+                              first value)"
+                key))
+      else begin
+        Hashtbl.add seen key ();
+        None
+      end)
+    raw.F.fields
+
+let check_params (raw : F.raw_component) =
+  match raw.F.kind with
+  | "atom" ->
+    (match get raw "value" with
+    | Some v when v < 0.0 || v > 1.0 ->
+      [ D.make ~code:"B002" ~severity:D.Error ~line:raw.F.line ~col:raw.F.col
+          (Printf.sprintf
+             "atom at %g is outside [0,1]: a pfd belief lives in the unit \
+              interval"
+             v) ]
+    | _ -> [])
+  | "lognormal" ->
+    let sigma_diags =
+      match get raw "sigma" with
+      | None -> [ err raw "lognormal needs sigma" ]
+      | Some sigma when sigma <= 0.0 ->
+        [ D.make ~code:"B003" ~severity:D.Error ~line:raw.F.line ~col:raw.F.col
+            (Printf.sprintf "sigma %g must be positive" sigma) ]
+      | Some sigma when sigma < min_sigma ->
+        [ D.make ~code:"B003" ~severity:D.Warning ~line:raw.F.line
+            ~col:raw.F.col
+            (Printf.sprintf
+               "sigma %g is a near-point spike (below %g): an honest \
+                judgement carries more doubt — use an atom if certainty is \
+                really meant"
+               sigma min_sigma) ]
+      | Some _ -> []
+    in
+    let location_diags =
+      match (get raw "mode", get raw "mu") with
+      | Some _, Some _ -> [ err raw "give either mode or mu, not both" ]
+      | None, None -> [ err raw "lognormal needs mode or mu" ]
+      | Some mode, None when mode <= 0.0 ->
+        [ err raw "mode %g must be positive" mode ]
+      | _ -> []
+    in
+    sigma_diags @ location_diags
+  | "gamma" ->
+    let need name =
+      match get raw name with
+      | None -> [ err raw "gamma needs %s" name ]
+      | Some v when v <= 0.0 -> [ err raw "%s %g must be positive" name v ]
+      | Some _ -> []
+    in
+    need "shape" @ need "rate"
+  | "beta" ->
+    let need name =
+      match get raw name with
+      | None -> [ err raw "beta needs %s" name ]
+      | Some v when v <= 0.0 -> [ err raw "%s %g must be positive" name v ]
+      | Some _ -> []
+    in
+    need "a" @ need "b"
+  | "uniform" ->
+    (match (get raw "lo", get raw "hi") with
+    | None, _ | _, None -> [ err raw "uniform needs lo and hi" ]
+    | Some lo, Some hi when lo >= hi ->
+      [ err raw "uniform needs lo %g < hi %g" lo hi ]
+    | Some lo, Some hi when lo < 0.0 || hi > 1.0 ->
+      [ D.make ~code:"B006" ~severity:D.Warning ~line:raw.F.line ~col:raw.F.col
+          (Printf.sprintf
+             "uniform support [%g, %g] extends outside [0,1]: part of the \
+              belief is an impossible pfd"
+             lo hi) ]
+    | Some _, Some _ -> [])
+  | _ -> []
+
+(* --- B004: band migration --------------------------------------------------
+
+   The paper's central numerical warning (Sections 3.1-3.2, Figures 1-4):
+   for a lognormal judgement log10(mean/mode) = 0.651 sigma^2, so a belief
+   whose *mode* sits comfortably inside a SIL band can have a *mean* — the
+   quantity IEC 61508 judges — in a worse band.  Downgraded to Info when
+   the mixture's overall mean still sits in the mode's band or better
+   (e.g. perfection mass at 0 pulling the mean back, Section 3.4
+   footnote 3). *)
+let check_band_migration comps resolved_weights =
+  let mixture_mean =
+    match resolved_weights with
+    | None -> None
+    | Some weights ->
+      List.fold_left2
+        (fun acc (raw : F.raw_component) w ->
+          match (acc, component_mean raw) with
+          | Some total, Some m -> Some (total +. (w *. m))
+          | _ -> None)
+        (Some 0.0) comps weights
+  in
+  List.filter_map
+    (fun (raw : F.raw_component) ->
+      match lognormal_mode_sigma raw with
+      | None -> None
+      | Some (mode, sigma) ->
+        let ratio = Dist.Lognormal.mean_mode_ratio_log10 ~sigma in
+        let mean = mode *. (10.0 ** ratio) in
+        if band_rank mean >= band_rank mode then None
+        else begin
+          let base =
+            Printf.sprintf
+              "band migration: mode %g sits in %s but the mean %.3g sits in \
+               %s (log10(mean/mode) = 0.651 sigma^2 = %.2f); IEC 61508 \
+               judges the mean"
+              mode (band_name mode) mean (band_name mean) ratio
+          in
+          match mixture_mean with
+          | Some mm when band_rank mm >= band_rank mode ->
+            Some
+              (D.make ~code:"B004" ~severity:D.Info ~line:raw.F.line
+                 ~col:raw.F.col
+                 (Printf.sprintf
+                    "%s — offset here: the mixture's overall mean %.3g stays \
+                     in %s"
+                    base mm (band_name mm)))
+          | _ ->
+            Some
+              (D.make ~code:"B004" ~severity:D.Warning ~line:raw.F.line
+                 ~col:raw.F.col base)
+        end)
+    comps
+
+let check_raw comps =
+  match comps with
+  | [] -> []
+  | _ ->
+    let weight_diags, resolved = check_weights comps in
+    weight_diags
+    @ List.concat_map check_fields comps
+    @ List.concat_map check_params comps
+    @ check_band_migration comps resolved
+    |> D.sort
+
+let check text =
+  match F.parse_raw text with
+  | exception F.Parse_error e ->
+    [ D.make ~code:"B000" ~severity:D.Error ~line:e.line ~col:e.col e.message ]
+  | [] ->
+    [ D.make ~code:"B000" ~severity:D.Error ~line:0 "empty belief document" ]
+  | comps -> check_raw comps

@@ -1,0 +1,38 @@
+(** Static well-formedness rules for belief documents
+    ({!Elicit.Belief_format}).
+
+    Codes (stable; [confcase check --codes] prints this table):
+    - [B000] error — document does not lex; nothing can be analysed
+    - [B001] error — weight bookkeeping broken: a weight outside (0,1],
+      explicit weights not summing to 1 (tolerance {!weight_tolerance}),
+      more than one weightless component, or explicit weights leaving
+      nothing for the weightless one
+    - [B002] error — atom outside [0,1]
+    - [B003] — degenerate sigma: error when [sigma <= 0], warning when
+      below {!min_sigma} (a near-point spike is not an honest judgement)
+    - [B004] — band migration, the paper-grounded rule (Sections 3.1-3.2,
+      Figures 1-4): a lognormal component whose mean
+      [mode * 10^(0.651 sigma^2)] sits in a worse IEC 61508 SIL band than
+      its mode.  Warning normally; downgraded to info when the mixture's
+      overall mean still sits in the mode's band or better (e.g. perfection
+      mass at 0 pulling it back, Section 3.4 footnote 3)
+    - [B005] error — malformed component (missing, conflicting or invalid
+      parameters)
+    - [B006] warning — uniform support extending outside [0,1]
+    - [B007] warning — field unknown to the component kind, or given twice
+      (the parser silently ignores it) *)
+
+val weight_tolerance : float
+val min_sigma : float
+
+(** [(code, severity, one-line description)] for every rule above; the
+    severity is the rule's nominal (most common) one. *)
+val codes : (string * Diagnostic.severity * string) list
+
+(** [check_raw comps] — run every rule over a raw document, sorted by
+    position.  Never raises. *)
+val check_raw : Elicit.Belief_format.raw_component list -> Diagnostic.t list
+
+(** [check text] — [parse_raw] + {!check_raw}; lexical faults become a
+    single [B000] diagnostic (and an empty document is [B000] at line 0). *)
+val check : string -> Diagnostic.t list

@@ -1,0 +1,247 @@
+module D = Diagnostic
+module F = Casekit.Case_format
+
+(* Argument-shape smells (C007/C008): deeper or wider than this and the
+   case has stopped being reviewable by a human assessor. *)
+let max_depth = 8
+let max_fan_out = 10
+
+let codes =
+  [ ("C000", D.Error, "document does not lex; nothing can be analysed");
+    ("C001", D.Error, "duplicate node id");
+    ("C002", D.Error, "confidence or validity probability outside (0,1]");
+    ("C003", D.Warning, "confidence or validity probability of exactly 1.0 \
+                         claims certainty");
+    ("C004", D.Error, "goal with no supporting children");
+    ("C005", D.Warning, "goal with a single child (a vacuous `any`, or \
+                         indirection under `all`)");
+    ("C006", D.Error, "assumption attached to no goal");
+    ("C007", D.Warning, Printf.sprintf "argument deeper than %d levels" max_depth);
+    ("C008", D.Warning, Printf.sprintf "goal with more than %d children" max_fan_out);
+    ("C009", D.Warning, "legs of an `any` goal share evidence, so they are \
+                         not independent alternatives");
+    ("C010", D.Error, "indentation fault (level jump, or indented root)");
+    ("C011", D.Error, "multiple root nodes");
+    ("C012", D.Error, "evidence cannot have children") ]
+
+(* Lenient tree used only by the rules: every raw node is attached to the
+   nearest enclosing shallower node, whatever other faults the document
+   has, so one structural error does not hide the rest. *)
+type tree = {
+  rn : F.raw_node;
+  mutable kids : tree list;  (* reverse source order *)
+  mutable assumes : F.raw_node list;
+}
+
+let is_assume rn = match rn.F.item with F.Raw_assume _ -> true | _ -> false
+
+let build_forest nodes =
+  let diags = ref [] in
+  let emit ~code ~severity ~line ?col msg =
+    diags := D.make ~code ~severity ~line ?col msg :: !diags
+  in
+  let roots = ref [] in
+  let stack = ref [] in
+  List.iteri
+    (fun i rn ->
+      let rec pop () =
+        match !stack with
+        | top :: rest when top.rn.F.indent >= rn.F.indent ->
+          stack := rest;
+          pop ()
+        | _ -> ()
+      in
+      pop ();
+      let t = { rn; kids = []; assumes = [] } in
+      (match !stack with
+      | [] ->
+        if !roots <> [] then
+          emit ~code:"C011" ~severity:D.Error ~line:rn.F.line ~col:rn.F.id_col
+            (Printf.sprintf
+               "node %s is a second root: a case document holds one argument"
+               rn.F.id)
+        else if i = 0 && rn.F.indent > 0 then
+          emit ~code:"C010" ~severity:D.Error ~line:rn.F.line
+            "root must not be indented";
+        if is_assume rn then
+          emit ~code:"C006" ~severity:D.Error ~line:rn.F.line ~col:rn.F.id_col
+            (Printf.sprintf
+               "assumption %s is attached to no goal (it is at top level)"
+               rn.F.id);
+        roots := t :: !roots
+      | parent :: _ ->
+        if rn.F.indent > parent.rn.F.indent + 1 then
+          emit ~code:"C010" ~severity:D.Error ~line:rn.F.line
+            (Printf.sprintf "indentation jumps more than one level (%d to %d)"
+               parent.rn.F.indent rn.F.indent);
+        (match parent.rn.F.item with
+        | F.Raw_evidence _ ->
+          if is_assume rn then
+            emit ~code:"C006" ~severity:D.Error ~line:rn.F.line
+              ~col:rn.F.id_col
+              (Printf.sprintf
+                 "assumption %s is attached to evidence %s, not a goal"
+                 rn.F.id parent.rn.F.id)
+          else
+            emit ~code:"C012" ~severity:D.Error ~line:rn.F.line ~col:rn.F.id_col
+              (Printf.sprintf "evidence %s cannot support child %s"
+                 parent.rn.F.id rn.F.id)
+        | _ -> ());
+        if is_assume rn then parent.assumes <- rn :: parent.assumes
+        else parent.kids <- t :: parent.kids);
+      if not (is_assume rn) then stack := t :: !stack)
+    nodes;
+  (List.rev !roots, List.rev !diags)
+
+let check_duplicates nodes =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun rn ->
+      match Hashtbl.find_opt seen rn.F.id with
+      | Some first ->
+        Some
+          (D.make ~code:"C001" ~severity:D.Error ~line:rn.F.line
+             ~col:rn.F.id_col
+             (Printf.sprintf "duplicate node id %s (first declared at line %d)"
+                rn.F.id first))
+      | None ->
+        Hashtbl.add seen rn.F.id rn.F.line;
+        None)
+    nodes
+
+let check_values nodes =
+  List.concat_map
+    (fun rn ->
+      let value =
+        match rn.F.item with
+        | F.Raw_evidence { confidence } -> Some ("confidence", confidence)
+        | F.Raw_assume { p_valid } -> Some ("validity probability", p_valid)
+        | F.Raw_goal _ -> None
+      in
+      match value with
+      | None -> []
+      | Some (what, v) ->
+        if not (v > 0.0 && v <= 1.0) then
+          [ D.make ~code:"C002" ~severity:D.Error ~line:rn.F.line
+              ~col:rn.F.value_col
+              (Printf.sprintf "%s %g of %s is outside (0,1]" what v rn.F.id) ]
+        else if v = 1.0 then
+          [ D.make ~code:"C003" ~severity:D.Warning ~line:rn.F.line
+              ~col:rn.F.value_col
+              (Printf.sprintf
+                 "%s 1.0 of %s claims certainty; the paper's point is that \
+                  doubt never vanishes — use a value below 1"
+                 what rn.F.id) ]
+        else [])
+    nodes
+
+let rec check_shape t =
+  let own =
+    match t.rn.F.item with
+    | F.Raw_goal { combinator } ->
+      let n = List.length t.kids in
+      if n = 0 then
+        [ D.make ~code:"C004" ~severity:D.Error ~line:t.rn.F.line
+            ~col:t.rn.F.id_col
+            (Printf.sprintf "goal %s has no supporting children" t.rn.F.id) ]
+      else if n = 1 then
+        [ D.make ~code:"C005" ~severity:D.Warning ~line:t.rn.F.line
+            ~col:t.rn.F.id_col
+            (match combinator with
+            | Casekit.Node.Any ->
+              Printf.sprintf
+                "`any` goal %s has a single leg: the alternative is vacuous"
+                t.rn.F.id
+            | Casekit.Node.All ->
+              Printf.sprintf
+                "goal %s has a single child: it adds a layer without adding \
+                 an argument"
+                t.rn.F.id) ]
+      else if n > max_fan_out then
+        [ D.make ~code:"C008" ~severity:D.Warning ~line:t.rn.F.line
+            ~col:t.rn.F.id_col
+            (Printf.sprintf
+               "goal %s combines %d children (more than %d): consider \
+                grouping them into subgoals"
+               t.rn.F.id n max_fan_out) ]
+      else []
+    | _ -> []
+  in
+  own @ List.concat_map check_shape (List.rev t.kids)
+
+let rec depth t =
+  1 + List.fold_left (fun acc k -> max acc (depth k)) 0 t.kids
+
+let check_depth root =
+  let d = depth root in
+  if d > max_depth then
+    [ D.make ~code:"C007" ~severity:D.Warning ~line:root.rn.F.line
+        ~col:root.rn.F.id_col
+        (Printf.sprintf
+           "argument is %d levels deep (more than %d): deep chains multiply \
+            doubt and are hard to review"
+           d max_depth) ]
+  else []
+
+(* C009: independence between legs of an `any` goal is what two-leg
+   composition (Section 4.2) relies on; the same piece of evidence cited in
+   two legs silently breaks it.  Evidence is matched by normalised statement
+   text — matching ids are already C001. *)
+let normalise s = String.lowercase_ascii (String.trim s)
+
+let rec evidence_leaves t =
+  match t.rn.F.item with
+  | F.Raw_evidence _ -> [ t.rn ]
+  | _ -> List.concat_map evidence_leaves (List.rev t.kids)
+
+let rec check_shared_evidence t =
+  let own =
+    match t.rn.F.item with
+    | F.Raw_goal { combinator = Casekit.Node.Any } when List.length t.kids >= 2 ->
+      let seen = Hashtbl.create 16 in
+      let legs = List.rev t.kids in
+      List.concat
+        (List.mapi
+           (fun leg_idx leg ->
+             List.filter_map
+               (fun (ev : F.raw_node) ->
+                 let key = normalise ev.F.statement in
+                 match Hashtbl.find_opt seen key with
+                 | Some (first_leg, (first : F.raw_node)) when first_leg <> leg_idx ->
+                   Some
+                     (D.make ~code:"C009" ~severity:D.Warning ~line:ev.F.line
+                        ~col:ev.F.id_col
+                        (Printf.sprintf
+                           "evidence %s restates %s (line %d) from another \
+                            leg of `any` goal %s: the legs are not \
+                            independent, which invalidates multi-leg \
+                            composition"
+                           ev.F.id first.F.id first.F.line t.rn.F.id))
+                 | Some _ -> None
+                 | None ->
+                   Hashtbl.add seen key (leg_idx, ev);
+                   None)
+               (evidence_leaves leg))
+           legs)
+    | _ -> []
+  in
+  own @ List.concat_map check_shared_evidence (List.rev t.kids)
+
+let check_raw nodes =
+  match nodes with
+  | [] -> []
+  | _ ->
+    let roots, structural = build_forest nodes in
+    structural @ check_duplicates nodes @ check_values nodes
+    @ List.concat_map check_shape roots
+    @ List.concat_map check_depth roots
+    @ List.concat_map check_shared_evidence roots
+    |> D.sort
+
+let check text =
+  match F.parse_raw text with
+  | exception F.Parse_error e ->
+    [ D.make ~code:"C000" ~severity:D.Error ~line:e.line ~col:e.col e.message ]
+  | [] ->
+    [ D.make ~code:"C000" ~severity:D.Error ~line:0 "empty case document" ]
+  | nodes -> check_raw nodes

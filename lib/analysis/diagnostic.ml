@@ -1,0 +1,98 @@
+type severity = Error | Warning | Info
+
+type span = { line : int; col : int }
+
+type t = {
+  code : string;
+  severity : severity;
+  span : span;
+  message : string;
+  file : string option;
+}
+
+let make ?file ~code ~severity ~line ?(col = 1) message =
+  { code; severity; span = { line; col }; message; file }
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let with_file file diags =
+  List.map (fun d -> { d with file = Some file }) diags
+
+let compare a b =
+  let c = Option.compare String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.span.line b.span.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.span.col b.span.col in
+      if c <> 0 then c
+      else
+        let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+        if c <> 0 then c else String.compare a.code b.code
+
+(* [compare] here is this module's monomorphic comparator just above, not
+   the polymorphic one. *)
+let sort diags = List.sort compare diags (* lint: allow-poly-compare *)
+
+let to_string d =
+  let position =
+    if d.span.line = 0 then "" else Printf.sprintf "%d:%d: " d.span.line d.span.col
+  in
+  let file = match d.file with Some f -> f ^ ":" | None -> "" in
+  Printf.sprintf "%s%s%s[%s]: %s" file position
+    (severity_to_string d.severity)
+    d.code d.message
+
+let count severity diags =
+  List.length (List.filter (fun d -> d.severity = severity) diags)
+
+let errors = count Error
+let warnings = count Warning
+let infos = count Info
+
+let exit_code ?(strict = false) diags =
+  if errors diags > 0 then 2
+  else if strict && warnings diags > 0 then 1
+  else 0
+
+(* --- JSON ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  Printf.sprintf
+    {|{"code":"%s","severity":"%s","line":%d,"col":%d,"message":"%s"}|}
+    (json_escape d.code)
+    (severity_to_string d.severity)
+    d.span.line d.span.col (json_escape d.message)
+
+let json_of_report files =
+  let all = List.concat_map snd files in
+  let file_obj (file, diags) =
+    Printf.sprintf {|{"file":"%s","diagnostics":[%s]}|} (json_escape file)
+      (String.concat "," (List.map to_json (sort diags)))
+  in
+  Printf.sprintf
+    {|{"version":1,"files":[%s],"errors":%d,"warnings":%d,"infos":%d}|}
+    (String.concat "," (List.map file_obj files))
+    (errors all) (warnings all) (infos all)

@@ -1,0 +1,60 @@
+(** Line-anchored diagnostics with stable codes, the common currency of the
+    static-analysis subsystem.
+
+    Codes are stable strings: [Cxxx] for case-document rules
+    ({!Case_rules}), [Bxxx] for belief-document rules ({!Belief_rules});
+    [C000]/[B000] are reserved for documents the lexer itself rejects. *)
+
+type severity =
+  | Error  (** The document is broken; evaluation would fail or be wrong. *)
+  | Warning  (** Suspicious; trustworthy-looking output may mislead. *)
+  | Info  (** Noteworthy but acceptable. *)
+
+type span = { line : int; col : int }  (** 1-based; line 0 = whole document. *)
+
+type t = {
+  code : string;
+  severity : severity;
+  span : span;
+  message : string;
+  file : string option;
+}
+
+val make :
+  ?file:string ->
+  code:string ->
+  severity:severity ->
+  line:int ->
+  ?col:int ->
+  string ->
+  t
+
+val severity_to_string : severity -> string
+
+(** [with_file file diags] — attach a filename to every diagnostic. *)
+val with_file : string -> t list -> t list
+
+(** Orders by file, then position, then severity (errors first), then code. *)
+val compare : t -> t -> int
+
+val sort : t list -> t list
+
+(** ["file:line:col: severity[CODE]: message"] — the grep-able single-line
+    rendering used by [confcase check]. *)
+val to_string : t -> string
+
+val errors : t list -> int
+val warnings : t list -> int
+val infos : t list -> int
+
+(** [exit_code ?strict diags] — the CI contract: 2 when any error is
+    present, 1 when [strict] and any warning is present, 0 otherwise
+    (infos never affect the exit code). *)
+val exit_code : ?strict:bool -> t list -> int
+
+(** One diagnostic as a JSON object. *)
+val to_json : t -> string
+
+(** [json_of_report [(file, diags); ...]] — the [confcase check --json]
+    document: per-file diagnostic arrays plus severity totals. *)
+val json_of_report : (string * t list) list -> string

@@ -1,25 +1,47 @@
-exception Parse_error of { line : int; message : string }
+(* Parse errors carry the 1-based line and column of the offending token and
+   the token itself.  The historical { line; message } fields are a subset of
+   the new payload, so code written against the old shape keeps compiling. *)
+exception
+  Parse_error of { line : int; col : int; token : string; message : string }
 
-let fail line message = raise (Parse_error { line; message })
+let fail ?(col = 1) ?(token = "") line message =
+  raise (Parse_error { line; col; token; message })
 
-(* --- lexing one line ------------------------------------------------------ *)
+(* --- raw (lenient) layer --------------------------------------------------
 
-type item =
-  | Goal_item of { id : string; statement : string; combinator : Node.combinator }
-  | Evidence_item of { id : string; statement : string; confidence : float }
-  | Assume_item of { id : string; statement : string; p_valid : float }
+   [parse_raw] tokenises the document into a flat list of position-annotated
+   lines without enforcing any structural or range invariant: out-of-range
+   confidences, duplicate ids, dangling assumptions and indentation faults
+   all survive into the raw form so the static analyser (lib/analysis) can
+   report them as diagnostics instead of dying on the first one.  Only
+   lexical faults — an unreadable token on a single line — raise. *)
 
-type line = { number : int; indent : int; item : item }
+type raw_item =
+  | Raw_goal of { combinator : Node.combinator }
+  | Raw_evidence of { confidence : float }
+  | Raw_assume of { p_valid : float }
+
+type raw_node = {
+  line : int;
+  indent : int;  (* levels: two spaces each *)
+  id : string;
+  id_col : int;  (* 1-based column of the id token *)
+  statement : string;
+  value_col : int;  (* column of the trailing value/combinator token *)
+  item : raw_item;
+}
 
 let indent_of line_no raw =
   let rec count i =
     if i < String.length raw && raw.[i] = ' ' then count (i + 1) else i
   in
   let spaces = count 0 in
-  if spaces mod 2 <> 0 then fail line_no "odd indentation (use 2 spaces)";
+  if spaces mod 2 <> 0 then
+    fail ~col:(spaces + 1) line_no "odd indentation (use 2 spaces)";
   spaces / 2
 
-(* Split "kind ID "quoted statement" trailing" into its parts. *)
+(* Split "kind ID "quoted statement" trailing" into its parts, keeping the
+   1-based column of each. *)
 let split_parts line_no s =
   let n = String.length s in
   let rec skip_spaces i = if i < n && s.[i] = ' ' then skip_spaces (i + 1) else i in
@@ -29,28 +51,36 @@ let split_parts line_no s =
   in
   let i0 = skip_spaces 0 in
   let i1 = word_end i0 in
-  if i0 = i1 then fail line_no "empty line slipped through";
+  if i0 = i1 then fail ~col:(i0 + 1) line_no "empty line slipped through";
   let kind = String.sub s i0 (i1 - i0) in
   let i2 = skip_spaces i1 in
   let i3 = word_end i2 in
-  if i2 = i3 then fail line_no "missing node id";
+  if i2 = i3 then fail ~col:(i2 + 1) line_no "missing node id";
   let id = String.sub s i2 (i3 - i2) in
   let i4 = skip_spaces i3 in
-  if i4 >= n || s.[i4] <> '"' then fail line_no "expected a quoted statement";
+  if i4 >= n || s.[i4] <> '"' then
+    fail ~col:(i4 + 1)
+      ~token:(String.sub s i4 (word_end i4 - i4))
+      line_no "expected a quoted statement";
   let rec find_close j =
-    if j >= n then fail line_no "unterminated statement quote"
+    if j >= n then
+      fail ~col:(i4 + 1) ~token:(String.sub s i4 (n - i4)) line_no
+        "unterminated statement quote"
     else if s.[j] = '"' then j
     else find_close (j + 1)
   in
   let close = find_close (i4 + 1) in
   let statement = String.sub s (i4 + 1) (close - i4 - 1) in
+  let i5 = skip_spaces (close + 1) in
   let rest = String.trim (String.sub s (close + 1) (n - close - 1)) in
-  (kind, id, statement, rest)
+  ((kind, i0 + 1), (id, i2 + 1), statement, (rest, i5 + 1))
 
 let parse_line number raw =
   let indent = indent_of number raw in
-  let body = String.trim raw in
-  let kind, id, statement, rest = split_parts number body in
+  let (kind, kind_col), (id, id_col), statement, (rest, rest_col) =
+    split_parts number raw
+  in
+  let value_col = if rest = "" then id_col else rest_col in
   let item =
     match kind with
     | "goal" ->
@@ -58,92 +88,128 @@ let parse_line number raw =
         match rest with
         | "all" | "" -> Node.All
         | "any" -> Node.Any
-        | other -> fail number (Printf.sprintf "unknown combinator %S" other)
+        | other ->
+          fail ~col:rest_col ~token:other number
+            (Printf.sprintf "unknown combinator %S" other)
       in
-      Goal_item { id; statement; combinator }
+      Raw_goal { combinator }
     | "evidence" ->
       (match float_of_string_opt rest with
-      | Some confidence -> Evidence_item { id; statement; confidence }
-      | None -> fail number "evidence needs a confidence value")
+      | Some confidence -> Raw_evidence { confidence }
+      | None ->
+        fail ~col:value_col ~token:rest number
+          (if rest = "" then "evidence needs a confidence value"
+           else
+             Printf.sprintf "evidence needs a confidence value, got %S" rest))
     | "assume" ->
       (match float_of_string_opt rest with
-      | Some p_valid -> Assume_item { id; statement; p_valid }
-      | None -> fail number "assume needs a validity probability")
-    | other -> fail number (Printf.sprintf "unknown node kind %S" other)
+      | Some p_valid -> Raw_assume { p_valid }
+      | None ->
+        fail ~col:value_col ~token:rest number
+          (if rest = "" then "assume needs a validity probability"
+           else
+             Printf.sprintf "assume needs a validity probability, got %S" rest))
+    | other ->
+      fail ~col:kind_col ~token:other number
+        (Printf.sprintf "unknown node kind %S" other)
   in
-  { number; indent; item }
+  { line = number; indent; id; id_col; statement; value_col; item }
+
+let parse_raw text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun i raw -> (i + 1, raw))
+  |> List.filter (fun (_, raw) ->
+         let t = String.trim raw in
+         t <> "" && not (String.length t > 0 && t.[0] = '#'))
+  |> List.map (fun (number, raw) -> parse_line number raw)
 
 (* --- building the tree ----------------------------------------------------
 
    [build] consumes lines deeper than [indent] as children of the current
    goal; assumptions attach to the goal itself. *)
 
-let rec build_children parent_indent lines =
-  match lines with
+let rec build_children parent_indent nodes =
+  match nodes with
   | [] -> ([], [], [])
-  | line :: _ when line.indent <= parent_indent -> ([], [], lines)
-  | line :: rest ->
-    if line.indent > parent_indent + 1 then
-      fail line.number "indentation jumps more than one level";
-    (match line.item with
-    | Assume_item { id; statement; p_valid } ->
+  | rn :: _ when rn.indent <= parent_indent -> ([], [], nodes)
+  | rn :: rest ->
+    if rn.indent > parent_indent + 1 then
+      fail ~col:(2 * rn.indent) rn.line "indentation jumps more than one level";
+    (match rn.item with
+    | Raw_assume { p_valid } ->
       let assumption =
-        try Node.assumption ~id ~statement ~p_valid
-        with Invalid_argument msg -> fail line.number msg
+        try Node.assumption ~id:rn.id ~statement:rn.statement ~p_valid
+        with Invalid_argument msg -> fail ~col:rn.value_col rn.line msg
       in
       let assumptions, children, remaining = build_children parent_indent rest in
       (assumption :: assumptions, children, remaining)
-    | Evidence_item { id; statement; confidence } ->
+    | Raw_evidence { confidence } ->
       let node =
-        try Node.evidence ~id ~statement ~confidence
-        with Invalid_argument msg -> fail line.number msg
+        try Node.evidence ~id:rn.id ~statement:rn.statement ~confidence
+        with Invalid_argument msg -> fail ~col:rn.value_col rn.line msg
       in
       let assumptions, children, remaining = build_children parent_indent rest in
       (assumptions, node :: children, remaining)
-    | Goal_item { id; statement; combinator } ->
+    | Raw_goal { combinator } ->
       let assumptions_in, children_in, after_subtree =
-        build_children line.indent rest
+        build_children rn.indent rest
       in
       let node =
         try
-          Node.goal ~id ~statement ~combinator ~assumptions:assumptions_in
-            children_in
-        with Invalid_argument msg -> fail line.number msg
+          Node.goal ~id:rn.id ~statement:rn.statement ~combinator
+            ~assumptions:assumptions_in children_in
+        with Invalid_argument msg -> fail ~col:rn.id_col rn.line msg
       in
       let assumptions, children, remaining =
         build_children parent_indent after_subtree
       in
       (assumptions, node :: children, remaining))
 
+(* Duplicate ids are rejected before the tree is built so the error can name
+   both offending lines (Node.validate would only see the finished tree). *)
+let check_duplicate_ids nodes =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun rn ->
+      match Hashtbl.find_opt seen rn.id with
+      | Some first ->
+        fail ~col:rn.id_col ~token:rn.id rn.line
+          (Printf.sprintf "duplicate id %s (first declared at line %d)" rn.id
+             first)
+      | None -> Hashtbl.add seen rn.id rn.line)
+    nodes
+
 let parse text =
-  let raw_lines = String.split_on_char '\n' text in
-  let lines =
-    List.mapi (fun i raw -> (i + 1, raw)) raw_lines
-    |> List.filter (fun (_, raw) ->
-           let t = String.trim raw in
-           t <> "" && not (String.length t > 0 && t.[0] = '#'))
-    |> List.map (fun (number, raw) -> parse_line number raw)
-  in
-  match lines with
+  let nodes = parse_raw text in
+  match nodes with
   | [] -> fail 0 "empty case"
-  | root :: _ when root.indent <> 0 -> fail root.number "root must not be indented"
+  | root :: _ when root.indent <> 0 ->
+    fail ~col:1 root.line "root must not be indented"
   | root :: rest ->
+    check_duplicate_ids nodes;
     (match root.item with
-    | Goal_item { id; statement; combinator } ->
+    | Raw_goal { combinator } ->
       let assumptions, children, remaining = build_children 0 rest in
       (match remaining with
-      | extra :: _ -> fail extra.number "multiple root nodes"
+      | extra :: _ -> fail ~col:extra.id_col extra.line "multiple root nodes"
       | [] ->
         let node =
-          try Node.goal ~id ~statement ~combinator ~assumptions children
-          with Invalid_argument msg -> fail root.number msg
+          try
+            Node.goal ~id:root.id ~statement:root.statement ~combinator
+              ~assumptions children
+          with Invalid_argument msg -> fail ~col:root.id_col root.line msg
         in
         Node.validate node;
         node)
-    | Evidence_item { id; statement; confidence } ->
-      if rest <> [] then fail (List.hd rest).number "content after evidence root";
-      Node.evidence ~id ~statement ~confidence
-    | Assume_item _ -> fail root.number "an assumption cannot be the root")
+    | Raw_evidence { confidence } ->
+      if rest <> [] then
+        fail ~col:(List.hd rest).id_col (List.hd rest).line
+          "content after evidence root";
+      (try Node.evidence ~id:root.id ~statement:root.statement ~confidence
+       with Invalid_argument msg -> fail ~col:root.value_col root.line msg)
+    | Raw_assume _ ->
+      fail ~col:root.id_col ~token:root.id root.line
+        "an assumption cannot be the root")
 
 (* --- printing --------------------------------------------------------------- *)
 

@@ -16,10 +16,50 @@ goal G0 "Shutdown system pfd < 1e-3" any
     CONF], [assume ID "statement" P_VALID] (assumptions attach to the
     enclosing goal).  Blank lines and [#]-comments are ignored. *)
 
-exception Parse_error of { line : int; message : string }
+(** Raised on malformed input.  [line] and [col] are 1-based; [token] is the
+    offending token when one can be isolated (and [""] otherwise).
+
+    The historical payload was [{ line; message }]; the record has gained
+    [col] and [token] fields, so matches that bind fields by name — the only
+    shape the old interface supported — keep working unchanged. *)
+exception
+  Parse_error of { line : int; col : int; token : string; message : string }
+
+(** {1 Raw layer}
+
+    The lenient tokenised form consumed by the static analyser
+    ([Analysis.Case_rules]): every line becomes a position-annotated
+    {!raw_node} with no structural or range invariant enforced, so a checker
+    can report all defects of a broken document instead of stopping at the
+    first.  Only lexical faults raise {!Parse_error}. *)
+
+type raw_item =
+  | Raw_goal of { combinator : Node.combinator }
+  | Raw_evidence of { confidence : float }
+  | Raw_assume of { p_valid : float }
+
+type raw_node = {
+  line : int;  (** 1-based source line. *)
+  indent : int;  (** Indentation level (two spaces per level). *)
+  id : string;
+  id_col : int;  (** 1-based column of the id token. *)
+  statement : string;
+  value_col : int;
+      (** Column of the trailing confidence / p_valid / combinator token
+          (the id column when there is none). *)
+  item : raw_item;
+}
+
+(** [parse_raw text] — the document as a flat list of raw nodes in source
+    order.  Accepts structurally broken documents (duplicate ids, dangling
+    assumptions, out-of-range values, bad indentation).
+    @raise Parse_error only on lexical faults. *)
+val parse_raw : string -> raw_node list
+
+(** {1 Strict layer} *)
 
 (** [parse text] — the root node.
-    @raise Parse_error with a line number on malformed input. *)
+    @raise Parse_error with position information on malformed input. *)
 val parse : string -> Node.t
 
 (** [print node] — render back to the format; [parse (print n)] is [n]. *)

@@ -3,7 +3,7 @@ type t = { sorted : float array }
 let of_samples xs =
   if Array.length xs = 0 then invalid_arg "Empirical.of_samples: empty";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   { sorted }
 
 let size t = Array.length t.sorted

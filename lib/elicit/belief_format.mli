@@ -20,10 +20,42 @@ lognormal mode 3e-3 sigma 0.9 weight 0.95
     [WEIGHT?] is either nothing (defaults to the remaining mass when it is
     the only weightless component) or [weight W]. *)
 
-exception Parse_error of { line : int; message : string }
+(** Raised on malformed input.  [line] and [col] are 1-based; [token] is the
+    offending token when one can be isolated (and [""] otherwise).
+
+    The historical payload was [{ line; message }]; the record has gained
+    [col] and [token] fields, so matches that bind fields by name — the only
+    shape the old interface supported — keep working unchanged. *)
+exception
+  Parse_error of { line : int; col : int; token : string; message : string }
+
+(** {1 Raw layer}
+
+    The lenient tokenised form consumed by the static analyser
+    ([Analysis.Belief_rules]): each line becomes a position-annotated
+    {!raw_component} with no semantic invariant enforced — weights that do
+    not sum to 1, out-of-range atoms, non-positive sigmas and missing fields
+    all survive — so a checker can report every defect of a broken document.
+    Only lexical faults raise {!Parse_error}. *)
+
+type raw_component = {
+  line : int;  (** 1-based source line. *)
+  col : int;  (** 1-based column of the kind token. *)
+  kind : string;  (** ["atom" | "lognormal" | "gamma" | "beta" | "uniform"]. *)
+  fields : (string * float) list;
+      (** Key/value pairs in source order; an atom's location is recorded as
+          field ["value"]. *)
+  weight : float option;
+}
+
+(** [parse_raw text].
+    @raise Parse_error only on lexical faults. *)
+val parse_raw : string -> raw_component list
+
+(** {1 Strict layer} *)
 
 (** [parse text].
-    @raise Parse_error with a line number on malformed input. *)
+    @raise Parse_error with position information on malformed input. *)
 val parse : string -> Dist.Mixture.t
 
 (** [parse_file path]. *)

@@ -53,7 +53,7 @@ let pit_values beliefs_and_truths =
 let ks_uniform_stat xs =
   if xs = [] then invalid_arg "Calibration.ks_uniform_stat: empty input";
   let arr = Array.of_list xs in
-  Array.sort compare arr;
+  Array.sort Float.compare arr;
   let n = Array.length arr in
   let stat = ref 0.0 in
   Array.iteri

@@ -44,7 +44,7 @@ let kolmogorov_survival lambda =
 
 let ks_statistic xs ~cdf =
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let stat = ref 0.0 in
   Array.iteri

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Source lint for lib/: ban polymorphic compare where it bites.
+#
+# PR 2 fixed a real bug where `Array.sort compare` on a float array went
+# through the polymorphic comparator (slow, and wrong the day a nan
+# appears); this script keeps the class of bug from regressing.
+#
+#   1. Polymorphic comparators handed to sorts: `Array.sort compare`,
+#      `List.sort Stdlib.compare`, ... — use Float.compare /
+#      String.compare / a dedicated comparator.
+#   2. Any remaining `Stdlib.compare` in lib/ hot paths.
+#
+# A line can be exempted with a trailing `(* lint: allow-poly-compare *)`.
+
+set -u
+fail=0
+
+allow='lint: allow-poly-compare'
+
+hits=$(grep -rn --include='*.ml' -E \
+  '(Array|List)\.(sort|stable_sort|fast_sort)[[:space:]]+(Stdlib\.)?compare' \
+  lib/ | grep -v "$allow")
+if [ -n "$hits" ]; then
+  echo "lint-src: polymorphic comparator passed to a sort:" >&2
+  echo "$hits" >&2
+  echo "  use Float.compare / Int.compare / String.compare instead" >&2
+  fail=1
+fi
+
+hits=$(grep -rn --include='*.ml' 'Stdlib\.compare' lib/ | grep -v "$allow")
+if [ -n "$hits" ]; then
+  echo "lint-src: Stdlib.compare in lib/ (polymorphic compare in a hot path):" >&2
+  echo "$hits" >&2
+  echo "  use a monomorphic comparator instead" >&2
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "lint-src: clean"
+fi
+exit "$fail"

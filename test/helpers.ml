@@ -17,6 +17,11 @@ let check_raises_invalid name f =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.failf "%s: expected Invalid_argument" name
 
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
 let case name f = Alcotest.test_case name `Quick f
 
 let qcheck ?(count = 200) name gen prop =
