@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json examples csv clean lint-src check-fixtures
+.PHONY: all build test check bench bench-json bench-compare examples csv clean lint-src check-fixtures
 
 all: build
 
@@ -18,13 +18,22 @@ lint-src:
 	sh scripts/lint_src.sh
 
 # The static analyser over the shipped fixtures: good ones must be clean
-# even under --strict, the deliberately-bad ones must exit 2.
+# even under --strict, the deliberately-bad ones must exit 2, and the
+# --json report must parse in both cases (guards the hand-rolled
+# emitter).
 check-fixtures: build
 	dune exec bin/confcase.exe -- check \
 	  examples/shutdown.case examples/sis.belief --strict
+	out=$$(dune exec bin/confcase.exe -- check \
+	  examples/shutdown.case examples/sis.belief --json) && \
+	  printf '%s' "$$out" | python3 -c "import json,sys; json.load(sys.stdin)"
 	dune exec bin/confcase.exe -- check \
 	  examples/bad_shutdown.case examples/bad_sis.belief; \
 	  code=$$?; test "$$code" -eq 2
+	out=$$(dune exec bin/confcase.exe -- check \
+	  examples/bad_shutdown.case examples/bad_sis.belief --json); \
+	  code=$$?; test "$$code" -eq 2 && \
+	  printf '%s' "$$out" | python3 -c "import json,sys; json.load(sys.stdin)"
 
 # Regenerate every paper table/figure + ablations + Bechamel timings.
 bench:
@@ -33,7 +42,12 @@ bench:
 # Timings + sequential-vs-parallel MC speedup rows, written as JSON at the
 # repo root (the perf trajectory across PRs: BENCH_1.json, BENCH_2.json, ...).
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_2.json
+	dune exec bench/main.exe -- --json BENCH_3.json
+
+# Diff the two newest BENCH_*.json on shared rows (informational; pass
+# STRICT=1 to fail on a >20% regression).
+bench-compare:
+	python3 scripts/bench_compare.py $(if $(STRICT),--strict)
 
 # Run every example end to end.
 examples: build

@@ -26,9 +26,11 @@ let run_reproductions () =
 
 type row = { name : string; nanos : float; samples : int }
 
-let ols_nanos ~name thunk =
+(* A single OLS estimate under a fixed time quota.  Slow experiments
+   (hundreds of ms per run) can exhaust a small quota after one run. *)
+let ols_once ~name ~quota thunk =
   let open Bechamel in
-  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) () in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second quota) () in
   let instance = Toolkit.Instance.monotonic_clock in
   let analysis =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
@@ -47,6 +49,26 @@ let ols_nanos ~name thunk =
     in
     { name; nanos; samples = result.Benchmark.stats.samples }
   | _ -> { name; nanos = nan; samples = 0 }
+
+(* Every row must rest on at least [min_samples] measurements or the
+   number is noise (BENCH_2 recorded single-sample rows for the slow
+   experiments).  Start cheap and, when a run comes back under-sampled,
+   retry with a quota sized from the measured per-run cost. *)
+let min_samples = 3
+
+let ols_nanos ~name thunk =
+  let rec go ~quota attempt =
+    let r = ols_once ~name ~quota thunk in
+    if r.samples >= min_samples || attempt >= 3 then r
+    else
+      let from_estimate =
+        if Float.is_finite r.nanos && r.nanos > 0.0 then
+          r.nanos *. float_of_int (min_samples + 1) /. 1e9
+        else 0.0
+      in
+      go ~quota:(Float.max (quota *. 4.0) from_estimate) (attempt + 1)
+  in
+  go ~quota:0.25 0
 
 let time_string nanos =
   if nanos >= 1e9 then Printf.sprintf "%.3f s" (nanos /. 1e9)
@@ -71,10 +93,11 @@ let run_perf () =
   print_rows (time_experiments ())
 
 (* ------------------------------------------------------------------ *)
-(* MC kernel speedups: the n = 300,000 conservative-bound check and the
-   100,000-system survival curve, sequential vs the domain pool at 1, 2
-   and 4 domains.  The parallel results must be bit-identical across
-   domain counts (fixed seed and chunk count). *)
+(* MC kernel speedups: the n = 300,000 conservative-bound check, the
+   100,000-system survival curve, and the n = 300,000 pfd quantile
+   sketch, sequential vs the domain pool at 1, 2 and 4 domains.  The
+   parallel results must be bit-identical across domain counts (fixed
+   seed and chunk count). *)
 
 type kernel_row = {
   kernel : string;
@@ -195,21 +218,121 @@ let survival_kernel () =
   in
   (rows, identical)
 
+(* The streaming-sketch kernel: summarise 300,000 pfd draws into a
+   t-digest without retaining the samples.  The sequential baseline is
+   the same batched sample-and-add loop without the pool or the chunked
+   RNG streams; the parallel rows must agree bitwise on the merged
+   sketch's quantiles and count at every domain count. *)
+let sketch_kernel () =
+  let n = 300_000 and chunks = 64 and seed = Repro.Paper.seed + 43 in
+  let prior =
+    Dist.Mixture.of_dist
+      (Dist.Lognormal.of_mode_mean ~mode:Repro.Paper.mode ~mean:1e-2)
+  in
+  let ps = [| 0.05; 0.5; 0.95 |] in
+  let fingerprint sk =
+    ( Numerics.Sketch.count sk,
+      Array.map
+        (fun p -> Int64.bits_of_float (Numerics.Sketch.quantile sk p))
+        ps )
+  in
+  let seq =
+    let batch = 4096 in
+    let buf = Stdlib.Float.Array.create batch in
+    ols_nanos ~name:"sketch_mc/seq" (fun () ->
+        let rng = Numerics.Rng.create seed in
+        let sk = Numerics.Sketch.create () in
+        let rem = ref n in
+        while !rem > 0 do
+          let len = min !rem batch in
+          Dist.Mixture.sample_into prior rng buf ~pos:0 ~len;
+          Numerics.Sketch.add_floatarray sk buf ~pos:0 ~len;
+          rem := !rem - len
+        done;
+        Numerics.Sketch.quantile sk 0.5)
+  in
+  let par d =
+    Numerics.Parallel.with_pool ~num_domains:d (fun pool ->
+        let r =
+          ols_nanos ~name:(Printf.sprintf "sketch_mc/par%d" d) (fun () ->
+              Sim.Demand_sim.pfd_sketch_par ~pool ~n ~chunks ~seed prior)
+        in
+        let sk = Sim.Demand_sim.pfd_sketch_par ~pool ~n ~chunks ~seed prior in
+        (r, fingerprint sk, Numerics.Parallel.num_domains pool))
+  in
+  let runs = List.map (fun d -> (d, par d)) domain_counts in
+  let identical =
+    match List.map (fun (_, (_, fp, _)) -> fp) runs with
+    | first :: rest -> List.for_all (fun fp -> fp = first) rest
+    | [] -> true
+  in
+  let rows =
+    {
+      kernel = "sketch_mc";
+      variant = "sequential";
+      domains = 1;
+      pool_domains = 1;
+      r = seq;
+    }
+    :: List.map
+         (fun (d, (r, _, pool_domains)) ->
+           {
+             kernel = "sketch_mc";
+             variant = "parallel";
+             domains = d;
+             pool_domains;
+             r;
+           })
+         runs
+  in
+  (rows, identical)
+
 (* ------------------------------------------------------------------ *)
 (* Micro regressions: the primitives the MC speedups rest on.  The
-   quantile row guards the [Float.compare] sort (the polymorphic-compare
-   sort was the dominant cost of large-sample summaries); the RNG pair
-   records the scalar-vs-batched draw gap so a regression in either shows
-   up as a ratio change. *)
+   quantile pair records the sort-vs-select gap ([Summary.quantile]
+   copies and fully sorts; [Summary.quantile_unsorted] runs Floyd–Rivest
+   selection on the copy); the sketch pair guards the streaming add path
+   and the chunk-order merge; the RNG pair records the scalar-vs-batched
+   draw gap so a regression in either shows up as a ratio change. *)
 
 let micro_n = 1_000_000
 
 let micro_rows () =
-  let quantile =
+  let xs =
     let rng = Numerics.Rng.create 7 in
-    let xs = Array.init micro_n (fun _ -> Numerics.Rng.float rng) in
-    ols_nanos ~name:"quantile_1e6" (fun () ->
+    Array.init micro_n (fun _ -> Numerics.Rng.float rng)
+  in
+  let quantile_sort =
+    ols_nanos ~name:"quantile_sort_1e6" (fun () ->
         Numerics.Summary.quantile xs 0.99)
+  in
+  let quantile_select =
+    ols_nanos ~name:"quantile_select_1e6" (fun () ->
+        Numerics.Summary.quantile_unsorted xs 0.99)
+  in
+  let sketch_add =
+    let buf = Stdlib.Float.Array.init micro_n (fun i -> xs.(i)) in
+    ols_nanos ~name:"sketch_add_1e6" (fun () ->
+        let sk = Numerics.Sketch.create () in
+        Numerics.Sketch.add_floatarray sk buf ~pos:0 ~len:micro_n;
+        Numerics.Sketch.quantile sk 0.99)
+  in
+  let sketch_merge =
+    (* 64 pre-built 16k-value sketches folded in chunk order: the shape
+       of the parallel reduction. *)
+    let parts =
+      Array.init 64 (fun i ->
+          let rng = Numerics.Rng.create (1000 + i) in
+          let sk = Numerics.Sketch.create () in
+          for _ = 1 to 16_000 do
+            Numerics.Sketch.add sk (Numerics.Rng.float rng)
+          done;
+          sk)
+    in
+    ols_nanos ~name:"sketch_merge_64x16k" (fun () ->
+        Array.fold_left Numerics.Sketch.merge
+          (Numerics.Sketch.create ())
+          parts)
   in
   let rng_scalar =
     ols_nanos ~name:"rng_float_scalar_1e6" (fun () ->
@@ -226,7 +349,8 @@ let micro_rows () =
         let rng = Numerics.Rng.create 7 in
         Numerics.Rng.fill_floats rng buf ~pos:0 ~len:micro_n)
   in
-  [ quantile; rng_scalar; rng_fill ]
+  [ quantile_sort; quantile_select; sketch_add; sketch_merge; rng_scalar;
+    rng_fill ]
 
 let speedups rows =
   let nanos_of kernel variant domains =
@@ -277,7 +401,7 @@ let json_escape s =
 let write_json oc ~experiments ~micro ~kernels ~deterministic =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "{\n  \"schema\": \"confcase-bench-2\",\n";
+  add "{\n  \"schema\": \"confcase-bench-3\",\n";
   add "  \"experiments\": [\n";
   List.iteri
     (fun i r ->
@@ -334,9 +458,10 @@ let run_json path =
   print_endline "\n################ MC kernels (seq vs domain pool) ################\n";
   let conservative_rows, conservative_id = conservative_kernel () in
   let survival_rows, survival_id = survival_kernel () in
-  let kernels = conservative_rows @ survival_rows in
+  let sketch_rows, sketch_id = sketch_kernel () in
+  let kernels = conservative_rows @ survival_rows @ sketch_rows in
   print_rows (List.map (fun k -> k.r) kernels);
-  let deterministic = conservative_id && survival_id in
+  let deterministic = conservative_id && survival_id && sketch_id in
   List.iter
     (fun (kernel, domains, vs_one, vs_seq) ->
       Printf.printf
@@ -355,7 +480,7 @@ let () =
   | [ "--no-perf" ] -> run_reproductions ()
   | [ "--json"; path ] -> run_json path
   | [ "--json" ] ->
-    prerr_endline "--json requires an output path, e.g. --json BENCH_2.json";
+    prerr_endline "--json requires an output path, e.g. --json BENCH_3.json";
     exit 1
   | [] ->
     run_reproductions ();

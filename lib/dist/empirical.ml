@@ -1,39 +1,68 @@
-type t = { sorted : float array }
+(* Construction keeps the samples unsorted: [mean]/[variance]/[size] and
+   bootstrap resampling never need an order, single quantiles go through
+   expected-O(n) selection, and only the CDF/grid consumers (cdf, kde,
+   to_dist) force the O(n log n) sort — lazily, once.  [work] is a
+   multiset-preserving scratch copy shared by selection and the eventual
+   sort; [sorted = true] promotes it to the fully sorted view. *)
+type t = {
+  raw : float array;  (* construction order; never mutated after copy *)
+  mutable work : float array;  (* [||] until first order-statistic use *)
+  mutable sorted : bool;  (* [work] is fully sorted *)
+}
 
 let of_samples xs =
   if Array.length xs = 0 then invalid_arg "Empirical.of_samples: empty";
-  let sorted = Array.copy xs in
-  Array.sort Float.compare sorted;
-  { sorted }
+  { raw = Array.copy xs; work = [||]; sorted = false }
 
-let size t = Array.length t.sorted
-let mean t = Numerics.Summary.mean t.sorted
-let variance t = Numerics.Summary.variance t.sorted
+let size t = Array.length t.raw
+let mean t = Numerics.Summary.mean t.raw
+let variance t = Numerics.Summary.variance t.raw
+
+let work t =
+  (* [raw] is non-empty, so an empty [work] means "not yet created". *)
+  if Array.length t.work = 0 then t.work <- Array.copy t.raw;
+  t.work
+
+let sorted_view t =
+  let w = work t in
+  if not t.sorted then begin
+    Array.sort Float.compare w;
+    t.sorted <- true
+  end;
+  w
+
+let sorted_materialized t = t.sorted
 
 let cdf t x =
-  let n = Array.length t.sorted in
+  let sorted = sorted_view t in
+  let n = Array.length sorted in
   (* Count of samples <= x via binary search for the rightmost such index. *)
-  if x < t.sorted.(0) then 0.0
-  else if x >= t.sorted.(n - 1) then 1.0
+  if x < sorted.(0) then 0.0
+  else if x >= sorted.(n - 1) then 1.0
   else begin
     let lo = ref 0 and hi = ref (n - 1) in
     while !hi - !lo > 1 do
       let mid = (!lo + !hi) / 2 in
-      if t.sorted.(mid) <= x then lo := mid else hi := mid
+      if sorted.(mid) <= x then lo := mid else hi := mid
     done;
     float_of_int (!lo + 1) /. float_of_int n
   end
 
-let quantile t p = Numerics.Summary.quantile t.sorted p
+let quantile t p =
+  if t.sorted then Numerics.Summary.quantile_sorted t.work p
+  else
+    (* Expected O(n); partially orders the scratch in place, so repeated
+       quantile calls sharpen it without ever paying a full sort. *)
+    Numerics.Select.quantile_in_place (work t) p
 
-let resample t rng =
-  t.sorted.(Numerics.Rng.int rng (Array.length t.sorted))
+let resample t rng = t.raw.(Numerics.Rng.int rng (Array.length t.raw))
 
 let kde ?bandwidth t =
-  let n = Array.length t.sorted in
+  let sorted = sorted_view t in
+  let n = Array.length sorted in
   if n < 8 then invalid_arg "Empirical.kde: need >= 8 samples";
   let std =
-    if n < 2 then 0.0 else sqrt (Numerics.Summary.variance t.sorted)
+    if n < 2 then 0.0 else sqrt (Numerics.Summary.variance sorted)
   in
   let h =
     match bandwidth with
@@ -45,8 +74,8 @@ let kde ?bandwidth t =
       (* Silverman's rule of thumb. *)
       1.06 *. std *. (float_of_int n ** (-0.2))
   in
-  let lo = t.sorted.(0) -. (4.0 *. h) in
-  let hi = t.sorted.(n - 1) +. (4.0 *. h) in
+  let lo = sorted.(0) -. (4.0 *. h) in
+  let hi = sorted.(n - 1) +. (4.0 *. h) in
   let grid = Numerics.Interp.linspace lo hi 513 in
   let norm = 1.0 /. (float_of_int n *. h *. sqrt (2.0 *. Numerics.Special.pi)) in
   let pdf x =
@@ -58,15 +87,15 @@ let kde ?bandwidth t =
         if b - a <= 1 then b
         else begin
           let m = (a + b) / 2 in
-          if t.sorted.(m) < target then bsearch m b else bsearch a m
+          if sorted.(m) < target then bsearch m b else bsearch a m
         end
       in
-      if t.sorted.(0) >= target then 0 else bsearch 0 (n - 1)
+      if sorted.(0) >= target then 0 else bsearch 0 (n - 1)
     in
     let acc = ref 0.0 in
     let i = ref lo_i in
-    while !i < n && t.sorted.(!i) <= x +. (6.0 *. h) do
-      let z = (x -. t.sorted.(!i)) /. h in
+    while !i < n && sorted.(!i) <= x +. (6.0 *. h) do
+      let z = (x -. sorted.(!i)) /. h in
       acc := !acc +. exp (-0.5 *. z *. z);
       incr i
     done;
@@ -78,9 +107,10 @@ let kde ?bandwidth t =
 let to_dist t =
   (* Tabulate the quantile function on a moderate probability grid and
      differentiate: far less noisy than adjacent-order-statistic gaps. *)
-  let m = min 257 (max 9 (Array.length t.sorted / 4)) in
+  let sorted = sorted_view t in
+  let m = min 257 (max 9 (Array.length sorted / 4)) in
   let us = Numerics.Interp.linspace 0.002 0.998 m in
-  let raw = Array.map (fun u -> Numerics.Summary.quantile t.sorted u) us in
+  let raw = Array.map (fun u -> Numerics.Summary.quantile_sorted sorted u) us in
   (* Keep strictly increasing (duplicated sample values flatten the
      quantile function). *)
   let xs = ref [ raw.(0) ] and ps = ref [ us.(0) ] in

@@ -1,9 +1,17 @@
 (** Empirical distributions from samples (Monte-Carlo outputs, simulated
-    expert panels). *)
+    expert panels).
+
+    Construction is O(n): the samples are copied but {e not} sorted.
+    [size]/[mean]/[variance]/[resample] never sort; a single [quantile]
+    runs in expected O(n) via selection ({!Numerics.Select}); the first
+    CDF/grid consumer ([cdf], [kde], [to_dist]) materialises the sorted
+    view once, after which quantiles are O(1) lookups.  The lazy state is
+    internal mutation only — values never change — but it makes a [t] not
+    safe to share across domains without external synchronisation. *)
 
 type t
 
-(** [of_samples xs] — requires a non-empty array; copies and sorts it. *)
+(** [of_samples xs] — requires a non-empty array; copies it (no sort). *)
 val of_samples : float array -> t
 
 val size : t -> int
@@ -12,11 +20,17 @@ val mean : t -> float
 (** Unbiased sample variance; requires >= 2 samples. *)
 val variance : t -> float
 
-(** [cdf t x] — step ECDF, P(X <= x). *)
+(** [cdf t x] — step ECDF, P(X <= x).  Forces the sorted view. *)
 val cdf : t -> float -> float
 
-(** [quantile t p] — type-7 interpolated quantile, [0 <= p <= 1]. *)
+(** [quantile t p] — type-7 interpolated quantile, [0 <= p <= 1].
+    Selection-based until the sorted view exists, then a lookup. *)
 val quantile : t -> float -> float
+
+(** [sorted_materialized t] — whether the O(n log n) sorted view has been
+    built yet.  Diagnostic (used by the laziness regression tests);
+    cheap-stats consumers should see [false] forever. *)
+val sorted_materialized : t -> bool
 
 (** [resample t rng] — one bootstrap draw. *)
 val resample : t -> Numerics.Rng.t -> float

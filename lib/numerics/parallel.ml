@@ -96,51 +96,88 @@ let chunk_sizes ~n ~chunks =
   let base = n / chunks and extra = n mod chunks in
   Array.init chunks (fun i -> if i < extra then base + 1 else base)
 
+let default_chunks_with ~domains ~spec =
+  let fallback = 8 * max 1 domains in
+  match spec with
+  | None -> fallback
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> fallback)
+
+let default_chunks ?pool () =
+  let domains =
+    match pool with
+    | Some pool -> num_domains pool
+    | None -> default_num_domains ()
+  in
+  default_chunks_with ~domains ~spec:(Sys.getenv_opt "CONFCASE_CHUNKS")
+
+(* One result slot per cache line: chunk results are written concurrently
+   by different domains, and OCaml float/pointer array entries are one
+   word, so adjacent chunk indices would otherwise share a line and
+   ping-pong it between cores (false sharing).  Spacing slots by 8 words
+   (64 bytes) keeps each write on its own line at the cost of a slightly
+   larger — still O(chunks) — array. *)
+let slot_stride = 8
+
+(* Batch execution: instead of one queued closure (and so one
+   mutex-protected queue round-trip) per chunk, the batch is a single
+   atomic chunk counter and one [runner] closure enqueued per worker.
+   Each participating domain claims chunk indices by [fetch_and_add] —
+   lock-free — until the counter is exhausted, so the per-chunk dispatch
+   cost drops from a mutex cycle to one atomic increment, and an
+   oversubscribed chunk count (the load-balancing default, see
+   [default_chunks]) stays cheap. *)
 let run_batch pool ~chunks body =
-  let results = Array.make chunks None in
-  let remaining = ref chunks in
-  let error = ref None in
+  let results = Array.make (chunks * slot_stride) None in
+  let next = Atomic.make 0 in
+  let pending = Atomic.make chunks in
+  let error = Atomic.make None in
   let batch_mutex = Mutex.create () in
   let batch_done = Condition.create () in
-  let job i () =
-    (match body i with
-    | v -> results.(i) <- Some v
-    | exception e ->
-      Mutex.lock batch_mutex;
-      if !error = None then error := Some e;
-      Mutex.unlock batch_mutex);
-    Mutex.lock batch_mutex;
-    decr remaining;
-    if !remaining = 0 then Condition.broadcast batch_done;
-    Mutex.unlock batch_mutex
+  let rec runner () =
+    let i = Atomic.fetch_and_add next 1 in
+    if i < chunks then begin
+      (match body i with
+      | v -> results.(i * slot_stride) <- Some v
+      | exception e -> (
+        (* Keep the first error; a lost race means another chunk's
+           exception is reported instead, which the contract allows. *)
+        match Atomic.get error with
+        | None -> ignore (Atomic.compare_and_set error None (Some e))
+        | Some _ -> ()));
+      if Atomic.fetch_and_add pending (-1) = 1 then begin
+        (* Last chunk out signals the batch; the lock orders the signal
+           after the caller's wait (no missed wakeup). *)
+        Mutex.lock batch_mutex;
+        Condition.broadcast batch_done;
+        Mutex.unlock batch_mutex
+      end;
+      runner ()
+    end
   in
-  Mutex.lock pool.mutex;
-  for i = 0 to chunks - 1 do
-    Queue.push (job i) pool.queue
-  done;
-  Condition.broadcast pool.work_available;
-  Mutex.unlock pool.mutex;
-  (* The caller drains the queue alongside the workers. *)
-  let rec help () =
+  let helpers = min (Array.length pool.workers) (chunks - 1) in
+  if helpers > 0 then begin
     Mutex.lock pool.mutex;
-    let job =
-      if Queue.is_empty pool.queue then None else Some (Queue.pop pool.queue)
-    in
-    Mutex.unlock pool.mutex;
-    match job with
-    | Some j ->
-      j ();
-      help ()
-    | None -> ()
-  in
-  help ();
+    for _ = 1 to helpers do
+      Queue.push runner pool.queue
+    done;
+    Condition.broadcast pool.work_available;
+    Mutex.unlock pool.mutex
+  end;
+  (* The caller participates in its own batch. *)
+  runner ();
   Mutex.lock batch_mutex;
-  while !remaining > 0 do
+  while Atomic.get pending > 0 do
     Condition.wait batch_done batch_mutex
   done;
   Mutex.unlock batch_mutex;
-  (match !error with Some e -> raise e | None -> ());
-  Array.map (function Some v -> v | None -> assert false) results
+  (match Atomic.get error with Some e -> raise e | None -> ());
+  Array.init chunks (fun i ->
+      match results.(i * slot_stride) with
+      | Some v -> v
+      | None -> assert false)
 
 let map_chunks_in pool ~chunks body =
   if chunks < 1 then invalid_arg "Parallel.map_chunks: chunks < 1";

@@ -50,6 +50,28 @@ val global_pool : unit -> pool
     sizes sum to [n].  [n >= 0], [chunks >= 1]. *)
 val chunk_sizes : n:int -> chunks:int -> int array
 
+(** [default_chunks ?pool ()] — the chunk count a parallel entry point
+    should use when its caller does not care: the [CONFCASE_CHUNKS]
+    environment variable if set to a positive integer, otherwise
+    [8 × domains] (oversubscription keeps every domain busy when chunk
+    costs are uneven, at a per-chunk dispatch cost of one atomic
+    increment).  [domains] is [num_domains pool] when [pool] is given,
+    else [default_num_domains ()].
+
+    Note the determinism trade-off: parallel MC results are a pure
+    function of [(seed, chunks)], so letting the chunk count track the
+    machine's domain count makes the {e default} results machine-dependent
+    (each run is still internally deterministic and domain-count
+    independent).  Pin [CONFCASE_CHUNKS] — or pass [~chunks] explicitly,
+    as the repro layer does — for cross-machine bit-reproducibility. *)
+val default_chunks : ?pool:pool -> unit -> int
+
+(** [default_chunks_with ~domains ~spec] — the pure decision function
+    behind {!default_chunks}: [spec] is the raw [CONFCASE_CHUNKS] value
+    (ignored unless it parses to a positive integer).  Exposed for
+    tests. *)
+val default_chunks_with : domains:int -> spec:string option -> int
+
 (** [map_chunks ?pool ~chunks body] — evaluate [body i] for every
     [i in 0 .. chunks - 1] across the pool and return the results in chunk
     order.  Without [?pool] a transient pool of [default_num_domains ()]

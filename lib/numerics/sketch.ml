@@ -1,0 +1,285 @@
+(* Merging t-digest (Dunning & Ertl, "Computing extremely accurate
+   quantiles using t-digests").  Incoming points accumulate in a fixed
+   buffer; a flush sorts the buffer, merges it with the existing centroid
+   list (both sorted by mean), and recompresses greedily under the k1
+   scale function k(q) = δ/2π·asin(2q−1).  Everything is a deterministic
+   function of the insertion/merge history: sorting uses [Float.compare],
+   merging breaks ties by provenance (existing centroids first), and the
+   greedy compression scans left to right. *)
+
+type t = {
+  compression : float;
+  mutable c_mean : float array;  (* centroid means, ascending *)
+  mutable c_weight : float array;
+  mutable n_c : int;
+  mutable c_total : float;  (* total weight held in centroids *)
+  buf : float array;  (* unsummarised points *)
+  mutable n_buf : int;
+  mutable lo : float;  (* exact stream minimum *)
+  mutable hi : float;  (* exact stream maximum *)
+}
+
+let create ?(compression = 200.0) () =
+  if not (compression >= 10.0) then
+    invalid_arg "Sketch.create: compression < 10";
+  let cap = 1 + int_of_float (ceil (compression /. 2.0)) in
+  {
+    compression;
+    c_mean = Array.make cap 0.0;
+    c_weight = Array.make cap 0.0;
+    n_c = 0;
+    c_total = 0.0;
+    buf = Array.make (4 * int_of_float (ceil compression)) 0.0;
+    n_buf = 0;
+    lo = infinity;
+    hi = neg_infinity;
+  }
+
+let compression t = t.compression
+let count t = int_of_float t.c_total + t.n_buf
+
+let check_nonempty name t =
+  if count t = 0 then invalid_arg (name ^ ": empty sketch")
+
+let minimum t =
+  check_nonempty "Sketch.minimum" t;
+  t.lo
+
+let maximum t =
+  check_nonempty "Sketch.maximum" t;
+  t.hi
+
+let two_pi = 2.0 *. Special.pi
+let k_of_q t q = t.compression /. two_pi *. asin ((2.0 *. q) -. 1.0)
+
+let q_limit_after t q =
+  let k = k_of_q t q +. 1.0 in
+  if k >= t.compression /. 4.0 then 1.0
+  else 0.5 *. (sin (two_pi *. k /. t.compression) +. 1.0)
+
+(* Greedily recompress a merged, mean-sorted (mean, weight) sequence of
+   length [m] into [t]'s centroid arrays.  Output size is bounded by the
+   scale function at ≈ δ/2 + 1 centroids; the arrays grow (rarely, and
+   never past that bound plus slack) if needed. *)
+let compress_into t merged_mean merged_weight m total =
+  let ensure_capacity needed =
+    if needed > Array.length t.c_mean then begin
+      let cap = max needed (2 * Array.length t.c_mean) in
+      let mean' = Array.make cap 0.0 and weight' = Array.make cap 0.0 in
+      Array.blit t.c_mean 0 mean' 0 t.n_c;
+      Array.blit t.c_weight 0 weight' 0 t.n_c;
+      t.c_mean <- mean';
+      t.c_weight <- weight'
+    end
+  in
+  t.n_c <- 0;
+  if m > 0 then begin
+    let emit mean weight =
+      ensure_capacity (t.n_c + 1);
+      t.c_mean.(t.n_c) <- mean;
+      t.c_weight.(t.n_c) <- weight;
+      t.n_c <- t.n_c + 1
+    in
+    let cur_mean = ref merged_mean.(0) in
+    let cur_w = ref merged_weight.(0) in
+    let w_done = ref 0.0 in
+    let q_limit = ref (q_limit_after t 0.0) in
+    for i = 1 to m - 1 do
+      let mean = merged_mean.(i) and w = merged_weight.(i) in
+      if (!w_done +. !cur_w +. w) /. total <= !q_limit then begin
+        (* Weighted-mean absorption; deterministic fp sequence. *)
+        let w' = !cur_w +. w in
+        cur_mean := !cur_mean +. ((mean -. !cur_mean) *. (w /. w'));
+        cur_w := w'
+      end
+      else begin
+        emit !cur_mean !cur_w;
+        w_done := !w_done +. !cur_w;
+        q_limit := q_limit_after t (!w_done /. total);
+        cur_mean := mean;
+        cur_w := w
+      end
+    done;
+    emit !cur_mean !cur_w
+  end;
+  t.c_total <- total
+
+let flush t =
+  if t.n_buf > 0 then begin
+    let b = Array.sub t.buf 0 t.n_buf in
+    Array.sort Float.compare b;
+    let m = t.n_c + t.n_buf in
+    let merged_mean = Array.make m 0.0 in
+    let merged_weight = Array.make m 0.0 in
+    (* Two-pointer merge of the sorted centroid list with the sorted
+       buffer; ties take the existing centroid first (a fixed rule, for
+       determinism). *)
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    while !i < t.n_c || !j < t.n_buf do
+      let take_centroid =
+        !i < t.n_c && (!j >= t.n_buf || Float.compare t.c_mean.(!i) b.(!j) <= 0)
+      in
+      if take_centroid then begin
+        merged_mean.(!k) <- t.c_mean.(!i);
+        merged_weight.(!k) <- t.c_weight.(!i);
+        incr i
+      end
+      else begin
+        merged_mean.(!k) <- b.(!j);
+        merged_weight.(!k) <- 1.0;
+        incr j
+      end;
+      incr k
+    done;
+    let total = t.c_total +. float_of_int t.n_buf in
+    t.n_buf <- 0;
+    compress_into t merged_mean merged_weight m total
+  end
+
+let add t x =
+  if x <> x then invalid_arg "Sketch.add: NaN";
+  if x < t.lo then t.lo <- x;
+  if x > t.hi then t.hi <- x;
+  t.buf.(t.n_buf) <- x;
+  t.n_buf <- t.n_buf + 1;
+  if t.n_buf = Array.length t.buf then flush t
+
+let add_floatarray t buf ~pos ~len =
+  if pos < 0 || len < 0 || len > Stdlib.Float.Array.length buf - pos then
+    invalid_arg "Sketch.add_floatarray";
+  for i = pos to pos + len - 1 do
+    add t (Stdlib.Float.Array.unsafe_get buf i)
+  done
+
+let centroid_count t =
+  flush t;
+  t.n_c
+
+(* Piecewise-linear interpolation through the cumulative-weight anchors
+   (0, lo), (W_i + w_i/2, mean_i), (total, hi): the standard t-digest
+   mid-rank convention. *)
+let quantile t p =
+  check_nonempty "Sketch.quantile" t;
+  if p < 0.0 || p > 1.0 then invalid_arg "Sketch.quantile: p not in [0,1]";
+  flush t;
+  let total = t.c_total in
+  let target = p *. total in
+  if t.n_c = 1 then
+    if target <= total /. 2.0 then
+      t.lo +. (target /. (total /. 2.0) *. (t.c_mean.(0) -. t.lo))
+    else
+      t.c_mean.(0)
+      +. ((target -. (total /. 2.0))
+          /. (total /. 2.0)
+          *. (t.hi -. t.c_mean.(0)))
+  else begin
+    (* Walk the anchors; n_c is O(compression), so a scan is fine. *)
+    let rank = ref (t.c_weight.(0) /. 2.0) in
+    if target <= !rank then
+      if !rank <= 0.0 then t.lo
+      else t.lo +. (target /. !rank *. (t.c_mean.(0) -. t.lo))
+    else begin
+      let result = ref nan in
+      let i = ref 0 in
+      while Float.is_nan !result && !i < t.n_c - 1 do
+        let step = (t.c_weight.(!i) +. t.c_weight.(!i + 1)) /. 2.0 in
+        if target <= !rank +. step then begin
+          let frac = if step <= 0.0 then 0.0 else (target -. !rank) /. step in
+          result :=
+            t.c_mean.(!i) +. (frac *. (t.c_mean.(!i + 1) -. t.c_mean.(!i)))
+        end
+        else begin
+          rank := !rank +. step;
+          incr i
+        end
+      done;
+      if Float.is_nan !result then begin
+        let step = t.c_weight.(t.n_c - 1) /. 2.0 in
+        let frac =
+          if step <= 0.0 then 1.0 else min 1.0 ((target -. !rank) /. step)
+        in
+        result :=
+          t.c_mean.(t.n_c - 1) +. (frac *. (t.hi -. t.c_mean.(t.n_c - 1)))
+      end;
+      !result
+    end
+  end
+
+let cdf t x =
+  check_nonempty "Sketch.cdf" t;
+  if x <> x then invalid_arg "Sketch.cdf: NaN";
+  flush t;
+  if x < t.lo then 0.0
+  else if x >= t.hi then 1.0
+  else begin
+    let total = t.c_total in
+    if t.n_c = 1 then
+      (* Single centroid: interpolate lo -> mean -> hi. *)
+      if x < t.c_mean.(0) then
+        let span = t.c_mean.(0) -. t.lo in
+        if span <= 0.0 then 0.5 else 0.5 *. ((x -. t.lo) /. span)
+      else
+        let span = t.hi -. t.c_mean.(0) in
+        if span <= 0.0 then 0.5
+        else 0.5 +. (0.5 *. ((x -. t.c_mean.(0)) /. span))
+    else if x < t.c_mean.(0) then begin
+      let span = t.c_mean.(0) -. t.lo in
+      let half = t.c_weight.(0) /. 2.0 in
+      if span <= 0.0 then 0.0 else (x -. t.lo) /. span *. half /. total
+    end
+    else if x >= t.c_mean.(t.n_c - 1) then begin
+      let span = t.hi -. t.c_mean.(t.n_c - 1) in
+      let half = t.c_weight.(t.n_c - 1) /. 2.0 in
+      if span <= 0.0 then 1.0 -. (half /. total)
+      else
+        1.0 -. (half /. total)
+        +. ((x -. t.c_mean.(t.n_c - 1)) /. span *. half /. total)
+    end
+    else begin
+      (* Between centroid means: accumulate mid-rank anchors. *)
+      let rank = ref (t.c_weight.(0) /. 2.0) in
+      let i = ref 0 in
+      while x >= t.c_mean.(!i + 1) do
+        rank := !rank +. ((t.c_weight.(!i) +. t.c_weight.(!i + 1)) /. 2.0);
+        incr i
+      done;
+      let span = t.c_mean.(!i + 1) -. t.c_mean.(!i) in
+      let step = (t.c_weight.(!i) +. t.c_weight.(!i + 1)) /. 2.0 in
+      let frac = if span <= 0.0 then 0.0 else (x -. t.c_mean.(!i)) /. span in
+      (!rank +. (frac *. step)) /. total
+    end
+  end
+
+let merge a b =
+  if a.compression <> b.compression then
+    invalid_arg "Sketch.merge: compression mismatch";
+  flush a;
+  flush b;
+  let t = create ~compression:a.compression () in
+  t.lo <- min a.lo b.lo;
+  t.hi <- max a.hi b.hi;
+  let m = a.n_c + b.n_c in
+  if m > 0 then begin
+    let merged_mean = Array.make m 0.0 in
+    let merged_weight = Array.make m 0.0 in
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    while !i < a.n_c || !j < b.n_c do
+      let take_a =
+        !i < a.n_c
+        && (!j >= b.n_c || Float.compare a.c_mean.(!i) b.c_mean.(!j) <= 0)
+      in
+      if take_a then begin
+        merged_mean.(!k) <- a.c_mean.(!i);
+        merged_weight.(!k) <- a.c_weight.(!i);
+        incr i
+      end
+      else begin
+        merged_mean.(!k) <- b.c_mean.(!j);
+        merged_weight.(!k) <- b.c_weight.(!j);
+        incr j
+      end;
+      incr k
+    done;
+    compress_into t merged_mean merged_weight m (a.c_total +. b.c_total)
+  end;
+  t

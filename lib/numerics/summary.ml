@@ -13,19 +13,32 @@ let variance xs =
 
 let std xs = sqrt (variance xs)
 
-let quantile xs p =
-  check_nonempty "Summary.quantile" xs;
-  if p < 0.0 || p > 1.0 then invalid_arg "Summary.quantile: p not in [0,1]";
-  let sorted = Array.copy xs in
-  (* [Float.compare], not polymorphic [compare]: no generic-compare
-     dispatch per element, and a total order that places NaNs first
-     instead of raising surprises deep inside the sort. *)
-  Array.sort Float.compare sorted;
+let check_p name p =
+  if p < 0.0 || p > 1.0 then invalid_arg (name ^ ": p not in [0,1]")
+
+let quantile_sorted sorted p =
+  check_nonempty "Summary.quantile_sorted" sorted;
+  check_p "Summary.quantile_sorted" p;
   let n = Array.length sorted in
   let h = p *. float_of_int (n - 1) in
   let i = int_of_float (floor h) in
   if i >= n - 1 then sorted.(n - 1)
   else sorted.(i) +. ((h -. float_of_int i) *. (sorted.(i + 1) -. sorted.(i)))
+
+let quantile xs p =
+  check_nonempty "Summary.quantile" xs;
+  check_p "Summary.quantile" p;
+  let sorted = Array.copy xs in
+  (* [Float.compare], not polymorphic [compare]: no generic-compare
+     dispatch per element, and a total order that places NaNs first
+     instead of raising surprises deep inside the sort. *)
+  Array.sort Float.compare sorted;
+  quantile_sorted sorted p
+
+let quantile_unsorted xs p =
+  check_nonempty "Summary.quantile_unsorted" xs;
+  check_p "Summary.quantile_unsorted" p;
+  Select.quantile_in_place (Array.copy xs) p
 
 let median xs = quantile xs 0.5
 

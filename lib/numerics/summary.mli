@@ -11,8 +11,22 @@ val variance : float array -> float
 val std : float array -> float
 
 (** [quantile xs p] — linear-interpolation quantile (type 7) of a non-empty
-    array, [0 <= p <= 1].  Does not mutate its argument. *)
+    array, [0 <= p <= 1].  Does not mutate its argument.  Sorts a private
+    copy — O(n log n); for a one-off quantile prefer
+    {!quantile_unsorted}. *)
 val quantile : float array -> float -> float
+
+(** [quantile_sorted xs p] — as {!quantile} but [xs] must already be
+    sorted ascending (in the [Float.compare] order); no copy, no sort,
+    O(1).  The caller owns the sortedness invariant. *)
+val quantile_sorted : float array -> float -> float
+
+(** [quantile_unsorted xs p] — as {!quantile} (bit-identical result,
+    including NaN placement, up to the sign of interpolated zeros when the
+    data mixes [-0.] and [0.] — see the ordering contract in {!Select})
+    but expected O(n) via Floyd–Rivest selection on a private copy instead
+    of a full sort. *)
+val quantile_unsorted : float array -> float -> float
 
 (** [median xs]. *)
 val median : float array -> float

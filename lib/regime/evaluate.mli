@@ -39,5 +39,40 @@ val compare :
   seed:int ->
   outcome list
 
+(** [run_par ?pool ?chunks ~world ~assessor ~band ~policy ~systems ~seed ()]
+    — parallel [run] with the Monte-Carlo layer's determinism contract: the
+    seed splits into [chunks] independent streams, per-chunk tallies merge
+    in chunk order (integer counts exactly, the accepted-pfd sum left to
+    right), so the outcome is a pure function of [(seed, chunks)] —
+    bit-identical at any domain count.  The chunked stream differs from the
+    scalar [run] stream.  [chunks] defaults to
+    [Numerics.Parallel.default_chunks]. *)
+val run_par :
+  ?pool:Numerics.Parallel.pool ->
+  ?chunks:int ->
+  world:Population.t ->
+  assessor:Assessor.t ->
+  band:Sil.Band.t ->
+  policy:Policy.t ->
+  systems:int ->
+  seed:int ->
+  unit ->
+  outcome
+
+(** [compare_par ?pool ?chunks ~world ~assessor ~band ~policies ~systems
+    ~seed ()] — one [run_par] outcome per policy, same seed (hence the same
+    world stream per chunk across policies). *)
+val compare_par :
+  ?pool:Numerics.Parallel.pool ->
+  ?chunks:int ->
+  world:Population.t ->
+  assessor:Assessor.t ->
+  band:Sil.Band.t ->
+  policies:Policy.t list ->
+  systems:int ->
+  seed:int ->
+  unit ->
+  outcome list
+
 (** [summary_table outcomes] — rendered comparison. *)
 val summary_table : outcome list -> string

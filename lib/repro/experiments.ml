@@ -136,16 +136,27 @@ let figure5 () =
   let final = Elicit.Delphi.final result in
   (* Replication study: the calibrated panel re-seeded many times, fanned
      out over the domain pool.  Each sample runs a full 4-phase panel. *)
+  let replicate rng =
+    let panel_seed = Int64.to_int (Numerics.Rng.bits64 rng) in
+    let result =
+      Elicit.Delphi.run
+        { Elicit.Delphi.default_config with seed = panel_seed }
+    in
+    (Elicit.Delphi.final result).confidence_sil2
+  in
   let replication =
     with_default_pool (fun pool ->
         Sim.Mc.estimate_par ~pool ~n:200 ~chunks:16 ~seed:(Paper.seed + 5)
-          (fun rng ->
-            let panel_seed = Int64.to_int (Numerics.Rng.bits64 rng) in
-            let result =
-              Elicit.Delphi.run
-                { Elicit.Delphi.default_config with seed = panel_seed }
-            in
-            (Elicit.Delphi.final result).confidence_sil2))
+          replicate)
+  in
+  (* Same streams ([fill_of_scalar] draws slot by slot, so chunk i replays
+     exactly the samples [estimate_par] saw), folded into a mergeable
+     quantile sketch instead of a Welford state: percentiles of the
+     replication distribution without materialising the sample array. *)
+  let rep_quantiles =
+    with_default_pool (fun pool ->
+        Sim.Mc.quantiles_par ~pool ~n:200 ~chunks:16 ~seed:(Paper.seed + 5)
+          ~ps:[| 0.1; 0.5; 0.9 |] (fun () -> Sim.Mc.fill_of_scalar replicate))
   in
   section "Figure 5: simulated expert experiment (12 experts, 4 phases)"
     (Elicit.Delphi.summary_table result
@@ -165,7 +176,11 @@ let figure5 () =
          [%.3f, %.3f]) — the reported end\nstate is the panel protocol's \
          central tendency, not a seed artefact.\n"
         replication.Sim.Mc.mean replication.Sim.Mc.ci95_lo
-        replication.Sim.Mc.ci95_hi)
+        replication.Sim.Mc.ci95_hi
+    ^ Printf.sprintf
+        "Replication percentiles (same streams, t-digest sketch): p10 = \
+         %.3f,\np50 = %.3f, p90 = %.3f.\n"
+        rep_quantiles.(0) rep_quantiles.(1) rep_quantiles.(2))
 
 let conservative_examples () =
   let examples_at target =
@@ -397,6 +412,25 @@ let tail_cutoff () =
           Report.Table.float_cell simulated ])
       mc_curve
   in
+  (* Sketch the prior itself: a bounded-memory t-digest over pfd draws
+     recovers credible intervals and SIL band masses that the analytic
+     mixture can confirm exactly. *)
+  let sketch_n = 200_000 in
+  let sketch =
+    with_default_pool (fun pool ->
+        Sim.Demand_sim.pfd_sketch_par ~pool ~n:sketch_n ~chunks:mc_chunks
+          ~seed:(Paper.seed + 43) prior)
+  in
+  let sk_lo = Numerics.Sketch.quantile sketch 0.05 in
+  let sk_hi = Numerics.Sketch.quantile sketch 0.95 in
+  let an_lo, an_hi = Dist.Mixture.credible_interval prior ~level:0.9 in
+  let band_mass lo hi cdf = cdf hi -. cdf lo in
+  let sk_cdf = Numerics.Sketch.cdf sketch in
+  let an_cdf x = Dist.Mixture.prob_le prior x in
+  let sil2_sk = band_mass 1e-3 1e-2 sk_cdf in
+  let sil2_an = band_mass 1e-3 1e-2 an_cdf in
+  let sil1_sk = band_mass 1e-2 1e-1 sk_cdf in
+  let sil1_an = band_mass 1e-2 1e-1 an_cdf in
   section
     "Section 4.1: tail cut-off by failure-free operating experience"
     ("Prior: lognormal, mode 0.003, mean 0.01 (the widest Figure-1 \
@@ -422,7 +456,14 @@ let tail_cutoff () =
           [ { Report.Table.header = "demands n"; align = Report.Table.Right };
             { Report.Table.header = "analytic E[(1-p)^n]"; align = Report.Table.Right };
             { Report.Table.header = "simulated"; align = Report.Table.Right } ]
-        ~rows:mc_rows)
+        ~rows:mc_rows
+    ^ Printf.sprintf
+        "\nPrior summarised by a streaming quantile sketch (%d draws, \
+         bounded memory):\n  90%% credible interval: sketch [%.4g, %.4g] vs \
+         analytic [%.4g, %.4g]\n  P(SIL2 band [1e-3,1e-2)): sketch %.4f vs \
+         analytic %.4f\n  P(SIL1 band [1e-2,1e-1)): sketch %.4f vs analytic \
+         %.4f\n"
+        sketch_n sk_lo sk_hi an_lo an_hi sil2_sk sil2_an sil1_sk sil1_an)
 
 let multileg () =
   let leg1 = Casekit.Multileg.leg ~label:"primary argument" ~doubt:0.05 in
@@ -578,10 +619,14 @@ let decision_impact () =
       Regime.Policy.Test_tolerant
         { demands = 500; max_failures = 3; confidence = 0.9 } ]
   in
+  (* Parallel fan-out with a pinned chunk count: each policy sees the same
+     per-chunk world streams, and the outcome is machine-independent. *)
   let table assessor =
-    Regime.Evaluate.summary_table
-      (Regime.Evaluate.compare ~world:Regime.Population.sil2_world ~assessor
-         ~band:Sil.Band.Sil2 ~policies ~systems:1000 ~seed:Paper.seed)
+    with_default_pool (fun pool ->
+        Regime.Evaluate.summary_table
+          (Regime.Evaluate.compare_par ~pool ~chunks:mc_chunks
+             ~world:Regime.Population.sil2_world ~assessor
+             ~band:Sil.Band.Sil2 ~policies ~systems:1000 ~seed:Paper.seed ()))
   in
   section
     "Section 1: what assessment uncertainty does to decision-making"

@@ -34,8 +34,8 @@ let domain_scratch len =
    (never fires at pfd <= 0, always fires at pfd >= 1) and consumes exactly
    one uniform per sample, keeping the stream a pure function of the chunk
    state. *)
-let failure_probability_par ?pool ~n ~chunks ~seed belief =
-  Mc.estimate_par_batched ?pool ~n ~chunks ~seed (fun () ->
+let failure_probability_par ?pool ?chunks ~n ~seed belief =
+  Mc.estimate_par_batched ?pool ?chunks ~n ~seed (fun () ->
       fun rng buf ~pos ~len ->
         let u = domain_scratch len in
         Dist.Mixture.sample_into belief rng buf ~pos ~len;
@@ -46,10 +46,23 @@ let failure_probability_par ?pool ~n ~chunks ~seed belief =
             (if Float.Array.unsafe_get u j < pfd then 1.0 else 0.0)
         done)
 
-let check_conservative_bound_par ?pool ~n ~chunks ~seed claim =
+let check_conservative_bound_par ?pool ?chunks ~n ~seed claim =
   let belief = Confidence.Conservative.worst_case_belief claim in
-  let estimate = failure_probability_par ?pool ~n ~chunks ~seed belief in
+  let estimate = failure_probability_par ?pool ?chunks ~n ~seed belief in
   (estimate, Confidence.Conservative.failure_bound claim)
+
+(* Sketch of the pfd belief itself (not of failure outcomes): stream pfd
+   draws through [Mc.sketch_par] so quantiles and band masses of the
+   belief can be read in O(compression) memory however many samples are
+   drawn.  Clamping to [0,1] mirrors every other consumer of pfd draws. *)
+let pfd_sketch_par ?pool ?compression ?chunks ~n ~seed belief =
+  Mc.sketch_par ?pool ?compression ?chunks ~n ~seed (fun () ->
+      fun rng buf ~pos ~len ->
+        Dist.Mixture.sample_into belief rng buf ~pos ~len;
+        for j = pos to pos + len - 1 do
+          Float.Array.unsafe_set buf j
+            (clamp_pfd (Float.Array.unsafe_get buf j))
+        done)
 
 let survival_curve ~n_systems ~checkpoints rng belief =
   if n_systems < 1 then invalid_arg "Demand_sim: n_systems < 1";
@@ -76,9 +89,15 @@ let survival_curve ~n_systems ~checkpoints rng belief =
       (c, float_of_int survived /. float_of_int n_systems))
     checkpoints
 
-let survival_curve_par ?pool ~n_systems ~chunks ~seed ~checkpoints belief =
+let survival_curve_par ?pool ?chunks ~n_systems ~seed ~checkpoints belief =
   if n_systems < 1 then invalid_arg "Demand_sim: n_systems < 1";
-  if chunks < 1 then invalid_arg "Demand_sim: chunks < 1";
+  let chunks =
+    match chunks with
+    | Some c ->
+      if c < 1 then invalid_arg "Demand_sim: chunks < 1";
+      c
+    | None -> Numerics.Parallel.default_chunks ?pool ()
+  in
   let checkpoints = List.sort_uniq compare checkpoints in
   List.iter
     (fun c -> if c < 0 then invalid_arg "Demand_sim: negative checkpoint")

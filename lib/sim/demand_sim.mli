@@ -10,15 +10,16 @@
 val failure_probability :
   n:int -> Numerics.Rng.t -> Dist.Mixture.t -> Mc.estimate
 
-(** [failure_probability_par ?pool ~n ~chunks ~seed belief] — parallel
+(** [failure_probability_par ?pool ?chunks ~n ~seed belief] — parallel
     [failure_probability] via [Mc.estimate_par_batched]: pfds and Bernoulli
     uniforms are drawn a segment at a time into reusable scratch buffers.
     Bit-identical for a fixed [(seed, chunks)] at any domain count; the
-    batched stream differs from the scalar [failure_probability] one. *)
+    batched stream differs from the scalar [failure_probability] one.
+    [chunks] defaults to [Parallel.default_chunks]. *)
 val failure_probability_par :
   ?pool:Numerics.Parallel.pool ->
+  ?chunks:int ->
   n:int ->
-  chunks:int ->
   seed:int ->
   Dist.Mixture.t ->
   Mc.estimate
@@ -35,15 +36,29 @@ val failures_in_campaign :
 val check_conservative_bound :
   n:int -> Numerics.Rng.t -> Confidence.Claim.t -> Mc.estimate * float
 
-(** [check_conservative_bound_par ?pool ~n ~chunks ~seed claim] — the same
+(** [check_conservative_bound_par ?pool ?chunks ~n ~seed claim] — the same
     check over the parallel path (deterministic split-stream fan-out). *)
 val check_conservative_bound_par :
   ?pool:Numerics.Parallel.pool ->
+  ?chunks:int ->
   n:int ->
-  chunks:int ->
   seed:int ->
   Confidence.Claim.t ->
   Mc.estimate * float
+
+(** [pfd_sketch_par ?pool ?compression ?chunks ~n ~seed belief] — stream
+    [n] pfd draws (clamped to [0,1], as every demand-simulation consumer
+    sees them) into a mergeable quantile sketch via [Mc.sketch_par]:
+    credible intervals and band masses of the belief in O(compression)
+    memory.  Same determinism contract as [Mc.sketch_par]. *)
+val pfd_sketch_par :
+  ?pool:Numerics.Parallel.pool ->
+  ?compression:float ->
+  ?chunks:int ->
+  n:int ->
+  seed:int ->
+  Dist.Mixture.t ->
+  Numerics.Sketch.t
 
 (** [survival_curve ~n_systems ~checkpoints rng belief] — fraction of
     simulated systems still failure-free at each demand checkpoint;
@@ -55,16 +70,17 @@ val survival_curve :
   Dist.Mixture.t ->
   (int * float) list
 
-(** [survival_curve_par ?pool ~n_systems ~chunks ~seed ~checkpoints belief]
+(** [survival_curve_par ?pool ?chunks ~n_systems ~seed ~checkpoints belief]
     — parallel [survival_curve].  Per-chunk survivor counts are integers and
     merge by exact summation in chunk order, so the curve is bit-identical
     for a fixed [(seed, chunks)] at any domain count.  The per-chunk stream
     is batched (segment-wise pfd draws, inverse-transform geometrics) and so
-    differs from the scalar [survival_curve] one. *)
+    differs from the scalar [survival_curve] one.  [chunks] defaults to
+    [Parallel.default_chunks]. *)
 val survival_curve_par :
   ?pool:Numerics.Parallel.pool ->
+  ?chunks:int ->
   n_systems:int ->
-  chunks:int ->
   seed:int ->
   checkpoints:int list ->
   Dist.Mixture.t ->

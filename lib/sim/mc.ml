@@ -38,9 +38,21 @@ let probability ~n rng event =
    Each chunk works on a fresh copy of its stream state made *inside* the
    executing domain: the split-stream array itself is only ever read, so
    domains never mutate adjacently-allocated records (false sharing). *)
-let estimate_par ?pool ~n ~chunks ~seed f =
+(* Chunk-count resolution shared by every parallel entry point: an
+   explicit [~chunks] wins (and is what the repro layer passes, for
+   cross-machine reproducibility); otherwise the oversubscribed
+   [Parallel.default_chunks] default applies (CONFCASE_CHUNKS, else
+   8 × domains). *)
+let resolve_chunks ?pool ?chunks name =
+  match chunks with
+  | Some c ->
+    if c < 1 then invalid_arg (name ^ ": chunks < 1");
+    c
+  | None -> Numerics.Parallel.default_chunks ?pool ()
+
+let estimate_par ?pool ?chunks ~n ~seed f =
   if n < 2 then invalid_arg "Mc.estimate_par: n < 2";
-  if chunks < 1 then invalid_arg "Mc.estimate_par: chunks < 1";
+  let chunks = resolve_chunks ?pool ?chunks "Mc.estimate_par" in
   let sizes = Numerics.Parallel.chunk_sizes ~n ~chunks in
   let streams = Numerics.Rng.split_n (Numerics.Rng.create seed) chunks in
   let body i =
@@ -83,9 +95,15 @@ let domain_scratch len =
     r := Stdlib.Float.Array.create len;
   !r
 
-let estimate_par_batched ?pool ~n ~chunks ~seed make_fill =
+let fill_of_scalar f : batch_fill =
+ fun rng buf ~pos ~len ->
+  for j = pos to pos + len - 1 do
+    Stdlib.Float.Array.set buf j (f rng)
+  done
+
+let estimate_par_batched ?pool ?chunks ~n ~seed make_fill =
   if n < 2 then invalid_arg "Mc.estimate_par_batched: n < 2";
-  if chunks < 1 then invalid_arg "Mc.estimate_par_batched: chunks < 1";
+  let chunks = resolve_chunks ?pool ?chunks "Mc.estimate_par_batched" in
   let sizes = Numerics.Parallel.chunk_sizes ~n ~chunks in
   let streams = Numerics.Rng.split_n (Numerics.Rng.create seed) chunks in
   let body i =
@@ -118,8 +136,47 @@ let estimate_par_batched ?pool ~n ~chunks ~seed make_fill =
   in
   of_online total n
 
-let probability_par ?pool ~n ~chunks ~seed event =
-  estimate_par ?pool ~n ~chunks ~seed (fun rng ->
+let probability_par ?pool ?chunks ~n ~seed event =
+  estimate_par ?pool ?chunks ~n ~seed (fun rng ->
       if event rng then 1.0 else 0.0)
+
+(* Sketch fan-out: same stream discipline as [estimate_par_batched] — one
+   stream per chunk, [batch_size] segments — but each chunk accumulates a
+   t-digest instead of a Welford state, and the digests merge in chunk
+   order.  [Sketch.merge] is deterministic (though only approximately
+   associative), and the fold order is fixed by [parallel_for_reduce], so
+   the resulting sketch — hence every quantile read from it — is a pure
+   function of (seed, chunks, n, compression): bit-identical at any
+   domain count. *)
+let sketch_par ?pool ?compression ?chunks ~n ~seed make_fill =
+  if n < 1 then invalid_arg "Mc.sketch_par: n < 1";
+  let chunks = resolve_chunks ?pool ?chunks "Mc.sketch_par" in
+  let sizes = Numerics.Parallel.chunk_sizes ~n ~chunks in
+  let streams = Numerics.Rng.split_n (Numerics.Rng.create seed) chunks in
+  let body i =
+    let size = sizes.(i) in
+    let sk = Numerics.Sketch.create ?compression () in
+    if size > 0 then begin
+      let rng = Numerics.Rng.copy streams.(i) in
+      let fill = make_fill () in
+      let seg = min size batch_size in
+      let buf = domain_scratch seg in
+      let remaining = ref size in
+      while !remaining > 0 do
+        let len = min !remaining seg in
+        fill rng buf ~pos:0 ~len;
+        Numerics.Sketch.add_floatarray sk buf ~pos:0 ~len;
+        remaining := !remaining - len
+      done
+    end;
+    sk
+  in
+  Numerics.Parallel.parallel_for_reduce ?pool ~chunks
+    ~init:(Numerics.Sketch.create ?compression ())
+    ~body ~merge:Numerics.Sketch.merge
+
+let quantiles_par ?pool ?compression ?chunks ~n ~seed ~ps make_fill =
+  let sk = sketch_par ?pool ?compression ?chunks ~n ~seed make_fill in
+  Array.map (Numerics.Sketch.quantile sk) ps
 
 let within e x = x >= e.ci95_lo && x <= e.ci95_hi

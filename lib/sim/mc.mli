@@ -15,7 +15,7 @@ val estimate : n:int -> Numerics.Rng.t -> (Numerics.Rng.t -> float) -> estimate
     with the normal-approximation CI. *)
 val probability : n:int -> Numerics.Rng.t -> (Numerics.Rng.t -> bool) -> estimate
 
-(** [estimate_par ?pool ~n ~chunks ~seed f] — parallel [estimate].  The seed
+(** [estimate_par ?pool ?chunks ~n ~seed f] — parallel [estimate].  The seed
     fans out into [chunks] independent streams ([Rng.split_n]); chunk [i]
     draws its share of the [n] samples from stream [i]; per-chunk Welford
     accumulators merge in chunk order ([Summary.Online.merge]).
@@ -23,12 +23,16 @@ val probability : n:int -> Numerics.Rng.t -> (Numerics.Rng.t -> bool) -> estimat
     Determinism contract: for a fixed [(seed, chunks)] the result is
     bit-identical whatever the pool size (1 domain, 4 domains, or the
     sequential fallback) — only changing [chunks] or [seed] changes the
-    sample streams.  [f] must be safe to call from several domains at once
-    on distinct [Rng.t] values (pure apart from its generator argument). *)
+    sample streams.  [chunks] defaults to [Parallel.default_chunks] (the
+    [CONFCASE_CHUNKS] environment variable, else [8 × domains]); pass it
+    explicitly — as the repro layer does — when cross-machine
+    reproducibility matters.  [f] must be safe to call from several domains
+    at once on distinct [Rng.t] values (pure apart from its generator
+    argument). *)
 val estimate_par :
   ?pool:Numerics.Parallel.pool ->
+  ?chunks:int ->
   n:int ->
-  chunks:int ->
   seed:int ->
   (Numerics.Rng.t -> float) ->
   estimate
@@ -44,7 +48,14 @@ val batch_size : int
     generator state (and [len]) — no dependence on domain identity. *)
 type batch_fill = Numerics.Rng.t -> floatarray -> pos:int -> len:int -> unit
 
-(** [estimate_par_batched ?pool ~n ~chunks ~seed make_fill] — the
+(** [fill_of_scalar f] — lift a scalar sampler into a {!batch_fill} that
+    draws [f rng] once per slot, in slot order.  The lifted fill consumes
+    the generator exactly as a scalar loop would, so for a fixed
+    [(seed, chunks)] a sketch built over [fill_of_scalar f] describes
+    {e the same sample multiset} as [estimate_par] over [f]. *)
+val fill_of_scalar : (Numerics.Rng.t -> float) -> batch_fill
+
+(** [estimate_par_batched ?pool ?chunks ~n ~seed make_fill] — the
     allocation-free fast path of [estimate_par].  Same fan-out (one stream
     per chunk, Welford merge in chunk order) but each chunk draws samples
     [batch_size] at a time into a reusable [floatarray] scratch buffer via
@@ -53,27 +64,61 @@ type batch_fill = Numerics.Rng.t -> floatarray -> pos:int -> len:int -> unit
 
     [make_fill] is called once per chunk, inside the executing domain, so
     any scratch state the fill closes over is domain-local.  Determinism
-    contract: bit-identical at any domain count for fixed [(seed, chunks)].
-    The batched stream is generally a different (faster) stream than the
-    scalar [estimate_par] one — segmentation by [batch_size] is part of
-    its definition. *)
+    contract: bit-identical at any domain count for fixed [(seed, chunks)];
+    [chunks] defaults as in [estimate_par].  The batched stream is
+    generally a different (faster) stream than the scalar [estimate_par]
+    one — segmentation by [batch_size] is part of its definition. *)
 val estimate_par_batched :
   ?pool:Numerics.Parallel.pool ->
+  ?chunks:int ->
   n:int ->
-  chunks:int ->
   seed:int ->
   (unit -> batch_fill) ->
   estimate
 
-(** [probability_par ?pool ~n ~chunks ~seed event] — parallel [probability]
+(** [probability_par ?pool ?chunks ~n ~seed event] — parallel [probability]
     under the same determinism contract as [estimate_par]. *)
 val probability_par :
   ?pool:Numerics.Parallel.pool ->
+  ?chunks:int ->
   n:int ->
-  chunks:int ->
   seed:int ->
   (Numerics.Rng.t -> bool) ->
   estimate
+
+(** [sketch_par ?pool ?compression ?chunks ~n ~seed make_fill] — stream
+    [n] samples (same fan-out and segmentation as [estimate_par_batched])
+    into per-chunk {!Numerics.Sketch} digests and merge them in chunk
+    order.  Memory is O(chunks × compression) — independent of [n] — so
+    this is how to get quantiles of a Monte-Carlo output without
+    materialising the sample array.
+
+    Determinism contract: [Sketch.merge] is deterministic and the fold
+    order is fixed, so the returned sketch — and every quantile read from
+    it — is a pure function of [(seed, chunks, n, compression)]:
+    bit-identical at any domain count.  Note that the sketch itself is an
+    {e approximation}; accuracy bounds are documented in
+    {!Numerics.Sketch}. *)
+val sketch_par :
+  ?pool:Numerics.Parallel.pool ->
+  ?compression:float ->
+  ?chunks:int ->
+  n:int ->
+  seed:int ->
+  (unit -> batch_fill) ->
+  Numerics.Sketch.t
+
+(** [quantiles_par ?pool ?compression ?chunks ~n ~seed ~ps make_fill] —
+    [Array.map (Sketch.quantile (sketch_par ...)) ps]. *)
+val quantiles_par :
+  ?pool:Numerics.Parallel.pool ->
+  ?compression:float ->
+  ?chunks:int ->
+  n:int ->
+  seed:int ->
+  ps:float array ->
+  (unit -> batch_fill) ->
+  float array
 
 (** [within estimate x] — does [x] fall inside the 95% CI? *)
 val within : estimate -> float -> bool

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Compare the two newest BENCH_*.json files at the repo root.
+
+Rows are matched by name across the shared sections (``experiments``,
+``micro``, and ``mc_kernels`` keyed by name/variant/domains) and diffed
+on ``nanos_per_run``.  A row that got more than THRESHOLD slower is
+flagged as a regression; more than THRESHOLD faster is reported as an
+improvement.  Schema changes between generations are expected — only
+rows present in both files are compared, and added/removed rows are
+listed informationally.
+
+Exit status is 0 unless ``--strict`` is given, in which case any flagged
+regression exits 1 (CI runs this as a non-blocking informational step;
+--strict is for local use).
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+THRESHOLD = 0.20  # +/-20%
+
+
+def find_bench_files(root: Path):
+    """BENCH_*.json ordered by numeric suffix (BENCH_2 before BENCH_10)."""
+    found = []
+    for p in root.glob("BENCH_*.json"):
+        m = re.fullmatch(r"BENCH_(\d+)\.json", p.name)
+        if m:
+            found.append((int(m.group(1)), p))
+    return [p for _, p in sorted(found)]
+
+
+def load_rows(path: Path):
+    """Flatten one bench file into {row_key: nanos_per_run}."""
+    with path.open() as f:
+        doc = json.load(f)
+    rows = {}
+    for section in ("experiments", "micro"):
+        for row in doc.get(section, []):
+            rows[f"{section}/{row['name']}"] = row.get("nanos_per_run")
+    for row in doc.get("mc_kernels", []):
+        key = f"mc_kernels/{row['name']}/{row['variant']}/{row['domains']}"
+        rows[key] = row.get("nanos_per_run")
+    return doc.get("schema", "?"), rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=Path, default=Path(__file__).resolve().parent.parent,
+                    help="directory holding the BENCH_*.json files")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 if any regression exceeds the threshold")
+    args = ap.parse_args()
+
+    files = find_bench_files(args.root)
+    if len(files) < 2:
+        print(f"bench-compare: need two BENCH_*.json files under {args.root}, "
+              f"found {len(files)} — nothing to compare")
+        return 0
+
+    old_path, new_path = files[-2], files[-1]
+    old_schema, old = load_rows(old_path)
+    new_schema, new = load_rows(new_path)
+    print(f"bench-compare: {old_path.name} ({old_schema}) -> "
+          f"{new_path.name} ({new_schema})")
+
+    shared = sorted(set(old) & set(new))
+    added = sorted(set(new) - set(old))
+    removed = sorted(set(old) - set(new))
+
+    regressions = []
+    for key in shared:
+        a, b = old[key], new[key]
+        if a is None or b is None or a <= 0:
+            continue
+        ratio = b / a - 1.0
+        marker = ""
+        if ratio > THRESHOLD:
+            marker = "  <-- REGRESSION"
+            regressions.append((key, ratio))
+        elif ratio < -THRESHOLD:
+            marker = "  (improved)"
+        print(f"  {key:58s} {a:14.6g} -> {b:14.6g} ns  {ratio:+7.1%}{marker}")
+
+    for key in added:
+        print(f"  {key:58s} {'new row':>14s}")
+    for key in removed:
+        print(f"  {key:58s} {'row removed':>14s}")
+
+    if regressions:
+        print(f"\nbench-compare: {len(regressions)} row(s) regressed more "
+              f"than {THRESHOLD:.0%}:")
+        for key, ratio in regressions:
+            print(f"  {key}  {ratio:+.1%}")
+        if args.strict:
+            return 1
+        print("bench-compare: informational only (re-run with --strict to fail)")
+    else:
+        print(f"\nbench-compare: no row regressed more than {THRESHOLD:.0%} "
+              f"across {len(shared)} shared rows")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -77,8 +77,42 @@ let test_kde () =
   check_raises_invalid "zero spread" (fun () ->
       ignore (E.kde (E.of_samples (Array.make 20 1.0))))
 
+let test_lazy_sort () =
+  (* Regression: the cheap statistics and single quantiles must not pay
+     the O(n log n) sort. *)
+  let e = E.of_samples samples in
+  check_true "fresh: unsorted" (not (E.sorted_materialized e));
+  ignore (E.size e);
+  ignore (E.mean e);
+  ignore (E.variance e);
+  let rng = rng_of_seed 34 in
+  ignore (E.resample e rng);
+  check_true "cheap stats never sort" (not (E.sorted_materialized e));
+  check_close "selection median" 3.5 (E.quantile e 0.5);
+  check_true "single quantiles never sort" (not (E.sorted_materialized e));
+  ignore (E.cdf e 3.5);
+  check_true "cdf forces the sorted view" (E.sorted_materialized e);
+  check_close "median unchanged after sort" 3.5 (E.quantile e 0.5)
+
+let test_quantile_agrees_across_paths =
+  (* The selection-based quantile (pre-sort) and the sorted-view lookup
+     (post-sort) must agree bitwise. *)
+  qcheck "quantile identical before and after the sort materialises"
+    QCheck2.Gen.(
+      pair
+        (array_size (int_range 1 200) (float_bound_inclusive 10.0))
+        (float_bound_inclusive 1.0))
+    (fun (data, p) ->
+      let lazy_e = E.of_samples data in
+      let before = E.quantile lazy_e p in
+      ignore (E.cdf lazy_e data.(0));
+      let after = E.quantile lazy_e p in
+      Int64.bits_of_float before = Int64.bits_of_float after)
+
 let suite =
   [ case "basic statistics" test_basic_stats;
+    case "cheap stats and quantiles stay sort-free" test_lazy_sort;
+    test_quantile_agrees_across_paths;
     case "kernel density estimate" test_kde;
     case "ecdf" test_ecdf;
     case "quantiles" test_quantile;

@@ -229,6 +229,37 @@ let test_survival_curve_par () =
 let test_default_num_domains () =
   check_true "at least one domain" (P.default_num_domains () >= 1)
 
+let test_default_chunks () =
+  (* The pure decision function behind the CONFCASE_CHUNKS default. *)
+  Alcotest.(check int) "8x domains" 32
+    (P.default_chunks_with ~domains:4 ~spec:None);
+  Alcotest.(check int) "floor of one domain" 8
+    (P.default_chunks_with ~domains:1 ~spec:None);
+  Alcotest.(check int) "degenerate domain count clamps" 8
+    (P.default_chunks_with ~domains:0 ~spec:None);
+  Alcotest.(check int) "env override wins" 64
+    (P.default_chunks_with ~domains:4 ~spec:(Some "64"));
+  Alcotest.(check int) "whitespace tolerated" 12
+    (P.default_chunks_with ~domains:4 ~spec:(Some " 12 "));
+  Alcotest.(check int) "garbage falls back" 32
+    (P.default_chunks_with ~domains:4 ~spec:(Some "lots"));
+  Alcotest.(check int) "non-positive falls back" 32
+    (P.default_chunks_with ~domains:4 ~spec:(Some "0"));
+  check_true "live default is positive" (P.default_chunks () >= 1);
+  P.with_pool ~num_domains:2 (fun pool ->
+      check_true "pool-derived default is positive"
+        (P.default_chunks ~pool () >= 1))
+
+let test_optional_chunks_defaulting () =
+  (* Entry points accept an omitted ~chunks and still obey their n
+     validation; the defaulted chunk count is machine-dependent, so only
+     statistical properties are asserted. *)
+  let est =
+    Mc.estimate_par ~n:10_000 ~seed:3 (fun rng -> Numerics.Rng.float rng)
+  in
+  check_true "defaulted chunks cover 0.5" (Mc.within est 0.5);
+  Alcotest.(check int) "n recorded" 10_000 est.n
+
 let suite =
   [ case "chunk sizes" test_chunk_sizes;
     case "pool map_chunks" test_pool_basics;
@@ -246,4 +277,6 @@ let suite =
     case "probability_par" test_probability_par;
     case "conservative bound on the parallel path" test_conservative_bound_par;
     case "survival_curve_par determinism" test_survival_curve_par;
-    case "default domain count" test_default_num_domains ]
+    case "default domain count" test_default_num_domains;
+    case "default chunk count" test_default_chunks;
+    case "omitted ~chunks defaults sanely" test_optional_chunks_defaulting ]

@@ -147,6 +147,52 @@ let test_evaluate_deterministic () =
   Alcotest.(check int) "same accepted" a.accepted b.accepted;
   check_close "same fleet pfd" a.mean_accepted_pfd b.mean_accepted_pfd
 
+let test_run_par_deterministic () =
+  (* The chunked evaluation merges exact integer tallies in chunk order:
+     bit-identical outcomes at any domain count. *)
+  let run d =
+    Numerics.Parallel.with_pool ~num_domains:d (fun pool ->
+        R.Evaluate.run_par ~pool ~chunks:16 ~world
+          ~assessor:R.Assessor.calibrated ~band:Sil.Band.Sil2
+          ~policy:(R.Policy.Confidence_based 0.9) ~systems:800 ~seed:7 ())
+  in
+  let a = run 1 and b = run 2 and c = run 4 in
+  Alcotest.(check int) "accepted 1=2" a.R.Evaluate.accepted b.R.Evaluate.accepted;
+  Alcotest.(check int) "accepted 2=4" b.R.Evaluate.accepted c.R.Evaluate.accepted;
+  Alcotest.(check int) "accepted_bad 1=4" a.R.Evaluate.accepted_bad
+    c.R.Evaluate.accepted_bad;
+  check_true "fleet pfd bit-identical"
+    (a.R.Evaluate.mean_accepted_pfd = b.R.Evaluate.mean_accepted_pfd
+    && b.R.Evaluate.mean_accepted_pfd = c.R.Evaluate.mean_accepted_pfd);
+  Alcotest.(check int) "systems recorded" 800 a.R.Evaluate.systems;
+  check_raises_invalid "chunks < 1" (fun () ->
+      ignore
+        (R.Evaluate.run_par ~chunks:0 ~world ~assessor:R.Assessor.calibrated
+           ~band:Sil.Band.Sil2 ~policy:R.Policy.Mean_based ~systems:10 ~seed:0
+           ()));
+  check_raises_invalid "systems < 1" (fun () ->
+      ignore
+        (R.Evaluate.run_par ~chunks:4 ~world ~assessor:R.Assessor.calibrated
+           ~band:Sil.Band.Sil2 ~policy:R.Policy.Mean_based ~systems:0 ~seed:0
+           ()))
+
+let test_compare_par_plausible () =
+  (* The parallel comparison preserves the qualitative safety ordering the
+     scalar path established. *)
+  let outcomes =
+    R.Evaluate.compare_par ~chunks:16 ~world ~assessor:R.Assessor.calibrated
+      ~band:Sil.Band.Sil2
+      ~policies:[ R.Policy.Mode_based; R.Policy.Confidence_based 0.9 ]
+      ~systems:1500 ~seed:42 ()
+  in
+  match outcomes with
+  | [ mode; conf90 ] ->
+    check_true "confidence policy fields fewer bad systems"
+      (conf90.R.Evaluate.accepted_bad < mode.R.Evaluate.accepted_bad);
+    check_true "confidence policy fields a safer fleet"
+      (conf90.R.Evaluate.mean_accepted_pfd < mode.R.Evaluate.mean_accepted_pfd)
+  | _ -> Alcotest.fail "two outcomes expected"
+
 let test_summary_table () =
   let outcomes =
     R.Evaluate.compare ~world ~assessor:R.Assessor.calibrated
@@ -165,4 +211,6 @@ let suite =
     case "failure-tolerant testing" test_test_tolerant;
     case "policies ordered by safety" test_evaluate_ordering;
     case "evaluation deterministic by seed" test_evaluate_deterministic;
+    case "run_par bit-identical across domains" test_run_par_deterministic;
+    case "compare_par preserves the safety ordering" test_compare_par_plausible;
     case "summary table" test_summary_table ]

@@ -78,8 +78,97 @@ let test_survival_validation () =
   check_raises_invalid "no systems" (fun () ->
       ignore (Ds.failures_in_campaign ~n_systems:0 ~demands:1 rng (M.atom 0.5)))
 
+let test_sketch_par_determinism () =
+  (* The merged sketch — hence every quantile — is a pure function of
+     (seed, chunks): bit-identical at any domain count. *)
+  let ps = [| 0.05; 0.25; 0.5; 0.75; 0.95 |] in
+  let run d =
+    Numerics.Parallel.with_pool ~num_domains:d (fun pool ->
+        Mc.quantiles_par ~pool ~n:50_000 ~chunks:16 ~seed:88 ~ps (fun () ->
+            fun rng buf ~pos ~len ->
+              Numerics.Rng.fill_floats rng buf ~pos ~len))
+  in
+  let a = run 1 and b = run 2 and c = run 3 in
+  Array.iteri
+    (fun i x ->
+      check_true
+        (Printf.sprintf "1=2 domains at p=%g" ps.(i))
+        (Int64.bits_of_float x = Int64.bits_of_float b.(i));
+      check_true
+        (Printf.sprintf "2=3 domains at p=%g" ps.(i))
+        (Int64.bits_of_float x = Int64.bits_of_float c.(i)))
+    a;
+  (* Uniform stream: the quantiles are near p. *)
+  Array.iteri
+    (fun i p ->
+      check_in_range
+        (Printf.sprintf "uniform quantile p=%g" p)
+        ~lo:(p -. 0.02) ~hi:(p +. 0.02) a.(i))
+    ps
+
+let test_sketch_par_counts_and_validation () =
+  let sk =
+    Mc.sketch_par ~n:10_000 ~chunks:8 ~seed:9 (fun () ->
+        fun rng buf ~pos ~len -> Numerics.Rng.fill_floats rng buf ~pos ~len)
+  in
+  Alcotest.(check int) "every sample observed" 10_000
+    (Numerics.Sketch.count sk);
+  check_raises_invalid "n < 1" (fun () ->
+      ignore
+        (Mc.sketch_par ~n:0 ~chunks:1 ~seed:0 (fun () ->
+             fun _ _ ~pos:_ ~len:_ -> ())));
+  check_raises_invalid "chunks < 1" (fun () ->
+      ignore
+        (Mc.sketch_par ~n:10 ~chunks:0 ~seed:0 (fun () ->
+             fun _ _ ~pos:_ ~len:_ -> ())))
+
+let test_fill_of_scalar () =
+  (* The lifted fill consumes the generator exactly like a scalar loop,
+     so the batched estimate over [fill_of_scalar f] reproduces the
+     scalar [estimate_par] stream bit for bit. *)
+  let f rng = Numerics.Rng.normal rng ~mu:2.0 ~sigma:0.5 in
+  let scalar = Mc.estimate_par ~n:20_000 ~chunks:16 ~seed:91 f in
+  let lifted =
+    Mc.estimate_par_batched ~n:20_000 ~chunks:16 ~seed:91 (fun () ->
+        Mc.fill_of_scalar f)
+  in
+  check_true "same mean" (scalar.mean = lifted.mean);
+  check_true "same stderr" (scalar.std_error = lifted.std_error)
+
+let test_pfd_sketch_par () =
+  (* Sketch quantiles of a pfd belief agree with the analytic mixture
+     quantiles within the documented rank error. *)
+  let d = Dist.Lognormal.of_mode_sigma ~mode:0.003 ~sigma:0.8 in
+  let belief = M.of_dist d in
+  let sk =
+    Ds.pfd_sketch_par ~n:100_000 ~chunks:32 ~seed:92 belief
+  in
+  Alcotest.(check int) "count" 100_000 (Numerics.Sketch.count sk);
+  List.iter
+    (fun p ->
+      let approx = Numerics.Sketch.quantile sk p in
+      (* Value error back to rank space through the analytic CDF. *)
+      let rank = M.prob_le belief approx in
+      check_in_range
+        (Printf.sprintf "rank at p=%g" p)
+        ~lo:(p -. 0.02) ~hi:(p +. 0.02) rank)
+    [ 0.05; 0.25; 0.5; 0.75; 0.95 ];
+  (* Bit-identical across domain counts, like every parallel kernel. *)
+  let run d =
+    Numerics.Parallel.with_pool ~num_domains:d (fun pool ->
+        Numerics.Sketch.quantile
+          (Ds.pfd_sketch_par ~pool ~n:20_000 ~chunks:8 ~seed:93 belief)
+          0.5)
+  in
+  check_true "median bit-identical at 1 vs 3 domains"
+    (Int64.bits_of_float (run 1) = Int64.bits_of_float (run 3))
+
 let suite =
   [ case "MC estimator" test_mc_estimate;
+    case "sketch_par bit-identical across domains" test_sketch_par_determinism;
+    case "sketch_par counts and validation" test_sketch_par_counts_and_validation;
+    case "fill_of_scalar replays the scalar stream" test_fill_of_scalar;
+    case "pfd_sketch_par matches analytic quantiles" test_pfd_sketch_par;
     case "MC probability" test_mc_probability;
     case "equation (4) verified by simulation" test_equation_4;
     case "conservative bound attained by the worst case" test_conservative_bound_attained;
