@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json bench-compare examples csv clean lint-src check-fixtures
+.PHONY: all build test check bench bench-json bench-vr-smoke bench-compare experiment-vr examples csv clean lint-src check-fixtures
 
 all: build
 
@@ -39,10 +39,20 @@ check-fixtures: build
 bench:
 	dune exec bench/main.exe
 
-# Timings + sequential-vs-parallel MC speedup rows, written as JSON at the
-# repo root (the perf trajectory across PRs: BENCH_1.json, BENCH_2.json, ...).
+# Timings + sequential-vs-parallel MC speedup rows + variance-reduction
+# efficiency rows, written as JSON at the repo root (the perf trajectory
+# across PRs: BENCH_1.json, BENCH_2.json, ...).
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_3.json
+	dune exec bench/main.exe -- --json BENCH_4.json
+
+# Fast variance-reduction rows only (the CI smoke step).
+bench-vr-smoke:
+	dune exec bench/main.exe -- --vr-smoke
+
+# Regenerate the samples-to-target-error comparison recorded in
+# EXPERIMENTS.md (plain MC vs QMC vs importance sampling).
+experiment-vr:
+	dune exec bench/main.exe -- vr
 
 # Diff the two newest BENCH_*.json on shared rows (informational; pass
 # STRICT=1 to fail on a >20% regression).

@@ -5,7 +5,8 @@
    Usage:
      main.exe                 reproduction output + timings
      main.exe --no-perf       reproduction output only
-     main.exe --json <path>   timings + MC-kernel speedup rows as JSON
+     main.exe --json <path>   timings + MC-kernel speedup + VR rows as JSON
+     main.exe --vr-smoke      fast variance-reduction rows only (CI smoke)
      main.exe <id>            one experiment (see the registry for ids) *)
 
 let print_experiment (id, anchor, f) =
@@ -288,6 +289,120 @@ let sketch_kernel () =
   (rows, identical)
 
 (* ------------------------------------------------------------------ *)
+(* Variance-reduction rows: statistical efficiency of importance
+   sampling and QMC against the plain parallel MC baseline at an equal
+   sample budget.  Efficiency is work-normalised — variance x time per
+   run, so a method only scores by reducing variance faster than it
+   inflates cost.  The IS row targets the tail mass P(pfd > 1e-3) of a
+   lognormal belief (mode 1e-5, sigma 1.2); the QMC row estimates the
+   same belief's mean through the quantile transform. *)
+
+type vr_row = {
+  vr_name : string;  (** which estimand *)
+  vr_method : string;  (** [plain] / [is] / [qmc] *)
+  vr_mean : float;
+  vr_se : float;
+  vr_n : int;
+  vr_r : row;
+  vr_efficiency : float;
+      (** (var x time) of plain over (var x time) of this row; 1 for the
+          baseline rows. *)
+}
+
+let vr_rows ?(n = 65536) () =
+  let chunks = 64 and seed = Repro.Paper.seed + 91 in
+  let sigma = 1.2 in
+  let target = Dist.Lognormal.make ~mu:(log 1e-5 +. (sigma *. sigma)) ~sigma in
+  let y = 1e-3 in
+  Numerics.Parallel.with_pool ~num_domains:4 (fun pool ->
+      let efficiency (base_r : row) (base_e : Sim.Mc.estimate) (r : row)
+          (e : Sim.Mc.estimate) =
+        let v0 = base_e.Sim.Mc.std_error *. base_e.Sim.Mc.std_error
+        and v1 = e.Sim.Mc.std_error *. e.Sim.Mc.std_error in
+        if v1 > 0.0 && r.nanos > 0.0 then
+          v0 *. base_r.nanos /. (v1 *. r.nanos)
+        else nan
+      in
+      (* Tail probability: plain Bernoulli counting vs tilted-proposal IS. *)
+      let tail_plain () =
+        Sim.Mc.probability_par ~pool ~chunks ~n ~seed (fun rng ->
+            target.Dist.sample rng > y)
+      in
+      let proposal =
+        match Sim.Proposal.tail ~target ~y with
+        | Some p -> p
+        | None -> target
+      in
+      let tail_is () =
+        (Sim.Mc.probability_is ~pool ~chunks ~n ~seed:(seed + 1) ~target
+           ~proposal (fun x -> x > y))
+          .Sim.Mc.plain
+      in
+      let r_plain = ols_nanos ~name:"vr_tail/plain" tail_plain in
+      let e_plain = tail_plain () in
+      let r_is = ols_nanos ~name:"vr_tail/is" tail_is in
+      let e_is = tail_is () in
+      (* Mean estimation: plain sampling vs randomised QMC through the
+         quantile transform (16 scrambled replicates). *)
+      let mean_plain () =
+        Sim.Mc.estimate_par ~pool ~chunks ~n ~seed:(seed + 2) (fun rng ->
+            target.Dist.sample rng)
+      in
+      let replicates = 16 in
+      let mean_qmc () =
+        Sim.Mc.estimate_qmc ~pool ~replicates ~dim:1 ~n:(n / replicates)
+          ~seed:(seed + 3) (fun p ->
+            let u = Stdlib.Float.Array.get p 0 in
+            let u = Float.min (1.0 -. 1e-12) (Float.max 1e-12 u) in
+            target.Dist.quantile u)
+      in
+      let r_mplain = ols_nanos ~name:"vr_mean/plain" mean_plain in
+      let e_mplain = mean_plain () in
+      let r_qmc = ols_nanos ~name:"vr_mean/qmc" mean_qmc in
+      let e_qmc = mean_qmc () in
+      let mk name meth (r : row) (e : Sim.Mc.estimate) eff =
+        {
+          vr_name = name;
+          vr_method = meth;
+          vr_mean = e.Sim.Mc.mean;
+          vr_se = e.Sim.Mc.std_error;
+          vr_n = e.Sim.Mc.n;
+          vr_r = r;
+          vr_efficiency = eff;
+        }
+      in
+      [ mk "tail_p_gt_1e-3" "plain" r_plain e_plain 1.0;
+        mk "tail_p_gt_1e-3" "is" r_is e_is (efficiency r_plain e_plain r_is e_is);
+        mk "lognormal_mean" "plain" r_mplain e_mplain 1.0;
+        mk "lognormal_mean" "qmc" r_qmc e_qmc
+          (efficiency r_mplain e_mplain r_qmc e_qmc) ])
+
+let print_vr_rows rows =
+  Printf.printf "%-18s %-6s %12s %10s %12s %12s\n" "estimand" "method" "mean"
+    "se" "time/run" "efficiency";
+  print_endline (String.make 76 '-');
+  List.iter
+    (fun v ->
+      Printf.printf "%-18s %-6s %12.4e %10.2e %12s %12.2f\n" v.vr_name
+        v.vr_method v.vr_mean v.vr_se (time_string v.vr_r.nanos)
+        v.vr_efficiency)
+    rows;
+  let se_of m name =
+    List.find_opt (fun v -> v.vr_method = m && v.vr_name = name) rows
+    |> Option.map (fun v -> v.vr_se)
+  in
+  (match (se_of "plain" "lognormal_mean", se_of "qmc" "lognormal_mean") with
+  | Some a, Some b when b > 0.0 ->
+    Printf.printf "qmc rmse improvement on the mean row: %.1fx\n" (a /. b)
+  | _ -> ());
+  match List.find_opt (fun v -> v.vr_method = "is") rows with
+  | Some v ->
+    Printf.printf
+      "is statistical efficiency vs plain MC (variance x time): %.1fx\n"
+      v.vr_efficiency
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Micro regressions: the primitives the MC speedups rest on.  The
    quantile pair records the sort-vs-select gap ([Summary.quantile]
    copies and fully sorts; [Summary.quantile_unsorted] runs Floyd–Rivest
@@ -398,10 +513,10 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json oc ~experiments ~micro ~kernels ~deterministic =
+let write_json oc ~experiments ~micro ~kernels ~vr ~deterministic =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "{\n  \"schema\": \"confcase-bench-3\",\n";
+  add "{\n  \"schema\": \"confcase-bench-4\",\n";
   add "  \"experiments\": [\n";
   List.iteri
     (fun i r ->
@@ -426,6 +541,18 @@ let write_json oc ~experiments ~micro ~kernels ~deterministic =
         (json_float k.r.nanos) k.r.samples
         (if i = List.length kernels - 1 then "" else ","))
     kernels;
+  add "  ],\n  \"vr\": [\n";
+  List.iteri
+    (fun i v ->
+      add
+        "    {\"name\": \"%s\", \"method\": \"%s\", \"mean\": %s, \
+         \"std_error\": %s, \"n\": %d, \"nanos_per_run\": %s, \"samples\": \
+         %d, \"efficiency_vs_plain\": %s}%s\n"
+        (json_escape v.vr_name) (json_escape v.vr_method) (json_float v.vr_mean)
+        (json_float v.vr_se) v.vr_n (json_float v.vr_r.nanos) v.vr_r.samples
+        (json_float v.vr_efficiency)
+        (if i = List.length vr - 1 then "" else ","))
+    vr;
   let sp = speedups kernels in
   add "  ],\n  \"speedups\": [\n";
   List.iteri
@@ -455,6 +582,11 @@ let run_json path =
   print_endline "\n################ Micro regressions ################\n";
   let micro = micro_rows () in
   print_rows micro;
+  print_endline
+    "\n################ Variance reduction (equal sample budget) \
+     ################\n";
+  let vr = vr_rows () in
+  print_vr_rows vr;
   print_endline "\n################ MC kernels (seq vs domain pool) ################\n";
   let conservative_rows, conservative_id = conservative_kernel () in
   let survival_rows, survival_id = survival_kernel () in
@@ -470,7 +602,7 @@ let run_json path =
     (speedups kernels);
   Printf.printf "parallel results bit-identical across domain counts: %b\n"
     deterministic;
-  write_json oc ~experiments ~micro ~kernels ~deterministic;
+  write_json oc ~experiments ~micro ~kernels ~vr ~deterministic;
   Printf.printf "\nwrote %s\n" path;
   if not deterministic then exit 1
 
@@ -480,8 +612,16 @@ let () =
   | [ "--no-perf" ] -> run_reproductions ()
   | [ "--json"; path ] -> run_json path
   | [ "--json" ] ->
-    prerr_endline "--json requires an output path, e.g. --json BENCH_3.json";
+    prerr_endline "--json requires an output path, e.g. --json BENCH_4.json";
     exit 1
+  | [ "--vr-smoke" ] ->
+    (* A fast CI-sized pass over the variance-reduction rows only: a
+       quarter of the sample budget, no JSON.  Informational — the exit
+       code only reflects whether the rows computed at all. *)
+    print_endline
+      "################ Variance reduction (smoke, n = 2^14) \
+       ################\n";
+    print_vr_rows (vr_rows ~n:16384 ())
   | [] ->
     run_reproductions ();
     run_perf ()
@@ -495,5 +635,7 @@ let () =
         Repro.Experiments.all;
       exit 1)
   | _ ->
-    prerr_endline "usage: main.exe [--no-perf | --json <path> | <experiment-id>]";
+    prerr_endline
+      "usage: main.exe [--no-perf | --json <path> | --vr-smoke | \
+       <experiment-id>]";
     exit 1

@@ -1,0 +1,44 @@
+(** Sobol low-discrepancy sequences with Owen-style scrambling.
+
+    A gray-code Sobol generator over up to {!max_dim} dimensions, built
+    from the Joe-Kuo direction numbers.  The raw sequence is the standard
+    digital (t, s)-net in base 2: the first 2{^m} points place exactly one
+    point in every dyadic interval of length 2{^-m} in each coordinate,
+    which is what buys quasi-Monte-Carlo its O(n{^-1}(log n){^s}) error
+    against Monte-Carlo's O(n{^-1/2}).
+
+    Passing [?scramble] applies Owen-style randomisation — a random
+    lower-triangular linear scramble of each generating matrix (Matousek's
+    linear matrix scrambling) followed by a random digital shift — drawn
+    deterministically from the supplied generator.  Scrambling preserves
+    the net property (every scrambled replicate is again a Sobol net) while
+    making each replicate an unbiased estimator, so independent scrambles
+    give honest error bars; seeding the scrambles from [Rng.split_n]
+    streams is what lets [Mc.estimate_qmc] keep the parallel determinism
+    contract.  All state mutation is per-[t]; distinct values are safe to
+    drive from distinct domains. *)
+
+type t
+
+(** Largest supported dimension (21: the embedded Joe-Kuo table). *)
+val max_dim : int
+
+(** [create ?scramble ~dim ()] — a fresh generator positioned before the
+    first point, [1 <= dim <= max_dim].  Without [scramble] the raw
+    sequence is produced (first point is the origin).  With [scramble] the
+    generator consumes a deterministic number of draws from the supplied
+    [Rng.t] to build the scramble, so the scrambled sequence is a pure
+    function of the generator state at the call. *)
+val create : ?scramble:Rng.t -> dim:int -> unit -> t
+
+(** [dim t] — the dimension the generator was created with. *)
+val dim : t -> int
+
+(** [next t buf] — write the next point's [dim t] coordinates (each in
+    [0, 1)) into [buf.(0) .. buf.(dim t - 1)] and advance.
+    @raise Invalid_argument if [buf] is too short or after 2{^32} - 1
+    points (the sequence length at 32-bit resolution). *)
+val next : t -> floatarray -> unit
+
+(** [count t] — how many points have been generated so far. *)
+val count : t -> int

@@ -158,6 +158,39 @@ let figure5 () =
         Sim.Mc.quantiles_par ~pool ~n:200 ~chunks:16 ~seed:(Paper.seed + 5)
           ~ps:[| 0.1; 0.5; 0.9 |] (fun () -> Sim.Mc.fill_of_scalar replicate))
   in
+  (* QMC variant of the replication: panel seeds come from a scrambled
+     Sobol stratification of the seed space instead of an RNG stream.
+     Panel outcome is effectively i.i.d. noise in the seed, so no QMC
+     rate gain is expected — the point is that the stratified design and
+     its replicate error bars agree with the plain fan-out. *)
+  let panel_of_u u =
+    let panel_seed = int_of_float (u *. 1073741824.0) in
+    let result =
+      Elicit.Delphi.run { Elicit.Delphi.default_config with seed = panel_seed }
+    in
+    (Elicit.Delphi.final result).confidence_sil2
+  in
+  let replication_qmc =
+    with_default_pool (fun pool ->
+        Sim.Mc.estimate_qmc ~pool ~replicates:8 ~dim:1 ~n:25
+          ~seed:(Paper.seed + 7) (fun p -> panel_of_u (Float.Array.get p 0)))
+  in
+  let qmc_quantiles =
+    (* One scrambled net of 200 stratified seeds for the percentile view. *)
+    let s =
+      Numerics.Sobol.create
+        ~scramble:(Numerics.Rng.create (Paper.seed + 8)) ~dim:1 ()
+    in
+    let buf = Stdlib.Float.Array.create 1 in
+    let outcomes =
+      Array.init 200 (fun _ ->
+          Numerics.Sobol.next s buf;
+          panel_of_u (Stdlib.Float.Array.get buf 0))
+    in
+    Array.map
+      (fun p -> Numerics.Summary.quantile_unsorted outcomes p)
+      [| 0.1; 0.5; 0.9 |]
+  in
   section "Figure 5: simulated expert experiment (12 experts, 4 phases)"
     (Elicit.Delphi.summary_table result
     ^ "\nFinal-phase panel:\n" ^ per_expert
@@ -180,7 +213,17 @@ let figure5 () =
     ^ Printf.sprintf
         "Replication percentiles (same streams, t-digest sketch): p10 = \
          %.3f,\np50 = %.3f, p90 = %.3f.\n"
-        rep_quantiles.(0) rep_quantiles.(1) rep_quantiles.(2))
+        rep_quantiles.(0) rep_quantiles.(1) rep_quantiles.(2)
+    ^ Printf.sprintf
+        "\nQMC variant (8 scrambled Sobol replicates x 25 \
+         seed-stratified panels):\nmean %.3f (95%% CI [%.3f, %.3f]); \
+         percentiles from a 200-point net:\np10 = %.3f, p50 = %.3f, p90 = \
+         %.3f.  Panel outcome is noise in the seed,\nso QMC buys no rate \
+         gain here — agreement with the plain fan-out above\nis the check \
+         that the stratified design is unbiased.\n"
+        replication_qmc.Sim.Mc.mean replication_qmc.Sim.Mc.ci95_lo
+        replication_qmc.Sim.Mc.ci95_hi qmc_quantiles.(0) qmc_quantiles.(1)
+        qmc_quantiles.(2))
 
 let conservative_examples () =
   let examples_at target =
@@ -226,6 +269,32 @@ let conservative_examples () =
         Sim.Demand_sim.check_conservative_bound_par ~pool ~n:300_000
           ~chunks:mc_chunks ~seed:Paper.seed claim)
   in
+  (* A concrete belief that just meets Example 3 — lognormal with sigma 1
+     whose 0.9991 quantile sits exactly at the claim bound 1e-4 — and its
+     doubt masses beyond stricter thresholds, resolved by importance
+     sampling.  The doubt at the bound itself (9e-4) would already need
+     ~10^7 plain draws for a 10% relative error; the tilted proposal gets
+     calibrated CIs on all rows from 1e5. *)
+  let example3_belief =
+    let z = Dist.Normal.standard.Dist.quantile 0.9991 in
+    Dist.Lognormal.make ~mu:(log 1e-4 -. z) ~sigma:1.0
+  in
+  let is_doubt_rows =
+    List.map
+      (fun y ->
+        let e =
+          with_default_pool (fun pool ->
+              Sim.Demand_sim.pfd_tail_is ~pool ~n:100_000 ~chunks:mc_chunks
+                ~seed:(Paper.seed + 47) ~y
+                (Dist.Mixture.of_dist example3_belief))
+        in
+        let p = e.Sim.Mc.plain in
+        [ Printf.sprintf "%.0e" y;
+          Printf.sprintf "%.4e +/- %.1e" p.Sim.Mc.mean p.Sim.Mc.std_error;
+          Printf.sprintf "%.4e" (Dist.survival example3_belief y);
+          Printf.sprintf "%.0f" e.Sim.Mc.ess ])
+      [ 1e-4; 1e-3; 1e-2 ]
+  in
   section
     "Section 3.4: conservative bound P(fail) <= x + y - x*y, worked examples"
     ("Target claim: pfd-related failure probability below 1e-3\n\n"
@@ -240,7 +309,19 @@ let conservative_examples () =
         "\nMonte-Carlo check of (5): worst-case belief for Example 3 gives \
          a simulated\nfailure probability of %.6f +/- %.6f per demand vs \
          the analytic bound %.6f.\n"
-        estimate.Sim.Mc.mean estimate.Sim.Mc.std_error bound)
+        estimate.Sim.Mc.mean estimate.Sim.Mc.std_error bound
+    ^ "\nImportance-sampled doubt masses P(pfd > y) for a lognormal belief \
+       (sigma = 1)\njust meeting Example 3 (0.9991 quantile at 1e-4):\n\n"
+    ^ Report.Table.render
+        ~columns:
+          [ { Report.Table.header = "threshold y"; align = Report.Table.Right };
+            { Report.Table.header = "IS doubt"; align = Report.Table.Right };
+            { Report.Table.header = "analytic"; align = Report.Table.Right };
+            { Report.Table.header = "ESS"; align = Report.Table.Right } ]
+        ~rows:is_doubt_rows
+    ^ "\nThe first row recovers the claimed doubt x* = 9e-4; the others \
+       show how thin\nthe belief's mass is beyond the SIL3 and SIL2 \
+       boundaries.\n")
 
 let perfection_bound () =
   let claim = Confidence.Claim.make ~bound:1e-4 ~confidence:0.9991 in
@@ -431,6 +512,40 @@ let tail_cutoff () =
   let sil2_an = band_mass 1e-3 1e-2 an_cdf in
   let sil1_sk = band_mass 1e-2 1e-1 sk_cdf in
   let sil1_an = band_mass 1e-2 1e-1 an_cdf in
+  (* Importance-sampled tail masses P(pfd > y): where the sketch has
+     sample support they must agree within the stated CIs; beyond it
+     (y = 0.3 is a ~1e-5 event, ~2 hits in the sketch's 200k draws) the
+     tilted proposal keeps resolving. *)
+  let is_n = 100_000 in
+  let is_tail y =
+    with_default_pool (fun pool ->
+        Sim.Demand_sim.pfd_tail_is ~pool ~n:is_n ~chunks:mc_chunks
+          ~seed:(Paper.seed + 45) ~y prior)
+  in
+  let an_tail y = 1.0 -. Dist.Mixture.prob_le prior y in
+  let sk_tail y = 1.0 -. sk_cdf y in
+  let is_at_1e2 = is_tail 1e-2 in
+  let is_rows =
+    List.map
+      (fun y ->
+        let e = if y = 1e-2 then is_at_1e2 else is_tail y in
+        let p = e.Sim.Mc.plain in
+        [ Printf.sprintf "%.0e" y;
+          Printf.sprintf "%.4e +/- %.1e" p.Sim.Mc.mean p.Sim.Mc.std_error;
+          Printf.sprintf "%.4e" (an_tail y);
+          (if y >= 0.3 then Printf.sprintf "%.1e (unsupported)" (sk_tail y)
+           else Printf.sprintf "%.4e" (sk_tail y));
+          Printf.sprintf "%.0f" e.Sim.Mc.ess ])
+      [ 1e-2; 1e-1; 3e-1 ]
+  in
+  let is_sketch_agree =
+    let p = is_at_1e2.Sim.Mc.plain in
+    (* The sketch's own mid-range cdf error is a few 1e-3 (see
+       Numerics.Sketch); agreement is judged against the IS CI widened by
+       that tolerance. *)
+    abs_float (p.Sim.Mc.mean -. sk_tail 1e-2)
+    <= (1.96 *. p.Sim.Mc.std_error) +. 5e-3
+  in
   section
     "Section 4.1: tail cut-off by failure-free operating experience"
     ("Prior: lognormal, mode 0.003, mean 0.01 (the widest Figure-1 \
@@ -463,7 +578,23 @@ let tail_cutoff () =
          analytic [%.4g, %.4g]\n  P(SIL2 band [1e-3,1e-2)): sketch %.4f vs \
          analytic %.4f\n  P(SIL1 band [1e-2,1e-1)): sketch %.4f vs analytic \
          %.4f\n"
-        sketch_n sk_lo sk_hi an_lo an_hi sil2_sk sil2_an sil1_sk sil1_an)
+        sketch_n sk_lo sk_hi an_lo an_hi sil2_sk sil2_an sil1_sk sil1_an
+    ^ Printf.sprintf
+        "\nImportance-sampled tail masses P(pfd > y) (%d draws per row, \
+         tilted\nlognormal proposal):\n\n" is_n
+    ^ Report.Table.render
+        ~columns:
+          [ { Report.Table.header = "y"; align = Report.Table.Right };
+            { Report.Table.header = "IS estimate"; align = Report.Table.Right };
+            { Report.Table.header = "analytic"; align = Report.Table.Right };
+            { Report.Table.header = "sketch"; align = Report.Table.Right };
+            { Report.Table.header = "ESS"; align = Report.Table.Right } ]
+        ~rows:is_rows
+    ^ Printf.sprintf
+        "\nIS vs sketch at y = 1e-2: %s within stated CIs; at y = 0.3 the \
+         sketch has run\nout of samples (a ~1e-5 event) while the IS row \
+         still reports a calibrated CI.\n"
+        (if is_sketch_agree then "agreement" else "DISAGREEMENT"))
 
 let multileg () =
   let leg1 = Casekit.Multileg.leg ~label:"primary argument" ~doubt:0.05 in
@@ -677,6 +808,124 @@ let pbox_view () =
         (Dist.Pbox.upper_mean leg1) (Dist.Pbox.upper_mean leg2)
         (Dist.Pbox.upper_mean fused))
 
+let variance_reduction () =
+  (* Head-to-head on the problem the paper actually poses: the tail mass
+     P(pfd > y) of an ultra-reliable belief (lognormal, mode 3e-9, sigma 1
+     — the kind of claim Section 3 treats).  Plain MC, QMC via the
+     quantile transform, and importance sampling all get the same sample
+     budget n = 2^16; the second table converts each measured standard
+     error into the samples that method would need for a 10% relative
+     error. *)
+  let mu = log 3e-9 +. 1.0 and sigma = 1.0 in
+  let belief = Dist.Lognormal.make ~mu ~sigma in
+  let mix = Dist.Mixture.of_dist belief in
+  let n = 65536 in
+  let qmc_reps = 16 in
+  let row i y =
+    (* Via erfc directly: [Dist.survival] computes 1 - cdf, which
+       underflows to 0 around z = 11 sigma — exactly the regime this
+       experiment probes. *)
+    let truth =
+      let z = (log y -. mu) /. sigma in
+      0.5 *. Numerics.Special.erfc (z /. sqrt 2.0)
+    in
+    let plain =
+      with_default_pool (fun pool ->
+          Sim.Mc.probability_par ~pool ~chunks:mc_chunks ~n
+            ~seed:(Paper.seed + 61 + i)
+            (fun rng -> belief.Dist.sample rng > y))
+    in
+    let qmc =
+      with_default_pool (fun pool ->
+          Sim.Mc.estimate_qmc ~pool ~replicates:qmc_reps ~dim:1
+            ~n:(n / qmc_reps) ~seed:(Paper.seed + 71 + i)
+            (fun p ->
+              let u = Stdlib.Float.Array.get p 0 in
+              let u = Float.min (1.0 -. 1e-12) (Float.max 1e-12 u) in
+              if belief.Dist.quantile u > y then 1.0 else 0.0))
+    in
+    let is_ =
+      with_default_pool (fun pool ->
+          Sim.Demand_sim.pfd_tail_is ~pool ~chunks:mc_chunks ~n
+            ~seed:(Paper.seed + 81 + i) ~y mix)
+    in
+    (y, truth, plain, qmc, is_)
+  in
+  let data = List.mapi row [ 1e-3; 1e-5; 1e-7 ] in
+  let est_cell (e : Sim.Mc.estimate) =
+    if e.Sim.Mc.mean = 0.0 then "0 (no hits)"
+    else Printf.sprintf "%.3e +/- %.1e" e.Sim.Mc.mean e.Sim.Mc.std_error
+  in
+  let estimates =
+    Report.Table.render
+      ~columns:
+        [ { Report.Table.header = "y"; align = Report.Table.Right };
+          { Report.Table.header = "analytic"; align = Report.Table.Right };
+          { Report.Table.header = "plain MC"; align = Report.Table.Right };
+          { Report.Table.header = "QMC"; align = Report.Table.Right };
+          { Report.Table.header = "IS"; align = Report.Table.Right };
+          { Report.Table.header = "IS ESS"; align = Report.Table.Right } ]
+      ~rows:
+        (List.map
+           (fun (y, truth, plain, qmc, (is_ : Sim.Mc.is_estimate)) ->
+             [ Printf.sprintf "%.0e" y;
+               Printf.sprintf "%.3e" truth;
+               est_cell plain;
+               est_cell qmc;
+               est_cell is_.Sim.Mc.plain;
+               Printf.sprintf "%.0f" is_.Sim.Mc.ess ])
+           data)
+  in
+  (* Samples to reach a 10% relative standard error.  Plain MC admits the
+     closed form (1-p)/(0.01 p); QMC and IS are scaled from the measured
+     standard error at this n (se falls like 1/sqrt n for both — the
+     randomised-QMC replicates are i.i.d.). *)
+  let needed_cell (e : Sim.Mc.estimate) =
+    if e.Sim.Mc.mean <= 0.0 then "never (no hits)"
+    else if e.Sim.Mc.std_error = 0.0 then "~0 (stratification exact)"
+    else
+      let r = e.Sim.Mc.std_error /. (0.1 *. e.Sim.Mc.mean) in
+      Printf.sprintf "%.2e" (float_of_int e.Sim.Mc.n *. r *. r)
+  in
+  let samples =
+    Report.Table.render
+      ~columns:
+        [ { Report.Table.header = "y"; align = Report.Table.Right };
+          { Report.Table.header = "plain MC (analytic)";
+            align = Report.Table.Right };
+          { Report.Table.header = "QMC (measured)";
+            align = Report.Table.Right };
+          { Report.Table.header = "IS (measured)"; align = Report.Table.Right } ]
+      ~rows:
+        (List.map
+           (fun (y, truth, _, qmc, (is_ : Sim.Mc.is_estimate)) ->
+             [ Printf.sprintf "%.0e" y;
+               Printf.sprintf "%.2e" ((1.0 -. truth) /. (0.01 *. truth));
+               needed_cell qmc;
+               needed_cell is_.Sim.Mc.plain ])
+           data)
+  in
+  section
+    "Variance reduction: samples to resolve P(pfd > y) for an \
+     ultra-reliable belief"
+    (Printf.sprintf
+       "Belief: lognormal with mode 3e-9, sigma 1.  Every method gets n = \
+        2^16 = %d\ndraws (QMC: %d scrambled Sobol replicates x %d \
+        points).\n\nEstimates of P(pfd > y):\n\n" n qmc_reps (n / qmc_reps)
+    ^ estimates
+    ^ "\nSamples to reach 10% relative standard error:\n\n"
+    ^ samples
+    ^ "\nReading: at y = 1e-7 the event is common enough (~6e-3) that any \
+       method works\nand importance sampling merely saves a constant \
+       factor.  Two decades deeper,\nplain MC and QMC stop seeing the \
+       event at all — the analytic column says they\nwould need ~1e14 and \
+       ~1e33 draws — while the tilted-proposal importance\nsampler \
+       resolves both tails with the same 2^16 budget and reports the \
+       effective\nsample size it did it with.  (The single-digit Kish ESS \
+       on the deep rows is a\nproperty of the self-normalised weights; the \
+       plain estimator quoted here has\nits variance controlled by the \
+       bounded weight ratio, as the +/- column shows.)\n")
+
 let all =
   [ ("table1", "Table 1", table1);
     ("figure1", "Figure 1", figure1);
@@ -693,7 +942,8 @@ let all =
     ("multileg", "Section 4.2", multileg);
     ("mtbf", "Reference [13] bound", conservative_mtbf);
     ("acarp", "ACARP planning", acarp_planning);
-    ("decisions", "Section 1 decision impact", decision_impact) ]
+    ("decisions", "Section 1 decision impact", decision_impact);
+    ("vr", "Variance reduction", variance_reduction) ]
 
 let run_one id =
   let _, _, f = List.find (fun (i, _, _) -> i = id) all in

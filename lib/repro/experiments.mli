@@ -22,12 +22,14 @@ val figure3 : unit -> string
 val figure4 : unit -> string
 
 (** Figure 5 — the simulated 12-expert, 4-phase Delphi experiment, plus a
-    200-panel replication study fanned out over the domain pool. *)
+    200-panel replication study fanned out over the domain pool and a QMC
+    variant of the replication (scrambled-Sobol seed stratification). *)
 val figure5 : unit -> string
 
 (** Section 3.4 — conservative-bound worked examples and the feasibility
     profile at targets 1e-3 and 1e-5, with a Monte-Carlo check of
-    inequality (5) run on the parallel split-stream path (n = 300,000). *)
+    inequality (5) run on the parallel split-stream path (n = 300,000) and
+    an importance-sampled doubt table for the Example-3 belief. *)
 val conservative_examples : unit -> string
 
 (** Section 3.4 footnote — the perfection-atom variant of the bound. *)
@@ -47,8 +49,10 @@ val standards : unit -> string
 val gamma_sensitivity : unit -> string
 
 (** Section 4.1 — tail cut-off by failure-free demands: confidence and mean
-    trajectories, demands needed per SIL, provisional upgrade schedule, and
-    a parallel simulated cross-check of the survival probabilities. *)
+    trajectories, demands needed per SIL, provisional upgrade schedule, a
+    parallel simulated cross-check of the survival probabilities, and an
+    importance-sampled tail-mass table cross-checked against the quantile
+    sketch. *)
 val tail_cutoff : unit -> string
 
 (** Section 4.2 — two-legged arguments: dependence sweep of the combined
@@ -68,6 +72,11 @@ val acarp_planning : unit -> string
     and do not quantify confidence, run over a synthetic world with known
     true pfds, scored by fielded-bad-system counts and fleet risk. *)
 val decision_impact : unit -> string
+
+(** Variance reduction head-to-head — plain MC vs QMC vs importance
+    sampling on the tail mass P(pfd > y) of an ultra-reliable belief,
+    with a samples-to-10%-relative-error table per method. *)
+val variance_reduction : unit -> string
 
 (** The registry: (id, paper anchor, generator). *)
 val all : (string * string * (unit -> string)) list

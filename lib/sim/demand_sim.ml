@@ -64,6 +64,102 @@ let pfd_sketch_par ?pool ?compression ?chunks ~n ~seed belief =
             (clamp_pfd (Float.Array.unsafe_get buf j))
         done)
 
+(* Importance-sampled tail mass of the belief.  The mixture splits into
+   exact work (atoms: their mass is either on the event or not) and one
+   IS run per continuous component against the tilted proposal of its
+   family.  Component runs use disjoint derived seeds, so the whole
+   result is a pure function of (seed, chunks, n, y, belief) and the
+   per-component determinism contract of [Mc.estimate_is] lifts to the
+   combination unchanged. *)
+let pfd_tail_is ?pool ?chunks ~n ~seed ~y belief =
+  if not (y > 0.0 && y < 1.0) then
+    invalid_arg "Demand_sim.pfd_tail_is: y outside (0, 1)";
+  let comps = Dist.Mixture.components belief in
+  let atom_mass =
+    List.fold_left
+      (fun acc (w, c) ->
+        match c with
+        | Dist.Mixture.Atom x -> if clamp_pfd x > y then acc +. w else acc
+        | Dist.Mixture.Cont _ -> acc)
+      0.0 comps
+  in
+  let parts =
+    List.mapi (fun idx (w, c) -> (idx, w, c)) comps
+    |> List.filter_map (fun (idx, w, c) ->
+           match c with
+           | Dist.Mixture.Atom _ -> None
+           | Dist.Mixture.Cont d ->
+             let cseed = seed + (7919 * (idx + 1)) in
+             let proposal =
+               match Proposal.tail ~target:d ~y with
+               | Some p -> p
+               | None -> d
+             in
+             Some
+               ( w,
+                 Mc.probability_is ?pool ?chunks ~n ~seed:cseed ~target:d
+                   ~proposal (fun x -> clamp_pfd x > y) ))
+  in
+  let total_n = n * max 1 (List.length parts) in
+  let combine proj =
+    let mean =
+      List.fold_left
+        (fun acc (w, e) -> acc +. (w *. (proj e).Mc.mean))
+        atom_mass parts
+    in
+    let var =
+      List.fold_left
+        (fun acc (w, e) ->
+          let s = w *. (proj e).Mc.std_error in
+          acc +. (s *. s))
+        0.0 parts
+    in
+    let se = sqrt var in
+    {
+      Mc.mean;
+      std_error = se;
+      ci95_lo = mean -. (1.96 *. se);
+      ci95_hi = mean +. (1.96 *. se);
+      n = total_n;
+    }
+  in
+  match parts with
+  | [] ->
+    (* Atoms only: the tail mass is exact. *)
+    let exact =
+      {
+        Mc.mean = atom_mass;
+        std_error = 0.0;
+        ci95_lo = atom_mass;
+        ci95_hi = atom_mass;
+        n;
+      }
+    in
+    {
+      Mc.plain = exact;
+      self_norm = exact;
+      ess = float_of_int n;
+      max_weight_share = 0.0;
+      sum_weights = float_of_int n;
+    }
+  | _ ->
+    {
+      Mc.plain = combine (fun e -> e.Mc.plain);
+      self_norm = combine (fun e -> e.Mc.self_norm);
+      ess =
+        List.fold_left
+          (fun acc (_, e) -> Float.min acc e.Mc.ess)
+          infinity parts;
+      max_weight_share =
+        List.fold_left
+          (fun acc (_, e) -> Float.max acc e.Mc.max_weight_share)
+          0.0 parts;
+      sum_weights =
+        List.fold_left
+          (fun acc (w, e) -> acc +. (w *. e.Mc.sum_weights))
+          0.0 parts;
+    }
+
 let survival_curve ~n_systems ~checkpoints rng belief =
   if n_systems < 1 then invalid_arg "Demand_sim: n_systems < 1";
   let checkpoints = List.sort_uniq compare checkpoints in

@@ -60,6 +60,34 @@ val pfd_sketch_par :
   Dist.Mixture.t ->
   Numerics.Sketch.t
 
+(** [pfd_tail_is ?pool ?chunks ~n ~seed ~y belief] — importance-sampled
+    estimate of P(pfd > y) under [belief], for [0 < y < 1].  Atoms of the
+    mixture resolve exactly; each continuous component is estimated with
+    [n] draws from the tilted proposal that {!Proposal.tail} builds for
+    its family (falling back to plain sampling of the component itself —
+    unit weights — when no mechanical tilt exists), using the derived
+    seed [seed + 7919 × (index + 1)] so component streams are independent
+    and reproducible.
+
+    Deep tails that [probability_par] cannot see at feasible [n] (it
+    needs ~1/P hits just to observe one) resolve here with relative error
+    governed by the bounded weights — typically 10²–10⁴× fewer samples at
+    y where P is 10⁻³–10⁻⁷.  The combined [plain]/[self_norm] estimates
+    add the exact atom mass to the weight-averaged component estimates
+    (standard errors combine in quadrature); [ess] reports the worst
+    (smallest) component ESS, [max_weight_share] the worst (largest)
+    share, and [sum_weights] the component-weighted total.  For an
+    atoms-only belief the result is exact (zero standard error).  Same
+    determinism contract as [Mc.estimate_is]. *)
+val pfd_tail_is :
+  ?pool:Numerics.Parallel.pool ->
+  ?chunks:int ->
+  n:int ->
+  seed:int ->
+  y:float ->
+  Dist.Mixture.t ->
+  Mc.is_estimate
+
 (** [survival_curve ~n_systems ~checkpoints rng belief] — fraction of
     simulated systems still failure-free at each demand checkpoint;
     converges to E[(1-p)^n]. *)

@@ -1,0 +1,33 @@
+(** Ready-made importance-sampling proposals for tail events.
+
+    A tail probability P(X > y) that plain Monte-Carlo would need ~1/P
+    draws to see at all becomes cheap once draws come from a proposal
+    that concentrates on the event while keeping the weight
+    w(x) = target(x)/proposal(x) bounded there.  This module builds such
+    proposals mechanically from a target's sampling {!Dist.kernel}:
+
+    - lognormal targets get a {e shifted, scale-inflated lognormal} —
+      location raised to [max mu (ln y)] (the proposal median lands on
+      the threshold) and log-scale inflated to [sqrt 2 × sigma].  The
+      inflation is what bounds the weight over the {e whole} support
+      (by [sqrt 2 × exp((mu - mu')²/2σ²)], a downward parabola in
+      [ln x]): with the target's own sigma the weight would be bounded
+      on the event but unbounded below it, and the harmless-looking
+      draws under the threshold would degrade Σw² / ESS.
+    - normal targets get the same mean-shift + scale-inflation in plain
+      space ([mu' = max mu y], [sigma' = sqrt 2 × sigma]).
+    - exponential targets get the rate flattened to
+      [min rate (1/y)] — the tilt that puts the proposal mean at the
+      threshold; the weight ratio again decreases on the event.
+    - uniform targets get the exact restriction to [(max lo y, hi)],
+      whose constant weight makes the plain IS estimator zero-variance.
+
+    Targets with a [Generic] kernel (grid posteriors, truncations, ...)
+    return [None]: no safe mechanical tilt exists, and callers fall back
+    to plain sampling. *)
+
+(** [tail ~target ~y] — a proposal concentrating on the event [X > y],
+    or [None] when the target's kernel admits no mechanical tilt (or the
+    event is outside the target's support, e.g. [y >= hi] for a uniform;
+    lognormal targets require [y > 0]). *)
+val tail : target:Dist.t -> y:float -> Dist.t option

@@ -3,3 +3,4 @@
 
 module Mc = Mc
 module Demand_sim = Demand_sim
+module Proposal = Proposal

@@ -44,6 +44,9 @@ def load_rows(path: Path):
     for row in doc.get("mc_kernels", []):
         key = f"mc_kernels/{row['name']}/{row['variant']}/{row['domains']}"
         rows[key] = row.get("nanos_per_run")
+    for row in doc.get("vr", []):
+        key = f"vr/{row['name']}/{row['method']}"
+        rows[key] = row.get("nanos_per_run")
     return doc.get("schema", "?"), rows
 
 
@@ -57,8 +60,9 @@ def main():
 
     files = find_bench_files(args.root)
     if len(files) < 2:
-        print(f"bench-compare: need two BENCH_*.json files under {args.root}, "
-              f"found {len(files)} — nothing to compare")
+        print(f"bench-compare: need >=2 BENCH_*.json files under {args.root}, "
+              f"found {len(files)} — nothing to compare yet (run "
+              f"`make bench-json` to record a baseline); exiting 0")
         return 0
 
     old_path, new_path = files[-2], files[-1]
@@ -72,9 +76,13 @@ def main():
     removed = sorted(set(old) - set(new))
 
     regressions = []
+    skipped = []
     for key in shared:
         a, b = old[key], new[key]
         if a is None or b is None or a <= 0:
+            # A null or zero baseline admits no ratio (the row errored or
+            # under-sampled in that run); note it rather than hiding it.
+            skipped.append(key)
             continue
         ratio = b / a - 1.0
         marker = ""
@@ -89,6 +97,8 @@ def main():
         print(f"  {key:58s} {'new row':>14s}")
     for key in removed:
         print(f"  {key:58s} {'row removed':>14s}")
+    for key in skipped:
+        print(f"  {key:58s} {'skipped (null/zero baseline)':>28s}")
 
     if regressions:
         print(f"\nbench-compare: {len(regressions)} row(s) regressed more "
@@ -99,8 +109,10 @@ def main():
             return 1
         print("bench-compare: informational only (re-run with --strict to fail)")
     else:
+        compared = len(shared) - len(skipped)
+        note = f" ({len(skipped)} skipped on null/zero baselines)" if skipped else ""
         print(f"\nbench-compare: no row regressed more than {THRESHOLD:.0%} "
-              f"across {len(shared)} shared rows")
+              f"across {compared} compared rows{note}")
     return 0
 
 

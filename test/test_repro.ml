@@ -22,7 +22,7 @@ let expect_fragments id fragments () =
     fragments
 
 let test_registry_complete () =
-  Alcotest.(check int) "16 experiments" 16 (List.length Repro.Experiments.all);
+  Alcotest.(check int) "17 experiments" 17 (List.length Repro.Experiments.all);
   Alcotest.(check int) "5 ablations" 5 (List.length Repro.Ablations.all);
   (* Ids unique. *)
   let ids = List.map (fun (i, _, _) -> i) Repro.Experiments.all in
@@ -75,14 +75,22 @@ let suite =
     case "figure4 checkpoints"
       (expect_fragments "figure4" [ "67.3% chance of SIL2"; "99.87%" ]);
     case "figure5 checkpoints"
-      (expect_fragments "figure5" [ "doubter"; "SIL2/SIL1 boundary" ]);
+      (expect_fragments "figure5"
+         [ "doubter"; "SIL2/SIL1 boundary"; "QMC variant" ]);
     case "conservative checkpoints"
       (expect_fragments "conservative"
-         [ "0.999100"; "infeasible"; "Monte-Carlo check" ]);
+         [ "0.999100"; "infeasible"; "Monte-Carlo check";
+           "Importance-sampled doubt masses"; "x* = 9e-4" ]);
     case "standards checkpoints"
       (expect_fragments "standards" [ "0.9910"; "no quantified claim" ]);
     case "tailcut checkpoints"
-      (expect_fragments "tailcut" [ "SIL2"; "P(survive n)" ]);
+      (expect_fragments "tailcut"
+         [ "SIL2"; "P(survive n)"; "Importance-sampled tail masses";
+           "agreement within stated CIs" ]);
+    case "variance-reduction checkpoints"
+      (expect_fragments "vr"
+         [ "Estimates of P(pfd > y)"; "no hits";
+           "Samples to reach 10% relative standard error" ]);
     case "mtbf checkpoints"
       (expect_fragments "mtbf" [ "tight at t = 1/phi" ]);
     case "csv exports" test_csv_exports;

@@ -33,6 +33,38 @@ let test_matches_conjugate_beta () =
         (exact.cdf x) (M.prob_le post x))
     [ 0.005; 0.01; 0.02 ]
 
+let test_binomial_normalising_constant () =
+  (* Beta(a,b) prior x binomial likelihood p^k (1-p)^(n-k): the posterior
+     is Beta(a+k, b+n-k) and the evidence is B(a+k, b+n-k) / B(a, b) —
+     both in closed form, so this pins the normalising constant itself,
+     not just the posterior's shape. *)
+  let a = 2.0 and b = 50.0 in
+  let n = 120 and k = 3 in
+  let prior = M.of_dist (Dist.Beta_d.make ~a ~b) in
+  let weight p =
+    if p <= 0.0 || p >= 1.0 then 0.0
+    else
+      exp
+        ((float_of_int k *. log p)
+        +. (float_of_int (n - k) *. log (1.0 -. p)))
+  in
+  let post, z = R.posterior prior ~weight in
+  let a' = a +. float_of_int k and b' = b +. float_of_int (n - k) in
+  let exact = Dist.Beta_d.make ~a:a' ~b:b' in
+  let lbeta x y =
+    Numerics.Special.log_gamma x +. Numerics.Special.log_gamma y
+    -. Numerics.Special.log_gamma (x +. y)
+  in
+  let exact_z = exp (lbeta a' b' -. lbeta a b) in
+  check_close ~eps:1e-4 "evidence matches B(a',b')/B(a,b)" 1.0 (z /. exact_z);
+  check_close ~eps:1e-4 "posterior mean" exact.Dist.mean (M.mean post);
+  List.iter
+    (fun x ->
+      check_close ~eps:1e-4
+        (Printf.sprintf "posterior cdf at %g" x)
+        (exact.Dist.cdf x) (M.prob_le post x))
+    [ 0.02; 0.04; 0.08 ]
+
 let test_atoms_reweighted_exactly () =
   let prior =
     M.make [ (0.5, M.Atom 0.0); (0.3, M.Atom 0.5); (0.2, M.Atom 1.0) ]
@@ -89,6 +121,8 @@ let test_sequential_composition =
 let suite =
   [ case "flat weight is identity" test_flat_weight_is_identity;
     case "matches conjugate beta posterior" test_matches_conjugate_beta;
+    case "binomial weight: posterior + normalising constant"
+      test_binomial_normalising_constant;
     case "atoms reweighted exactly" test_atoms_reweighted_exactly;
     case "atom + continuous interplay" test_mixed_atom_and_continuous;
     case "weight validation" test_bad_weight_rejected;

@@ -1,0 +1,108 @@
+open Helpers
+module Sobol = Numerics.Sobol
+
+let point s =
+  let buf = Float.Array.create (Sobol.dim s) in
+  Sobol.next s buf;
+  Array.init (Sobol.dim s) (Float.Array.get buf)
+
+let test_first_points () =
+  (* Canonical unscrambled 2D Sobol prefix (gray-code order). *)
+  let s = Sobol.create ~dim:2 () in
+  let expect =
+    [| [| 0.0; 0.0 |]; [| 0.5; 0.5 |]; [| 0.75; 0.25 |]; [| 0.25; 0.75 |];
+       [| 0.375; 0.375 |]; [| 0.875; 0.875 |]; [| 0.625; 0.125 |];
+       [| 0.125; 0.625 |] |]
+  in
+  Array.iteri
+    (fun k row ->
+      let p = point s in
+      Array.iteri
+        (fun d v -> check_close (Printf.sprintf "point %d dim %d" k d) v p.(d))
+        row)
+    expect;
+  Alcotest.(check int) "count" 8 (Sobol.count s)
+
+let check_net ~label s =
+  (* First 256 points of any Sobol dimension are a (0,8)-net projection:
+     exactly one point per dyadic bin of width 1/256, per coordinate. *)
+  let dim = Sobol.dim s in
+  let hits = Array.make_matrix dim 256 0 in
+  let buf = Float.Array.create dim in
+  for _ = 1 to 256 do
+    Sobol.next s buf;
+    for d = 0 to dim - 1 do
+      let v = Float.Array.get buf d in
+      check_in_range (label ^ ": coordinate in [0,1)") ~lo:0.0 ~hi:0.9999999999
+        v;
+      let bin = int_of_float (v *. 256.0) in
+      hits.(d).(bin) <- hits.(d).(bin) + 1
+    done
+  done;
+  Array.iteri
+    (fun d row ->
+      Array.iteri
+        (fun bin c ->
+          if c <> 1 then
+            Alcotest.failf "%s: dim %d bin %d has %d points" label d bin c)
+        row)
+    hits
+
+let test_net_property () = check_net ~label:"raw" (Sobol.create ~dim:Sobol.max_dim ())
+
+let test_net_property_scrambled () =
+  (* Owen-style scrambling must preserve the net property. *)
+  for seed = 1 to 5 do
+    let rng = rng_of_seed (900 + seed) in
+    check_net
+      ~label:(Printf.sprintf "scrambled seed %d" seed)
+      (Sobol.create ~scramble:rng ~dim:Sobol.max_dim ())
+  done
+
+let test_2d_boxes () =
+  (* 256 points of the 2D sequence fill a 16 x 16 grid exactly once each. *)
+  let s = Sobol.create ~dim:2 () in
+  let boxes = Array.make_matrix 16 16 0 in
+  let buf = Float.Array.create 2 in
+  for _ = 1 to 256 do
+    Sobol.next s buf;
+    let i = int_of_float (Float.Array.get buf 0 *. 16.0)
+    and j = int_of_float (Float.Array.get buf 1 *. 16.0) in
+    boxes.(i).(j) <- boxes.(i).(j) + 1
+  done;
+  Array.iter (Array.iter (fun c -> Alcotest.(check int) "box count" 1 c)) boxes
+
+let test_scramble_deterministic () =
+  let stream seed =
+    let s = Sobol.create ~scramble:(rng_of_seed seed) ~dim:5 () in
+    Array.init 64 (fun _ -> point s)
+  in
+  let a = stream 4242 and b = stream 4242 and c = stream 4243 in
+  check_true "same seed, same stream" (a = b);
+  check_true "different seed, different stream" (a <> c)
+
+let test_scrambled_differs_from_raw () =
+  (* The raw sequence starts at the origin; a scrambled one almost surely
+     does not (the digital shift moves it). *)
+  let scr = Sobol.create ~scramble:(rng_of_seed 7) ~dim:3 () in
+  check_true "shifted away from the origin"
+    (Array.exists (fun v -> v <> 0.0) (point scr))
+
+let test_validation () =
+  check_raises_invalid "dim 0" (fun () -> Sobol.create ~dim:0 ());
+  check_raises_invalid "dim too large" (fun () ->
+      Sobol.create ~dim:(Sobol.max_dim + 1) ());
+  let s = Sobol.create ~dim:3 () in
+  check_raises_invalid "short buffer" (fun () ->
+      Sobol.next s (Float.Array.create 2));
+  Alcotest.(check int) "dim accessor" 3 (Sobol.dim s);
+  Alcotest.(check int) "count starts at 0" 0 (Sobol.count s)
+
+let suite =
+  [ case "canonical 2D prefix" test_first_points;
+    case "(0,8)-net in every dimension (raw)" test_net_property;
+    case "(0,8)-net preserved by scrambling" test_net_property_scrambled;
+    case "2D 16x16 equidistribution" test_2d_boxes;
+    case "scramble determinism" test_scramble_deterministic;
+    case "scramble moves the origin" test_scrambled_differs_from_raw;
+    case "argument validation" test_validation ]

@@ -1,0 +1,421 @@
+open Helpers
+module Mc = Sim.Mc
+module Ds = Sim.Demand_sim
+module Proposal = Sim.Proposal
+module P = Numerics.Parallel
+module M = Dist.Mixture
+
+(* Theoretical plain-MC standard error of a Bernoulli(p) estimator at n
+   draws — the bar the variance-reduced estimators must beat. *)
+let bernoulli_se p n = sqrt (p *. (1.0 -. p) /. float_of_int n)
+
+(* ------------------------------------------------------------------ *)
+(* Importance sampling. *)
+
+let test_is_lognormal_tail () =
+  let target = Dist.Lognormal.of_mode_sigma ~mode:1e-5 ~sigma:1.2 in
+  let y = 1e-3 in
+  let truth = Dist.survival target y in
+  let proposal =
+    match Proposal.tail ~target ~y with
+    | Some p -> p
+    | None -> Alcotest.fail "no proposal for a lognormal target"
+  in
+  let n = 20_000 in
+  let e =
+    Mc.probability_is ~chunks:8 ~n ~seed:101 ~target ~proposal (fun x ->
+        x > y)
+  in
+  check_true "plain CI covers truth" (Mc.within e.plain truth);
+  check_true "self-normalised CI covers truth" (Mc.within e.self_norm truth);
+  (* Normalised densities: E[w] = 1, so the weight sum tracks n. *)
+  check_in_range "sum of weights ~ n" ~lo:(0.9 *. float_of_int n)
+    ~hi:(1.1 *. float_of_int n) e.sum_weights;
+  check_in_range "ESS within (0, n]" ~lo:1.0 ~hi:(float_of_int n) e.ess;
+  check_true "no single weight dominates" (e.max_weight_share < 0.01);
+  (* The whole point: at equal n the IS variance is far below the plain
+     Bernoulli variance — >= 10x statistical efficiency before even
+     counting the time axis. *)
+  let se_ratio = bernoulli_se truth n /. e.plain.std_error in
+  check_true "IS variance efficiency >= 10x over plain MC"
+    (se_ratio *. se_ratio >= 10.0)
+
+let test_is_deep_tail () =
+  (* P ~ 6e-13: invisible to plain MC at any feasible n. *)
+  let target = Dist.Lognormal.of_mode_sigma ~mode:3e-9 ~sigma:1.0 in
+  let y = 1e-5 in
+  let truth = Dist.survival target y in
+  let proposal = Option.get (Proposal.tail ~target ~y) in
+  let e =
+    Mc.probability_is ~chunks:8 ~n:40_000 ~seed:102 ~target ~proposal
+      (fun x -> x > y)
+  in
+  check_true "deep-tail CI covers truth" (Mc.within e.plain truth);
+  check_true "relative error under 10%"
+    (abs_float (e.plain.mean -. truth) < 0.1 *. truth)
+
+let test_is_unnormalised_self_norm () =
+  (* Self-normalised estimator tolerates an unnormalised target: scale the
+     log-density by a constant and only [self_norm] stays calibrated. *)
+  let target = Dist.Lognormal.of_mode_sigma ~mode:1e-4 ~sigma:1.0 in
+  let y = 1e-3 in
+  let truth = Dist.survival target y in
+  let proposal = Option.get (Proposal.tail ~target ~y) in
+  let e =
+    Mc.estimate_is_weighted ~chunks:8 ~n:20_000 ~seed:103 ~proposal
+      ~log_weight:(fun x ->
+        log 3.0 +. target.Dist.log_pdf x -. proposal.Dist.log_pdf x)
+      (fun x -> if x > y then 1.0 else 0.0)
+  in
+  check_true "self-normalised CI covers truth" (Mc.within e.self_norm truth);
+  (* The plain estimator sees the un-cancelled constant. *)
+  check_in_range "plain estimate scaled by the constant"
+    ~lo:(2.5 *. truth) ~hi:(3.5 *. truth) e.plain.mean
+
+let test_is_uniform_exact () =
+  (* Uniform restriction proposal has constant weight: the plain IS
+     estimator of the tail mass is exact (zero variance). *)
+  let target = Dist.Uniform_d.make ~lo:0.0 ~hi:2.0 in
+  let y = 1.5 in
+  let proposal = Option.get (Proposal.tail ~target ~y) in
+  let e =
+    Mc.probability_is ~chunks:4 ~n:1_000 ~seed:104 ~target ~proposal
+      (fun x -> x > y)
+  in
+  check_close ~eps:1e-12 "exact tail mass" 0.25 e.plain.mean;
+  check_close ~eps:1e-12 "zero variance" 0.0 e.plain.std_error
+
+let test_is_bad_weight_rejected () =
+  let proposal = Dist.Uniform_d.make ~lo:0.0 ~hi:1.0 in
+  check_raises_invalid "non-finite weight" (fun () ->
+      ignore
+        (Mc.estimate_is_weighted ~chunks:2 ~n:16 ~seed:105 ~proposal
+           ~log_weight:(fun _ -> infinity)
+           (fun x -> x)));
+  check_raises_invalid "n < 2" (fun () ->
+      ignore
+        (Mc.estimate_is_weighted ~chunks:2 ~n:1 ~seed:105 ~proposal
+           ~log_weight:(fun _ -> 0.0)
+           (fun x -> x)))
+
+let qcheck_is_covers =
+  qcheck ~count:40 "IS covers lognormal tails and beats the Bernoulli bar"
+    QCheck2.Gen.(pair (float_range 0.8 1.6) (float_range 3.0 7.0))
+    (fun (sigma, neg_exp) ->
+      let target = Dist.Lognormal.of_mode_sigma ~mode:1e-5 ~sigma in
+      let y = 10.0 ** -.neg_exp in
+      let truth = Dist.survival target y in
+      QCheck2.assume (truth > 1e-300 && truth < 0.5);
+      let n = 10_000 in
+      match Proposal.tail ~target ~y with
+      | None ->
+        (* Only possible when the threshold is below the log-location. *)
+        log y <= fst (Dist.Lognormal.params target)
+      | Some proposal ->
+        let e =
+          Mc.probability_is ~chunks:8 ~n ~seed:106 ~target ~proposal
+            (fun x -> x > y)
+        in
+        (* 5-sigma band: keeps the qcheck sweep deterministic-ish while
+           still asserting calibration.  The tilt only buys variance on
+           genuinely rare events, so the never-worse comparison applies
+           below truth = 5%. *)
+        abs_float (e.plain.mean -. truth)
+          <= (5.0 *. e.plain.std_error) +. 1e-300
+        && (truth >= 0.05
+           || e.plain.std_error <= bernoulli_se truth n +. 1e-300))
+
+(* ------------------------------------------------------------------ *)
+(* Quasi-Monte-Carlo. *)
+
+let test_qmc_smooth_integrand () =
+  (* E[exp(u + v)] over the unit square = (e - 1)^2.  (The integrand must
+     be genuinely non-linear: bilinear functions are integrated exactly by
+     any scrambled net, collapsing the replicate spread to float noise
+     below the 2^-32 lattice discretisation.)  QMC error should sit far
+     below the plain-MC standard error at equal total n. *)
+  let truth = (Float.exp 1.0 -. 1.0) ** 2.0 in
+  let e =
+    Mc.estimate_qmc ~replicates:8 ~dim:2 ~n:4096 ~seed:107 (fun p ->
+        exp (Float.Array.get p 0 +. Float.Array.get p 1))
+  in
+  check_true "CI covers (e-1)^2" (Mc.within e truth);
+  Alcotest.(check int) "n counts every evaluation" (8 * 4096) e.n;
+  (* Var(e^(u+v)) = ((e^2-1)/2)^2 - (e-1)^4 ~ 1.49. *)
+  let plain_se = sqrt (1.489 /. float_of_int e.n) in
+  check_true "QMC se at least 3x below plain MC" (e.std_error *. 3.0 < plain_se)
+
+let test_qmc_lognormal_mean () =
+  (* Quantile-transform view of the paper's pfd belief: mean of a
+     lognormal via its inverse CDF on a scrambled 1D net. *)
+  let d = Dist.Lognormal.of_mode_mean ~mode:3e-3 ~mean:1e-2 in
+  let e =
+    Mc.estimate_qmc ~replicates:8 ~dim:1 ~n:8192 ~seed:108 (fun p ->
+        (* Clamp away from the endpoints the net never hits anyway. *)
+        d.Dist.quantile (Float.max 1e-12 (Float.Array.get p 0)))
+  in
+  check_true "CI covers the analytic mean" (Mc.within e d.Dist.mean);
+  check_true "relative error under 1%"
+    (abs_float (e.mean -. d.Dist.mean) < 0.01 *. d.Dist.mean)
+
+let test_qmc_validation () =
+  check_raises_invalid "replicates < 2" (fun () ->
+      ignore
+        (Mc.estimate_qmc ~replicates:1 ~dim:1 ~n:8 ~seed:1 (fun _ -> 0.0)));
+  check_raises_invalid "n < 1" (fun () ->
+      ignore (Mc.estimate_qmc ~dim:1 ~n:0 ~seed:1 (fun _ -> 0.0)))
+
+let qcheck_qmc_threshold =
+  qcheck ~count:40 "QMC indicator: stratified-exact, never worse than plain"
+    QCheck2.Gen.(float_range 0.05 0.95)
+    (fun t ->
+      let m = 4096 in
+      let e =
+        Mc.estimate_qmc ~replicates:8 ~dim:1 ~n:m ~seed:115 (fun p ->
+            if Float.Array.get p 0 < t then 1.0 else 0.0)
+      in
+      (* Scrambling preserves the (0,m)-net property, so each replicate is
+         a stratified sample at resolution 1/m: every replicate mean —
+         hence their average — lands within 1/m of t, and the
+         replicate-spread se cannot exceed the Bernoulli se at the same
+         total n. *)
+      abs_float (e.mean -. t) <= 1.0 /. float_of_int m
+      && e.std_error <= bernoulli_se t e.n *. 1.05)
+
+(* ------------------------------------------------------------------ *)
+(* Stratified and antithetic. *)
+
+let test_stratified_indicator () =
+  (* Stratifying the uniform stream pins an indicator estimate to within
+     chunks/n of the truth: only the stratum straddling the threshold is
+     random. *)
+  let t = 0.37 and n = 4096 and chunks = 8 in
+  let e =
+    Mc.estimate_par_stratified ~chunks ~n ~seed:109 (fun u ->
+        if u < t then 1.0 else 0.0)
+  in
+  check_true "CI covers the threshold" (Mc.within e t);
+  check_true "stratified error bounded by chunks/n"
+    (abs_float (e.mean -. t) <= float_of_int chunks /. float_of_int n)
+
+let test_stratified_smooth () =
+  let n = 8192 in
+  let e =
+    Mc.estimate_par_stratified ~chunks:8 ~n ~seed:110 (fun u -> u *. u)
+  in
+  check_true "CI covers 1/3" (Mc.within e (1.0 /. 3.0));
+  (* Within-stratum variation is O(1/m) per chunk: actual error collapses
+     far below the (conservative) iid standard error. *)
+  check_true "error far below the plain-MC scale"
+    (abs_float (e.mean -. (1.0 /. 3.0)) < 1e-4)
+
+let test_antithetic_monotone () =
+  (* For the identity the mirrored pair is exactly constant: zero
+     variance, exact mean. *)
+  let e = Mc.estimate_par_antithetic ~chunks:4 ~n:1024 ~seed:111 (fun u -> u) in
+  check_close ~eps:1e-12 "exact mean" 0.5 e.mean;
+  check_close ~eps:1e-12 "zero stderr" 0.0 e.std_error;
+  Alcotest.(check int) "n reported as draws, not pairs" 1024 e.n;
+  let e2 =
+    Mc.estimate_par_antithetic ~chunks:4 ~n:65_536 ~seed:112 (fun u ->
+        u *. u)
+  in
+  check_true "CI covers 1/3" (Mc.within e2 (1.0 /. 3.0));
+  (* Pair averaging cancels the linear part of u^2: residual sd is
+     sqrt(1/180) vs sqrt(4/45) plain — a 4x variance cut. *)
+  let plain_se = sqrt (4.0 /. 45.0 /. float_of_int e2.n) in
+  check_true "antithetic se below plain-MC se" (e2.std_error < plain_se)
+
+let test_wrapper_validation () =
+  check_raises_invalid "stratified n < 2" (fun () ->
+      ignore (Mc.estimate_par_stratified ~chunks:2 ~n:1 ~seed:1 (fun u -> u)));
+  check_raises_invalid "antithetic odd n" (fun () ->
+      ignore (Mc.estimate_par_antithetic ~chunks:2 ~n:17 ~seed:1 (fun u -> u)));
+  check_raises_invalid "antithetic n < 4" (fun () ->
+      ignore (Mc.estimate_par_antithetic ~chunks:2 ~n:2 ~seed:1 (fun u -> u)))
+
+let qcheck_stratified_threshold =
+  qcheck ~count:60 "stratified indicator: covered and never worse than plain"
+    QCheck2.Gen.(float_range 0.05 0.95)
+    (fun t ->
+      let n = 4096 and chunks = 8 in
+      let e =
+        Mc.estimate_par_stratified ~chunks ~n ~seed:113 (fun u ->
+            if u < t then 1.0 else 0.0)
+      in
+      (* Actual error is bounded by one straddling stratum per chunk, and
+         the reported (conservative, iid-view) se never exceeds the
+         Bernoulli se it replaces. *)
+      abs_float (e.mean -. t) <= float_of_int chunks /. float_of_int n
+      && e.std_error <= bernoulli_se t n *. 1.05)
+
+(* ------------------------------------------------------------------ *)
+(* Demand_sim.pfd_tail_is. *)
+
+let test_pfd_tail_is_matches_analytic () =
+  let d = Dist.Lognormal.of_mode_sigma ~mode:3e-3 ~sigma:1.3 in
+  let belief = M.with_perfection ~p0:0.2 (M.of_dist d) in
+  let y = 1e-3 in
+  let truth = 0.8 *. Dist.survival d y in
+  let e = Ds.pfd_tail_is ~chunks:8 ~n:20_000 ~seed:114 ~y belief in
+  check_true "CI covers the analytic mixture tail" (Mc.within e.plain truth);
+  check_true "ESS reported" (e.ess > 1.0);
+  check_true "rel err < 5%" (abs_float (e.plain.mean -. truth) < 0.05 *. truth)
+
+let test_pfd_tail_is_atoms_exact () =
+  let belief =
+    M.make [ (0.7, M.Atom 0.0); (0.2, M.Atom 0.5); (0.1, M.Atom 1.0) ]
+  in
+  let e = Ds.pfd_tail_is ~chunks:4 ~n:100 ~seed:115 ~y:0.25 belief in
+  check_close ~eps:1e-12 "atom tail mass exact" 0.3 e.plain.mean;
+  check_close ~eps:1e-12 "zero stderr" 0.0 e.plain.std_error
+
+let test_pfd_tail_is_deep () =
+  (* y where plain MC at this n would almost surely see zero hits. *)
+  let d = Dist.Lognormal.of_mode_sigma ~mode:3e-9 ~sigma:1.0 in
+  let belief = M.of_dist d in
+  let y = 1e-5 in
+  let truth = Dist.survival d y in
+  let e = Ds.pfd_tail_is ~chunks:8 ~n:20_000 ~seed:116 ~y belief in
+  (* At this depth the variance estimate is itself noisy (weights below
+     the threshold degrade the ESS), so assert a 4-sigma band plus a
+     relative-error bound rather than strict 95% coverage. *)
+  check_true "tiny tail within 4 sigma"
+    (abs_float (e.plain.mean -. truth) <= 4.0 *. e.plain.std_error);
+  check_true "relative error under 15%"
+    (abs_float (e.plain.mean -. truth) < 0.15 *. truth);
+  check_true "truth is deep" (truth < 1e-9)
+
+let test_pfd_tail_is_validation () =
+  let belief = M.atom 0.5 in
+  check_raises_invalid "y = 0" (fun () ->
+      ignore (Ds.pfd_tail_is ~n:10 ~seed:1 ~y:0.0 belief));
+  check_raises_invalid "y = 1" (fun () ->
+      ignore (Ds.pfd_tail_is ~n:10 ~seed:1 ~y:1.0 belief))
+
+(* ------------------------------------------------------------------ *)
+(* Proposal builder. *)
+
+let test_proposal_builder () =
+  let logn = Dist.Lognormal.make ~mu:(-10.0) ~sigma:1.0 in
+  (match Proposal.tail ~target:logn ~y:1e-3 with
+  | Some p ->
+    let mu', sigma' = Dist.Lognormal.params p in
+    check_close "shifted log-location" (log 1e-3) mu';
+    check_close "log-scale inflated by sqrt 2" (sqrt 2.0) sigma'
+  | None -> Alcotest.fail "lognormal proposal expected");
+  check_true "threshold below location: no tilt"
+    (Proposal.tail ~target:logn ~y:1e-6 = None);
+  check_true "lognormal y <= 0: none" (Proposal.tail ~target:logn ~y:0.0 = None);
+  let expo = Dist.Exponential_d.make ~rate:100.0 in
+  (match Proposal.tail ~target:expo ~y:0.5 with
+  | Some p -> check_close "tilted exponential mean at threshold" 0.5 p.Dist.mean
+  | None -> Alcotest.fail "exponential proposal expected");
+  let norm = Dist.Normal.make ~mu:0.0 ~sigma:1.0 in
+  (match Proposal.tail ~target:norm ~y:4.0 with
+  | Some p -> check_close "normal mean shifted" 4.0 p.Dist.mean
+  | None -> Alcotest.fail "normal proposal expected");
+  let unif = Dist.Uniform_d.make ~lo:0.0 ~hi:1.0 in
+  check_true "uniform beyond support: none"
+    (Proposal.tail ~target:unif ~y:1.5 = None);
+  let generic, _ =
+    Dist.of_grid_pdf ~name:"grid"
+      ~grid:(Array.init 32 (fun i -> float_of_int (i + 1) /. 32.0))
+      ~pdf:(fun _ -> 1.0) ()
+  in
+  check_true "generic kernel: none" (Proposal.tail ~target:generic ~y:0.5 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: every new entry point bit-identical across 1/2/4 domains. *)
+
+let is_fields e =
+  [ e.Mc.plain.Mc.mean; e.Mc.plain.Mc.std_error; e.Mc.plain.Mc.ci95_lo;
+    e.Mc.plain.Mc.ci95_hi; e.Mc.self_norm.Mc.mean; e.Mc.self_norm.Mc.std_error;
+    e.Mc.ess; e.Mc.max_weight_share; e.Mc.sum_weights ]
+
+let est_fields e =
+  [ e.Mc.mean; e.Mc.std_error; e.Mc.ci95_lo; e.Mc.ci95_hi ]
+
+let across_domains name run fields =
+  let baseline = ref None in
+  List.iter
+    (fun d ->
+      P.with_pool ~num_domains:d (fun pool ->
+          let r = fields (run pool) in
+          match !baseline with
+          | None -> baseline := Some r
+          | Some b ->
+            List.iter2
+              (fun x y ->
+                if not (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+                then
+                  Alcotest.failf "%s: %d domains diverges (%.17g vs %.17g)"
+                    name d x y)
+              b r))
+    [ 1; 2; 4 ]
+
+let test_determinism_across_domains () =
+  let target = Dist.Lognormal.of_mode_sigma ~mode:1e-4 ~sigma:1.1 in
+  let proposal = Option.get (Proposal.tail ~target ~y:1e-3) in
+  across_domains "probability_is"
+    (fun pool ->
+      Mc.probability_is ~pool ~chunks:16 ~n:10_000 ~seed:117 ~target
+        ~proposal (fun x -> x > 1e-3))
+    is_fields;
+  across_domains "estimate_qmc"
+    (fun pool ->
+      Mc.estimate_qmc ~pool ~replicates:8 ~dim:3 ~n:512 ~seed:118 (fun p ->
+          Float.Array.get p 0 +. (Float.Array.get p 1 *. Float.Array.get p 2)))
+    est_fields;
+  across_domains "estimate_par_stratified"
+    (fun pool ->
+      Mc.estimate_par_stratified ~pool ~chunks:16 ~n:10_000 ~seed:119
+        (fun u -> sqrt u))
+    est_fields;
+  across_domains "estimate_par_antithetic"
+    (fun pool ->
+      Mc.estimate_par_antithetic ~pool ~chunks:16 ~n:10_000 ~seed:120
+        (fun u -> u *. u))
+    est_fields;
+  let belief =
+    M.with_perfection ~p0:0.1
+      (M.of_dist (Dist.Lognormal.of_mode_sigma ~mode:3e-3 ~sigma:1.3))
+  in
+  across_domains "pfd_tail_is"
+    (fun pool -> Ds.pfd_tail_is ~pool ~chunks:16 ~n:10_000 ~seed:121 ~y:1e-2 belief)
+    is_fields
+
+let test_chunks_part_of_stream () =
+  (* Changing chunks is a stream change for the stratified path (strata
+     are per-chunk), mirroring the documented contract. *)
+  let run chunks =
+    Mc.estimate_par_stratified ~chunks ~n:4096 ~seed:122 (fun u -> u *. u)
+  in
+  check_true "different chunking, different stream"
+    ((run 8).Mc.mean <> (run 16).Mc.mean)
+
+let suite =
+  [ case "IS: lognormal tail, diagnostics, 10x bar" test_is_lognormal_tail;
+    case "IS: deep tail (6e-13) resolved" test_is_deep_tail;
+    case "IS: self-normalised survives unnormalised target"
+      test_is_unnormalised_self_norm;
+    case "IS: uniform restriction is exact" test_is_uniform_exact;
+    case "IS: weight/argument validation" test_is_bad_weight_rejected;
+    qcheck_is_covers;
+    case "QMC: smooth 2D integrand beats plain MC" test_qmc_smooth_integrand;
+    case "QMC: lognormal mean via quantile transform" test_qmc_lognormal_mean;
+    case "QMC: argument validation" test_qmc_validation;
+    qcheck_qmc_threshold;
+    case "stratified: indicator pinned to chunks/n" test_stratified_indicator;
+    case "stratified: smooth integrand" test_stratified_smooth;
+    case "antithetic: monotone integrands" test_antithetic_monotone;
+    case "stratified/antithetic validation" test_wrapper_validation;
+    qcheck_stratified_threshold;
+    case "pfd_tail_is matches the analytic mixture tail"
+      test_pfd_tail_is_matches_analytic;
+    case "pfd_tail_is: atoms-only belief is exact" test_pfd_tail_is_atoms_exact;
+    case "pfd_tail_is: deep tail" test_pfd_tail_is_deep;
+    case "pfd_tail_is: threshold validation" test_pfd_tail_is_validation;
+    case "proposal builder per family" test_proposal_builder;
+    case "bit-identical across 1/2/4 domains" test_determinism_across_domains;
+    case "chunking is part of the stratified stream" test_chunks_part_of_stream ]
