@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json bench-vr-smoke bench-compare experiment-vr examples csv clean lint-src check-fixtures
+.PHONY: all build test check bench bench-json bench-vr-smoke bench-soa-smoke bench-compare experiment-vr examples csv clean lint-src check-fixtures
 
 all: build
 
@@ -43,11 +43,16 @@ bench:
 # efficiency rows, written as JSON at the repo root (the perf trajectory
 # across PRs: BENCH_1.json, BENCH_2.json, ...).
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_4.json
+	dune exec bench/main.exe -- --json BENCH_5.json
 
 # Fast variance-reduction rows only (the CI smoke step).
 bench-vr-smoke:
 	dune exec bench/main.exe -- --vr-smoke
+
+# Micro rows only: exercises every SoA/columnar path (column quantile,
+# mixture cum-column sampling, sketch merge_into, snapshot save/load).
+bench-soa-smoke:
+	dune exec bench/main.exe -- --soa-smoke
 
 # Regenerate the samples-to-target-error comparison recorded in
 # EXPERIMENTS.md (plain MC vs QMC vs importance sampling).

@@ -406,9 +406,12 @@ let print_vr_rows rows =
 (* Micro regressions: the primitives the MC speedups rest on.  The
    quantile pair records the sort-vs-select gap ([Summary.quantile]
    copies and fully sorts; [Summary.quantile_unsorted] runs Floyd–Rivest
-   selection on the copy); the sketch pair guards the streaming add path
-   and the chunk-order merge; the RNG pair records the scalar-vs-batched
-   draw gap so a regression in either shows up as a ratio change. *)
+   selection on the copy); the sketch rows guard the streaming add path
+   and the chunk-order merge (now over SoA centroid columns); the RNG
+   pair records the scalar-vs-batched draw gap; the SoA-vs-boxed pairs
+   record what the columnar migration bought on the empirical-quantile
+   and mixture-sampling hot paths; the snapshot trio times the on-disk
+   column round-trip (copying and mmapped loads). *)
 
 let micro_n = 1_000_000
 
@@ -425,30 +428,106 @@ let micro_rows () =
     ols_nanos ~name:"quantile_select_1e6" (fun () ->
         Numerics.Summary.quantile_unsorted xs 0.99)
   in
+  (* The before/after of the Empirical migration: first-quantile cost on
+     a fresh pool.  Boxed = copy the boxed array and fully sort (what the
+     old array-backed Empirical did on its first order-statistic query);
+     SoA = copy into an unboxed column and Floyd–Rivest in place. *)
+  let empirical_quantile_boxed =
+    ols_nanos ~name:"empirical_quantile_boxed_1e6" (fun () ->
+        let copy = Array.copy xs in
+        Array.sort Float.compare copy;
+        copy.(int_of_float (0.99 *. float_of_int (micro_n - 1))))
+  in
+  let empirical_quantile_soa =
+    ols_nanos ~name:"empirical_quantile_soa_1e6" (fun () ->
+        let emp =
+          Dist.Empirical.of_column ~share:true (Numerics.Columns.of_array xs)
+        in
+        Dist.Empirical.quantile emp 0.99)
+  in
+  (* An 8-component mixture: the cumulative-weight binary-search path
+     (neither the atoms-only nor the 1/2-component fast paths apply).
+     Scalar = one [sample] call per slot, the pre-columnar fallback for
+     k >= 3; SoA = [sample_into_col] batching selection through the cum
+     column. *)
+  let mixture8 =
+    Dist.Mixture.make
+      [ (0.125, Dist.Mixture.Atom 0.0);
+        (0.125, Dist.Mixture.Atom 1e-3);
+        (0.125, Dist.Mixture.Cont (Dist.Lognormal.make ~mu:(-9.0) ~sigma:0.8));
+        (0.125, Dist.Mixture.Cont (Dist.Lognormal.make ~mu:(-8.0) ~sigma:0.9));
+        (0.125, Dist.Mixture.Cont (Dist.Lognormal.make ~mu:(-7.0) ~sigma:1.0));
+        (0.125, Dist.Mixture.Cont (Dist.Lognormal.make ~mu:(-6.0) ~sigma:1.1));
+        (0.125, Dist.Mixture.Cont (Dist.Lognormal.make ~mu:(-5.0) ~sigma:1.2));
+        (0.125, Dist.Mixture.Cont (Dist.Lognormal.make ~mu:(-4.0) ~sigma:1.3)) ]
+  in
+  let mix_n = 262_144 in
+  let mixture_scalar =
+    let buf = Stdlib.Float.Array.create mix_n in
+    ols_nanos ~name:"mixture_sample8_scalar_262k" (fun () ->
+        let rng = Numerics.Rng.create 11 in
+        for i = 0 to mix_n - 1 do
+          Stdlib.Float.Array.set buf i (Dist.Mixture.sample mixture8 rng)
+        done)
+  in
+  let mixture_soa =
+    let col = Numerics.Columns.make mix_n 0.0 in
+    let buf = Numerics.Columns.unsafe_data col in
+    ols_nanos ~name:"mixture_sample8_soa_262k" (fun () ->
+        let rng = Numerics.Rng.create 11 in
+        Dist.Mixture.sample_into_col mixture8 rng buf ~pos:0 ~len:mix_n)
+  in
   let sketch_add =
-    let buf = Stdlib.Float.Array.init micro_n (fun i -> xs.(i)) in
-    ols_nanos ~name:"sketch_add_1e6" (fun () ->
+    let col = Numerics.Columns.of_array xs in
+    ols_nanos ~name:"sketch_add_soa_1e6" (fun () ->
         let sk = Numerics.Sketch.create () in
-        Numerics.Sketch.add_floatarray sk buf ~pos:0 ~len:micro_n;
+        Numerics.Sketch.add_column sk col ~pos:0 ~len:micro_n;
         Numerics.Sketch.quantile sk 0.99)
   in
+  (* 64 pre-built 16k-value sketches folded in chunk order: the shape of
+     the parallel reduction.  [merge] allocates a fresh sketch per step;
+     [merge_into] recycles one accumulator's columns (the fold the
+     parallel layer now runs). *)
+  let sketch_parts () =
+    Array.init 64 (fun i ->
+        let rng = Numerics.Rng.create (1000 + i) in
+        let sk = Numerics.Sketch.create () in
+        for _ = 1 to 16_000 do
+          Numerics.Sketch.add sk (Numerics.Rng.float rng)
+        done;
+        sk)
+  in
   let sketch_merge =
-    (* 64 pre-built 16k-value sketches folded in chunk order: the shape
-       of the parallel reduction. *)
-    let parts =
-      Array.init 64 (fun i ->
-          let rng = Numerics.Rng.create (1000 + i) in
-          let sk = Numerics.Sketch.create () in
-          for _ = 1 to 16_000 do
-            Numerics.Sketch.add sk (Numerics.Rng.float rng)
-          done;
-          sk)
-    in
-    ols_nanos ~name:"sketch_merge_64x16k" (fun () ->
+    let parts = sketch_parts () in
+    ols_nanos ~name:"sketch_merge_soa_64x16k" (fun () ->
         Array.fold_left Numerics.Sketch.merge
           (Numerics.Sketch.create ())
           parts)
   in
+  let sketch_merge_into =
+    let parts = sketch_parts () in
+    ols_nanos ~name:"sketch_merge_into_64x16k" (fun () ->
+        let acc = Numerics.Sketch.create () in
+        Array.iter (fun sk -> Numerics.Sketch.merge_into ~into:acc sk) parts;
+        acc)
+  in
+  (* Snapshot round-trip on a 1e6-element column: atomic save, copying
+     load, and private-mmap load. *)
+  let snap_path = Filename.temp_file "confcase_bench" ".snap" in
+  let snap_col = Numerics.Columns.of_array xs in
+  let columns_save =
+    ols_nanos ~name:"columns_save_1e6" (fun () ->
+        Numerics.Columns.save snap_path [ ("samples", snap_col) ])
+  in
+  let columns_load =
+    ols_nanos ~name:"columns_load_1e6" (fun () ->
+        Numerics.Columns.load ~mmap:false snap_path)
+  in
+  let columns_load_mmap =
+    ols_nanos ~name:"columns_load_mmap_1e6" (fun () ->
+        Numerics.Columns.load ~mmap:true snap_path)
+  in
+  (try Sys.remove snap_path with Sys_error _ -> ());
   let rng_scalar =
     ols_nanos ~name:"rng_float_scalar_1e6" (fun () ->
         let rng = Numerics.Rng.create 7 in
@@ -464,8 +543,10 @@ let micro_rows () =
         let rng = Numerics.Rng.create 7 in
         Numerics.Rng.fill_floats rng buf ~pos:0 ~len:micro_n)
   in
-  [ quantile_sort; quantile_select; sketch_add; sketch_merge; rng_scalar;
-    rng_fill ]
+  [ quantile_sort; quantile_select; empirical_quantile_boxed;
+    empirical_quantile_soa; mixture_scalar; mixture_soa; sketch_add;
+    sketch_merge; sketch_merge_into; columns_save; columns_load;
+    columns_load_mmap; rng_scalar; rng_fill ]
 
 let speedups rows =
   let nanos_of kernel variant domains =
@@ -516,7 +597,7 @@ let json_escape s =
 let write_json oc ~experiments ~micro ~kernels ~vr ~deterministic =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "{\n  \"schema\": \"confcase-bench-4\",\n";
+  add "{\n  \"schema\": \"confcase-bench-5\",\n";
   add "  \"experiments\": [\n";
   List.iteri
     (fun i r ->
@@ -612,7 +693,7 @@ let () =
   | [ "--no-perf" ] -> run_reproductions ()
   | [ "--json"; path ] -> run_json path
   | [ "--json" ] ->
-    prerr_endline "--json requires an output path, e.g. --json BENCH_4.json";
+    prerr_endline "--json requires an output path, e.g. --json BENCH_5.json";
     exit 1
   | [ "--vr-smoke" ] ->
     (* A fast CI-sized pass over the variance-reduction rows only: a
@@ -622,6 +703,14 @@ let () =
       "################ Variance reduction (smoke, n = 2^14) \
        ################\n";
     print_vr_rows (vr_rows ~n:16384 ())
+  | [ "--soa-smoke" ] ->
+    (* The micro rows only — exercises every SoA path (column quantile,
+       cum-column mixture sampling, columnar sketch add/merge/merge_into,
+       snapshot save/load incl. mmap) without the slow experiment and
+       kernel sections.  Informational: CI gates on completion, not on
+       the ratios. *)
+    print_endline "################ Micro regressions (SoA smoke) ################\n";
+    print_rows (micro_rows ())
   | [] ->
     run_reproductions ();
     run_perf ()
@@ -637,5 +726,5 @@ let () =
   | _ ->
     prerr_endline
       "usage: main.exe [--no-perf | --json <path> | --vr-smoke | \
-       <experiment-id>]";
+       --soa-smoke | <experiment-id>]";
     exit 1

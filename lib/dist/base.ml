@@ -38,6 +38,26 @@ let sample_into t rng buf ~pos ~len =
       Stdlib.Float.Array.unsafe_set buf i (t.sample rng)
     done
 
+(* Column twin of [sample_into]: same dispatch onto the [_col] fill
+   kernels, same Generic fallback loop, writing through bigarray storage.
+   Draw-for-draw bit-identical to [sample_into] on the same generator. *)
+let sample_into_col t rng (buf : Numerics.Columns.ba) ~pos ~len =
+  match t.kernel with
+  | Normal_k { mu; sigma } ->
+    Numerics.Rng.fill_normals_col rng buf ~pos ~len ~mu ~sigma
+  | Lognormal_k { mu; sigma } ->
+    Numerics.Rng.fill_lognormals_col rng buf ~pos ~len ~mu ~sigma
+  | Uniform_k { lo; hi } ->
+    Numerics.Rng.fill_uniforms_col rng buf ~pos ~len ~a:lo ~b:hi
+  | Exponential_k { rate } ->
+    Numerics.Rng.fill_exponentials_col rng buf ~pos ~len ~rate
+  | Generic ->
+    if pos < 0 || len < 0 || len > Bigarray.Array1.dim buf - pos then
+      invalid_arg "Dist.sample_into_col";
+    for i = pos to pos + len - 1 do
+      Bigarray.Array1.unsafe_set buf i (t.sample rng)
+    done
+
 let std t = sqrt t.variance
 let survival t x = 1.0 -. t.cdf x
 let interval_prob t a b = t.cdf b -. t.cdf a

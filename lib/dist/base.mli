@@ -35,6 +35,12 @@ type t = {
     kernels instead of a closure call per draw. *)
 val sample_into : t -> Numerics.Rng.t -> floatarray -> pos:int -> len:int -> unit
 
+(** [sample_into_col t rng buf ~pos ~len] — as {!sample_into} but writing
+    through [Bigarray.Array1] column storage ([Columns.unsafe_data]);
+    draw-for-draw bit-identical to [sample_into] on the same generator. *)
+val sample_into_col :
+  t -> Numerics.Rng.t -> Numerics.Columns.ba -> pos:int -> len:int -> unit
+
 val std : t -> float
 
 (** [survival t x] = P(X > x). *)

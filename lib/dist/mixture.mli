@@ -65,6 +65,22 @@ val sample : t -> Numerics.Rng.t -> float
     the property the parallel Monte-Carlo determinism contract relies on. *)
 val sample_into : t -> Numerics.Rng.t -> floatarray -> pos:int -> len:int -> unit
 
+(** [sample_into_col t rng buf ~pos ~len] — as {!sample_into} but writing
+    through [Bigarray.Array1] column storage; draw-for-draw bit-identical
+    to {!sample_into} on the same generator state.  Component selection
+    binary-searches the mixture's cumulative-weight {e column}; an
+    all-atoms mixture resolves as a pure column-to-column gather. *)
+val sample_into_col :
+  t -> Numerics.Rng.t -> Numerics.Columns.ba -> pos:int -> len:int -> unit
+
+(** [weights_col t] / [cum_col t] — the parallel component-parameter
+    columns (normalised weights; cumulative weights with the last entry
+    pinned to 1).  Read-only aliases of the mixture's own storage: do not
+    mutate. *)
+val weights_col : t -> Numerics.Columns.t
+
+val cum_col : t -> Numerics.Columns.t
+
 (** [support t] — smallest interval containing all mass. *)
 val support : t -> float * float
 

@@ -200,6 +200,64 @@ let final result =
   | last :: _ -> last
   | [] -> invalid_arg "Delphi.final: no snapshots"
 
+(* Panel state as five parallel columns, one slot per expert.  [id] and
+   [profile] are small integers, exactly representable in float64, so the
+   round-trip through [Columns.save]/[Columns.load] is lossless for every
+   field. *)
+let experts_to_columns experts =
+  let n = List.length experts in
+  let col () = Numerics.Columns.create ~capacity:n () in
+  let ids = col ()
+  and profiles = col ()
+  and peaks = col ()
+  and sigmas = col ()
+  and learnings = col () in
+  List.iter
+    (fun e ->
+      Numerics.Columns.push ids (float_of_int e.id);
+      Numerics.Columns.push profiles
+        (match e.profile with Believer -> 0.0 | Doubter -> 1.0);
+      Numerics.Columns.push peaks e.log_peak;
+      Numerics.Columns.push sigmas e.sigma;
+      Numerics.Columns.push learnings e.learning)
+    experts;
+  [ ("id", ids); ("profile", profiles); ("log_peak", peaks);
+    ("sigma", sigmas); ("learning", learnings) ]
+
+let experts_of_columns cols =
+  let find name =
+    match List.assoc_opt name cols with
+    | Some c -> c
+    | None -> failwith (Printf.sprintf "Delphi.experts_of_columns: missing column %S" name)
+  in
+  let ids = find "id"
+  and profiles = find "profile"
+  and peaks = find "log_peak"
+  and sigmas = find "sigma"
+  and learnings = find "learning" in
+  let n = Numerics.Columns.length ids in
+  List.iter
+    (fun c ->
+      if Numerics.Columns.length c <> n then
+        failwith "Delphi.experts_of_columns: column lengths differ")
+    [ profiles; peaks; sigmas; learnings ];
+  List.init n (fun i ->
+      let profile =
+        match Numerics.Columns.get profiles i with
+        | 0.0 -> Believer
+        | 1.0 -> Doubter
+        | p ->
+          failwith
+            (Printf.sprintf "Delphi.experts_of_columns: bad profile tag %g" p)
+      in
+      {
+        id = int_of_float (Numerics.Columns.get ids i);
+        profile;
+        log_peak = Numerics.Columns.get peaks i;
+        sigma = Numerics.Columns.get sigmas i;
+        learning = Numerics.Columns.get learnings i;
+      })
+
 let summary_table result =
   let columns =
     [ { Report.Table.header = "phase"; align = Report.Table.Left };

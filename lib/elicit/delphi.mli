@@ -71,6 +71,20 @@ val belief_of : expert -> Dist.t
 (** [final result] — the last snapshot. *)
 val final : result -> snapshot
 
+(** {2 Snapshots}
+
+    [experts_to_columns experts] — panel state as five parallel columns
+    ("id", "profile", "log_peak", "sigma", "learning"), one slot per
+    expert, suitable for [Numerics.Columns.save].  [id] and [profile]
+    (0 = believer, 1 = doubter) are small integers, exact in float64, so
+    [experts_of_columns (experts_to_columns es) = es] holds bitwise. *)
+val experts_to_columns : expert list -> (string * Numerics.Columns.t) list
+
+(** [experts_of_columns cols] — rebuild the panel from {!experts_to_columns}
+    output (or a [Numerics.Columns.load] of it); [Failure] on missing
+    columns, mismatched lengths, or a profile tag that is neither 0 nor 1. *)
+val experts_of_columns : (string * Numerics.Columns.t) list -> expert list
+
 (** [summary_table result] — one row per phase: pooled mean, SIL2 and SIL1
     confidence, doubter count. *)
 val summary_table : result -> string

@@ -318,6 +318,125 @@ let fill_lognormals t buf ~pos ~len ~mu ~sigma =
       (exp (Stdlib.Float.Array.unsafe_get buf i))
   done
 
+(* Column variants: the same kernels writing through [Bigarray.Array1]
+   storage (the [Columns] backing representation).  Each is a line-for-line
+   mirror of its floatarray twin — the stepping, rejection sequences, and
+   float-op order are identical, so the bit-compatibility contract extends
+   across representations: [fill_xs_col] writes exactly what [fill_xs]
+   (and hence [len] scalar calls) would. *)
+
+let check_fill_col name (buf : Columns.ba) ~pos ~len =
+  if pos < 0 || len < 0 || len > Bigarray.Array1.dim buf - pos then
+    invalid_arg name
+
+let fill_floats_col t (buf : Columns.ba) ~pos ~len =
+  check_fill_col "Rng.fill_floats_col" buf ~pos ~len;
+  let s0 = ref t.s0 and s1 = ref t.s1 and s2 = ref t.s2 and s3 = ref t.s3 in
+  for i = pos to pos + len - 1 do
+    let result = Int64.add (rotl (Int64.add !s0 !s3) 23) !s0 in
+    let tmp = Int64.shift_left !s1 17 in
+    s2 := Int64.logxor !s2 !s0;
+    s3 := Int64.logxor !s3 !s1;
+    s1 := Int64.logxor !s1 !s2;
+    s0 := Int64.logxor !s0 !s3;
+    s2 := Int64.logxor !s2 tmp;
+    s3 := rotl !s3 45;
+    Bigarray.Array1.unsafe_set buf i
+      (Int64.to_float (Int64.shift_right_logical result 11) *. 0x1p-53)
+  done;
+  t.s0 <- !s0;
+  t.s1 <- !s1;
+  t.s2 <- !s2;
+  t.s3 <- !s3
+
+let fill_floats_pos_col t (buf : Columns.ba) ~pos ~len =
+  check_fill_col "Rng.fill_floats_pos_col" buf ~pos ~len;
+  let s0 = ref t.s0 and s1 = ref t.s1 and s2 = ref t.s2 and s3 = ref t.s3 in
+  for i = pos to pos + len - 1 do
+    let u = ref 0.0 in
+    while !u <= 0.0 do
+      let result = Int64.add (rotl (Int64.add !s0 !s3) 23) !s0 in
+      let tmp = Int64.shift_left !s1 17 in
+      s2 := Int64.logxor !s2 !s0;
+      s3 := Int64.logxor !s3 !s1;
+      s1 := Int64.logxor !s1 !s2;
+      s0 := Int64.logxor !s0 !s3;
+      s2 := Int64.logxor !s2 tmp;
+      s3 := rotl !s3 45;
+      u := Int64.to_float (Int64.shift_right_logical result 11) *. 0x1p-53
+    done;
+    Bigarray.Array1.unsafe_set buf i !u
+  done;
+  t.s0 <- !s0;
+  t.s1 <- !s1;
+  t.s2 <- !s2;
+  t.s3 <- !s3
+
+let fill_uniforms_col t (buf : Columns.ba) ~pos ~len ~a ~b =
+  fill_floats_col t buf ~pos ~len;
+  for i = pos to pos + len - 1 do
+    Bigarray.Array1.unsafe_set buf i
+      (a +. ((b -. a) *. Bigarray.Array1.unsafe_get buf i))
+  done
+
+let fill_exponentials_col t (buf : Columns.ba) ~pos ~len ~rate =
+  if rate <= 0.0 then invalid_arg "Rng.fill_exponentials_col: rate <= 0";
+  fill_floats_pos_col t buf ~pos ~len;
+  for i = pos to pos + len - 1 do
+    Bigarray.Array1.unsafe_set buf i
+      (-.log (Bigarray.Array1.unsafe_get buf i) /. rate)
+  done
+
+let fill_normals_col t (buf : Columns.ba) ~pos ~len ~mu ~sigma =
+  check_fill_col "Rng.fill_normals_col" buf ~pos ~len;
+  let s0 = ref t.s0 and s1 = ref t.s1 and s2 = ref t.s2 and s3 = ref t.s3 in
+  for i = pos to pos + len - 1 do
+    let x = ref 0.0 in
+    let accepted = ref false in
+    while not !accepted do
+      let r1 = Int64.add (rotl (Int64.add !s0 !s3) 23) !s0 in
+      let tmp = Int64.shift_left !s1 17 in
+      s2 := Int64.logxor !s2 !s0;
+      s3 := Int64.logxor !s3 !s1;
+      s1 := Int64.logxor !s1 !s2;
+      s0 := Int64.logxor !s0 !s3;
+      s2 := Int64.logxor !s2 tmp;
+      s3 := rotl !s3 45;
+      let r2 = Int64.add (rotl (Int64.add !s0 !s3) 23) !s0 in
+      let tmp = Int64.shift_left !s1 17 in
+      s2 := Int64.logxor !s2 !s0;
+      s3 := Int64.logxor !s3 !s1;
+      s1 := Int64.logxor !s1 !s2;
+      s0 := Int64.logxor !s0 !s3;
+      s2 := Int64.logxor !s2 tmp;
+      s3 := rotl !s3 45;
+      let u =
+        (2.0 *. (Int64.to_float (Int64.shift_right_logical r1 11) *. 0x1p-53))
+        -. 1.0
+      in
+      let v =
+        (2.0 *. (Int64.to_float (Int64.shift_right_logical r2 11) *. 0x1p-53))
+        -. 1.0
+      in
+      let s = (u *. u) +. (v *. v) in
+      if s < 1.0 && s <> 0.0 then begin
+        accepted := true;
+        x := mu +. (sigma *. u *. sqrt (-2.0 *. log s /. s))
+      end
+    done;
+    Bigarray.Array1.unsafe_set buf i !x
+  done;
+  t.s0 <- !s0;
+  t.s1 <- !s1;
+  t.s2 <- !s2;
+  t.s3 <- !s3
+
+let fill_lognormals_col t (buf : Columns.ba) ~pos ~len ~mu ~sigma =
+  fill_normals_col t buf ~pos ~len ~mu ~sigma;
+  for i = pos to pos + len - 1 do
+    Bigarray.Array1.unsafe_set buf i (exp (Bigarray.Array1.unsafe_get buf i))
+  done
+
 let shuffle t arr =
   for i = Array.length arr - 1 downto 1 do
     let j = int t (i + 1) in

@@ -102,6 +102,30 @@ val fill_normals : t -> floatarray -> pos:int -> len:int -> mu:float -> sigma:fl
     [lognormal t ~mu ~sigma]. *)
 val fill_lognormals : t -> floatarray -> pos:int -> len:int -> mu:float -> sigma:float -> unit
 
+(** {2 Column kernels}
+
+    The same batch kernels writing through [Bigarray.Array1] float64
+    storage ({!Columns.ba}, obtained from [Columns.unsafe_data]).  Each is
+    a line-for-line mirror of its floatarray twin, so the
+    bit-compatibility contract extends across representations:
+    [fill_xs_col] writes exactly the bytes [fill_xs] — and hence [len]
+    scalar calls — would. *)
+
+val fill_floats_col : t -> Columns.ba -> pos:int -> len:int -> unit
+val fill_floats_pos_col : t -> Columns.ba -> pos:int -> len:int -> unit
+
+val fill_uniforms_col :
+  t -> Columns.ba -> pos:int -> len:int -> a:float -> b:float -> unit
+
+val fill_exponentials_col :
+  t -> Columns.ba -> pos:int -> len:int -> rate:float -> unit
+
+val fill_normals_col :
+  t -> Columns.ba -> pos:int -> len:int -> mu:float -> sigma:float -> unit
+
+val fill_lognormals_col :
+  t -> Columns.ba -> pos:int -> len:int -> mu:float -> sigma:float -> unit
+
 (** [shuffle t arr] — in-place Fisher-Yates. *)
 val shuffle : t -> 'a array -> unit
 

@@ -34,3 +34,19 @@ val nth : float array -> int -> float
     calls on the same scratch array get cheaper as the array becomes
     progressively more ordered. *)
 val quantile_in_place : float array -> float -> float
+
+(** {2 Column variants}
+
+    The same selection over {!Columns.t} storage (first [length] elements;
+    the column is partially reordered in place exactly as the array
+    versions reorder theirs).  Selection is a pure function of the element
+    multiset, so these return bitwise what the array versions would on
+    [to_array] of the column — the seam that lets [Dist.Empirical] keep
+    its quantile semantics after the columnar migration. *)
+
+(** [nth_in_place_col col k] — as {!nth_in_place} on a column. *)
+val nth_in_place_col : Columns.t -> int -> float
+
+(** [quantile_in_place_col col p] — as {!quantile_in_place} on a
+    column. *)
+val quantile_in_place_col : Columns.t -> float -> float

@@ -5,18 +5,25 @@
    scale function k(q) = δ/2π·asin(2q−1).  Everything is a deterministic
    function of the insertion/merge history: sorting uses [Float.compare],
    merging breaks ties by provenance (existing centroids first), and the
-   greedy compression scans left to right. *)
+   greedy compression scans left to right.
+
+   Centroids live in unboxed columns ([Columns.t]), with a pair of
+   reusable scratch columns for the merge step: once one merge input is
+   exhausted the other's tail is moved with a single [Columns.blit], and
+   repeated merges ([merge_into]) recycle the scratch instead of
+   allocating fresh arrays per merge. *)
 
 type t = {
   compression : float;
-  mutable c_mean : float array;  (* centroid means, ascending *)
-  mutable c_weight : float array;
-  mutable n_c : int;
+  c_mean : Columns.t;  (* centroid means, ascending; length = centroid count *)
+  c_weight : Columns.t;
   mutable c_total : float;  (* total weight held in centroids *)
   buf : float array;  (* unsummarised points *)
   mutable n_buf : int;
   mutable lo : float;  (* exact stream minimum *)
   mutable hi : float;  (* exact stream maximum *)
+  scratch_mean : Columns.t;  (* reusable merge scratch *)
+  scratch_weight : Columns.t;
 }
 
 let create ?(compression = 200.0) () =
@@ -25,17 +32,19 @@ let create ?(compression = 200.0) () =
   let cap = 1 + int_of_float (ceil (compression /. 2.0)) in
   {
     compression;
-    c_mean = Array.make cap 0.0;
-    c_weight = Array.make cap 0.0;
-    n_c = 0;
+    c_mean = Columns.create ~capacity:cap ();
+    c_weight = Columns.create ~capacity:cap ();
     c_total = 0.0;
     buf = Array.make (4 * int_of_float (ceil compression)) 0.0;
     n_buf = 0;
     lo = infinity;
     hi = neg_infinity;
+    scratch_mean = Columns.create ~capacity:cap ();
+    scratch_weight = Columns.create ~capacity:cap ();
   }
 
 let compression t = t.compression
+let n_c t = Columns.length t.c_mean
 let count t = int_of_float t.c_total + t.n_buf
 
 let check_nonempty name t =
@@ -57,35 +66,28 @@ let q_limit_after t q =
   if k >= t.compression /. 4.0 then 1.0
   else 0.5 *. (sin (two_pi *. k /. t.compression) +. 1.0)
 
-(* Greedily recompress a merged, mean-sorted (mean, weight) sequence of
-   length [m] into [t]'s centroid arrays.  Output size is bounded by the
-   scale function at ≈ δ/2 + 1 centroids; the arrays grow (rarely, and
-   never past that bound plus slack) if needed. *)
-let compress_into t merged_mean merged_weight m total =
-  let ensure_capacity needed =
-    if needed > Array.length t.c_mean then begin
-      let cap = max needed (2 * Array.length t.c_mean) in
-      let mean' = Array.make cap 0.0 and weight' = Array.make cap 0.0 in
-      Array.blit t.c_mean 0 mean' 0 t.n_c;
-      Array.blit t.c_weight 0 weight' 0 t.n_c;
-      t.c_mean <- mean';
-      t.c_weight <- weight'
-    end
-  in
-  t.n_c <- 0;
+(* Greedily recompress the merged, mean-sorted (mean, weight) sequence
+   held in the scratch columns (length [m]) into [t]'s centroid columns.
+   Output size is bounded by the scale function at ≈ δ/2 + 1 centroids.
+   The fp sequence is identical to the historical array implementation,
+   so centroid states are bit-identical across the columnar migration. *)
+let compress_scratch t m total =
+  Columns.clear t.c_mean;
+  Columns.clear t.c_weight;
   if m > 0 then begin
+    let sm = Columns.unsafe_data t.scratch_mean in
+    let sw = Columns.unsafe_data t.scratch_weight in
     let emit mean weight =
-      ensure_capacity (t.n_c + 1);
-      t.c_mean.(t.n_c) <- mean;
-      t.c_weight.(t.n_c) <- weight;
-      t.n_c <- t.n_c + 1
+      Columns.push t.c_mean mean;
+      Columns.push t.c_weight weight
     in
-    let cur_mean = ref merged_mean.(0) in
-    let cur_w = ref merged_weight.(0) in
+    let cur_mean = ref (Bigarray.Array1.get sm 0) in
+    let cur_w = ref (Bigarray.Array1.get sw 0) in
     let w_done = ref 0.0 in
     let q_limit = ref (q_limit_after t 0.0) in
     for i = 1 to m - 1 do
-      let mean = merged_mean.(i) and w = merged_weight.(i) in
+      let mean = Bigarray.Array1.unsafe_get sm i in
+      let w = Bigarray.Array1.unsafe_get sw i in
       if (!w_done +. !cur_w +. w) /. total <= !q_limit then begin
         (* Weighted-mean absorption; deterministic fp sequence. *)
         let w' = !cur_w +. w in
@@ -104,36 +106,56 @@ let compress_into t merged_mean merged_weight m total =
   end;
   t.c_total <- total
 
+let scratch_reserve t m =
+  Columns.clear t.scratch_mean;
+  Columns.clear t.scratch_weight;
+  (* Grow by appending then rewinding: scratch stays a plain growable
+     column but the merge loops below can write through [unsafe_data]. *)
+  if Columns.capacity t.scratch_mean < m then begin
+    Columns.append_array t.scratch_mean (Array.make m 0.0);
+    Columns.clear t.scratch_mean;
+    Columns.append_array t.scratch_weight (Array.make m 0.0);
+    Columns.clear t.scratch_weight
+  end
+
 let flush t =
   if t.n_buf > 0 then begin
     let b = Array.sub t.buf 0 t.n_buf in
     Array.sort Float.compare b;
-    let m = t.n_c + t.n_buf in
-    let merged_mean = Array.make m 0.0 in
-    let merged_weight = Array.make m 0.0 in
+    let nc = n_c t in
+    let m = nc + t.n_buf in
+    scratch_reserve t m;
+    let sm = Columns.unsafe_data t.scratch_mean in
+    let sw = Columns.unsafe_data t.scratch_weight in
+    let cm = Columns.unsafe_data t.c_mean in
+    let cw = Columns.unsafe_data t.c_weight in
     (* Two-pointer merge of the sorted centroid list with the sorted
        buffer; ties take the existing centroid first (a fixed rule, for
        determinism). *)
     let i = ref 0 and j = ref 0 and k = ref 0 in
-    while !i < t.n_c || !j < t.n_buf do
+    while !i < nc || !j < t.n_buf do
       let take_centroid =
-        !i < t.n_c && (!j >= t.n_buf || Float.compare t.c_mean.(!i) b.(!j) <= 0)
+        !i < nc
+        && (!j >= t.n_buf
+            || Float.compare (Bigarray.Array1.unsafe_get cm !i) b.(!j) <= 0)
       in
       if take_centroid then begin
-        merged_mean.(!k) <- t.c_mean.(!i);
-        merged_weight.(!k) <- t.c_weight.(!i);
+        Bigarray.Array1.unsafe_set sm !k (Bigarray.Array1.unsafe_get cm !i);
+        Bigarray.Array1.unsafe_set sw !k (Bigarray.Array1.unsafe_get cw !i);
         incr i
       end
       else begin
-        merged_mean.(!k) <- b.(!j);
-        merged_weight.(!k) <- 1.0;
+        Bigarray.Array1.unsafe_set sm !k b.(!j);
+        Bigarray.Array1.unsafe_set sw !k 1.0;
         incr j
       end;
       incr k
     done;
+    Columns.set_length t.scratch_mean m;
+    Columns.set_length t.scratch_weight m;
     let total = t.c_total +. float_of_int t.n_buf in
     t.n_buf <- 0;
-    compress_into t merged_mean merged_weight m total
+    compress_scratch t m total
   end
 
 let add t x =
@@ -151,9 +173,17 @@ let add_floatarray t buf ~pos ~len =
     add t (Stdlib.Float.Array.unsafe_get buf i)
   done
 
+let add_column t col ~pos ~len =
+  if pos < 0 || len < 0 || len > Columns.length col - pos then
+    invalid_arg "Sketch.add_column";
+  let d = Columns.unsafe_data col in
+  for i = pos to pos + len - 1 do
+    add t (Bigarray.Array1.unsafe_get d i)
+  done
+
 let centroid_count t =
   flush t;
-  t.n_c
+  n_c t
 
 (* Piecewise-linear interpolation through the cumulative-weight anchors
    (0, lo), (W_i + w_i/2, mean_i), (total, hi): the standard t-digest
@@ -164,29 +194,28 @@ let quantile t p =
   flush t;
   let total = t.c_total in
   let target = p *. total in
-  if t.n_c = 1 then
+  let nc = n_c t in
+  let mean i = Columns.get t.c_mean i in
+  let weight i = Columns.get t.c_weight i in
+  if nc = 1 then
     if target <= total /. 2.0 then
-      t.lo +. (target /. (total /. 2.0) *. (t.c_mean.(0) -. t.lo))
-    else
-      t.c_mean.(0)
-      +. ((target -. (total /. 2.0))
-          /. (total /. 2.0)
-          *. (t.hi -. t.c_mean.(0)))
+      t.lo +. (target /. (total /. 2.0) *. (mean 0 -. t.lo))
+    else mean 0 +. ((target -. (total /. 2.0)) /. (total /. 2.0) *. (t.hi -. mean 0))
   else begin
-    (* Walk the anchors; n_c is O(compression), so a scan is fine. *)
-    let rank = ref (t.c_weight.(0) /. 2.0) in
+    (* Walk the anchors; the centroid count is O(compression), so a scan
+       is fine. *)
+    let rank = ref (weight 0 /. 2.0) in
     if target <= !rank then
       if !rank <= 0.0 then t.lo
-      else t.lo +. (target /. !rank *. (t.c_mean.(0) -. t.lo))
+      else t.lo +. (target /. !rank *. (mean 0 -. t.lo))
     else begin
       let result = ref nan in
       let i = ref 0 in
-      while Float.is_nan !result && !i < t.n_c - 1 do
-        let step = (t.c_weight.(!i) +. t.c_weight.(!i + 1)) /. 2.0 in
+      while Float.is_nan !result && !i < nc - 1 do
+        let step = (weight !i +. weight (!i + 1)) /. 2.0 in
         if target <= !rank +. step then begin
           let frac = if step <= 0.0 then 0.0 else (target -. !rank) /. step in
-          result :=
-            t.c_mean.(!i) +. (frac *. (t.c_mean.(!i + 1) -. t.c_mean.(!i)))
+          result := mean !i +. (frac *. (mean (!i + 1) -. mean !i))
         end
         else begin
           rank := !rank +. step;
@@ -194,12 +223,11 @@ let quantile t p =
         end
       done;
       if Float.is_nan !result then begin
-        let step = t.c_weight.(t.n_c - 1) /. 2.0 in
+        let step = weight (nc - 1) /. 2.0 in
         let frac =
           if step <= 0.0 then 1.0 else min 1.0 ((target -. !rank) /. step)
         in
-        result :=
-          t.c_mean.(t.n_c - 1) +. (frac *. (t.hi -. t.c_mean.(t.n_c - 1)))
+        result := mean (nc - 1) +. (frac *. (t.hi -. mean (nc - 1)))
       end;
       !result
     end
@@ -213,42 +241,89 @@ let cdf t x =
   else if x >= t.hi then 1.0
   else begin
     let total = t.c_total in
-    if t.n_c = 1 then
+    let nc = n_c t in
+    let mean i = Columns.get t.c_mean i in
+    let weight i = Columns.get t.c_weight i in
+    if nc = 1 then
       (* Single centroid: interpolate lo -> mean -> hi. *)
-      if x < t.c_mean.(0) then
-        let span = t.c_mean.(0) -. t.lo in
+      if x < mean 0 then
+        let span = mean 0 -. t.lo in
         if span <= 0.0 then 0.5 else 0.5 *. ((x -. t.lo) /. span)
       else
-        let span = t.hi -. t.c_mean.(0) in
-        if span <= 0.0 then 0.5
-        else 0.5 +. (0.5 *. ((x -. t.c_mean.(0)) /. span))
-    else if x < t.c_mean.(0) then begin
-      let span = t.c_mean.(0) -. t.lo in
-      let half = t.c_weight.(0) /. 2.0 in
+        let span = t.hi -. mean 0 in
+        if span <= 0.0 then 0.5 else 0.5 +. (0.5 *. ((x -. mean 0) /. span))
+    else if x < mean 0 then begin
+      let span = mean 0 -. t.lo in
+      let half = weight 0 /. 2.0 in
       if span <= 0.0 then 0.0 else (x -. t.lo) /. span *. half /. total
     end
-    else if x >= t.c_mean.(t.n_c - 1) then begin
-      let span = t.hi -. t.c_mean.(t.n_c - 1) in
-      let half = t.c_weight.(t.n_c - 1) /. 2.0 in
+    else if x >= mean (nc - 1) then begin
+      let span = t.hi -. mean (nc - 1) in
+      let half = weight (nc - 1) /. 2.0 in
       if span <= 0.0 then 1.0 -. (half /. total)
       else
-        1.0 -. (half /. total)
-        +. ((x -. t.c_mean.(t.n_c - 1)) /. span *. half /. total)
+        1.0 -. (half /. total) +. ((x -. mean (nc - 1)) /. span *. half /. total)
     end
     else begin
       (* Between centroid means: accumulate mid-rank anchors. *)
-      let rank = ref (t.c_weight.(0) /. 2.0) in
+      let rank = ref (weight 0 /. 2.0) in
       let i = ref 0 in
-      while x >= t.c_mean.(!i + 1) do
-        rank := !rank +. ((t.c_weight.(!i) +. t.c_weight.(!i + 1)) /. 2.0);
+      while x >= mean (!i + 1) do
+        rank := !rank +. ((weight !i +. weight (!i + 1)) /. 2.0);
         incr i
       done;
-      let span = t.c_mean.(!i + 1) -. t.c_mean.(!i) in
-      let step = (t.c_weight.(!i) +. t.c_weight.(!i + 1)) /. 2.0 in
-      let frac = if span <= 0.0 then 0.0 else (x -. t.c_mean.(!i)) /. span in
+      let span = mean (!i + 1) -. mean !i in
+      let step = (weight !i +. weight (!i + 1)) /. 2.0 in
+      let frac = if span <= 0.0 then 0.0 else (x -. mean !i) /. span in
       (!rank +. (frac *. step)) /. total
     end
   end
+
+(* Two-pointer merge of [a]'s and [b]'s centroid columns into [dst]'s
+   scratch; once one side is exhausted the other's tail is moved with a
+   single blit.  Tie rule: [a] first (same provenance rule as flush). *)
+let merge_centroids_into_scratch dst a b =
+  let na = n_c a and nb = n_c b in
+  let m = na + nb in
+  scratch_reserve dst m;
+  Columns.set_length dst.scratch_mean m;
+  Columns.set_length dst.scratch_weight m;
+  let sm = Columns.unsafe_data dst.scratch_mean in
+  let sw = Columns.unsafe_data dst.scratch_weight in
+  let am = Columns.unsafe_data a.c_mean and aw = Columns.unsafe_data a.c_weight in
+  let bm = Columns.unsafe_data b.c_mean and bw = Columns.unsafe_data b.c_weight in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < na && !j < nb do
+    if
+      Float.compare
+        (Bigarray.Array1.unsafe_get am !i)
+        (Bigarray.Array1.unsafe_get bm !j)
+      <= 0
+    then begin
+      Bigarray.Array1.unsafe_set sm !k (Bigarray.Array1.unsafe_get am !i);
+      Bigarray.Array1.unsafe_set sw !k (Bigarray.Array1.unsafe_get aw !i);
+      incr i
+    end
+    else begin
+      Bigarray.Array1.unsafe_set sm !k (Bigarray.Array1.unsafe_get bm !j);
+      Bigarray.Array1.unsafe_set sw !k (Bigarray.Array1.unsafe_get bw !j);
+      incr j
+    end;
+    incr k
+  done;
+  if !i < na then begin
+    Columns.blit ~src:a.c_mean ~src_pos:!i ~dst:dst.scratch_mean ~dst_pos:!k
+      ~len:(na - !i);
+    Columns.blit ~src:a.c_weight ~src_pos:!i ~dst:dst.scratch_weight
+      ~dst_pos:!k ~len:(na - !i)
+  end
+  else if !j < nb then begin
+    Columns.blit ~src:b.c_mean ~src_pos:!j ~dst:dst.scratch_mean ~dst_pos:!k
+      ~len:(nb - !j);
+    Columns.blit ~src:b.c_weight ~src_pos:!j ~dst:dst.scratch_weight
+      ~dst_pos:!k ~len:(nb - !j)
+  end;
+  m
 
 let merge a b =
   if a.compression <> b.compression then
@@ -258,28 +333,41 @@ let merge a b =
   let t = create ~compression:a.compression () in
   t.lo <- min a.lo b.lo;
   t.hi <- max a.hi b.hi;
-  let m = a.n_c + b.n_c in
-  if m > 0 then begin
-    let merged_mean = Array.make m 0.0 in
-    let merged_weight = Array.make m 0.0 in
-    let i = ref 0 and j = ref 0 and k = ref 0 in
-    while !i < a.n_c || !j < b.n_c do
-      let take_a =
-        !i < a.n_c
-        && (!j >= b.n_c || Float.compare a.c_mean.(!i) b.c_mean.(!j) <= 0)
-      in
-      if take_a then begin
-        merged_mean.(!k) <- a.c_mean.(!i);
-        merged_weight.(!k) <- a.c_weight.(!i);
-        incr i
-      end
-      else begin
-        merged_mean.(!k) <- b.c_mean.(!j);
-        merged_weight.(!k) <- b.c_weight.(!j);
-        incr j
-      end;
-      incr k
-    done;
-    compress_into t merged_mean merged_weight m (a.c_total +. b.c_total)
-  end;
+  let m = merge_centroids_into_scratch t a b in
+  if m > 0 then compress_scratch t m (a.c_total +. b.c_total);
+  t
+
+let merge_into ~into src =
+  if into.compression <> src.compression then
+    invalid_arg "Sketch.merge_into: compression mismatch";
+  flush into;
+  flush src;
+  into.lo <- min into.lo src.lo;
+  into.hi <- max into.hi src.hi;
+  let m = merge_centroids_into_scratch into into src in
+  let total = into.c_total +. src.c_total in
+  if m > 0 then compress_scratch into m total else into.c_total <- total
+
+(* Snapshot seam: the summarised state as named columns ("mean",
+   "weight", and a 4-slot "meta" of compression/total/lo/hi).  [flush]
+   runs first, so the buffer is empty and the round-trip is exact. *)
+let to_columns t =
+  flush t;
+  let meta = Columns.of_array [| t.compression; t.c_total; t.lo; t.hi |] in
+  [ ("mean", t.c_mean); ("weight", t.c_weight); ("meta", meta) ]
+
+let of_columns cols =
+  let mean = Columns.find cols "mean" in
+  let weight = Columns.find cols "weight" in
+  let meta = Columns.find cols "meta" in
+  if Columns.length meta <> 4 then
+    failwith "Sketch.of_columns: meta column must have 4 entries";
+  if Columns.length mean <> Columns.length weight then
+    failwith "Sketch.of_columns: mean/weight length mismatch";
+  let t = create ~compression:(Columns.get meta 0) () in
+  Columns.iter (Columns.push t.c_mean) mean;
+  Columns.iter (Columns.push t.c_weight) weight;
+  t.c_total <- Columns.get meta 1;
+  t.lo <- Columns.get meta 2;
+  t.hi <- Columns.get meta 3;
   t

@@ -64,7 +64,35 @@ val cdf : t -> float -> float
     sketch states. *)
 val merge : t -> t -> t
 
+(** [merge_into ~into src] — absorb [src]'s stream into [into] in place:
+    equivalent to [into := merge into src] but recycling [into]'s centroid
+    and scratch columns, so a fold over many per-chunk sketches allocates
+    nothing per step.  Produces bit-identical centroid state to {!merge}
+    (same merge and compression sequence).  [src] is not mutated beyond a
+    buffer flush. *)
+val merge_into : into:t -> t -> unit
+
+(** [add_column t col ~pos ~len] — as {!add_floatarray} over a column
+    slice. *)
+val add_column : t -> Columns.t -> pos:int -> len:int -> unit
+
 (** [centroid_count t] — number of centroids currently held (compresses
     first); bounded by ≈ compression/2 interior centroids plus a handful
     of forced tail singletons, regardless of [count t]. *)
 val centroid_count : t -> int
+
+(** {2 Snapshots}
+
+    [to_columns t] — the summarised state as named columns ("mean",
+    "weight", plus a 4-slot "meta" of compression/total/lo/hi), suitable
+    for [Columns.save].  Flushes first, so the round-trip
+    [of_columns (to_columns t)] reproduces the sketch bit-exactly.  The
+    "mean"/"weight" entries alias the live centroid storage — save them
+    before mutating the sketch further. *)
+val to_columns : t -> (string * Columns.t) list
+
+(** [of_columns cols] — rebuild a sketch from {!to_columns} output (or a
+    [Columns.load] of it); [Failure] on missing or malformed columns.
+    Centroids are copied in, so the input columns (mmapped or not) are
+    not retained. *)
+val of_columns : (string * Columns.t) list -> t

@@ -100,6 +100,26 @@ module Online = struct
     t.mu <- !mu;
     t.m2 <- !m2
 
+  (* Column twin of [add_floatarray]: identical fold, reading through the
+     bigarray primitives, hence bit-identical to per-element [add]. *)
+  let add_column t col ~pos ~len =
+    if pos < 0 || len < 0 || len > Columns.length col - pos then
+      invalid_arg "Summary.Online.add_column";
+    let buf = Columns.unsafe_data col in
+    let n = ref t.n and mu = ref t.mu and m2 = ref t.m2 in
+    for i = pos to pos + len - 1 do
+      let x = Bigarray.Array1.unsafe_get buf i in
+      let nn = !n +. 1.0 in
+      n := nn;
+      let delta = x -. !mu in
+      let mu' = !mu +. (delta /. nn) in
+      mu := mu';
+      m2 := !m2 +. (delta *. (x -. mu'))
+    done;
+    t.n <- !n;
+    t.mu <- !mu;
+    t.m2 <- !m2
+
   let count t = int_of_float t.n
 
   let mean t =

@@ -53,6 +53,10 @@ module Online : sig
       unboxed locals (the batched Monte-Carlo hot path). *)
   val add_floatarray : t -> floatarray -> pos:int -> len:int -> unit
 
+  (** [add_column t col ~pos ~len] — as {!add_floatarray} over a column
+      slice; bit-identical to per-element [add] (same fold order). *)
+  val add_column : t -> Columns.t -> pos:int -> len:int -> unit
+
   val count : t -> int
   val mean : t -> float
 

@@ -164,7 +164,9 @@ let conservatism_stages () =
           done;
           min 1.0 !acc)
     in
-    let emp = Dist.Empirical.of_samples samples in
+    (* Anonymous Monte-Carlo pool, quantile-only: the shared single-buffer
+       layout keeps one copy alive instead of raw + sorted scratch. *)
+    let emp = Dist.Empirical.of_column ~share:true (Numerics.Columns.of_array samples) in
     let bound = Dist.Empirical.quantile emp per_claim_conf in
     Confidence.Conservative.failure_bound
       (Confidence.Claim.make ~bound ~confidence:per_claim_conf)

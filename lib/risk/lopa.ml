@@ -34,7 +34,11 @@ let sample_frequency s rng =
 let frequency_belief ?(n = 20_000) ?(seed = 61508) s =
   if n < 2 then invalid_arg "Lopa.frequency_belief: n < 2";
   let rng = Numerics.Rng.create seed in
-  Dist.Empirical.of_samples (Array.init n (fun _ -> sample_frequency s rng))
+  (* Anonymous Monte-Carlo pool consumed through cdf/quantile: the shared
+     single-buffer layout halves retained memory (see Empirical's aliasing
+     contract for what it means for [resample]). *)
+  Dist.Empirical.of_column ~share:true
+    (Numerics.Columns.of_array (Array.init n (fun _ -> sample_frequency s rng)))
 
 let all_certain s =
   List.for_all

@@ -136,6 +136,63 @@ let estimate_par_batched ?pool ?chunks ~n ~seed make_fill =
   in
   of_online total n
 
+(* Columnar twin of the batched path: per-domain scratch is a bigarray
+   column instead of a [floatarray], filled by a [batch_fill_col] and
+   folded with [Summary.Online.add_column].  The fill kernels' column
+   variants are bit-compatible mirrors, so for a fixed (seed, chunks) the
+   column path reproduces the floatarray path exactly — verified by the
+   cross-representation identity tests. *)
+
+type batch_fill_col =
+  Numerics.Rng.t -> Numerics.Columns.ba -> pos:int -> len:int -> unit
+
+let scratch_col_key =
+  Domain.DLS.new_key (fun () -> ref (Numerics.Columns.create ~capacity:0 ()))
+
+let domain_scratch_col len =
+  let r = Domain.DLS.get scratch_col_key in
+  if Numerics.Columns.capacity !r < len then
+    r := Numerics.Columns.create ~capacity:len ();
+  Numerics.Columns.set_length !r len;
+  !r
+
+let fill_col_of_scalar f : batch_fill_col =
+ fun rng buf ~pos ~len ->
+  for j = pos to pos + len - 1 do
+    Bigarray.Array1.set buf j (f rng)
+  done
+
+let estimate_par_batched_col ?pool ?chunks ~n ~seed make_fill =
+  if n < 2 then invalid_arg "Mc.estimate_par_batched_col: n < 2";
+  let chunks = resolve_chunks ?pool ?chunks "Mc.estimate_par_batched_col" in
+  let sizes = Numerics.Parallel.chunk_sizes ~n ~chunks in
+  let streams = Numerics.Rng.split_n (Numerics.Rng.create seed) chunks in
+  let body i =
+    let size = sizes.(i) in
+    let acc = Numerics.Summary.Online.create () in
+    if size > 0 then begin
+      let rng = Numerics.Rng.copy streams.(i) in
+      let fill = make_fill () in
+      let seg = min size batch_size in
+      let col = domain_scratch_col seg in
+      let buf = Numerics.Columns.unsafe_data col in
+      let remaining = ref size in
+      while !remaining > 0 do
+        let len = min !remaining seg in
+        fill rng buf ~pos:0 ~len;
+        Numerics.Summary.Online.add_column acc col ~pos:0 ~len;
+        remaining := !remaining - len
+      done
+    end;
+    acc
+  in
+  let total =
+    Numerics.Parallel.parallel_for_reduce ?pool ~chunks
+      ~init:(Numerics.Summary.Online.create ())
+      ~body ~merge:Numerics.Summary.Online.merge
+  in
+  of_online total n
+
 let probability_par ?pool ?chunks ~n ~seed event =
   estimate_par ?pool ?chunks ~n ~seed (fun rng ->
       if event rng then 1.0 else 0.0)
@@ -174,6 +231,41 @@ let sketch_par ?pool ?compression ?chunks ~n ~seed make_fill =
   Numerics.Parallel.parallel_for_reduce ?pool ~chunks
     ~init:(Numerics.Sketch.create ?compression ())
     ~body ~merge:Numerics.Sketch.merge
+
+(* Columnar sketch fan-out: same stream discipline as [sketch_par], with
+   column scratch and an allocation-free in-place merge fold
+   ([Sketch.merge_into] recycles the accumulator's centroid and scratch
+   columns; it is bit-identical to [Sketch.merge] by construction). *)
+let sketch_par_col ?pool ?compression ?chunks ~n ~seed make_fill =
+  if n < 1 then invalid_arg "Mc.sketch_par_col: n < 1";
+  let chunks = resolve_chunks ?pool ?chunks "Mc.sketch_par_col" in
+  let sizes = Numerics.Parallel.chunk_sizes ~n ~chunks in
+  let streams = Numerics.Rng.split_n (Numerics.Rng.create seed) chunks in
+  let body i =
+    let size = sizes.(i) in
+    let sk = Numerics.Sketch.create ?compression () in
+    if size > 0 then begin
+      let rng = Numerics.Rng.copy streams.(i) in
+      let fill = make_fill () in
+      let seg = min size batch_size in
+      let col = domain_scratch_col seg in
+      let buf = Numerics.Columns.unsafe_data col in
+      let remaining = ref size in
+      while !remaining > 0 do
+        let len = min !remaining seg in
+        fill rng buf ~pos:0 ~len;
+        Numerics.Sketch.add_column sk col ~pos:0 ~len;
+        remaining := !remaining - len
+      done
+    end;
+    sk
+  in
+  Numerics.Parallel.parallel_for_reduce ?pool ~chunks
+    ~init:(Numerics.Sketch.create ?compression ())
+    ~body
+    ~merge:(fun into sk ->
+      Numerics.Sketch.merge_into ~into sk;
+      into)
 
 let quantiles_par ?pool ?compression ?chunks ~n ~seed ~ps make_fill =
   let sk = sketch_par ?pool ?compression ?chunks ~n ~seed make_fill in

@@ -76,6 +76,33 @@ val estimate_par_batched :
   (unit -> batch_fill) ->
   estimate
 
+(** A batched sampler writing through [Bigarray.Array1] column storage
+    ([Columns.unsafe_data] of a scratch column).  Same purity contract as
+    {!batch_fill}; the [Rng.fill_*_col] / [Dist.sample_into_col] /
+    [Mixture.sample_into_col] kernels are bit-compatible mirrors of their
+    floatarray twins, so a column fill built from them reproduces the
+    floatarray stream exactly. *)
+type batch_fill_col =
+  Numerics.Rng.t -> Numerics.Columns.ba -> pos:int -> len:int -> unit
+
+(** [fill_col_of_scalar f] — lift a scalar sampler into a
+    {!batch_fill_col} (one [f rng] per slot, in slot order). *)
+val fill_col_of_scalar : (Numerics.Rng.t -> float) -> batch_fill_col
+
+(** [estimate_par_batched_col ?pool ?chunks ~n ~seed make_fill] — the
+    columnar twin of [estimate_par_batched]: per-domain scratch is an
+    unboxed column, folded with [Summary.Online.add_column].  For a fixed
+    [(seed, chunks)] and a column fill mirroring the floatarray one, the
+    result is bit-identical to [estimate_par_batched] at any domain
+    count. *)
+val estimate_par_batched_col :
+  ?pool:Numerics.Parallel.pool ->
+  ?chunks:int ->
+  n:int ->
+  seed:int ->
+  (unit -> batch_fill_col) ->
+  estimate
+
 (** [probability_par ?pool ?chunks ~n ~seed event] — parallel [probability]
     under the same determinism contract as [estimate_par]. *)
 val probability_par :
@@ -106,6 +133,21 @@ val sketch_par :
   n:int ->
   seed:int ->
   (unit -> batch_fill) ->
+  Numerics.Sketch.t
+
+(** [sketch_par_col ?pool ?compression ?chunks ~n ~seed make_fill] — the
+    columnar twin of [sketch_par]: column scratch per domain, per-chunk
+    digests folded with the allocation-free [Sketch.merge_into] (which is
+    bit-identical to [Sketch.merge]).  Same determinism contract; with a
+    mirroring fill the resulting sketch state is bit-identical to
+    [sketch_par]'s. *)
+val sketch_par_col :
+  ?pool:Numerics.Parallel.pool ->
+  ?compression:float ->
+  ?chunks:int ->
+  n:int ->
+  seed:int ->
+  (unit -> batch_fill_col) ->
   Numerics.Sketch.t
 
 (** [quantiles_par ?pool ?compression ?chunks ~n ~seed ~ps make_fill] —

@@ -22,6 +22,16 @@ from pathlib import Path
 
 THRESHOLD = 0.20  # +/-20%
 
+# Rows renamed across schema generations: {old_key: new_key}.  Applied to
+# the *older* file's keys so a renamed row is still compared instead of
+# showing up as one removal plus one addition.  confcase-bench-5 renamed
+# the sketch micro rows when the t-digest moved to SoA centroid columns
+# (same workload, same semantics — only the storage changed).
+RENAMES = {
+    "micro/sketch_add_1e6": "micro/sketch_add_soa_1e6",
+    "micro/sketch_merge_64x16k": "micro/sketch_merge_soa_64x16k",
+}
+
 
 def find_bench_files(root: Path):
     """BENCH_*.json ordered by numeric suffix (BENCH_2 before BENCH_10)."""
@@ -70,6 +80,13 @@ def main():
     new_schema, new = load_rows(new_path)
     print(f"bench-compare: {old_path.name} ({old_schema}) -> "
           f"{new_path.name} ({new_schema})")
+
+    # Carry renamed rows across the schema bump (only where the old file
+    # still uses the old name and the new file the new one).
+    for old_key, new_key in RENAMES.items():
+        if old_key in old and new_key not in old and new_key in new:
+            old[new_key] = old.pop(old_key)
+            print(f"  (rename) {old_key} -> {new_key}")
 
     shared = sorted(set(old) & set(new))
     added = sorted(set(new) - set(old))
