@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json bench-vr-smoke bench-soa-smoke bench-compare experiment-vr examples csv clean lint-src check-fixtures
+.PHONY: all build test check bench bench-json bench-vr-smoke bench-soa-smoke bench-graph-smoke bench-compare experiment-vr examples csv clean lint-src check-fixtures
 
 all: build
 
@@ -43,7 +43,7 @@ bench:
 # efficiency rows, written as JSON at the repo root (the perf trajectory
 # across PRs: BENCH_1.json, BENCH_2.json, ...).
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_5.json
+	dune exec bench/main.exe -- --json BENCH_6.json
 
 # Fast variance-reduction rows only (the CI smoke step).
 bench-vr-smoke:
@@ -53,6 +53,12 @@ bench-vr-smoke:
 # mixture cum-column sampling, sketch merge_into, snapshot save/load).
 bench-soa-smoke:
 	dune exec bench/main.exe -- --soa-smoke
+
+# Graph rows only at depth 3 (~10^4 nodes): CSR build, full and DAG
+# propagation, 1/2/4-domain bit-identity and the incremental edit storm.
+# Exits non-zero only if determinism breaks; the ratios are informational.
+bench-graph-smoke:
+	dune exec bench/main.exe -- --graph-smoke
 
 # Regenerate the samples-to-target-error comparison recorded in
 # EXPERIMENTS.md (plain MC vs QMC vs importance sampling).

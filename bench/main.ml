@@ -516,15 +516,15 @@ let micro_rows () =
   let snap_path = Filename.temp_file "confcase_bench" ".snap" in
   let snap_col = Numerics.Columns.of_array xs in
   let columns_save =
-    ols_nanos ~name:"columns_save_1e6" (fun () ->
+    ols_nanos ~name:"snapshot_save_1e6" (fun () ->
         Numerics.Columns.save snap_path [ ("samples", snap_col) ])
   in
   let columns_load =
-    ols_nanos ~name:"columns_load_1e6" (fun () ->
+    ols_nanos ~name:"snapshot_load_1e6" (fun () ->
         Numerics.Columns.load ~mmap:false snap_path)
   in
   let columns_load_mmap =
-    ols_nanos ~name:"columns_load_mmap_1e6" (fun () ->
+    ols_nanos ~name:"snapshot_load_mmap_1e6" (fun () ->
         Numerics.Columns.load ~mmap:true snap_path)
   in
   (try Sys.remove snap_path with Sys_error _ -> ());
@@ -575,6 +575,119 @@ let speedups rows =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Case-graph rows: the flat CSR propagation engine at the ROADMAP's
+   10^6-node scale.  The headline configuration (legs 9, fanout 10,
+   depth 5, no sharing) is exactly one million nodes; leaf confidences
+   are drawn from a band tight under 1.0 so the ~111k-leaf AND products
+   stay far from underflow — a product that collapsed to 0.0 would let
+   the incremental engine's bitwise early cut-off skip all real work and
+   fake the speedup.  A second propagation row runs the shared-evidence
+   DAG configuration, where the C009 overlap actually floors the
+   correlation.  Parallel propagation must be bit-identical to the
+   sequential kernel at 1, 2 and 4 domains, and the root after the edit
+   storm must match a full re-propagation bitwise. *)
+
+type graph_summary = {
+  g_build : row;
+  g_prop : row;
+  g_prop_dag : row;
+  g_edit : row;
+  g_nodes : int;
+  g_edges : int;
+  g_dag_nodes : int;
+  g_dag_overlap : float;
+  g_deterministic : bool;
+}
+
+let graph_rows ?(depth = 5) () =
+  let module G = Casekit.Graph in
+  let seed = Repro.Paper.seed + 101 in
+  let legs = 9 and fanout = 10 in
+  let leaf = (0.999998, 0.9999999) in
+  let dep = G.Correlated 0.3 in
+  let build () = Casekit.Generate.case ~seed ~legs ~fanout ~depth ~leaf () in
+  let g = build () in
+  let n = G.size g in
+  let prop_name =
+    if n = 1_000_000 then "graph_propagate_1e6"
+    else Printf.sprintf "graph_propagate_%d" n
+  in
+  let r_build = ols_nanos ~name:"graph_build" build in
+  let r_prop = ols_nanos ~name:prop_name (fun () -> G.propagate dep g) in
+  let seq_bits = Int64.bits_of_float (G.propagate dep g) in
+  let dag =
+    Casekit.Generate.case ~seed ~legs ~fanout ~depth ~shared:0.1 ~leaf ()
+  in
+  let r_prop_dag =
+    ols_nanos ~name:"graph_propagate_dag" (fun () -> G.propagate dep dag)
+  in
+  let dag_bits = Int64.bits_of_float (G.propagate dep dag) in
+  let par_identical =
+    List.for_all
+      (fun d ->
+        Numerics.Parallel.with_pool ~num_domains:d (fun pool ->
+            Int64.bits_of_float (G.propagate_par ~pool ~chunks:64 dep g)
+            = seq_bits
+            && Int64.bits_of_float (G.propagate_par ~pool ~chunks:64 dep dag)
+               = dag_bits))
+      domain_counts
+  in
+  (* Edit storm through the incremental engine; the post-storm root must
+     agree bitwise with a from-scratch propagation of the edited graph. *)
+  ignore (G.propagate dep g);
+  let leaves = G.evidence_indices g in
+  let rng = Numerics.Rng.create (seed + 1) in
+  let lo, hi = leaf in
+  let last = ref 0.0 in
+  let r_edit =
+    ols_nanos ~name:"graph_incremental_edit" (fun () ->
+        let i = leaves.(Numerics.Rng.int rng (Array.length leaves)) in
+        G.set_evidence g i (Numerics.Rng.uniform rng lo hi);
+        last := G.refresh dep g;
+        !last)
+  in
+  let incremental_identical =
+    Int64.bits_of_float !last = Int64.bits_of_float (G.propagate dep g)
+  in
+  {
+    g_build = r_build;
+    g_prop = r_prop;
+    g_prop_dag = r_prop_dag;
+    g_edit = r_edit;
+    g_nodes = n;
+    g_edges = G.edge_count g;
+    g_dag_nodes = G.size dag;
+    g_dag_overlap = G.max_overlap dag;
+    g_deterministic = par_identical && incremental_identical;
+  }
+
+let graph_throughput gs =
+  let per_sec (r : row) scale =
+    if Float.is_finite r.nanos && r.nanos > 0.0 then scale *. 1e9 /. r.nanos
+    else nan
+  in
+  ( per_sec gs.g_build (float_of_int gs.g_nodes),
+    per_sec gs.g_prop (float_of_int gs.g_nodes),
+    per_sec gs.g_edit 1.0,
+    if Float.is_finite gs.g_edit.nanos && gs.g_edit.nanos > 0.0 then
+      gs.g_prop.nanos /. gs.g_edit.nanos
+    else nan )
+
+let print_graph_summary gs =
+  print_rows [ gs.g_build; gs.g_prop; gs.g_prop_dag; gs.g_edit ];
+  let build_nps, prop_nps, eps, speedup = graph_throughput gs in
+  Printf.printf
+    "graph: %d nodes, %d edges (dag config: %d nodes, max overlap %.3f)\n"
+    gs.g_nodes gs.g_edges gs.g_dag_nodes gs.g_dag_overlap;
+  Printf.printf "build: %.3g nodes/sec; propagate: %.3g nodes/sec\n" build_nps
+    prop_nps;
+  Printf.printf
+    "incremental: %.3g edits/sec, %.0fx vs full re-propagation\n" eps speedup;
+  Printf.printf
+    "graph results bit-identical (1/2/4 domains, incremental vs full): %b\n"
+    gs.g_deterministic
+
+(* ------------------------------------------------------------------ *)
 (* JSON                                                               *)
 
 let json_float f =
@@ -594,10 +707,10 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json oc ~experiments ~micro ~kernels ~vr ~deterministic =
+let write_json oc ~experiments ~micro ~kernels ~vr ~graph ~deterministic =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "{\n  \"schema\": \"confcase-bench-5\",\n";
+  add "{\n  \"schema\": \"confcase-bench-6\",\n";
   add "  \"experiments\": [\n";
   List.iteri
     (fun i r ->
@@ -634,8 +747,28 @@ let write_json oc ~experiments ~micro ~kernels ~vr ~deterministic =
         (json_float v.vr_efficiency)
         (if i = List.length vr - 1 then "" else ","))
     vr;
+  add "  ],\n  \"graph\": {\n";
+  let build_nps, prop_nps, eps, speedup = graph_throughput graph in
+  add "    \"nodes\": %d,\n    \"edges\": %d,\n" graph.g_nodes graph.g_edges;
+  add "    \"dag_nodes\": %d,\n    \"dag_max_overlap\": %s,\n"
+    graph.g_dag_nodes (json_float graph.g_dag_overlap);
+  add "    \"rows\": [\n";
+  let grows = [ graph.g_build; graph.g_prop; graph.g_prop_dag; graph.g_edit ] in
+  List.iteri
+    (fun i r ->
+      add "      {\"name\": \"%s\", \"nanos_per_run\": %s, \"samples\": %d}%s\n"
+        (json_escape r.name) (json_float r.nanos) r.samples
+        (if i = List.length grows - 1 then "" else ","))
+    grows;
+  add "    ],\n";
+  add "    \"build_nodes_per_sec\": %s,\n" (json_float build_nps);
+  add "    \"propagate_nodes_per_sec\": %s,\n" (json_float prop_nps);
+  add "    \"edits_per_sec\": %s,\n" (json_float eps);
+  add "    \"incremental_speedup_vs_full\": %s,\n" (json_float speedup);
+  add "    \"deterministic_across_domains\": %b\n  },\n"
+    graph.g_deterministic;
   let sp = speedups kernels in
-  add "  ],\n  \"speedups\": [\n";
+  add "  \"speedups\": [\n";
   List.iteri
     (fun i (kernel, domains, vs_one, vs_seq) ->
       add
@@ -674,7 +807,7 @@ let run_json path =
   let sketch_rows, sketch_id = sketch_kernel () in
   let kernels = conservative_rows @ survival_rows @ sketch_rows in
   print_rows (List.map (fun k -> k.r) kernels);
-  let deterministic = conservative_id && survival_id && sketch_id in
+  let kernels_id = conservative_id && survival_id && sketch_id in
   List.iter
     (fun (kernel, domains, vs_one, vs_seq) ->
       Printf.printf
@@ -682,8 +815,14 @@ let run_json path =
         kernel domains vs_one vs_seq)
     (speedups kernels);
   Printf.printf "parallel results bit-identical across domain counts: %b\n"
-    deterministic;
-  write_json oc ~experiments ~micro ~kernels ~vr ~deterministic;
+    kernels_id;
+  print_endline
+    "\n################ Case graphs (CSR propagate, 10^6 nodes) \
+     ################\n";
+  let graph = graph_rows () in
+  print_graph_summary graph;
+  let deterministic = kernels_id && graph.g_deterministic in
+  write_json oc ~experiments ~micro ~kernels ~vr ~graph ~deterministic;
   Printf.printf "\nwrote %s\n" path;
   if not deterministic then exit 1
 
@@ -693,7 +832,7 @@ let () =
   | [ "--no-perf" ] -> run_reproductions ()
   | [ "--json"; path ] -> run_json path
   | [ "--json" ] ->
-    prerr_endline "--json requires an output path, e.g. --json BENCH_5.json";
+    prerr_endline "--json requires an output path, e.g. --json BENCH_6.json";
     exit 1
   | [ "--vr-smoke" ] ->
     (* A fast CI-sized pass over the variance-reduction rows only: a
@@ -711,6 +850,16 @@ let () =
        the ratios. *)
     print_endline "################ Micro regressions (SoA smoke) ################\n";
     print_rows (micro_rows ())
+  | [ "--graph-smoke" ] ->
+    (* A CI-sized pass over the graph rows at depth 3 (~10^4 nodes):
+       exercises build, full and DAG propagation, 1/2/4-domain identity
+       and the incremental edit storm without the 10^6-node cost.
+       Gates on determinism only — the ratios are informational. *)
+    print_endline
+      "################ Case graphs (smoke, depth 3) ################\n";
+    let graph = graph_rows ~depth:3 () in
+    print_graph_summary graph;
+    if not graph.g_deterministic then exit 1
   | [] ->
     run_reproductions ();
     run_perf ()
@@ -726,5 +875,5 @@ let () =
   | _ ->
     prerr_endline
       "usage: main.exe [--no-perf | --json <path> | --vr-smoke | \
-       --soa-smoke | <experiment-id>]";
+       --soa-smoke | --graph-smoke | <experiment-id>]";
     exit 1

@@ -198,31 +198,61 @@ let rec check_shared_evidence t =
   let own =
     match t.rn.F.item with
     | F.Raw_goal { combinator = Casekit.Node.Any } when List.length t.kids >= 2 ->
-      let seen = Hashtbl.create 16 in
       let legs = List.rev t.kids in
+      let leg_leaves = List.map evidence_leaves legs in
+      (* Pass 1: the goal's overlap fraction — distinct evidence
+         statements cited from two or more legs, over all distinct
+         statements under the goal.  The same shared/distinct quotient
+         [Graph.overlap_fraction] derives from DAG structure, so the
+         static warning and the propagation-time correlation floor agree
+         on one number. *)
+      let first_cite = Hashtbl.create 16 in
+      let distinct = ref 0 and shared = ref 0 in
+      List.iteri
+        (fun leg_idx leaves ->
+          List.iter
+            (fun (ev : F.raw_node) ->
+              let key = normalise ev.F.statement in
+              match Hashtbl.find_opt first_cite key with
+              | None ->
+                incr distinct;
+                Hashtbl.add first_cite key (leg_idx, ev, ref false)
+              | Some (first_leg, _, counted) ->
+                if first_leg <> leg_idx && not !counted then begin
+                  counted := true;
+                  incr shared
+                end)
+            leaves)
+        leg_leaves;
+      let fraction =
+        if !distinct = 0 then 0.0
+        else float_of_int !shared /. float_of_int !distinct
+      in
+      (* Pass 2: one diagnostic per cross-leg repeat citation (same
+         emission points as always), each carrying the goal fraction. *)
       List.concat
         (List.mapi
-           (fun leg_idx leg ->
+           (fun leg_idx leaves ->
              List.filter_map
                (fun (ev : F.raw_node) ->
-                 let key = normalise ev.F.statement in
-                 match Hashtbl.find_opt seen key with
-                 | Some (first_leg, (first : F.raw_node)) when first_leg <> leg_idx ->
+                 match Hashtbl.find_opt first_cite (normalise ev.F.statement) with
+                 | Some (first_leg, (first : F.raw_node), _)
+                   when first_leg <> leg_idx ->
                    Some
                      (D.make ~code:"C009" ~severity:D.Warning ~line:ev.F.line
                         ~col:ev.F.id_col
+                        ~data:[ ("overlap_fraction", fraction) ]
                         (Printf.sprintf
                            "evidence %s restates %s (line %d) from another \
                             leg of `any` goal %s: the legs are not \
                             independent, which invalidates multi-leg \
-                            composition"
-                           ev.F.id first.F.id first.F.line t.rn.F.id))
-                 | Some _ -> None
-                 | None ->
-                   Hashtbl.add seen key (leg_idx, ev);
-                   None)
-               (evidence_leaves leg))
-           legs)
+                            composition (%.0f%% of this goal's evidence \
+                            is shared)"
+                           ev.F.id first.F.id first.F.line t.rn.F.id
+                           (100.0 *. fraction)))
+                 | _ -> None)
+               leaves)
+           leg_leaves)
     | _ -> []
   in
   own @ List.concat_map check_shared_evidence (List.rev t.kids)

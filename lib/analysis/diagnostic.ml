@@ -8,10 +8,11 @@ type t = {
   span : span;
   message : string;
   file : string option;
+  data : (string * float) list;
 }
 
-let make ?file ~code ~severity ~line ?(col = 1) message =
-  { code; severity; span = { line; col }; message; file }
+let make ?file ?(data = []) ~code ~severity ~line ?(col = 1) message =
+  { code; severity; span = { line; col }; message; file; data }
 
 let severity_to_string = function
   | Error -> "error"
@@ -80,11 +81,17 @@ let json_escape s =
   Buffer.contents buf
 
 let to_json d =
+  let data =
+    String.concat ""
+      (List.map
+         (fun (key, v) -> Printf.sprintf {|,"%s":%.6g|} (json_escape key) v)
+         d.data)
+  in
   Printf.sprintf
-    {|{"code":"%s","severity":"%s","line":%d,"col":%d,"message":"%s"}|}
+    {|{"code":"%s","severity":"%s","line":%d,"col":%d,"message":"%s"%s}|}
     (json_escape d.code)
     (severity_to_string d.severity)
-    d.span.line d.span.col (json_escape d.message)
+    d.span.line d.span.col (json_escape d.message) data
 
 let json_of_report files =
   let all = List.concat_map snd files in

@@ -18,10 +18,16 @@ type t = {
   span : span;
   message : string;
   file : string option;
+  data : (string * float) list;
+      (** Named quantities backing the diagnostic (e.g. C009's
+          [overlap_fraction]), carried into the JSON report so machine
+          consumers get the number the rule computed, not a re-parse of
+          the message. *)
 }
 
 val make :
   ?file:string ->
+  ?data:(string * float) list ->
   code:string ->
   severity:severity ->
   line:int ->

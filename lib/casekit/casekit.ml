@@ -4,6 +4,8 @@
     dependent judgements. *)
 
 module Node = Node
+module Graph = Graph
+module Generate = Generate
 module Propagate = Propagate
 module Multileg = Multileg
 module Bbn = Bbn

@@ -1,0 +1,42 @@
+(** Deterministic synthetic case generator.
+
+    Builds parameterised benchmark cases straight into a {!Graph.Builder}
+    — a million-node case streams through without ever materialising as
+    boxed {!Node.t} values.  The shape is the multi-legged argument of
+    the paper's Section 4.2 scaled up: a root goal over [legs] legs, each
+    leg a complete [fanout]-ary goal tree of the given [depth] bottoming
+    out in evidence leaves; an interior goal is [Any] with probability
+    0.2 (the rest [All]), the root is [Any] when there are at least two
+    legs.
+
+    With [shared > 0] the generator reuses evidence from the first leg in
+    later legs with that probability per leaf, producing a true DAG whose
+    legs are not independent — exactly the C009 situation the
+    shared-evidence discount in {!Graph} quantifies.
+
+    Everything is driven by one {!Numerics.Rng} stream from [seed], so a
+    given parameter tuple always yields the same graph, bit for bit. *)
+
+(** [node_count ~legs ~fanout ~depth] — the node count [case] produces
+    when [shared = 0]: [1 + legs * s(depth)] with [s(0) = 1],
+    [s(d) = 1 + fanout * s(d-1)].  ([legs = 9], [fanout = 10],
+    [depth = 5] is exactly 1,000,000.)  Sharing only removes duplicated
+    leaves, so this is also an upper bound for [shared > 0]. *)
+val node_count : legs:int -> fanout:int -> depth:int -> int
+
+(** [case ?seed ?legs ?fanout ?depth ?shared ?leaf ()] — generate a case
+    graph.  [seed] defaults to 61508, [legs] to 3, [fanout] to 4,
+    [depth] to 3, [shared] (probability a later-leg leaf reuses first-leg
+    evidence) to 0, and [leaf] — the half-open range leaf confidences are
+    drawn from — to [(0.95, 0.999)].
+    @raise Invalid_argument when a count is < 1, [shared] is outside
+    [0,1], or the leaf range does not satisfy [0 < lo < hi <= 1]. *)
+val case :
+  ?seed:int ->
+  ?legs:int ->
+  ?fanout:int ->
+  ?depth:int ->
+  ?shared:float ->
+  ?leaf:float * float ->
+  unit ->
+  Graph.t

@@ -1,0 +1,747 @@
+module Columns = Numerics.Columns
+module Parallel = Numerics.Parallel
+
+type dependence =
+  | Independent
+  | Frechet_lower
+  | Frechet_upper
+  | Correlated of float
+
+type kind = Evidence | All_goal | Any_goal
+
+(* Kind tags, one byte per node. *)
+let tag_evidence = '\000'
+let tag_all = '\001'
+let tag_any = '\002'
+
+type t = {
+  n : int;
+  root : int;
+  kinds : Bytes.t;
+  (* CSR adjacency: children of [i] are child.(child_off.(i)) ..
+     child.(child_off.(i+1) - 1), in emission order; parents likewise.
+     Children always have smaller indices than their parents, so index
+     order is a topological order. *)
+  child_off : int array;
+  child : int array;
+  parent_off : int array;
+  parent : int array;
+  ids : string array; (* "" = anonymous *)
+  statements : string array;
+  index : (string, int) Hashtbl.t; (* node id -> index *)
+  aindex : (string, int) Hashtbl.t; (* assumption id -> owning goal *)
+  assumption_lists : Node.assumption list array;
+  base : Columns.t; (* evidence confidence (0 for goals) *)
+  avalid : Columns.t; (* product of assumption validities *)
+  overlap : Columns.t; (* shared-evidence fraction of Any goals *)
+  value : Columns.t; (* last propagated values *)
+  (* Level schedule: level 0 = leaves, level of a goal = 1 + max child
+     level.  level_nodes.(level_off.(l)) .. are the indices at level l,
+     ascending. *)
+  height : int;
+  level_off : int array;
+  level_nodes : int array;
+  (* Incremental state: dirty.(i) set iff i is in the heap; the heap is a
+     binary min-heap over indices, so refresh pops children before
+     parents. *)
+  dirty : Bytes.t;
+  mutable heap : int array;
+  mutable heap_len : int;
+  mutable last_dep : dependence option;
+}
+
+(* --- min-heap over node indices ------------------------------------------- *)
+
+let heap_push t i =
+  let len = t.heap_len in
+  if len = Array.length t.heap then begin
+    let bigger = Array.make (max 16 (2 * len)) 0 in
+    Array.blit t.heap 0 bigger 0 len;
+    t.heap <- bigger
+  end;
+  let a = t.heap in
+  a.(len) <- i;
+  t.heap_len <- len + 1;
+  let j = ref len in
+  while !j > 0 && a.((!j - 1) / 2) > a.(!j) do
+    let p = (!j - 1) / 2 in
+    let tmp = a.(p) in
+    a.(p) <- a.(!j);
+    a.(!j) <- tmp;
+    j := p
+  done
+
+let heap_pop t =
+  let a = t.heap in
+  let top = a.(0) in
+  let len = t.heap_len - 1 in
+  t.heap_len <- len;
+  if len > 0 then begin
+    a.(0) <- a.(len);
+    let j = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !j) + 1 and r = (2 * !j) + 2 in
+      let s = ref !j in
+      if l < len && a.(l) < a.(!s) then s := l;
+      if r < len && a.(r) < a.(!s) then s := r;
+      if !s = !j then continue := false
+      else begin
+        let tmp = a.(!s) in
+        a.(!s) <- a.(!j);
+        a.(!j) <- tmp;
+        j := !s
+      end
+    done
+  end;
+  top
+
+let mark_dirty t i =
+  if Bytes.get t.dirty i = '\000' then begin
+    Bytes.set t.dirty i '\001';
+    heap_push t i
+  end
+
+let clear_dirty t =
+  for k = 0 to t.heap_len - 1 do
+    Bytes.set t.dirty t.heap.(k) '\000'
+  done;
+  t.heap_len <- 0
+
+(* --- shared-evidence overlap ----------------------------------------------- *)
+
+(* For each Any goal whose subtree contains a multi-parent node: the
+   fraction of distinct evidence items under the goal that are reachable
+   from two or more of its legs.  Computed once at build time — the
+   overlap depends only on structure, which edits never change — and the
+   same count/count quotient the C009 rule reports, so the static warning
+   and the quantitative penalty agree on the number. *)
+let compute_overlap ~n ~kinds ~child_off ~child ~parent_off ~overlap =
+  (* multi.(i): does i's subtree (including i) contain a node with >= 2
+     parents?  Children precede parents, so one ascending pass works. *)
+  let multi = Array.make n false in
+  for i = 0 to n - 1 do
+    let m = ref (parent_off.(i + 1) - parent_off.(i) >= 2) in
+    let e = ref child_off.(i) in
+    let lim = child_off.(i + 1) in
+    while (not !m) && !e < lim do
+      if multi.(child.(!e)) then m := true;
+      incr e
+    done;
+    multi.(i) <- !m
+  done;
+  if Array.exists (fun x -> x) multi then begin
+    (* Ticket-stamped scratch: visit deduplicates nodes within one leg's
+       DFS; ev_goal/ev_leg track, per goal, which leg first cited each
+       evidence item (-1 = already counted as shared). *)
+    let visit = Array.make n (-1) in
+    let ev_goal = Array.make n (-1) in
+    let ev_leg = Array.make n 0 in
+    let ticket = ref 0 in
+    let stack = ref (Array.make 1024 0) in
+    let top = ref 0 in
+    let push v =
+      if !top = Array.length !stack then begin
+        let ns = Array.make (2 * !top) 0 in
+        Array.blit !stack 0 ns 0 !top;
+        stack := ns
+      end;
+      !stack.(!top) <- v;
+      incr top
+    in
+    for gi = 0 to n - 1 do
+      if
+        Bytes.get kinds gi = tag_any
+        && multi.(gi)
+        && child_off.(gi + 1) - child_off.(gi) >= 2
+      then begin
+        let distinct = ref 0 and shared = ref 0 in
+        let nkids = child_off.(gi + 1) - child_off.(gi) in
+        for leg = 0 to nkids - 1 do
+          incr ticket;
+          let tk = !ticket in
+          push child.(child_off.(gi) + leg);
+          while !top > 0 do
+            decr top;
+            let v = !stack.(!top) in
+            if visit.(v) <> tk then begin
+              visit.(v) <- tk;
+              if Bytes.get kinds v = tag_evidence then begin
+                if ev_goal.(v) <> gi then begin
+                  ev_goal.(v) <- gi;
+                  ev_leg.(v) <- leg;
+                  incr distinct
+                end
+                else if ev_leg.(v) >= 0 && ev_leg.(v) <> leg then begin
+                  ev_leg.(v) <- -1;
+                  incr shared
+                end
+              end
+              else
+                for e = child_off.(v) to child_off.(v + 1) - 1 do
+                  push child.(e)
+                done
+            end
+          done
+        done;
+        if !distinct > 0 then
+          Columns.set overlap gi
+            (float_of_int !shared /. float_of_int !distinct)
+      end
+    done
+  end
+
+(* --- builder ---------------------------------------------------------------- *)
+
+module Builder = struct
+  type b = {
+    mutable bn : int;
+    mutable bkinds : Bytes.t;
+    mutable bids : string array;
+    mutable bstatements : string array;
+    mutable bassumptions : Node.assumption list array;
+    bbase : Columns.t;
+    bavalid : Columns.t;
+    mutable bchild_off : int array; (* capacity + 1 entries *)
+    mutable bchild : int array;
+    mutable bchild_len : int;
+    bindex : (string, int) Hashtbl.t;
+    baindex : (string, int) Hashtbl.t;
+  }
+
+  let create ?(capacity = 16) () =
+    let cap = max capacity 1 in
+    {
+      bn = 0;
+      bkinds = Bytes.make cap tag_evidence;
+      bids = Array.make cap "";
+      bstatements = Array.make cap "";
+      bassumptions = Array.make cap [];
+      bbase = Columns.create ~capacity:cap ();
+      bavalid = Columns.create ~capacity:cap ();
+      bchild_off = Array.make (cap + 1) 0;
+      bchild = Array.make (max cap 16) 0;
+      bchild_len = 0;
+      bindex = Hashtbl.create 64;
+      baindex = Hashtbl.create 16;
+    }
+
+  let grow_nodes b =
+    let cap = Bytes.length b.bkinds in
+    if b.bn >= cap then begin
+      let ncap = 2 * cap in
+      let k = Bytes.make ncap tag_evidence in
+      Bytes.blit b.bkinds 0 k 0 cap;
+      b.bkinds <- k;
+      let garr a def =
+        let na = Array.make ncap def in
+        Array.blit a 0 na 0 cap;
+        na
+      in
+      b.bids <- garr b.bids "";
+      b.bstatements <- garr b.bstatements "";
+      b.bassumptions <- garr b.bassumptions [];
+      let noff = Array.make (ncap + 1) 0 in
+      Array.blit b.bchild_off 0 noff 0 (cap + 1);
+      b.bchild_off <- noff
+    end
+
+  let intern b id i =
+    if id <> "" then begin
+      if Hashtbl.mem b.bindex id || Hashtbl.mem b.baindex id then
+        invalid_arg (Printf.sprintf "Graph.Builder: duplicate id %s" id);
+      Hashtbl.add b.bindex id i
+    end
+
+  let intern_assumption b aid i =
+    if aid <> "" then begin
+      if Hashtbl.mem b.bindex aid || Hashtbl.mem b.baindex aid then
+        invalid_arg (Printf.sprintf "Graph.Builder: duplicate id %s" aid);
+      Hashtbl.add b.baindex aid i
+    end
+
+  let evidence b ?(id = "") ?(statement = "") ~confidence () =
+    if not (confidence > 0.0 && confidence <= 1.0) then
+      invalid_arg "Graph.Builder.evidence: confidence must be in (0,1]";
+    grow_nodes b;
+    let i = b.bn in
+    intern b id i;
+    Bytes.set b.bkinds i tag_evidence;
+    b.bids.(i) <- id;
+    b.bstatements.(i) <- statement;
+    Columns.push b.bbase confidence;
+    Columns.push b.bavalid 1.0;
+    b.bchild_off.(i + 1) <- b.bchild_len;
+    b.bn <- i + 1;
+    i
+
+  let goal b ?(id = "") ?(statement = "") ?(assumptions = []) ~combinator kids
+      =
+    if Array.length kids = 0 then
+      invalid_arg "Graph.Builder.goal: a goal needs support";
+    Array.iter
+      (fun c ->
+        if c < 0 || c >= b.bn then
+          invalid_arg "Graph.Builder.goal: child index out of range")
+      kids;
+    grow_nodes b;
+    let i = b.bn in
+    intern b id i;
+    List.iter
+      (fun (a : Node.assumption) ->
+        if not (a.p_valid > 0.0 && a.p_valid <= 1.0) then
+          invalid_arg "Graph.Builder.goal: p_valid must be in (0,1]";
+        intern_assumption b a.aid i)
+      assumptions;
+    Bytes.set b.bkinds i
+      (match combinator with Node.All -> tag_all | Node.Any -> tag_any);
+    b.bids.(i) <- id;
+    b.bstatements.(i) <- statement;
+    b.bassumptions.(i) <- assumptions;
+    Columns.push b.bbase 0.0;
+    (* Same fold as Propagate.assumption_factor: bit-identical product. *)
+    Columns.push b.bavalid
+      (List.fold_left
+         (fun acc (a : Node.assumption) -> acc *. a.p_valid)
+         1.0 assumptions);
+    if b.bchild_len + Array.length kids > Array.length b.bchild then begin
+      let ncap =
+        max (2 * Array.length b.bchild) (b.bchild_len + Array.length kids)
+      in
+      let nc = Array.make ncap 0 in
+      Array.blit b.bchild 0 nc 0 b.bchild_len;
+      b.bchild <- nc
+    end;
+    Array.blit kids 0 b.bchild b.bchild_len (Array.length kids);
+    b.bchild_len <- b.bchild_len + Array.length kids;
+    b.bchild_off.(i + 1) <- b.bchild_len;
+    b.bn <- i + 1;
+    i
+
+  let build b ~root =
+    if b.bn = 0 then invalid_arg "Graph.Builder.build: empty graph";
+    if root < 0 || root >= b.bn then
+      invalid_arg "Graph.Builder.build: root out of range";
+    let n = b.bn in
+    let kinds = Bytes.sub b.bkinds 0 n in
+    let ids = Array.sub b.bids 0 n in
+    let statements = Array.sub b.bstatements 0 n in
+    let assumption_lists = Array.sub b.bassumptions 0 n in
+    let child_off = Array.sub b.bchild_off 0 (n + 1) in
+    let child = Array.sub b.bchild 0 b.bchild_len in
+    (* Parent CSR by counting sort over the child array. *)
+    let parent_off = Array.make (n + 1) 0 in
+    Array.iter (fun c -> parent_off.(c + 1) <- parent_off.(c + 1) + 1) child;
+    for i = 0 to n - 1 do
+      parent_off.(i + 1) <- parent_off.(i + 1) + parent_off.(i)
+    done;
+    let parent = Array.make (max b.bchild_len 1) 0 in
+    let cursor = Array.sub parent_off 0 n in
+    for i = 0 to n - 1 do
+      for e = child_off.(i) to child_off.(i + 1) - 1 do
+        let c = child.(e) in
+        parent.(cursor.(c)) <- i;
+        cursor.(c) <- cursor.(c) + 1
+      done
+    done;
+    (* Levels: leaves at 0, goal = 1 + max child level. *)
+    let levels = Array.make n 0 in
+    let height = ref 1 in
+    for i = 0 to n - 1 do
+      if Bytes.get kinds i <> tag_evidence then begin
+        let m = ref 0 in
+        for e = child_off.(i) to child_off.(i + 1) - 1 do
+          let l = levels.(child.(e)) in
+          if l > !m then m := l
+        done;
+        levels.(i) <- !m + 1;
+        if !m + 2 > !height then height := !m + 2
+      end
+    done;
+    let height = !height in
+    let level_off = Array.make (height + 1) 0 in
+    Array.iter (fun l -> level_off.(l + 1) <- level_off.(l + 1) + 1) levels;
+    for l = 0 to height - 1 do
+      level_off.(l + 1) <- level_off.(l + 1) + level_off.(l)
+    done;
+    let level_nodes = Array.make n 0 in
+    let lcursor = Array.sub level_off 0 height in
+    for i = 0 to n - 1 do
+      let l = levels.(i) in
+      level_nodes.(lcursor.(l)) <- i;
+      lcursor.(l) <- lcursor.(l) + 1
+    done;
+    let overlap = Columns.make n 0.0 in
+    compute_overlap ~n ~kinds ~child_off ~child ~parent_off ~overlap;
+    {
+      n;
+      root;
+      kinds;
+      child_off;
+      child;
+      parent_off;
+      parent;
+      ids;
+      statements;
+      index = b.bindex;
+      aindex = b.baindex;
+      assumption_lists;
+      base = b.bbase;
+      avalid = b.bavalid;
+      overlap;
+      value = Columns.make n 0.0;
+      height;
+      level_off;
+      level_nodes;
+      dirty = Bytes.make n '\000';
+      heap = [||];
+      heap_len = 0;
+      last_dep = None;
+    }
+end
+
+(* --- bridges ---------------------------------------------------------------- *)
+
+type frame = {
+  fnode : Node.t;
+  mutable pending : Node.t list;
+  mutable acc : int list; (* child indices, reversed *)
+}
+
+let of_node root_node =
+  let b = Builder.create ~capacity:(Node.size root_node) () in
+  (* Iterative postorder with an explicit frame stack: a 10^5-node chain
+     must not overflow the OCaml stack. *)
+  let stack = ref [] in
+  let result = ref (-1) in
+  let finish idx =
+    match !stack with [] -> result := idx | f :: _ -> f.acc <- idx :: f.acc
+  in
+  let start node =
+    match node with
+    | Node.Evidence e ->
+      finish
+        (Builder.evidence b ~id:e.id ~statement:e.statement
+           ~confidence:e.confidence ())
+    | Node.Goal g ->
+      stack := { fnode = node; pending = g.supported_by; acc = [] } :: !stack
+  in
+  start root_node;
+  let running = ref (!stack <> []) in
+  while !running do
+    match !stack with
+    | [] -> running := false
+    | f :: rest -> (
+      match f.pending with
+      | c :: more ->
+        f.pending <- more;
+        start c
+      | [] -> (
+        stack := rest;
+        match f.fnode with
+        | Node.Goal g ->
+          finish
+            (Builder.goal b ~id:g.id ~statement:g.statement
+               ~assumptions:g.assumptions ~combinator:g.combinator
+               (Array.of_list (List.rev f.acc)));
+          if rest = [] then running := false
+        | Node.Evidence _ -> assert false))
+  done;
+  Builder.build b ~root:!result
+
+let is_tree t =
+  let ok = ref true in
+  for i = 0 to t.n - 1 do
+    if t.parent_off.(i + 1) - t.parent_off.(i) >= 2 then ok := false
+  done;
+  !ok
+
+let to_node t =
+  if not (is_tree t) then
+    invalid_arg "Graph.to_node: graph is a DAG (shared support has no tree \
+                 rendering)";
+  (* Recursion depth is the tree height — fine for authored cases; the
+     graphs deep enough to threaten the stack are generated DAG benches
+     that never come back through here. *)
+  let rec build i =
+    if Bytes.get t.kinds i = tag_evidence then
+      Node.evidence ~id:t.ids.(i) ~statement:t.statements.(i)
+        ~confidence:(Columns.get t.base i)
+    else begin
+      let kids = ref [] in
+      for e = t.child_off.(i + 1) - 1 downto t.child_off.(i) do
+        kids := build t.child.(e) :: !kids
+      done;
+      let combinator =
+        if Bytes.get t.kinds i = tag_all then Node.All else Node.Any
+      in
+      Node.goal ~id:t.ids.(i) ~statement:t.statements.(i) ~combinator
+        ~assumptions:t.assumption_lists.(i) !kids
+    end
+  in
+  build t.root
+
+(* --- propagation kernels ---------------------------------------------------- *)
+
+let check_dep = function
+  | Correlated rho ->
+    if not (rho >= 0.0 && rho <= 1.0) then
+      invalid_arg "Graph.propagate: rho out of [0,1]"
+  | Independent | Frechet_lower | Frechet_upper -> ()
+
+(* Value of node [i] given its children's values in [vdata].  Each branch
+   replays the exact float operations (and order) of the List folds in
+   Propagate.and_combine / or_combine, so on trees the result is
+   bit-identical to Propagate.confidence.  The inlined min/max mirror
+   Stdlib.min/max: fold min keeps acc when acc <= c, fold max keeps acc
+   when acc >= c. *)
+let compute t dep vdata i =
+  let tag = Bytes.unsafe_get t.kinds i in
+  if tag = tag_evidence then Columns.unsafe_get t.base i
+  else begin
+    let off = Array.unsafe_get t.child_off i in
+    let lim = Array.unsafe_get t.child_off (i + 1) in
+    let combined =
+      if tag = tag_all then
+        match dep with
+        | Independent ->
+          let acc = ref 1.0 in
+          for e = off to lim - 1 do
+            acc :=
+              !acc
+              *. Bigarray.Array1.unsafe_get vdata (Array.unsafe_get t.child e)
+          done;
+          !acc
+        | Frechet_lower ->
+          let s = ref 0.0 in
+          for e = off to lim - 1 do
+            s :=
+              !s
+              +. Bigarray.Array1.unsafe_get vdata (Array.unsafe_get t.child e)
+          done;
+          let v = !s -. (float_of_int (lim - off) -. 1.0) in
+          if 0.0 >= v then 0.0 else v
+        | Frechet_upper ->
+          let m = ref 1.0 in
+          for e = off to lim - 1 do
+            let c =
+              Bigarray.Array1.unsafe_get vdata (Array.unsafe_get t.child e)
+            in
+            if not (!m <= c) then m := c
+          done;
+          !m
+        | Correlated rho ->
+          let ind = ref 1.0 and como = ref 1.0 in
+          for e = off to lim - 1 do
+            let c =
+              Bigarray.Array1.unsafe_get vdata (Array.unsafe_get t.child e)
+            in
+            ind := !ind *. c;
+            if not (!como <= c) then como := c
+          done;
+          let ov = Columns.unsafe_get t.overlap i in
+          let rho = if ov > rho then ov else rho in
+          ((1.0 -. rho) *. !ind) +. (rho *. !como)
+      else
+        match dep with
+        | Independent ->
+          let acc = ref 1.0 in
+          for e = off to lim - 1 do
+            acc :=
+              !acc
+              *. (1.0
+                 -. Bigarray.Array1.unsafe_get vdata
+                      (Array.unsafe_get t.child e))
+          done;
+          1.0 -. !acc
+        | Frechet_lower ->
+          let m = ref 0.0 in
+          for e = off to lim - 1 do
+            let c =
+              Bigarray.Array1.unsafe_get vdata (Array.unsafe_get t.child e)
+            in
+            if not (!m >= c) then m := c
+          done;
+          !m
+        | Frechet_upper ->
+          let s = ref 0.0 in
+          for e = off to lim - 1 do
+            s :=
+              !s
+              +. Bigarray.Array1.unsafe_get vdata (Array.unsafe_get t.child e)
+          done;
+          if 1.0 <= !s then 1.0 else !s
+        | Correlated rho ->
+          let ind = ref 1.0 and como = ref 0.0 in
+          for e = off to lim - 1 do
+            let c =
+              Bigarray.Array1.unsafe_get vdata (Array.unsafe_get t.child e)
+            in
+            ind := !ind *. (1.0 -. c);
+            if not (!como >= c) then como := c
+          done;
+          (* Shared-evidence discount: legs citing the same evidence are
+             at least that correlated, so floor rho at the overlap. *)
+          let ov = Columns.unsafe_get t.overlap i in
+          let rho = if ov > rho then ov else rho in
+          ((1.0 -. rho) *. (1.0 -. !ind)) +. (rho *. !como)
+    in
+    combined *. Columns.unsafe_get t.avalid i
+  end
+
+let propagate dep t =
+  check_dep dep;
+  let vdata = Columns.unsafe_data t.value in
+  for i = 0 to t.n - 1 do
+    Bigarray.Array1.unsafe_set vdata i (compute t dep vdata i)
+  done;
+  clear_dirty t;
+  t.last_dep <- Some dep;
+  Bigarray.Array1.unsafe_get vdata t.root
+
+(* Below this many nodes a level is evaluated inline: dispatch overhead
+   would swamp the work. *)
+let par_level_threshold = 4096
+
+let propagate_par ~pool ?chunks dep t =
+  check_dep dep;
+  let chunks =
+    match chunks with Some c -> c | None -> Parallel.default_chunks ~pool ()
+  in
+  if chunks < 1 then invalid_arg "Graph.propagate_par: chunks must be >= 1";
+  let vdata = Columns.unsafe_data t.value in
+  let run_slice s e =
+    for k = s to e - 1 do
+      let i = Array.unsafe_get t.level_nodes k in
+      Bigarray.Array1.unsafe_set vdata i (compute t dep vdata i)
+    done
+  in
+  for l = 0 to t.height - 1 do
+    let off = t.level_off.(l) and lim = t.level_off.(l + 1) in
+    let count = lim - off in
+    if count < par_level_threshold || chunks = 1 then run_slice off lim
+    else begin
+      let sizes = Parallel.chunk_sizes ~n:count ~chunks in
+      let starts = Array.make (chunks + 1) off in
+      for c = 0 to chunks - 1 do
+        starts.(c + 1) <- starts.(c) + sizes.(c)
+      done;
+      ignore
+        (Parallel.map_chunks ~pool ~chunks (fun c ->
+             run_slice starts.(c) starts.(c + 1)))
+    end
+  done;
+  clear_dirty t;
+  t.last_dep <- Some dep;
+  Bigarray.Array1.unsafe_get vdata t.root
+
+(* --- incremental edits ------------------------------------------------------- *)
+
+let set_evidence t i confidence =
+  if i < 0 || i >= t.n then invalid_arg "Graph.set_evidence: index out of range";
+  if Bytes.get t.kinds i <> tag_evidence then
+    invalid_arg "Graph.set_evidence: not an evidence node";
+  if not (confidence > 0.0 && confidence <= 1.0) then
+    invalid_arg "Graph.set_evidence: confidence must be in (0,1]";
+  Columns.set t.base i confidence;
+  mark_dirty t i
+
+let set_assumption t ~id ~p_valid =
+  if not (p_valid > 0.0 && p_valid <= 1.0) then
+    invalid_arg "Graph.set_assumption: p_valid must be in (0,1]";
+  match Hashtbl.find_opt t.aindex id with
+  | None -> raise Not_found
+  | Some gi ->
+    t.assumption_lists.(gi) <-
+      List.map
+        (fun (a : Node.assumption) ->
+          if a.aid = id then { a with p_valid } else a)
+        t.assumption_lists.(gi);
+    Columns.set t.avalid gi
+      (List.fold_left
+         (fun acc (a : Node.assumption) -> acc *. a.p_valid)
+         1.0
+         t.assumption_lists.(gi));
+    mark_dirty t gi
+
+let same_dep a b =
+  match (a, b) with
+  | Independent, Independent
+  | Frechet_lower, Frechet_lower
+  | Frechet_upper, Frechet_upper -> true
+  | Correlated x, Correlated y ->
+    Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | _ -> false
+
+let refresh dep t =
+  match t.last_dep with
+  | Some d when same_dep d dep ->
+    let vdata = Columns.unsafe_data t.value in
+    while t.heap_len > 0 do
+      let i = heap_pop t in
+      Bytes.set t.dirty i '\000';
+      let v = compute t dep vdata i in
+      if
+        not
+          (Int64.equal (Int64.bits_of_float v)
+             (Int64.bits_of_float (Bigarray.Array1.unsafe_get vdata i)))
+      then begin
+        Bigarray.Array1.unsafe_set vdata i v;
+        (* The value actually changed: parents are now stale.  When an
+           edit's effect dies out (e.g. under a min) this branch is not
+           taken and the cone is cut off early. *)
+        for e = t.parent_off.(i) to t.parent_off.(i + 1) - 1 do
+          mark_dirty t t.parent.(e)
+        done
+      end
+    done;
+    Bigarray.Array1.unsafe_get vdata t.root
+  | _ -> propagate dep t
+
+(* --- inspection --------------------------------------------------------------- *)
+
+let size t = t.n
+let edge_count t = Array.length t.child
+let root t = t.root
+let levels t = t.height
+
+let kind_of t i =
+  match Bytes.get t.kinds i with
+  | c when c = tag_evidence -> Evidence
+  | c when c = tag_all -> All_goal
+  | _ -> Any_goal
+
+let id_of t i = t.ids.(i)
+let find t id = Hashtbl.find_opt t.index id
+let value t i = Columns.get t.value i
+let base_confidence t i = Columns.get t.base i
+
+let children t i =
+  Array.sub t.child t.child_off.(i) (t.child_off.(i + 1) - t.child_off.(i))
+
+let parent_count t i = t.parent_off.(i + 1) - t.parent_off.(i)
+
+let evidence_indices t =
+  let count = ref 0 in
+  for i = 0 to t.n - 1 do
+    if Bytes.get t.kinds i = tag_evidence then incr count
+  done;
+  let out = Array.make !count 0 in
+  let k = ref 0 in
+  for i = 0 to t.n - 1 do
+    if Bytes.get t.kinds i = tag_evidence then begin
+      out.(!k) <- i;
+      incr k
+    end
+  done;
+  out
+
+let overlap_fraction t i = Columns.get t.overlap i
+
+let max_overlap t =
+  let m = ref 0.0 in
+  for i = 0 to t.n - 1 do
+    let ov = Columns.get t.overlap i in
+    if ov > !m then m := ov
+  done;
+  !m

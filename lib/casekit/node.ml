@@ -28,42 +28,47 @@ let assumption ~id ~statement ~p_valid =
 
 let id = function Goal g -> g.id | Evidence e -> e.id
 
-let rec fold f acc node =
-  match node with
-  | Evidence _ -> f acc node
-  | Goal g -> List.fold_left (fold f) (f acc node) g.supported_by
+(* Iterative preorder (explicit worklist): the same visit order as the
+   old recursive [List.fold_left (fold f) (f acc node)], but safe on
+   10^5-deep chains. *)
+let fold f acc node =
+  let rec go acc = function
+    | [] -> acc
+    | (Evidence _ as n) :: rest -> go (f acc n) rest
+    | (Goal g as n) :: rest -> go (f acc n) (g.supported_by @ rest)
+  in
+  go acc [ node ]
 
 let validate t =
-  let ids = ref [] in
-  let record acc node =
-    let node_id = id node in
-    if List.mem node_id !ids then
-      invalid_arg (Printf.sprintf "Node.validate: duplicate id %s" node_id);
-    ids := node_id :: !ids;
-    acc
+  (* Node and assumption ids share one namespace; a single pass over a
+     Hashtbl keeps validation linear (the old List.mem scan was O(n^2),
+     which a 10^5-node case turned into minutes). *)
+  let seen = Hashtbl.create 256 in
+  let record id =
+    if Hashtbl.mem seen id then
+      invalid_arg (Printf.sprintf "Node.validate: duplicate id %s" id);
+    Hashtbl.add seen id ()
   in
-  fold record () t;
-  (* Assumption ids share the namespace. *)
-  let record_assumptions () node =
-    match node with
-    | Evidence _ -> ()
-    | Goal g ->
-      List.iter
-        (fun a ->
-          if List.mem a.aid !ids then
-            invalid_arg
-              (Printf.sprintf "Node.validate: duplicate id %s" a.aid);
-          ids := a.aid :: !ids)
-        g.assumptions
-  in
-  fold record_assumptions () t
+  fold
+    (fun () node ->
+      record (id node);
+      match node with
+      | Evidence _ -> ()
+      | Goal g -> List.iter (fun a -> record a.aid) g.assumptions)
+    () t
 
 let size t = fold (fun n _ -> n + 1) 0 t
 
-let rec depth = function
-  | Evidence _ -> 1
-  | Goal g ->
-    1 + List.fold_left (fun acc c -> max acc (depth c)) 0 g.supported_by
+let depth t =
+  (* Iterative: track (node, level) pairs, take the max leafward level. *)
+  let rec go best = function
+    | [] -> best
+    | (Evidence _, d) :: rest -> go (if d > best then d else best) rest
+    | (Goal g, d) :: rest ->
+      let best = if d > best then d else best in
+      go best (List.fold_left (fun acc c -> (c, d + 1) :: acc) rest g.supported_by)
+  in
+  go 1 [ (t, 1) ]
 
 let find t ~id:wanted =
   fold

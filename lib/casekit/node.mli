@@ -46,6 +46,10 @@ val validate : t -> unit
 
 val id : t -> string
 
+(** [fold f acc t] — preorder fold over every node (depth first, children
+    left to right); iterative, so safe on arbitrarily deep chains. *)
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+
 (** [size t] — number of nodes. *)
 val size : t -> int
 

@@ -1,4 +1,6 @@
-type dependence =
+(* The dependence model is owned by Graph (the flat evaluation layer);
+   re-exported here so existing tree-level callers are unaffected. *)
+type dependence = Graph.dependence =
   | Independent
   | Frechet_lower
   | Frechet_upper
@@ -112,30 +114,50 @@ let central_difference perturb current =
   let lo = max 1e-6 (current -. h) and hi = min 1.0 (current +. h) in
   (perturb hi -. perturb lo) /. (hi -. lo)
 
+(* Both sensitivity rankings used to rebuild and re-evaluate the whole
+   tree twice per leaf — O(n * leaves).  They now build the flat graph
+   once and drive the incremental engine: each probe re-propagates only
+   the edited leaf's ancestor cone.  refresh returns exactly the bits a
+   full propagation would, and Graph.propagate is bit-identical to
+   [confidence] on trees, so the central differences are unchanged. *)
+
 let leaf_sensitivities dependence node =
-  Node.leaves node
-  |> List.map (fun leaf ->
-         match leaf with
-         | Node.Evidence e ->
-           let perturb c =
-             confidence dependence (what_if node ~id:e.id ~confidence:c)
-           in
-           (e.id, central_difference perturb e.confidence)
-         | Node.Goal _ -> assert false)
+  let g = Graph.of_node node in
+  ignore (Graph.propagate dependence g);
+  Graph.evidence_indices g |> Array.to_list
+  |> List.map (fun i ->
+         let c = Graph.base_confidence g i in
+         let perturb x =
+           Graph.set_evidence g i x;
+           Graph.refresh dependence g
+         in
+         let s = central_difference perturb c in
+         Graph.set_evidence g i c;
+         ignore (Graph.refresh dependence g);
+         (Graph.id_of g i, s))
 
 let assumption_sensitivities dependence node =
+  (* Same collection order as before: preorder, each goal's assumptions
+     ahead of its children's. *)
   let assumptions =
-    let rec collect acc = function
-      | Node.Evidence _ -> acc
-      | Node.Goal g ->
-        List.fold_left collect (acc @ g.assumptions) g.supported_by
-    in
-    collect [] node
+    List.rev
+      (Node.fold
+         (fun acc n ->
+           match n with
+           | Node.Goal g -> List.rev_append g.assumptions acc
+           | Node.Evidence _ -> acc)
+         [] node)
   in
+  let g = Graph.of_node node in
+  ignore (Graph.propagate dependence g);
   List.map
     (fun (a : Node.assumption) ->
       let perturb p =
-        confidence dependence (what_if_assumption node ~id:a.aid ~p_valid:p)
+        Graph.set_assumption g ~id:a.aid ~p_valid:p;
+        Graph.refresh dependence g
       in
-      (a.aid, central_difference perturb a.p_valid))
+      let s = central_difference perturb a.p_valid in
+      Graph.set_assumption g ~id:a.aid ~p_valid:a.p_valid;
+      ignore (Graph.refresh dependence g);
+      (a.aid, s))
     assumptions

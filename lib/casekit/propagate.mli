@@ -5,7 +5,10 @@
     envelope — the tightest bounds valid under *any* dependence — and a
     single-parameter interpolation for sensitivity studies. *)
 
-type dependence =
+(** The dependence model is shared with the flat evaluation layer: this
+    is an equation on {!Graph.dependence}, so tree- and graph-level code
+    use the same constructors. *)
+type dependence = Graph.dependence =
   | Independent
   | Frechet_lower  (** Worst-case joint behaviour. *)
   | Frechet_upper  (** Best-case joint behaviour. *)
@@ -41,10 +44,18 @@ val sensitivity : Node.t -> rhos:float array -> (float * float) array
     @raise Not_found if [id] is absent or not an evidence node. *)
 val what_if : Node.t -> id:string -> confidence:float -> Node.t
 
+(** [what_if_assumption node ~id ~p_valid] — the same case with the
+    assumption [id] set to a new validity.
+    @raise Not_found if no assumption has that id. *)
+val what_if_assumption : Node.t -> id:string -> p_valid:float -> Node.t
+
 (** [leaf_sensitivities dependence node] — for each evidence leaf, the
     derivative of the root confidence with respect to that leaf's
     confidence (central differences).  The ranking answers the ACARP
-    question "which evidence is worth strengthening?". *)
+    question "which evidence is worth strengthening?".  Runs on the
+    {!Graph} incremental engine: each probe re-propagates only the leaf's
+    ancestor cone, so the ranking is O(edges touched), not O(n·leaves);
+    the values are bit-identical to evaluating the perturbed trees. *)
 val leaf_sensitivities : dependence -> Node.t -> (string * float) list
 
 (** [assumption_sensitivities dependence node] — same for each assumption's

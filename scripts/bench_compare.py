@@ -25,11 +25,15 @@ THRESHOLD = 0.20  # +/-20%
 # Rows renamed across schema generations: {old_key: new_key}.  Applied to
 # the *older* file's keys so a renamed row is still compared instead of
 # showing up as one removal plus one addition.  confcase-bench-5 renamed
-# the sketch micro rows when the t-digest moved to SoA centroid columns
-# (same workload, same semantics — only the storage changed).
+# the sketch micro rows when the t-digest moved to SoA centroid columns;
+# confcase-bench-6 renamed the snapshot micro rows (columns_* -> snapshot_*)
+# when the graph section landed (same workload — only the name changed).
 RENAMES = {
     "micro/sketch_add_1e6": "micro/sketch_add_soa_1e6",
     "micro/sketch_merge_64x16k": "micro/sketch_merge_soa_64x16k",
+    "micro/columns_save_1e6": "micro/snapshot_save_1e6",
+    "micro/columns_load_1e6": "micro/snapshot_load_1e6",
+    "micro/columns_load_mmap_1e6": "micro/snapshot_load_mmap_1e6",
 }
 
 
@@ -57,6 +61,8 @@ def load_rows(path: Path):
     for row in doc.get("vr", []):
         key = f"vr/{row['name']}/{row['method']}"
         rows[key] = row.get("nanos_per_run")
+    for row in doc.get("graph", {}).get("rows", []):
+        rows[f"graph/{row['name']}"] = row.get("nanos_per_run")
     return doc.get("schema", "?"), rows
 
 

@@ -234,6 +234,32 @@ let test_shipped_fixtures () =
   Alcotest.(check int) "bad_sis.belief exits 2" 2
     (D.exit_code bad_belief.diagnostics)
 
+(* Golden: the C009 warning on bad_shutdown.case carries the computed
+   overlap fraction — one shared evidence statement out of three distinct
+   under `any` goal G0, i.e. exactly 1/3 — in its data field and in the
+   JSON report.  This is the same shared/distinct quotient
+   Graph.overlap_fraction derives from DAG structure (pinned to 1/3 on
+   the same shape in test_graph.ml), so the static warning and the
+   propagation-time correlation floor agree on one number. *)
+let test_c009_overlap_fraction () =
+  let r = Check.case (read_file "examples/bad_shutdown.case") in
+  let c009 =
+    match List.find_opt (fun (d : D.t) -> d.code = "C009") r.diagnostics with
+    | Some d -> d
+    | None -> Alcotest.fail "expected a C009 diagnostic"
+  in
+  (match List.assoc_opt "overlap_fraction" c009.data with
+  | Some f -> check_close ~eps:1e-12 "overlap fraction is 1/3" (1.0 /. 3.0) f
+  | None -> Alcotest.fail "C009 carries no overlap_fraction");
+  check_true "message states the shared percentage"
+    (Helpers.contains_substring c009.message
+       "33% of this goal's evidence is shared");
+  let json =
+    D.json_of_report [ ("examples/bad_shutdown.case", r.diagnostics) ]
+  in
+  check_true "json carries the overlap fraction"
+    (Helpers.contains_substring json "\"overlap_fraction\":0.333333")
+
 let test_check_api () =
   (* Parse + check is one call; a clean document yields the parsed value. *)
   let r = Check.case "goal G \"g\" all\n  evidence E \"a\" 0.9\n  evidence E2 \"b\" 0.9" in
@@ -315,6 +341,7 @@ let suite =
     case "band migration (0.651 sigma^2)" test_band_migration;
     case "exit-code contract" test_exit_codes;
     case "shipped fixtures" test_shipped_fixtures;
+    case "C009 overlap fraction golden" test_c009_overlap_fraction;
     case "parse + check API" test_check_api;
     case "kind detection" test_kind_detection;
     case "json and rendering" test_json_and_rendering;

@@ -45,6 +45,24 @@ let test_validate () =
   check_raises_invalid "assumption id collides" (fun () ->
       N.validate dup_assumption)
 
+(* Regression: validate used to scan a ref list with List.mem per node —
+   O(n^2), minutes on a 10^5-node case.  The Hashtbl pass must stay
+   linear, and the iterative fold must survive the 10^5-deep chain. *)
+let test_validate_long_chain () =
+  let n = 100_000 in
+  let t = ref (N.evidence ~id:"n0" ~statement:"leaf" ~confidence:0.9) in
+  for i = 1 to n - 1 do
+    t := N.goal ~id:(Printf.sprintf "n%d" i) ~statement:"link" [ !t ]
+  done;
+  let t0 = Sys.time () in
+  N.validate !t;
+  let elapsed = Sys.time () -. t0 in
+  Alcotest.(check int) "chain size" n (N.size !t);
+  Alcotest.(check int) "chain depth" n (N.depth !t);
+  if elapsed > 2.0 then
+    Alcotest.failf "validate took %.1fs on a %d-node chain (expected well \
+                    under a second)" elapsed n
+
 let test_render () =
   let r = N.render (sample_case ()) in
   List.iter
@@ -65,4 +83,5 @@ let suite =
   [ case "construction validation" test_construction_validation;
     case "structure queries" test_structure_queries;
     case "id uniqueness validation" test_validate;
+    case "10^5-node chain validates fast" test_validate_long_chain;
     case "text rendering" test_render ]
