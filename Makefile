@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json bench-vr-smoke bench-soa-smoke bench-graph-smoke bench-compare experiment-vr examples csv clean lint-src check-fixtures
+.PHONY: all build test check bench bench-json bench-vr-smoke bench-soa-smoke bench-graph-smoke bench-audit-smoke bench-compare experiment-vr examples csv clean lint-src check-fixtures audit-fixtures
 
 all: build
 
@@ -35,6 +35,25 @@ check-fixtures: build
 	  code=$$?; test "$$code" -eq 2 && \
 	  printf '%s' "$$out" | python3 -c "import json,sys; json.load(sys.stdin)"
 
+# The semantic audit over the shipped fixtures: the good case must stay
+# clean under a reachable target even with --strict, the unattainable
+# case must trip C013 (exit 2), and the --json report must parse and
+# carry a source path on every diagnostic.
+audit-fixtures: build
+	dune exec bin/confcase.exe -- audit \
+	  examples/shutdown.case --target 0.9 --strict
+	dune exec bin/confcase.exe -- audit \
+	  examples/unattainable.case --target 0.9; \
+	  code=$$?; test "$$code" -eq 2
+	out=$$(dune exec bin/confcase.exe -- audit \
+	  examples/unattainable.case --target 0.9 --json); \
+	  code=$$?; test "$$code" -eq 2 && \
+	  printf '%s' "$$out" | python3 -c "import json,sys; \
+	    r = json.load(sys.stdin); \
+	    ds = [d for f in r['files'] for d in f['diagnostics']]; \
+	    assert ds and all('file' in d for d in ds), 'diagnostic without file'; \
+	    assert any(d['code'] == 'C013' for d in ds), 'C013 did not fire'"
+
 # Regenerate every paper table/figure + ablations + Bechamel timings.
 bench:
 	dune exec bench/main.exe
@@ -43,7 +62,7 @@ bench:
 # efficiency rows, written as JSON at the repo root (the perf trajectory
 # across PRs: BENCH_1.json, BENCH_2.json, ...).
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_6.json
+	dune exec bench/main.exe -- --json BENCH_7.json
 
 # Fast variance-reduction rows only (the CI smoke step).
 bench-vr-smoke:
@@ -59,6 +78,12 @@ bench-soa-smoke:
 # Exits non-zero only if determinism breaks; the ratios are informational.
 bench-graph-smoke:
 	dune exec bench/main.exe -- --graph-smoke
+
+# Lint/audit rows at depth 3 plus the interval-soundness gate: the
+# propagated root must lie inside the static bounds and point leaf
+# bounds must reproduce propagation bitwise, under all four models.
+bench-audit-smoke:
+	dune exec bench/main.exe -- --audit-smoke
 
 # Regenerate the samples-to-target-error comparison recorded in
 # EXPERIMENTS.md (plain MC vs QMC vs importance sampling).

@@ -7,6 +7,7 @@
      main.exe --no-perf       reproduction output only
      main.exe --json <path>   timings + MC-kernel speedup + VR rows as JSON
      main.exe --vr-smoke      fast variance-reduction rows only (CI smoke)
+     main.exe --audit-smoke   semantic-audit soundness gate (CI smoke)
      main.exe <id>            one experiment (see the registry for ids) *)
 
 let print_experiment (id, anchor, f) =
@@ -592,12 +593,49 @@ type graph_summary = {
   g_prop : row;
   g_prop_dag : row;
   g_edit : row;
+  g_lint : row;
+  g_audit : row;
   g_nodes : int;
   g_edges : int;
   g_dag_nodes : int;
   g_dag_overlap : float;
   g_deterministic : bool;
+  g_audit_sound : bool;
 }
+
+(* Soundness of the audit's interval pass against the propagation engine:
+   under every dependence model the propagated root must lie inside the
+   static [lo, hi] interval, and with point leaf bounds (base, base) the
+   interval sweep must reproduce the propagated value bitwise at every
+   node — it runs the same float operations in the same order. *)
+let audit_sound g =
+  let module G = Casekit.Graph in
+  List.for_all
+    (fun dep ->
+      let root_value = G.propagate dep g in
+      let lo, hi = G.propagate_bounds dep g in
+      let root = G.root g in
+      let within =
+        Numerics.Columns.get lo root <= root_value
+        && root_value <= Numerics.Columns.get hi root
+      in
+      let point =
+        G.propagate_bounds
+          ~leaf_bounds:(fun i -> (G.base_confidence g i, G.base_confidence g i))
+          dep g
+      in
+      let point_identical = ref true in
+      let plo, phi = point in
+      let vals = G.values g in
+      for i = 0 to G.size g - 1 do
+        let v = Int64.bits_of_float (Numerics.Columns.get vals i) in
+        if
+          Int64.bits_of_float (Numerics.Columns.get plo i) <> v
+          || Int64.bits_of_float (Numerics.Columns.get phi i) <> v
+        then point_identical := false
+      done;
+      within && !point_identical)
+    [ G.Independent; G.Frechet_lower; G.Frechet_upper; G.Correlated 0.3 ]
 
 let graph_rows ?(depth = 5) () =
   let module G = Casekit.Graph in
@@ -608,18 +646,23 @@ let graph_rows ?(depth = 5) () =
   let build () = Casekit.Generate.case ~seed ~legs ~fanout ~depth ~leaf () in
   let g = build () in
   let n = G.size g in
-  let prop_name =
-    if n = 1_000_000 then "graph_propagate_1e6"
-    else Printf.sprintf "graph_propagate_%d" n
+  (* Rows are suffixed with the node count (the headline depth-5 config is
+     exactly 10^6 nodes) so a smoke run at another depth cannot be mistaken
+     for — or compared against — the full-scale row. *)
+  let sized name =
+    if n = 1_000_000 then name ^ "_1e6" else Printf.sprintf "%s_%d" name n
   in
   let r_build = ols_nanos ~name:"graph_build" build in
-  let r_prop = ols_nanos ~name:prop_name (fun () -> G.propagate dep g) in
+  let r_prop =
+    ols_nanos ~name:(sized "graph_propagate") (fun () -> G.propagate dep g)
+  in
   let seq_bits = Int64.bits_of_float (G.propagate dep g) in
   let dag =
     Casekit.Generate.case ~seed ~legs ~fanout ~depth ~shared:0.1 ~leaf ()
   in
   let r_prop_dag =
-    ols_nanos ~name:"graph_propagate_dag" (fun () -> G.propagate dep dag)
+    ols_nanos ~name:(sized "graph_propagate_dag") (fun () ->
+        G.propagate dep dag)
   in
   let dag_bits = Int64.bits_of_float (G.propagate dep dag) in
   let par_identical =
@@ -632,6 +675,24 @@ let graph_rows ?(depth = 5) () =
                = dag_bits))
       domain_counts
   in
+  (* Lint and audit throughput: the structural rules as linear CSR sweeps,
+     then the full semantic audit (interval bounds, vacuity probes, SPOF
+     dominators) at a target the headline configuration attains. *)
+  let r_lint =
+    ols_nanos ~name:(sized "graph_lint") (fun () -> Analysis.Audit.lint g)
+  in
+  let audit_options =
+    {
+      Analysis.Audit.default_options with
+      target = Some 0.9;
+      dependence = dep;
+    }
+  in
+  let r_audit =
+    ols_nanos ~name:(sized "graph_audit") (fun () ->
+        Analysis.Audit.graph ~options:audit_options g)
+  in
+  let sound = audit_sound g in
   (* Edit storm through the incremental engine; the post-storm root must
      agree bitwise with a from-scratch propagation of the edited graph. *)
   ignore (G.propagate dep g);
@@ -640,7 +701,7 @@ let graph_rows ?(depth = 5) () =
   let lo, hi = leaf in
   let last = ref 0.0 in
   let r_edit =
-    ols_nanos ~name:"graph_incremental_edit" (fun () ->
+    ols_nanos ~name:(sized "graph_incremental_edit") (fun () ->
         let i = leaves.(Numerics.Rng.int rng (Array.length leaves)) in
         G.set_evidence g i (Numerics.Rng.uniform rng lo hi);
         last := G.refresh dep g;
@@ -654,11 +715,14 @@ let graph_rows ?(depth = 5) () =
     g_prop = r_prop;
     g_prop_dag = r_prop_dag;
     g_edit = r_edit;
+    g_lint = r_lint;
+    g_audit = r_audit;
     g_nodes = n;
     g_edges = G.edge_count g;
     g_dag_nodes = G.size dag;
     g_dag_overlap = G.max_overlap dag;
     g_deterministic = par_identical && incremental_identical;
+    g_audit_sound = sound;
   }
 
 let graph_throughput gs =
@@ -669,13 +733,18 @@ let graph_throughput gs =
   ( per_sec gs.g_build (float_of_int gs.g_nodes),
     per_sec gs.g_prop (float_of_int gs.g_nodes),
     per_sec gs.g_edit 1.0,
-    if Float.is_finite gs.g_edit.nanos && gs.g_edit.nanos > 0.0 then
-      gs.g_prop.nanos /. gs.g_edit.nanos
-    else nan )
+    (if Float.is_finite gs.g_edit.nanos && gs.g_edit.nanos > 0.0 then
+       gs.g_prop.nanos /. gs.g_edit.nanos
+     else nan),
+    per_sec gs.g_lint (float_of_int gs.g_nodes),
+    per_sec gs.g_audit (float_of_int gs.g_nodes) )
 
 let print_graph_summary gs =
-  print_rows [ gs.g_build; gs.g_prop; gs.g_prop_dag; gs.g_edit ];
-  let build_nps, prop_nps, eps, speedup = graph_throughput gs in
+  print_rows
+    [ gs.g_build; gs.g_prop; gs.g_prop_dag; gs.g_edit; gs.g_lint; gs.g_audit ];
+  let build_nps, prop_nps, eps, speedup, lint_nps, audit_nps =
+    graph_throughput gs
+  in
   Printf.printf
     "graph: %d nodes, %d edges (dag config: %d nodes, max overlap %.3f)\n"
     gs.g_nodes gs.g_edges gs.g_dag_nodes gs.g_dag_overlap;
@@ -683,9 +752,15 @@ let print_graph_summary gs =
     prop_nps;
   Printf.printf
     "incremental: %.3g edits/sec, %.0fx vs full re-propagation\n" eps speedup;
+  Printf.printf "lint: %.3g nodes/sec; audit: %.3g nodes/sec\n" lint_nps
+    audit_nps;
   Printf.printf
     "graph results bit-identical (1/2/4 domains, incremental vs full): %b\n"
-    gs.g_deterministic
+    gs.g_deterministic;
+  Printf.printf
+    "audit interval sound (root within bounds, point bounds bit-identical, \
+     all 4 models): %b\n"
+    gs.g_audit_sound
 
 (* ------------------------------------------------------------------ *)
 (* JSON                                                               *)
@@ -710,7 +785,7 @@ let json_escape s =
 let write_json oc ~experiments ~micro ~kernels ~vr ~graph ~deterministic =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "{\n  \"schema\": \"confcase-bench-6\",\n";
+  add "{\n  \"schema\": \"confcase-bench-7\",\n";
   add "  \"experiments\": [\n";
   List.iteri
     (fun i r ->
@@ -748,12 +823,17 @@ let write_json oc ~experiments ~micro ~kernels ~vr ~graph ~deterministic =
         (if i = List.length vr - 1 then "" else ","))
     vr;
   add "  ],\n  \"graph\": {\n";
-  let build_nps, prop_nps, eps, speedup = graph_throughput graph in
+  let build_nps, prop_nps, eps, speedup, lint_nps, audit_nps =
+    graph_throughput graph
+  in
   add "    \"nodes\": %d,\n    \"edges\": %d,\n" graph.g_nodes graph.g_edges;
   add "    \"dag_nodes\": %d,\n    \"dag_max_overlap\": %s,\n"
     graph.g_dag_nodes (json_float graph.g_dag_overlap);
   add "    \"rows\": [\n";
-  let grows = [ graph.g_build; graph.g_prop; graph.g_prop_dag; graph.g_edit ] in
+  let grows =
+    [ graph.g_build; graph.g_prop; graph.g_prop_dag; graph.g_edit;
+      graph.g_lint; graph.g_audit ]
+  in
   List.iteri
     (fun i r ->
       add "      {\"name\": \"%s\", \"nanos_per_run\": %s, \"samples\": %d}%s\n"
@@ -765,6 +845,9 @@ let write_json oc ~experiments ~micro ~kernels ~vr ~graph ~deterministic =
   add "    \"propagate_nodes_per_sec\": %s,\n" (json_float prop_nps);
   add "    \"edits_per_sec\": %s,\n" (json_float eps);
   add "    \"incremental_speedup_vs_full\": %s,\n" (json_float speedup);
+  add "    \"lint_nodes_per_sec\": %s,\n" (json_float lint_nps);
+  add "    \"audit_nodes_per_sec\": %s,\n" (json_float audit_nps);
+  add "    \"audit_interval_sound\": %b,\n" graph.g_audit_sound;
   add "    \"deterministic_across_domains\": %b\n  },\n"
     graph.g_deterministic;
   let sp = speedups kernels in
@@ -821,7 +904,9 @@ let run_json path =
      ################\n";
   let graph = graph_rows () in
   print_graph_summary graph;
-  let deterministic = kernels_id && graph.g_deterministic in
+  let deterministic =
+    kernels_id && graph.g_deterministic && graph.g_audit_sound
+  in
   write_json oc ~experiments ~micro ~kernels ~vr ~graph ~deterministic;
   Printf.printf "\nwrote %s\n" path;
   if not deterministic then exit 1
@@ -832,7 +917,7 @@ let () =
   | [ "--no-perf" ] -> run_reproductions ()
   | [ "--json"; path ] -> run_json path
   | [ "--json" ] ->
-    prerr_endline "--json requires an output path, e.g. --json BENCH_6.json";
+    prerr_endline "--json requires an output path, e.g. --json BENCH_7.json";
     exit 1
   | [ "--vr-smoke" ] ->
     (* A fast CI-sized pass over the variance-reduction rows only: a
@@ -860,6 +945,17 @@ let () =
     let graph = graph_rows ~depth:3 () in
     print_graph_summary graph;
     if not graph.g_deterministic then exit 1
+  | [ "--audit-smoke" ] ->
+    (* A CI-sized pass gating the semantic audit: runs the lint and audit
+       rows at depth 3 and verifies the interval pass is sound against the
+       propagation engine — the root lies within the static bounds and
+       point leaf bounds reproduce the propagated values bitwise, under
+       all four dependence models.  Exit 1 on any violation. *)
+    print_endline
+      "################ Semantic audit (smoke, depth 3) ################\n";
+    let graph = graph_rows ~depth:3 () in
+    print_graph_summary graph;
+    if not (graph.g_deterministic && graph.g_audit_sound) then exit 1
   | [] ->
     run_reproductions ();
     run_perf ()
@@ -875,5 +971,5 @@ let () =
   | _ ->
     prerr_endline
       "usage: main.exe [--no-perf | --json <path> | --vr-smoke | \
-       --soa-smoke | --graph-smoke | <experiment-id>]";
+       --soa-smoke | --graph-smoke | --audit-smoke | <experiment-id>]";
     exit 1

@@ -7,4 +7,5 @@
 module Diagnostic = Diagnostic
 module Case_rules = Case_rules
 module Belief_rules = Belief_rules
+module Audit = Audit
 module Check = Check

@@ -83,5 +83,6 @@ let codes_table () =
   in
   String.concat "\n"
     (("Case rules:" :: List.map render Case_rules.codes)
-    @ ("" :: "Belief rules:" :: List.map render Belief_rules.codes))
+    @ ("" :: "Belief rules:" :: List.map render Belief_rules.codes)
+    @ ("" :: "Audit rules (confcase audit):" :: List.map render Audit.codes))
   ^ "\n"

@@ -24,6 +24,26 @@ let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
 let with_file file diags =
   List.map (fun d -> { d with file = Some file }) diags
 
+(* Total order: two distinct diagnostics never compare equal, so a sort
+   is deterministic regardless of insertion order.  After file, position,
+   severity and code, ties break on message and finally on the data
+   payload (key, then value bits — bit comparison keeps the order total
+   even for NaN payloads). *)
+let compare_data a b =
+  let rec go a b =
+    match (a, b) with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | (ka, va) :: ra, (kb, vb) :: rb ->
+      let c = String.compare ka kb in
+      if c <> 0 then c
+      else
+        let c = Int64.compare (Int64.bits_of_float va) (Int64.bits_of_float vb) in
+        if c <> 0 then c else go ra rb
+  in
+  go a b
+
 let compare a b =
   let c = Option.compare String.compare a.file b.file in
   if c <> 0 then c
@@ -35,7 +55,13 @@ let compare a b =
       if c <> 0 then c
       else
         let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
-        if c <> 0 then c else String.compare a.code b.code
+        if c <> 0 then c
+        else
+          let c = String.compare a.code b.code in
+          if c <> 0 then c
+          else
+            let c = String.compare a.message b.message in
+            if c <> 0 then c else compare_data a.data b.data
 
 (* [compare] here is this module's monomorphic comparator just above, not
    the polymorphic one. *)
@@ -87,8 +113,17 @@ let to_json d =
          (fun (key, v) -> Printf.sprintf {|,"%s":%.6g|} (json_escape key) v)
          d.data)
   in
+  (* The source path rides on every diagnostic object, not only the
+     per-file grouping, so a flattened multi-file report stays
+     attributable. *)
+  let file =
+    match d.file with
+    | Some f -> Printf.sprintf {|"file":"%s",|} (json_escape f)
+    | None -> ""
+  in
   Printf.sprintf
-    {|{"code":"%s","severity":"%s","line":%d,"col":%d,"message":"%s"%s}|}
+    {|{%s"code":"%s","severity":"%s","line":%d,"col":%d,"message":"%s"%s}|}
+    file
     (json_escape d.code)
     (severity_to_string d.severity)
     d.span.line d.span.col (json_escape d.message) data

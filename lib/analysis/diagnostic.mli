@@ -40,7 +40,10 @@ val severity_to_string : severity -> string
 (** [with_file file diags] — attach a filename to every diagnostic. *)
 val with_file : string -> t list -> t list
 
-(** Orders by file, then position, then severity (errors first), then code. *)
+(** Orders by file, then position, then severity (errors first), then
+    code, then message, then data payload.  The order is total: two
+    distinct diagnostics never compare equal, so {!sort} is
+    deterministic whatever the emission order was. *)
 val compare : t -> t -> int
 
 val sort : t list -> t list
@@ -58,7 +61,9 @@ val infos : t list -> int
     (infos never affect the exit code). *)
 val exit_code : ?strict:bool -> t list -> int
 
-(** One diagnostic as a JSON object. *)
+(** One diagnostic as a JSON object.  Carries a ["file"] member whenever
+    the diagnostic has a source path, so multi-file reports stay
+    attributable even when the per-file grouping is flattened away. *)
 val to_json : t -> string
 
 (** [json_of_report [(file, diags); ...]] — the [confcase check --json]

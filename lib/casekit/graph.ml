@@ -489,16 +489,18 @@ let check_dep = function
       invalid_arg "Graph.propagate: rho out of [0,1]"
   | Independent | Frechet_lower | Frechet_upper -> ()
 
-(* Value of node [i] given its children's values in [vdata].  Each branch
-   replays the exact float operations (and order) of the List folds in
-   Propagate.and_combine / or_combine, so on trees the result is
-   bit-identical to Propagate.confidence.  The inlined min/max mirror
-   Stdlib.min/max: fold min keeps acc when acc <= c, fold max keeps acc
-   when acc >= c. *)
-let compute t dep vdata i =
+(* Combined (pre-assumption) value of goal [i] given its children's values
+   in [vdata].  Each branch replays the exact float operations (and order)
+   of the List folds in Propagate.and_combine / or_combine, so on trees
+   the result is bit-identical to Propagate.confidence.  The inlined
+   min/max mirror Stdlib.min/max: fold min keeps acc when acc <= c, fold
+   max keeps acc when acc >= c.  Shared between [compute] (concrete
+   propagation) and [propagate_bounds] (interval sweep): running the same
+   arithmetic over the lo and hi columns is what makes point intervals
+   collapse to the propagated bits exactly. *)
+let combine t dep vdata i =
   let tag = Bytes.unsafe_get t.kinds i in
-  if tag = tag_evidence then Columns.unsafe_get t.base i
-  else begin
+  begin
     let off = Array.unsafe_get t.child_off i in
     let lim = Array.unsafe_get t.child_off (i + 1) in
     let combined =
@@ -586,8 +588,15 @@ let compute t dep vdata i =
           let rho = if ov > rho then ov else rho in
           ((1.0 -. rho) *. (1.0 -. !ind)) +. (rho *. !como)
     in
-    combined *. Columns.unsafe_get t.avalid i
+    combined
   end
+
+(* Value of node [i] given its children's values in [vdata]: evidence
+   reads its base confidence, a goal combines its children and applies
+   the assumption-validity product. *)
+let compute t dep vdata i =
+  if Bytes.unsafe_get t.kinds i = tag_evidence then Columns.unsafe_get t.base i
+  else combine t dep vdata i *. Columns.unsafe_get t.avalid i
 
 let propagate dep t =
   check_dep dep;
@@ -698,6 +707,208 @@ let refresh dep t =
     Bigarray.Array1.unsafe_get vdata t.root
   | _ -> propagate dep t
 
+(* --- static-analysis kernels --------------------------------------------------- *)
+
+(* Every combinator above is monotone nondecreasing in each child value
+   for a fixed dependence model (products of values in [0,1], clamped
+   sums, min, max, and nonnegative blends of those), so an interval
+   [lo, hi] per node propagates by running the same arithmetic over the
+   lo column and the hi column separately.  With point leaf intervals
+   (lo = hi = base) both sweeps replay [compute]'s float operations
+   exactly, so the interval collapses to the propagated value bit for
+   bit — the soundness anchor the property tests pin. *)
+let propagate_bounds ?(leaf_bounds = fun _ -> (0.0, 1.0))
+    ?(with_assumptions = true) dep t =
+  check_dep dep;
+  let lo = Columns.make t.n 0.0 in
+  let hi = Columns.make t.n 0.0 in
+  let lod = Columns.unsafe_data lo in
+  let hid = Columns.unsafe_data hi in
+  for i = 0 to t.n - 1 do
+    if Bytes.unsafe_get t.kinds i = tag_evidence then begin
+      let l, h = leaf_bounds i in
+      if not (l >= 0.0 && l <= h && h <= 1.0) then
+        invalid_arg
+          "Graph.propagate_bounds: leaf bounds must satisfy 0 <= lo <= hi <= 1";
+      Bigarray.Array1.unsafe_set lod i l;
+      Bigarray.Array1.unsafe_set hid i h
+    end
+    else begin
+      let av = if with_assumptions then Columns.unsafe_get t.avalid i else 1.0 in
+      Bigarray.Array1.unsafe_set lod i (combine t dep lod i *. av);
+      Bigarray.Array1.unsafe_set hid i (combine t dep hid i *. av)
+    end
+  done;
+  (lo, hi)
+
+(* Goal [i]'s value with its [skip]-th child removed, over an arbitrary
+   value column — the vacuous-leg probe.  Replays the same fold shapes as
+   [combine] (left to right, same inits) so that when the skipped child
+   genuinely cannot affect the fold (a factor of exactly 1.0 under a
+   product, a dominated value under min/max) the result is bitwise equal
+   to the stored value. *)
+let compute_excluding dep t i ~skip ~values =
+  check_dep dep;
+  if i < 0 || i >= t.n then
+    invalid_arg "Graph.compute_excluding: index out of range";
+  let tag = Bytes.get t.kinds i in
+  if tag = tag_evidence then
+    invalid_arg "Graph.compute_excluding: not a goal";
+  let off = t.child_off.(i) and lim = t.child_off.(i + 1) in
+  if skip < 0 || skip >= lim - off then
+    invalid_arg "Graph.compute_excluding: child position out of range";
+  let skip = off + skip in
+  let vdata = Columns.unsafe_data values in
+  let get e = Bigarray.Array1.unsafe_get vdata (Array.unsafe_get t.child e) in
+  let combined =
+    if tag = tag_all then
+      match dep with
+      | Independent ->
+        let acc = ref 1.0 in
+        for e = off to lim - 1 do
+          if e <> skip then acc := !acc *. get e
+        done;
+        !acc
+      | Frechet_lower ->
+        let s = ref 0.0 in
+        for e = off to lim - 1 do
+          if e <> skip then s := !s +. get e
+        done;
+        let v = !s -. (float_of_int (lim - off - 1) -. 1.0) in
+        if 0.0 >= v then 0.0 else v
+      | Frechet_upper ->
+        let m = ref 1.0 in
+        for e = off to lim - 1 do
+          if e <> skip then begin
+            let c = get e in
+            if not (!m <= c) then m := c
+          end
+        done;
+        !m
+      | Correlated rho ->
+        let ind = ref 1.0 and como = ref 1.0 in
+        for e = off to lim - 1 do
+          if e <> skip then begin
+            let c = get e in
+            ind := !ind *. c;
+            if not (!como <= c) then como := c
+          end
+        done;
+        let ov = Columns.unsafe_get t.overlap i in
+        let rho = if ov > rho then ov else rho in
+        ((1.0 -. rho) *. !ind) +. (rho *. !como)
+    else
+      match dep with
+      | Independent ->
+        let acc = ref 1.0 in
+        for e = off to lim - 1 do
+          if e <> skip then acc := !acc *. (1.0 -. get e)
+        done;
+        1.0 -. !acc
+      | Frechet_lower ->
+        let m = ref 0.0 in
+        for e = off to lim - 1 do
+          if e <> skip then begin
+            let c = get e in
+            if not (!m >= c) then m := c
+          end
+        done;
+        !m
+      | Frechet_upper ->
+        let s = ref 0.0 in
+        for e = off to lim - 1 do
+          if e <> skip then s := !s +. get e
+        done;
+        if 1.0 <= !s then 1.0 else !s
+      | Correlated rho ->
+        let ind = ref 1.0 and como = ref 0.0 in
+        for e = off to lim - 1 do
+          if e <> skip then begin
+            let c = get e in
+            ind := !ind *. (1.0 -. c);
+            if not (!como >= c) then como := c
+          end
+        done;
+        let ov = Columns.unsafe_get t.overlap i in
+        let rho = if ov > rho then ov else rho in
+        ((1.0 -. rho) *. (1.0 -. !ind)) +. (rho *. !como)
+  in
+  combined *. Columns.unsafe_get t.avalid i
+
+(* Single points of failure: evidence whose individual refutation defeats
+   the root no matter what the rest of the case does.  Under the boolean
+   abstraction (each evidence item either holds or fails, All conjoins,
+   Any disjoins) the kill set of a node is the set of evidence items
+   whose lone failure makes the node fail: {e} for evidence e, the union
+   of the children's kill sets for an All goal, their intersection for an
+   Any goal.  Children precede parents, so one ascending pass over sorted
+   int arrays computes every set; a child's array is dropped once its
+   last parent has consumed it, so peak memory is bounded by the live
+   frontier rather than the whole graph.  On a tree the legs of an Any
+   goal have disjoint kill sets and the intersection collapses — it is
+   DAG sharing that makes a multi-leg argument fail on one item. *)
+let spof_evidence t =
+  let union2 a b =
+    let la = Array.length a and lb = Array.length b in
+    if la = 0 then b
+    else if lb = 0 then a
+    else begin
+      let out = Array.make (la + lb) 0 in
+      let i = ref 0 and j = ref 0 and k = ref 0 in
+      while !i < la && !j < lb do
+        let x = a.(!i) and y = b.(!j) in
+        if x < y then begin out.(!k) <- x; incr i end
+        else if y < x then begin out.(!k) <- y; incr j end
+        else begin out.(!k) <- x; incr i; incr j end;
+        incr k
+      done;
+      while !i < la do out.(!k) <- a.(!i); incr i; incr k done;
+      while !j < lb do out.(!k) <- b.(!j); incr j; incr k done;
+      if !k = la + lb then out else Array.sub out 0 !k
+    end
+  in
+  let inter2 a b =
+    let la = Array.length a and lb = Array.length b in
+    if la = 0 || lb = 0 then [||]
+    else begin
+      let out = Array.make (min la lb) 0 in
+      let i = ref 0 and j = ref 0 and k = ref 0 in
+      while !i < la && !j < lb do
+        let x = a.(!i) and y = b.(!j) in
+        if x < y then incr i
+        else if y < x then incr j
+        else begin out.(!k) <- x; incr i; incr j; incr k end
+      done;
+      if !k = Array.length out then out else Array.sub out 0 !k
+    end
+  in
+  let kill = Array.make t.n [||] in
+  let remaining = Array.make t.n 0 in
+  for i = 0 to t.n - 1 do
+    remaining.(i) <- t.parent_off.(i + 1) - t.parent_off.(i)
+  done;
+  for i = 0 to t.n - 1 do
+    let tag = Bytes.unsafe_get t.kinds i in
+    if tag = tag_evidence then kill.(i) <- [| i |]
+    else begin
+      let off = t.child_off.(i) and lim = t.child_off.(i + 1) in
+      let acc = ref kill.(t.child.(off)) in
+      for e = off + 1 to lim - 1 do
+        let s = kill.(t.child.(e)) in
+        acc := if tag = tag_all then union2 !acc s else inter2 !acc s
+      done;
+      kill.(i) <- !acc;
+      for e = off to lim - 1 do
+        let c = t.child.(e) in
+        remaining.(c) <- remaining.(c) - 1;
+        (* Sets are never mutated after creation, so dropping the
+           reference is safe even when a single-child goal aliases it. *)
+        if remaining.(c) = 0 && c <> t.root then kill.(c) <- [||]
+      done
+    end
+  done;
+  kill.(t.root)
+
 (* --- inspection --------------------------------------------------------------- *)
 
 let size t = t.n
@@ -719,7 +930,15 @@ let base_confidence t i = Columns.get t.base i
 let children t i =
   Array.sub t.child t.child_off.(i) (t.child_off.(i + 1) - t.child_off.(i))
 
+let child_count t i = t.child_off.(i + 1) - t.child_off.(i)
+
+let parents t i =
+  Array.sub t.parent t.parent_off.(i) (t.parent_off.(i + 1) - t.parent_off.(i))
+
 let parent_count t i = t.parent_off.(i + 1) - t.parent_off.(i)
+
+let values t = t.value
+let assumption_validity t i = Columns.get t.avalid i
 
 let evidence_indices t =
   let count = ref 0 in

@@ -146,6 +146,53 @@ val set_assumption : t -> id:string -> p_valid:float -> unit
     for every node [i]. *)
 val refresh : dependence -> t -> float
 
+(** {1 Static-analysis kernels}
+
+    The semantic audit passes ([Analysis.Audit]) run directly on the CSR
+    representation; these are their graph-side kernels. *)
+
+(** [propagate_bounds ?leaf_bounds ?with_assumptions dep t] — interval
+    abstract interpretation in one topological sweep: per-node attainable
+    confidence bounds [(lo, hi)] as two fresh columns.  [leaf_bounds i]
+    supplies the attainable range of evidence node [i] (default
+    [(0.0, 1.0)], the belief-free worst/best case; must satisfy
+    [0 <= lo <= hi <= 1]).  Every combinator is monotone nondecreasing in
+    each child value, so running the concrete arithmetic over the lo and
+    hi columns separately yields sound bounds — and with point leaf
+    intervals [(base, base)] both columns reproduce {!propagate}'s value
+    bit for bit at every node.  [with_assumptions:false] skips the
+    assumption-validity products (the C015 probe: what the argument
+    could reach if every assumption held surely).  Does not disturb the
+    graph's value column or dirty state.
+    @raise Invalid_argument on malformed [dep] or leaf bounds. *)
+val propagate_bounds :
+  ?leaf_bounds:(int -> float * float) ->
+  ?with_assumptions:bool ->
+  dependence ->
+  t ->
+  Numerics.Columns.t * Numerics.Columns.t
+
+(** [compute_excluding dep t i ~skip ~values] — goal [i]'s value (with
+    its assumption product applied) recomputed over the column [values]
+    with its [skip]-th child (0-based position) removed, replaying the
+    same fold shapes as propagation.  The vacuous-leg probe: when the
+    result is bitwise equal to the stored value, removing that leg
+    cannot change the node — and by monotonicity cannot change the root.
+    Shared-evidence overlap fractions are structural and held fixed.
+    @raise Invalid_argument if [i] is not a goal or [skip] is out of
+    range. *)
+val compute_excluding :
+  dependence -> t -> int -> skip:int -> values:Numerics.Columns.t -> float
+
+(** [spof_evidence t] — indices (ascending) of every evidence node whose
+    lone refutation defeats the root under the boolean abstraction:
+    kill(evidence e) = [{e}], kill(All) = union of children's kill sets,
+    kill(Any) = intersection.  One bottom-up pass over sorted index
+    arrays; on a tree the legs of an [Any] goal are disjoint so only
+    all-conjunctive paths yield single points of failure — DAG sharing
+    is what defeats a multi-leg argument on one item. *)
+val spof_evidence : t -> int array
+
 (** {1 Inspection} *)
 
 val size : t -> int
@@ -169,10 +216,24 @@ val value : t -> int -> float
 (** [base_confidence t i] — current confidence of evidence node [i]. *)
 val base_confidence : t -> int -> float
 
-(** [children t i] / [parent_count t i] — adjacency probes. *)
+(** [children t i] / [child_count t i] / [parents t i] /
+    [parent_count t i] — adjacency probes. *)
 val children : t -> int -> int array
 
+val child_count : t -> int -> int
+val parents : t -> int -> int array
 val parent_count : t -> int -> int
+
+(** [values t] — the live value column written by {!propagate} /
+    {!refresh} (the same storage [value] reads).  Read-only by
+    convention: it exists so analysis passes can hand the concrete
+    values to {!compute_excluding} without copying a million-entry
+    column. *)
+val values : t -> Numerics.Columns.t
+
+(** [assumption_validity t i] — the assumption-validity product applied
+    at node [i] (1 for evidence and assumption-free goals). *)
+val assumption_validity : t -> int -> float
 
 (** [evidence_indices t] — all evidence nodes, ascending. *)
 val evidence_indices : t -> int array

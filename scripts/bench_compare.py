@@ -27,13 +27,17 @@ THRESHOLD = 0.20  # +/-20%
 # showing up as one removal plus one addition.  confcase-bench-5 renamed
 # the sketch micro rows when the t-digest moved to SoA centroid columns;
 # confcase-bench-6 renamed the snapshot micro rows (columns_* -> snapshot_*)
-# when the graph section landed (same workload — only the name changed).
+# when the graph section landed (same workload — only the name changed);
+# confcase-bench-7 suffixed the graph DAG/edit rows with their node count
+# (the headline configuration is 10^6 nodes) when the audit rows landed.
 RENAMES = {
     "micro/sketch_add_1e6": "micro/sketch_add_soa_1e6",
     "micro/sketch_merge_64x16k": "micro/sketch_merge_soa_64x16k",
     "micro/columns_save_1e6": "micro/snapshot_save_1e6",
     "micro/columns_load_1e6": "micro/snapshot_load_1e6",
     "micro/columns_load_mmap_1e6": "micro/snapshot_load_mmap_1e6",
+    "graph/graph_propagate_dag": "graph/graph_propagate_dag_1e6",
+    "graph/graph_incremental_edit": "graph/graph_incremental_edit_1e6",
 }
 
 

@@ -308,6 +308,49 @@ let test_json_and_rendering () =
   check_true "json of weird tokens parses shape"
     (String.length (D.json_of_report [ ("x", quoted) ]) > 0)
 
+(* Every diagnostic object must carry its own source path — a flattened
+   multi-file report stays attributable without the per-file grouping. *)
+let test_json_file_member () =
+  let d =
+    D.make ~file:"examples/x.case" ~code:"C013" ~severity:D.Error ~line:3
+      ~data:[ ("target", 0.9) ]
+      "unattainable"
+  in
+  check_true "to_json carries the source path"
+    (Helpers.contains_substring (D.to_json d)
+       {|"file":"examples/x.case"|});
+  check_true "and the data payload"
+    (Helpers.contains_substring (D.to_json d) {|"target":0.9|});
+  let anon = D.make ~code:"C013" ~severity:D.Error ~line:3 "unattainable" in
+  check_true "no file member without a path"
+    (not (Helpers.contains_substring (D.to_json anon) {|"file"|}))
+
+(* The comparator is total: diagnostics differing only in message or in
+   data payload still order deterministically, whatever the emission
+   order was. *)
+let test_sort_total_order () =
+  let mk ?(code = "C014") ?(data = []) message =
+    D.make ~file:"f.case" ~code ~severity:D.Warning ~line:4 ~col:3 ~data
+      message
+  in
+  let a = mk "leg x is vacuous" in
+  let b = mk "leg y is vacuous" in
+  let c = mk ~data:[ ("goal_index", 1.0) ] "leg y is vacuous" in
+  let d = mk ~data:[ ("goal_index", 2.0) ] "leg y is vacuous" in
+  let golden = [ a; b; c; d ] in
+  let golden_str = String.concat "|" (List.map D.to_string golden) in
+  List.iter
+    (fun perm ->
+      Alcotest.(check string) "every emission order sorts identically"
+        golden_str
+        (String.concat "|" (List.map D.to_string (D.sort perm))))
+    [ [ d; c; b; a ]; [ b; d; a; c ]; [ c; a; d; b ] ];
+  (* Message before data, data keys before bit-compared values. *)
+  check_true "message orders before payload" (D.compare a b < 0);
+  check_true "shorter payload first" (D.compare b c < 0);
+  check_true "payload values compared by bits" (D.compare c d < 0);
+  check_true "never equal unless identical" (D.compare c d <> 0)
+
 let test_parse_error_positions () =
   (* The enriched Parse_error carries column and offending token. *)
   (match Casekit.Case_format.parse "goal G \"g\" maybe" with
@@ -345,4 +388,6 @@ let suite =
     case "parse + check API" test_check_api;
     case "kind detection" test_kind_detection;
     case "json and rendering" test_json_and_rendering;
+    case "json diagnostics carry their file" test_json_file_member;
+    case "diagnostic sort is a total order" test_sort_total_order;
     case "parse errors carry column and token" test_parse_error_positions ]

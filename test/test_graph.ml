@@ -208,6 +208,43 @@ let test_generator () =
   check_raises_invalid "bad leaf range" (fun () ->
       ignore (Gen.case ~leaf:(0.9, 0.5) ()))
 
+let test_generator_edge_knobs () =
+  (* legs = 1: the root goes conjunctive — a disjunction needs at least
+     two alternatives. *)
+  let g1 = Gen.case ~seed:9 ~legs:1 () in
+  check_true "single-leg root is an All goal"
+    (match G.kind_of g1 (G.root g1) with G.All_goal -> true | _ -> false);
+  Alcotest.(check int) "single-leg node count matches the closed form"
+    (Gen.node_count ~legs:1 ~fanout:4 ~depth:3)
+    (G.size g1);
+  (* depth = 1: one goal level per leg, leaves directly beneath. *)
+  let g2 = Gen.case ~seed:9 ~legs:2 ~fanout:3 ~depth:1 () in
+  Alcotest.(check int) "depth-1 node count" 9 (G.size g2);
+  Alcotest.(check int) "depth-1 level schedule: leaves, legs, root" 3
+    (G.levels g2);
+  (* shared = 1.0: every later-leg leaf reuses first-leg evidence. *)
+  let g3 = Gen.case ~seed:9 ~shared:1.0 () in
+  check_true "full sharing yields a DAG" (not (G.is_tree g3));
+  check_true "full sharing has positive overlap" (G.max_overlap g3 > 0.0);
+  check_true "sharing only ever removes duplicated leaves"
+    (G.size g3 <= Gen.node_count ~legs:3 ~fanout:4 ~depth:3)
+
+(* The Builder invariant the whole CSR design rests on: children are
+   emitted before parents, so ascending index is a topological order and
+   the root comes last. *)
+let test_children_before_parents_property =
+  qcheck ~count:100 "generated graphs emit children before parents"
+    QCheck2.Gen.(
+      quad (int_bound 1_000_000) (int_range 1 3) (int_range 1 3)
+        (float_bound_inclusive 1.0))
+    (fun (seed, legs, depth, shared) ->
+      let g = Gen.case ~seed ~legs ~fanout:3 ~depth ~shared () in
+      let ok = ref true in
+      for i = 0 to G.size g - 1 do
+        Array.iter (fun c -> if c >= i then ok := false) (G.children g i)
+      done;
+      !ok && G.root g = G.size g - 1)
+
 let test_edit_validation () =
   let g, es, r = shared_dag () in
   check_raises_invalid "set_evidence on a goal" (fun () ->
@@ -291,7 +328,10 @@ let suite =
     case "assumption edit identity" test_assumption_edit_identity;
     case "parallel bit-identity (1/2/4 domains)" test_parallel_identity;
     case "generator determinism and node counts" test_generator;
+    case "generator edge knobs (legs=1, depth=1, shared=1)"
+      test_generator_edge_knobs;
     case "edit and builder validation" test_edit_validation;
+    test_children_before_parents_property;
     case "sensitivities match the boxed-tree path" test_sensitivities_match_tree_path;
     test_bitwise_identity_property;
     test_incremental_identity_property ]
