@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json bench-vr-smoke bench-soa-smoke bench-graph-smoke bench-audit-smoke bench-compare experiment-vr examples csv clean lint-src check-fixtures audit-fixtures
+.PHONY: all build test check bench bench-json bench-vr-smoke bench-soa-smoke bench-graph-smoke bench-audit-smoke bench-serve-smoke serve-smoke bench-compare experiment-vr examples csv clean lint-src check-fixtures audit-fixtures
 
 all: build
 
@@ -62,7 +62,7 @@ bench:
 # efficiency rows, written as JSON at the repo root (the perf trajectory
 # across PRs: BENCH_1.json, BENCH_2.json, ...).
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_7.json
+	dune exec bench/main.exe -- --json BENCH_8.json
 
 # Fast variance-reduction rows only (the CI smoke step).
 bench-vr-smoke:
@@ -84,6 +84,19 @@ bench-graph-smoke:
 # bounds must reproduce propagation bitwise, under all four models.
 bench-audit-smoke:
 	dune exec bench/main.exe -- --audit-smoke
+
+# Serve rows at depth 3: cold/memoised/incremental-edit request latency
+# through the in-process engine, gating that memo hits and the last
+# incremental edit are bit-identical to from-scratch evaluation.
+bench-serve-smoke:
+	dune exec bench/main.exe -- --serve-smoke
+
+# End-to-end pipe-mode daemon smoke: drive `confcase serve` over stdin/
+# stdout with NDJSON requests and assert the memoised answer is
+# bit-identical to the cold one, edits refresh incrementally, and the
+# daemon exits cleanly on shutdown.
+serve-smoke: build
+	sh scripts/serve_smoke.sh
 
 # Regenerate the samples-to-target-error comparison recorded in
 # EXPERIMENTS.md (plain MC vs QMC vs importance sampling).

@@ -8,6 +8,7 @@
      main.exe --json <path>   timings + MC-kernel speedup + VR rows as JSON
      main.exe --vr-smoke      fast variance-reduction rows only (CI smoke)
      main.exe --audit-smoke   semantic-audit soundness gate (CI smoke)
+     main.exe --serve-smoke   serve-daemon bitwise-identity gate (CI smoke)
      main.exe <id>            one experiment (see the registry for ids) *)
 
 let print_experiment (id, anchor, f) =
@@ -652,7 +653,7 @@ let graph_rows ?(depth = 5) () =
   let sized name =
     if n = 1_000_000 then name ^ "_1e6" else Printf.sprintf "%s_%d" name n
   in
-  let r_build = ols_nanos ~name:"graph_build" build in
+  let r_build = ols_nanos ~name:(sized "graph_build") build in
   let r_prop =
     ols_nanos ~name:(sized "graph_propagate") (fun () -> G.propagate dep g)
   in
@@ -763,6 +764,209 @@ let print_graph_summary gs =
     gs.g_audit_sound
 
 (* ------------------------------------------------------------------ *)
+(* Serve rows: the daemon's request path end-to-end — JSON decode,
+   memo lookup, graph work, JSON encode — measured per request with the
+   monotonic clock so the rows are latency percentiles, not OLS means
+   (a memo hit and a cold propagation differ by four orders of
+   magnitude; a mean over the mixture would describe neither).
+
+   Three request classes against the headline 10^6-node graph:
+   cold (flush before every evaluate, so each pays the full
+   propagation), memoised (the same evaluate repeated — every request
+   after the first cold one hits the content-addressed memo), and
+   incremental edit (random leaf edits through the dirty-cone refresh).
+   Correctness is gated bitwise: memo-hit bits must equal cold bits,
+   and the last edit's bits must equal a from-scratch propagation of a
+   twin graph that mirrored every edit outside the engine. *)
+
+type serve_summary = {
+  s_cold : row;  (* nanos = p50 of per-request latency *)
+  s_cold_p99 : float;
+  s_memo : row;
+  s_memo_p99 : float;
+  s_edit : row;
+  s_edit_p99 : float;
+  s_nodes : int;
+  s_hit_ratio : float;
+  s_memo_identical : bool;
+  s_edit_identical : bool;
+  s_edit_speedup : float;  (* cold p50 / edit p50 *)
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else
+    let i = int_of_float (Float.round (p *. float_of_int (n - 1))) in
+    sorted.(max 0 (min (n - 1) i))
+
+(* Time [iters] requests through {!Serve.Engine.handle}; [prepare] runs
+   untimed before each (flush, twin mirroring).  Returns the p50 row,
+   the p99, and every response line for the bitwise gates. *)
+let serve_latency ~name ~iters ~prepare ~request eng =
+  let samples = Array.make iters nan in
+  let responses = Array.make iters "" in
+  for k = 0 to iters - 1 do
+    prepare k;
+    let line = request k in
+    let t0 = Monotonic_clock.now () in
+    let resp = Serve.Engine.handle eng line in
+    let t1 = Monotonic_clock.now () in
+    samples.(k) <- Int64.to_float (Int64.sub t1 t0);
+    responses.(k) <- resp
+  done;
+  Array.sort Float.compare samples;
+  ( { name; nanos = percentile samples 0.5; samples = iters },
+    percentile samples 0.99,
+    responses )
+
+(* The [bits] hex side-channel of a successful response. *)
+let serve_bits resp =
+  let open Serve.Protocol in
+  match parse resp with
+  | exception Parse_error _ -> None
+  | v -> (
+    match (member "ok" v, member "bits" v) with
+    | Some (Bool true), Some (Str s) -> bits_of_hex s
+    | _ -> None)
+
+let all_equal_bits resps =
+  match serve_bits resps.(0) with
+  | None -> None
+  | Some b0 ->
+    if
+      Array.for_all
+        (fun r ->
+          match serve_bits r with
+          | Some b -> Int64.equal b b0
+          | None -> false)
+        resps
+    then Some b0
+    else None
+
+let serve_rows ?(depth = 5) () =
+  let module G = Casekit.Graph in
+  let seed = Repro.Paper.seed + 101 in
+  let legs = 9 and fanout = 10 in
+  let leaf_lo = 0.999998 and leaf_hi = 0.9999999 in
+  let eng = Serve.Engine.create () in
+  ignore
+    (Serve.Engine.handle eng
+       (Printf.sprintf
+          "{\"op\":\"generate\",\"case\":\"bench\",\"seed\":%d,\"legs\":%d,\
+           \"fanout\":%d,\"depth\":%d,\"leaf_lo\":%s,\"leaf_hi\":%s}"
+          seed legs fanout depth
+          (Serve.Protocol.print (Serve.Protocol.Num leaf_lo))
+          (Serve.Protocol.print (Serve.Protocol.Num leaf_hi))));
+  (* Twin graph built outside the engine with identical parameters:
+     generation is seed-deterministic, so node indices coincide.  Every
+     edit sent to the daemon is mirrored here, and at the end a
+     from-scratch propagation of the twin must agree bitwise with the
+     daemon's last incremental answer. *)
+  let twin =
+    Casekit.Generate.case ~seed ~legs ~fanout ~depth
+      ~leaf:(leaf_lo, leaf_hi) ()
+  in
+  let n = G.size twin in
+  let dep = G.Correlated 0.3 in
+  let sized name =
+    if n = 1_000_000 then name ^ "_1e6" else Printf.sprintf "%s_%d" name n
+  in
+  let eval = "{\"op\":\"evaluate\",\"case\":\"bench\",\"dependence\":0.3}" in
+  let flush = "{\"op\":\"flush\"}" in
+  (* Cold: flush before each timed evaluate — the memo is emptied and
+     the graph invalidated, so every request pays the full propagation. *)
+  let cold_iters = if depth >= 5 then 15 else 50 in
+  let r_cold, cold_p99, cold_resps =
+    serve_latency ~name:(sized "serve_cold_eval") ~iters:cold_iters
+      ~prepare:(fun _ -> ignore (Serve.Engine.handle eng flush))
+      ~request:(fun _ -> eval)
+      eng
+  in
+  let cold_bits = all_equal_bits cold_resps in
+  (* Memoised: the state left by the last cold evaluate is in the memo;
+     every repeat must hit and return the stored bits. *)
+  let hits_before = Serve.Engine.hits eng in
+  let memo_iters = 2000 in
+  let r_memo, memo_p99, memo_resps =
+    serve_latency ~name:(sized "serve_memo_eval") ~iters:memo_iters
+      ~prepare:(fun _ -> ())
+      ~request:(fun _ -> eval)
+      eng
+  in
+  let memo_bits = all_equal_bits memo_resps in
+  let memo_hits = Serve.Engine.hits eng - hits_before in
+  let memo_identical =
+    match (cold_bits, memo_bits) with
+    | Some c, Some m -> Int64.equal c m && memo_hits = memo_iters
+    | _ -> false
+  in
+  (* Incremental edits: random leaf values in the same band, decided up
+     front so the twin mirrors the exact floats the daemon receives
+     (the request carries them through the round-trip-exact printer). *)
+  let leaves = G.evidence_indices twin in
+  let rng = Numerics.Rng.create (seed + 7) in
+  let edit_iters = 2000 in
+  let edit_idx = Array.make edit_iters 0 in
+  let edit_val = Array.make edit_iters 0.0 in
+  for k = 0 to edit_iters - 1 do
+    edit_idx.(k) <- leaves.(Numerics.Rng.int rng (Array.length leaves));
+    edit_val.(k) <- Numerics.Rng.uniform rng leaf_lo leaf_hi
+  done;
+  let r_edit, edit_p99, edit_resps =
+    serve_latency ~name:(sized "serve_edit") ~iters:edit_iters
+      ~prepare:(fun k -> G.set_evidence twin edit_idx.(k) edit_val.(k))
+      ~request:(fun k ->
+        Printf.sprintf
+          "{\"op\":\"edit\",\"case\":\"bench\",\"node\":%d,\"value\":%s,\
+           \"dependence\":0.3}"
+          edit_idx.(k)
+          (Serve.Protocol.print (Serve.Protocol.Num edit_val.(k))))
+      eng
+  in
+  let twin_bits = Int64.bits_of_float (G.propagate dep twin) in
+  let edit_identical =
+    match serve_bits edit_resps.(edit_iters - 1) with
+    | Some b -> Int64.equal b twin_bits
+    | None -> false
+  in
+  let hits = float_of_int (Serve.Engine.hits eng) in
+  let misses = float_of_int (Serve.Engine.misses eng) in
+  let hit_ratio =
+    if hits +. misses > 0.0 then hits /. (hits +. misses) else nan
+  in
+  let edit_speedup =
+    if Float.is_finite r_edit.nanos && r_edit.nanos > 0.0 then
+      r_cold.nanos /. r_edit.nanos
+    else nan
+  in
+  {
+    s_cold = r_cold;
+    s_cold_p99 = cold_p99;
+    s_memo = r_memo;
+    s_memo_p99 = memo_p99;
+    s_edit = r_edit;
+    s_edit_p99 = edit_p99;
+    s_nodes = n;
+    s_hit_ratio = hit_ratio;
+    s_memo_identical = memo_identical;
+    s_edit_identical = edit_identical;
+    s_edit_speedup = edit_speedup;
+  }
+
+let print_serve_summary ss =
+  print_rows [ ss.s_cold; ss.s_memo; ss.s_edit ];
+  Printf.printf "serve: %d nodes; p99 cold %s, memoised %s, edit %s\n"
+    ss.s_nodes (time_string ss.s_cold_p99) (time_string ss.s_memo_p99)
+    (time_string ss.s_edit_p99);
+  Printf.printf "cache hit ratio: %.3f\n" ss.s_hit_ratio;
+  Printf.printf
+    "memoised bits == cold bits: %b; last edit bits == full re-propagation: \
+     %b\n"
+    ss.s_memo_identical ss.s_edit_identical;
+  Printf.printf "incremental edit p50 vs cold p50: %.0fx\n" ss.s_edit_speedup
+
+(* ------------------------------------------------------------------ *)
 (* JSON                                                               *)
 
 let json_float f =
@@ -782,10 +986,11 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json oc ~experiments ~micro ~kernels ~vr ~graph ~deterministic =
+let write_json oc ~experiments ~micro ~kernels ~vr ~graph ~serve ~deterministic
+    =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "{\n  \"schema\": \"confcase-bench-7\",\n";
+  add "{\n  \"schema\": \"confcase-bench-8\",\n";
   add "  \"experiments\": [\n";
   List.iteri
     (fun i r ->
@@ -850,6 +1055,36 @@ let write_json oc ~experiments ~micro ~kernels ~vr ~graph ~deterministic =
   add "    \"audit_interval_sound\": %b,\n" graph.g_audit_sound;
   add "    \"deterministic_across_domains\": %b\n  },\n"
     graph.g_deterministic;
+  add "  \"serve\": {\n";
+  add "    \"nodes\": %d,\n" serve.s_nodes;
+  add "    \"rows\": [\n";
+  let srows =
+    [
+      (serve.s_cold, serve.s_cold_p99);
+      (serve.s_memo, serve.s_memo_p99);
+      (serve.s_edit, serve.s_edit_p99);
+    ]
+  in
+  List.iteri
+    (fun i ((r : row), p99) ->
+      let eps =
+        if Float.is_finite r.nanos && r.nanos > 0.0 then 1e9 /. r.nanos
+        else nan
+      in
+      add
+        "      {\"name\": \"%s\", \"nanos_per_run\": %s, \"p99_nanos\": %s, \
+         \"samples\": %d, \"evals_per_sec\": %s}%s\n"
+        (json_escape r.name) (json_float r.nanos) (json_float p99) r.samples
+        (json_float eps)
+        (if i = List.length srows - 1 then "" else ","))
+    srows;
+  add "    ],\n";
+  add "    \"hit_ratio\": %s,\n" (json_float serve.s_hit_ratio);
+  add "    \"memo_bits_identical\": %b,\n" serve.s_memo_identical;
+  add "    \"edit_bits_identical\": %b,\n" serve.s_edit_identical;
+  add "    \"edit_speedup_vs_cold\": %s,\n" (json_float serve.s_edit_speedup);
+  add "    \"edit_speedup_ok\": %b\n  },\n"
+    (serve.s_edit_speedup >= 10.0);
   let sp = speedups kernels in
   add "  \"speedups\": [\n";
   List.iteri
@@ -904,10 +1139,18 @@ let run_json path =
      ################\n";
   let graph = graph_rows () in
   print_graph_summary graph;
-  let deterministic =
-    kernels_id && graph.g_deterministic && graph.g_audit_sound
+  print_endline
+    "\n################ Serve daemon (hot evaluation path) ################\n";
+  let serve = serve_rows () in
+  print_serve_summary serve;
+  let serve_ok =
+    serve.s_memo_identical && serve.s_edit_identical
+    && serve.s_edit_speedup >= 10.0
   in
-  write_json oc ~experiments ~micro ~kernels ~vr ~graph ~deterministic;
+  let deterministic =
+    kernels_id && graph.g_deterministic && graph.g_audit_sound && serve_ok
+  in
+  write_json oc ~experiments ~micro ~kernels ~vr ~graph ~serve ~deterministic;
   Printf.printf "\nwrote %s\n" path;
   if not deterministic then exit 1
 
@@ -956,6 +1199,17 @@ let () =
     let graph = graph_rows ~depth:3 () in
     print_graph_summary graph;
     if not (graph.g_deterministic && graph.g_audit_sound) then exit 1
+  | [ "--serve-smoke" ] ->
+    (* A CI-sized pass over the serve rows at depth 3: exercises the
+       full request path (generate, cold/memoised evaluate, incremental
+       edits mirrored onto a twin graph) and gates on the bitwise
+       identities only — latency ratios at this scale are
+       informational. *)
+    print_endline
+      "################ Serve daemon (smoke, depth 3) ################\n";
+    let serve = serve_rows ~depth:3 () in
+    print_serve_summary serve;
+    if not (serve.s_memo_identical && serve.s_edit_identical) then exit 1
   | [] ->
     run_reproductions ();
     run_perf ()
@@ -971,5 +1225,6 @@ let () =
   | _ ->
     prerr_endline
       "usage: main.exe [--no-perf | --json <path> | --vr-smoke | \
-       --soa-smoke | --graph-smoke | --audit-smoke | <experiment-id>]";
+       --soa-smoke | --graph-smoke | --audit-smoke | --serve-smoke | \
+       <experiment-id>]";
     exit 1

@@ -8,10 +8,19 @@
      experience   plan failure-free testing toward a confidence target
      elicit       fit a belief from elicited points, emit a belief file
      case         evaluate a dependability-case file
+     propagate    flat CSR propagation at scale (+ generator, edits)
      check        statically check case/belief files (lib/analysis)
-     risk         layer-of-protection analysis with confidence *)
+     audit        semantic audit: attainability, vacuity, SPOF
+     risk         layer-of-protection analysis with confidence
+     serve        hot evaluation daemon over newline-delimited JSON
+
+   Every Cmd.info carries ~version (sourced from dune-project via the
+   generated Version module) and a one-line ~doc. *)
 
 open Cmdliner
+
+let cmd_info name ~doc ?man () =
+  Cmd.info name ~version:Version.version ~doc ?man
 
 let positive_float ~what v =
   if v <= 0.0 then `Error (Printf.sprintf "%s must be positive" what)
@@ -65,7 +74,7 @@ let figures_cmd =
         `Error (false, Printf.sprintf "unknown experiment id %s" id))
   in
   let info =
-    Cmd.info "figures" ~doc:"Regenerate the paper's tables and figures"
+    cmd_info "figures" ~doc:"Regenerate the paper's tables and figures" ()
   in
   Cmd.v info Term.(ret (const run $ id $ csv_dir))
 
@@ -180,7 +189,7 @@ let judge_cmd =
         `Ok ())
   in
   let info =
-    Cmd.info "judge" ~doc:"Judge a SIL from a belief about the pfd"
+    cmd_info "judge" ~doc:"Judge a SIL from a belief about the pfd" ()
   in
   Cmd.v info
     Term.(
@@ -259,8 +268,8 @@ let conservative_cmd =
     | Invalid_argument msg -> `Error (false, msg)
   in
   let info =
-    Cmd.info "conservative"
-      ~doc:"Solve the worst-case bound x + y - xy in either direction"
+    cmd_info "conservative"
+      ~doc:"Solve the worst-case bound x + y - xy in either direction" ()
   in
   Cmd.v info
     Term.(
@@ -300,7 +309,7 @@ let delphi_cmd =
       `Ok ()
     with Invalid_argument msg -> `Error (false, msg)
   in
-  let info = Cmd.info "delphi" ~doc:"Run the simulated expert panel" in
+  let info = cmd_info "delphi" ~doc:"Run the simulated expert panel" () in
   Cmd.v info
     Term.(
       ret (const run $ seed_arg $ experts_arg $ doubters_arg $ true_pfd_arg))
@@ -342,8 +351,8 @@ let experience_cmd =
     with Invalid_argument msg -> `Error (false, msg)
   in
   let info =
-    Cmd.info "experience"
-      ~doc:"Plan failure-free testing toward a confidence target"
+    cmd_info "experience"
+      ~doc:"Plan failure-free testing toward a confidence target" ()
   in
   Cmd.v info
     Term.(ret (const run $ mode_arg $ sigma_arg $ confidence_arg $ max_arg))
@@ -403,8 +412,8 @@ let elicit_cmd =
     | Invalid_argument msg -> `Error (false, msg)
   in
   let info =
-    Cmd.info "elicit"
-      ~doc:"Fit a belief from elicited points and print it as a belief file"
+    cmd_info "elicit"
+      ~doc:"Fit a belief from elicited points and print it as a belief file" ()
   in
   Cmd.v info
     Term.(
@@ -471,7 +480,7 @@ let case_cmd =
       `Ok ()
   in
   let info =
-    Cmd.info "case" ~doc:"Evaluate a dependability-case file"
+    cmd_info "case" ~doc:"Evaluate a dependability-case file" ()
   in
   Cmd.v info Term.(ret (const run $ file_arg $ rho_arg $ sensitivities_arg))
 
@@ -634,7 +643,7 @@ let propagate_cmd =
       `Ok ()
   in
   let info =
-    Cmd.info "propagate"
+    cmd_info "propagate"
       ~doc:"Propagate confidence through a case graph at scale"
       ~man:
         [ `S Manpage.s_description;
@@ -652,6 +661,7 @@ let propagate_cmd =
             "$(b,--edits) N exercises the incremental engine: random \
              single-leaf edits re-propagate only the dirty ancestor cone \
              and are checked bit-identical to a full re-propagation." ]
+      ()
   in
   Cmd.v info
     Term.(
@@ -722,7 +732,7 @@ let check_cmd =
     end
   in
   let info =
-    Cmd.info "check"
+    cmd_info "check"
       ~doc:"Statically check case and belief files before trusting them"
       ~man:
         [ `S Manpage.s_description;
@@ -737,6 +747,7 @@ let check_cmd =
             "Exit status: 0 when clean (infos allowed), 1 when warnings \
              are present and $(b,--strict) is given, 2 when any error is \
              present." ]
+      ()
   in
   Cmd.v info
     Term.(ret (const run $ files_arg $ strict_arg $ json_arg $ codes_arg))
@@ -934,7 +945,7 @@ let audit_cmd =
         print_report reports)
   in
   let info =
-    Cmd.info "audit"
+    cmd_info "audit"
       ~doc:"Semantically audit a case: attainable bounds, vacuous legs, \
             single points of failure"
       ~man:
@@ -958,6 +969,7 @@ let audit_cmd =
             "Exit status: 0 when clean (infos allowed), 1 when warnings \
              are present and $(b,--strict) is given, 2 when any error is \
              present." ]
+      ()
   in
   Cmd.v info
     Term.(
@@ -1036,19 +1048,145 @@ let risk_cmd =
     with Invalid_argument msg -> `Error (false, msg)
   in
   let info =
-    Cmd.info "risk" ~doc:"Layer-of-protection risk assessment with confidence"
+    cmd_info "risk" ~doc:"Layer-of-protection risk assessment with confidence" ()
   in
   Cmd.v info
     Term.(ret (const run $ freq_arg $ layers_arg $ belief_layers_arg $ target_arg))
+
+(* --- serve ------------------------------------------------------------------- *)
+
+let serve_cmd =
+  let unix_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "unix" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket at PATH instead of serving \
+                stdin/stdout")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT" ~doc:"Listen on TCP $(docv)")
+  in
+  let host_arg =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Bind address for $(b,--port)")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Domain-pool size for concurrent request groups (default: \
+                $(b,CONFCASE_DOMAINS) or the machine's core count)")
+  in
+  let queue_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Pending-request cap in socket mode; beyond it requests are \
+                shed with a retry_after error (default: \
+                $(b,CONFCASE_SERVE_QUEUE) or 1024)")
+  in
+  let batch_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Max requests drained per scheduling cycle (default: \
+                $(b,CONFCASE_SERVE_BATCH) or 64)")
+  in
+  let retry_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "retry-after-ms" ] ~docv:"MS"
+          ~doc:"Advisory client delay carried in shed responses (default: \
+                $(b,CONFCASE_SERVE_RETRY_MS) or 50)")
+  in
+  let run unix port host domains queue batch retry =
+    let bad = List.exists (fun v -> match v with Some n -> n <= 0 | None -> false) in
+    if bad [ domains; queue; batch; retry ] then
+      `Error (false, "--domains, --queue, --batch, --retry-after-ms must be positive")
+    else
+      match (unix, port) with
+      | Some _, Some _ -> `Error (false, "give --unix or --port, not both")
+      | _ ->
+        let pool = Numerics.Parallel.create ?num_domains:domains () in
+        let base = Serve.Server.config ~pool () in
+        let config =
+          {
+            base with
+            Serve.Server.queue_bound =
+              (match queue with Some n -> n | None -> base.Serve.Server.queue_bound);
+            batch = (match batch with Some n -> n | None -> base.Serve.Server.batch);
+            retry_after_ms =
+              (match retry with
+              | Some n -> n
+              | None -> base.Serve.Server.retry_after_ms);
+          }
+        in
+        let eng = Serve.Engine.create () in
+        (match (unix, port) with
+        | Some path, None ->
+          Serve.Server.run_socket config eng (Serve.Server.Unix_path path)
+        | None, Some p ->
+          Serve.Server.run_socket config eng (Serve.Server.Tcp (host, p))
+        | None, None ->
+          Serve.Server.run_pipe config eng ~input:Unix.stdin ~output:Unix.stdout
+        | Some _, Some _ -> assert false);
+        Numerics.Parallel.shutdown pool;
+        `Ok ()
+  in
+  let info =
+    cmd_info "serve"
+      ~doc:"Hot evaluation daemon: parse once, serve many over NDJSON"
+      ~man:
+        [ `S Manpage.s_description;
+          `P
+            "Holds parsed cases, beliefs, and flat CSR graphs hot in memory \
+             and answers $(b,evaluate) / $(b,check) / $(b,audit) / \
+             $(b,quantile) / $(b,edit) requests, one JSON object per line, \
+             over stdin/stdout (default), a Unix-domain socket \
+             ($(b,--unix)), or TCP ($(b,--port)).";
+          `P
+            "Evaluation results are memoised by content address: the key is \
+             the queried node's structural hash (leaf-up, over kind tags, \
+             confidences, assumption products, and child hashes) combined \
+             with the dependence model, so identical sub-cases across \
+             sessions and edits share entries and a cache hit returns \
+             bit-identical float bits to a cold evaluation.  $(b,edit) \
+             requests route through the incremental engine and recompute \
+             only the dirty ancestor cone.";
+          `P
+            "Request groups touching distinct cases run concurrently over \
+             the shared domain pool; the socket modes keep one bounded \
+             pending queue and shed excess load with an \
+             $(i,overloaded)/$(i,retry_after_ms) error rather than grow \
+             without bound.  A $(b,shutdown) request (or end of input in \
+             pipe mode) exits cleanly." ]
+      ()
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ unix_arg $ port_arg $ host_arg $ domains_arg $ queue_arg
+       $ batch_arg $ retry_arg))
 
 let main =
   let doc =
     "quantified confidence for dependability cases (Bloomfield, Littlewood, \
      Wright, DSN 2007)"
   in
-  let info = Cmd.info "confcase" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "confcase" ~version:Version.version ~doc in
   Cmd.group info
     [ figures_cmd; judge_cmd; conservative_cmd; delphi_cmd; experience_cmd;
-      elicit_cmd; case_cmd; propagate_cmd; check_cmd; audit_cmd; risk_cmd ]
+      elicit_cmd; case_cmd; propagate_cmd; check_cmd; audit_cmd; risk_cmd;
+      serve_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -14,6 +14,60 @@ let tag_evidence = '\000'
 let tag_all = '\001'
 let tag_any = '\002'
 
+(* Growable binary min-heap over node indices.  Popping yields ascending
+   indices, i.e. children before parents — the index invariant turned
+   into a work queue.  Two instances per graph: one for the value
+   frontier, one for the structural-hash frontier. *)
+module Iheap = struct
+  type h = { mutable a : int array; mutable len : int }
+
+  let create () = { a = [||]; len = 0 }
+
+  let push h i =
+    let len = h.len in
+    if len = Array.length h.a then begin
+      let bigger = Array.make (max 16 (2 * len)) 0 in
+      Array.blit h.a 0 bigger 0 len;
+      h.a <- bigger
+    end;
+    let a = h.a in
+    a.(len) <- i;
+    h.len <- len + 1;
+    let j = ref len in
+    while !j > 0 && a.((!j - 1) / 2) > a.(!j) do
+      let p = (!j - 1) / 2 in
+      let tmp = a.(p) in
+      a.(p) <- a.(!j);
+      a.(!j) <- tmp;
+      j := p
+    done
+
+  let pop h =
+    let a = h.a in
+    let top = a.(0) in
+    let len = h.len - 1 in
+    h.len <- len;
+    if len > 0 then begin
+      a.(0) <- a.(len);
+      let j = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !j) + 1 and r = (2 * !j) + 2 in
+        let s = ref !j in
+        if l < len && a.(l) < a.(!s) then s := l;
+        if r < len && a.(r) < a.(!s) then s := r;
+        if !s = !j then continue := false
+        else begin
+          let tmp = a.(!s) in
+          a.(!s) <- a.(!j);
+          a.(!j) <- tmp;
+          j := !s
+        end
+      done
+    end;
+    top
+end
+
 type t = {
   n : int;
   root : int;
@@ -45,68 +99,37 @@ type t = {
      binary min-heap over indices, so refresh pops children before
      parents. *)
   dirty : Bytes.t;
-  mutable heap : int array;
-  mutable heap_len : int;
+  heap : Iheap.h;
   mutable last_dep : dependence option;
+  (* Structural-hash state: one more unboxed column (int64 bits rather
+     than float64), maintained by the same dirty-frontier discipline as
+     the value column.  [shash] is only meaningful once [hash_valid];
+     the first {!structural_hash} query pays one full leaf-up pass, and
+     edits thereafter mark [hdirty]/[hheap] so re-hashing touches only
+     the edited cone. *)
+  shash : (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  mutable hash_valid : bool;
+  hdirty : Bytes.t;
+  hheap : Iheap.h;
 }
-
-(* --- min-heap over node indices ------------------------------------------- *)
-
-let heap_push t i =
-  let len = t.heap_len in
-  if len = Array.length t.heap then begin
-    let bigger = Array.make (max 16 (2 * len)) 0 in
-    Array.blit t.heap 0 bigger 0 len;
-    t.heap <- bigger
-  end;
-  let a = t.heap in
-  a.(len) <- i;
-  t.heap_len <- len + 1;
-  let j = ref len in
-  while !j > 0 && a.((!j - 1) / 2) > a.(!j) do
-    let p = (!j - 1) / 2 in
-    let tmp = a.(p) in
-    a.(p) <- a.(!j);
-    a.(!j) <- tmp;
-    j := p
-  done
-
-let heap_pop t =
-  let a = t.heap in
-  let top = a.(0) in
-  let len = t.heap_len - 1 in
-  t.heap_len <- len;
-  if len > 0 then begin
-    a.(0) <- a.(len);
-    let j = ref 0 in
-    let continue = ref true in
-    while !continue do
-      let l = (2 * !j) + 1 and r = (2 * !j) + 2 in
-      let s = ref !j in
-      if l < len && a.(l) < a.(!s) then s := l;
-      if r < len && a.(r) < a.(!s) then s := r;
-      if !s = !j then continue := false
-      else begin
-        let tmp = a.(!s) in
-        a.(!s) <- a.(!j);
-        a.(!j) <- tmp;
-        j := !s
-      end
-    done
-  end;
-  top
 
 let mark_dirty t i =
   if Bytes.get t.dirty i = '\000' then begin
     Bytes.set t.dirty i '\001';
-    heap_push t i
+    Iheap.push t.heap i
   end
 
 let clear_dirty t =
-  for k = 0 to t.heap_len - 1 do
-    Bytes.set t.dirty t.heap.(k) '\000'
+  for k = 0 to t.heap.Iheap.len - 1 do
+    Bytes.set t.dirty t.heap.Iheap.a.(k) '\000'
   done;
-  t.heap_len <- 0
+  t.heap.Iheap.len <- 0
+
+let mark_hash_dirty t i =
+  if Bytes.get t.hdirty i = '\000' then begin
+    Bytes.set t.hdirty i '\001';
+    Iheap.push t.hheap i
+  end
 
 (* --- shared-evidence overlap ----------------------------------------------- *)
 
@@ -394,9 +417,12 @@ module Builder = struct
       level_off;
       level_nodes;
       dirty = Bytes.make n '\000';
-      heap = [||];
-      heap_len = 0;
+      heap = Iheap.create ();
       last_dep = None;
+      shash = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout n;
+      hash_valid = false;
+      hdirty = Bytes.make n '\000';
+      hheap = Iheap.create ();
     }
 end
 
@@ -653,7 +679,8 @@ let set_evidence t i confidence =
   if not (confidence > 0.0 && confidence <= 1.0) then
     invalid_arg "Graph.set_evidence: confidence must be in (0,1]";
   Columns.set t.base i confidence;
-  mark_dirty t i
+  mark_dirty t i;
+  if t.hash_valid then mark_hash_dirty t i
 
 let set_assumption t ~id ~p_valid =
   if not (p_valid > 0.0 && p_valid <= 1.0) then
@@ -671,7 +698,8 @@ let set_assumption t ~id ~p_valid =
          (fun acc (a : Node.assumption) -> acc *. a.p_valid)
          1.0
          t.assumption_lists.(gi));
-    mark_dirty t gi
+    mark_dirty t gi;
+    if t.hash_valid then mark_hash_dirty t gi
 
 let same_dep a b =
   match (a, b) with
@@ -686,8 +714,8 @@ let refresh dep t =
   match t.last_dep with
   | Some d when same_dep d dep ->
     let vdata = Columns.unsafe_data t.value in
-    while t.heap_len > 0 do
-      let i = heap_pop t in
+    while t.heap.Iheap.len > 0 do
+      let i = Iheap.pop t.heap in
       Bytes.set t.dirty i '\000';
       let v = compute t dep vdata i in
       if
@@ -706,6 +734,103 @@ let refresh dep t =
     done;
     Bigarray.Array1.unsafe_get vdata t.root
   | _ -> propagate dep t
+
+let invalidate t = t.last_dep <- None
+
+(* --- content-addressed structural hashing ------------------------------------ *)
+
+(* Splitmix64 finalizer: full-avalanche 64-bit bijection. *)
+let mix64 z =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Order-sensitive combine: children hashed in emission order stay
+   distinguishable from any permutation. *)
+let hash_mix h x = mix64 (Int64.add (Int64.mul h 0x9E3779B97F4A7C15L) x)
+
+let seed_evidence = 0x2545F4914F6CDD1DL
+let seed_all = 0x6A09E667F3BCC909L
+let seed_any = 0xBB67AE8584CAA73BL
+
+(* Leaf-up hash of node [i], children's hashes already in [hdata].
+   Covers exactly the evaluation-relevant state: an evidence node is its
+   confidence bits; a goal is its combinator tag, assumption-validity
+   product, structural overlap fraction, and child hashes in order.
+   Statements and ids are deliberately excluded — two sub-cases with the
+   same shape and numbers evaluate identically, which is what a
+   value-memo key must capture. *)
+let node_hash t hdata i =
+  let tag = Bytes.unsafe_get t.kinds i in
+  if tag = tag_evidence then
+    hash_mix seed_evidence (Int64.bits_of_float (Columns.unsafe_get t.base i))
+  else begin
+    let seed = if tag = tag_all then seed_all else seed_any in
+    let h = ref (hash_mix seed (Int64.bits_of_float (Columns.unsafe_get t.avalid i))) in
+    h := hash_mix !h (Int64.bits_of_float (Columns.unsafe_get t.overlap i));
+    for e = Array.unsafe_get t.child_off i
+        to Array.unsafe_get t.child_off (i + 1) - 1 do
+      h :=
+        hash_mix !h
+          (Bigarray.Array1.unsafe_get hdata (Array.unsafe_get t.child e))
+    done;
+    !h
+  end
+
+let refresh_hashes t =
+  let hdata = t.shash in
+  if not t.hash_valid then begin
+    (* First query: one full leaf-up pass (index order is topological).
+       Any staged hash dirt predates this pass, so drop it. *)
+    for i = 0 to t.n - 1 do
+      Bigarray.Array1.unsafe_set hdata i (node_hash t hdata i)
+    done;
+    for k = 0 to t.hheap.Iheap.len - 1 do
+      Bytes.set t.hdirty t.hheap.Iheap.a.(k) '\000'
+    done;
+    t.hheap.Iheap.len <- 0;
+    t.hash_valid <- true
+  end
+  else
+    (* Same early-cutoff discipline as [refresh]: re-hash the dirty
+       frontier children-first, propagate to parents only when the bits
+       actually changed (an edit reverted to the previous confidence
+       stops at the leaf). *)
+    while t.hheap.Iheap.len > 0 do
+      let i = Iheap.pop t.hheap in
+      Bytes.set t.hdirty i '\000';
+      let h = node_hash t hdata i in
+      if not (Int64.equal h (Bigarray.Array1.unsafe_get hdata i)) then begin
+        Bigarray.Array1.unsafe_set hdata i h;
+        for e = t.parent_off.(i) to t.parent_off.(i + 1) - 1 do
+          mark_hash_dirty t t.parent.(e)
+        done
+      end
+    done
+
+let structural_hash t i =
+  if i < 0 || i >= t.n then
+    invalid_arg "Graph.structural_hash: index out of range";
+  refresh_hashes t;
+  Bigarray.Array1.get t.shash i
+
+let root_hash t =
+  refresh_hashes t;
+  Bigarray.Array1.get t.shash t.root
+
+let dependence_hash = function
+  | Independent -> mix64 1L
+  | Frechet_lower -> mix64 2L
+  | Frechet_upper -> mix64 3L
+  | Correlated rho -> hash_mix (mix64 4L) (Int64.bits_of_float rho)
 
 (* --- static-analysis kernels --------------------------------------------------- *)
 

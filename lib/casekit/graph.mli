@@ -146,6 +146,42 @@ val set_assumption : t -> id:string -> p_valid:float -> unit
     for every node [i]. *)
 val refresh : dependence -> t -> float
 
+(** [invalidate t] — forget which dependence model the value column was
+    computed under, so the next {!refresh} runs a full {!propagate}.
+    The cold-path lever: benchmarks and the serve [flush] request use it
+    to force an uncached evaluation without rebuilding the graph. *)
+val invalidate : t -> unit
+
+(** {1 Content-addressed structural hashing}
+
+    [structural_hash t i] is a leaf-up 64-bit hash of the sub-case rooted
+    at [i], stored as one more unboxed column (int64 bits): an evidence
+    node hashes its confidence bits; a goal hashes its combinator tag,
+    assumption-validity product, shared-evidence overlap fraction, and
+    its children's hashes in emission order.  Ids and statements are
+    excluded, so two sub-cases that would propagate identically under
+    every dependence model hash equal — the hash is a sound
+    content-address for memoising evaluation results ([confcase serve]
+    keys its cache on [(structural_hash, dependence_hash)]).
+
+    Maintenance mirrors the value column: the first query pays one full
+    leaf-up pass; {!set_evidence}/{!set_assumption} mark a second dirty
+    frontier, and later queries re-hash only the edited cone with the
+    same bitwise early cutoff as {!refresh} (an edit reverted to the
+    previous value stops at the leaf, restoring the previous hash — and
+    with it any memoised results for that state). *)
+
+val structural_hash : t -> int -> int64
+(** @raise Invalid_argument if [i] is out of range. *)
+
+(** [root_hash t] — [structural_hash t (root t)]. *)
+val root_hash : t -> int64
+
+(** [dependence_hash dep] — 64-bit tag of the dependence model (bitwise
+    on [rho]), mixed into memo keys so the same structure evaluated
+    under two models never collides. *)
+val dependence_hash : dependence -> int64
+
 (** {1 Static-analysis kernels}
 
     The semantic audit passes ([Analysis.Audit]) run directly on the CSR

@@ -1,0 +1,94 @@
+(** The request engine behind [confcase serve]: a registry of hot parsed
+    artefacts (case graphs by name, beliefs by name), a content-addressed
+    result memo, and the dispatcher that turns one request line into one
+    response line.
+
+    {2 Requests}
+
+    One JSON object per line; [op] selects the operation, an optional
+    [id] member is echoed verbatim in the response:
+
+    - [{"op":"load","case":N,"path":P}] — parse a case file into graph [N].
+    - [{"op":"generate","case":N,"legs":..,"fanout":..,"depth":..,
+       "shared":..,"seed":..,"leaf_lo":..,"leaf_hi":..}] — synthesize a
+      graph ({!Casekit.Generate.case} defaults apply to omitted members).
+    - [{"op":"load_belief","belief":N,"path":P}] — parse a belief file.
+    - [{"op":"evaluate","case":N,"dependence":D,"node":ID,"memo":B}] —
+      propagated confidence of the named node (default: the root) under
+      dependence [D] (["independent"], ["frechet-lower"],
+      ["frechet-upper"], or a number rho; default independent).
+      [memo:false] bypasses the cache (measurement hook).
+    - [{"op":"edit","case":N,"evidence":ID|"node":IDX|"assumption":ID,
+       "value":V,"dependence":D}] — stage one edit and {!Casekit.Graph.refresh}:
+      only the dirty ancestor cone recomputes.
+    - [{"op":"quantile","belief":N,"p":P}] — {!Dist.Mixture.quantile}.
+    - [{"op":"check","path":P}] — {!Analysis.Check.check_file} diagnostics.
+    - [{"op":"audit","case":N,"target":T,"dependence":D}] —
+      {!Analysis.Audit.graph} over the hot graph.
+    - [{"op":"stats"}] — cache and registry counters.
+    - [{"op":"flush"}] — clear the memo and {!Casekit.Graph.invalidate}
+      every graph (forces the next evaluations cold).
+    - [{"op":"shutdown"}] — acknowledge, then the server exits.
+
+    {2 Memoisation contract}
+
+    [evaluate] results are memoised under the key
+    [(Graph.structural_hash g node, Graph.dependence_hash dep)]: the hash
+    covers exactly the evaluation-relevant state, so identical sub-cases
+    — across different loaded cases, or across an edit cycle that
+    returns a graph to a previous state — share one entry.  A hit
+    returns the stored float bits without touching the graph; the dirty
+    frontier survives, so a later miss's [refresh] still converges.
+    Every response carries the value's bits as a hex string and a
+    [cached] flag, and the bench gates that hit-path bits equal
+    cold-path bits exactly.
+
+    {2 Concurrency}
+
+    [execute] is thread-safe under the {!group_key} discipline: requests
+    with the same key mutate the same graph and must run serially in
+    arrival order; requests with different keys touch disjoint graphs
+    and may run on different domains concurrently ({!Server} maps groups
+    onto {!Numerics.Parallel.map_chunks} chunks).  Barrier requests
+    ([group_key = None] — registry mutation, stats, flush, shutdown,
+    malformed lines) must run alone on the control thread.  The memo is
+    mutex-guarded; hit/miss counters are atomics. *)
+
+type t
+
+(** [create ?memo_bound ()] — fresh engine.  [memo_bound] caps the memo
+    entry count (default 65536, overridable via [CONFCASE_SERVE_MEMO]);
+    on overflow the memo is cleared wholesale (the next evaluations
+    repopulate it) rather than growing without bound. *)
+val create : ?memo_bound:int -> unit -> t
+
+(** A decoded request (or a decoding error carried as a value — [parse]
+    never raises; malformed lines execute to error responses). *)
+type parsed
+
+val parse : t -> string -> parsed
+
+(** [group_key p] — [Some key] when the request may run concurrently
+    with requests of other keys ([c:<case>] for evaluate/edit/audit,
+    [b:<belief>] for quantile, [f:<path>] for check); [None] when it
+    must run alone between batches. *)
+val group_key : parsed -> string option
+
+(** [is_shutdown p] — the server should exit after answering this
+    batch. *)
+val is_shutdown : parsed -> bool
+
+(** [execute t p] — run the request, return the response line (no
+    trailing newline).  Never raises: every failure becomes an
+    [{"ok":false,"error":..}] response. *)
+val execute : t -> parsed -> string
+
+(** [handle t line] — [execute t (parse t line)]: the one-call path used
+    by the bench harness and tests. *)
+val handle : t -> string -> string
+
+(** {1 Counters} (atomically read; exposed for stats and the bench) *)
+
+val hits : t -> int
+val misses : t -> int
+val memo_entries : t -> int

@@ -1,0 +1,58 @@
+(** The wire format of [confcase serve]: one JSON value per line
+    (newline-delimited JSON), hand-rolled like the emitters in
+    {!Analysis.Diagnostic} — the toolchain has no JSON dependency and
+    this keeps it that way.
+
+    The parser accepts standard JSON (RFC 8259): objects, arrays,
+    strings with escapes (including [\uXXXX] with surrogate pairs,
+    decoded to UTF-8), numbers, [true]/[false]/[null].  The printer
+    emits a canonical single-line rendering whose numbers round-trip
+    float64 bit for bit ([parse (print v)] preserves every number's
+    bits), which is what lets responses carry confidences that clients
+    can compare bitwise — and, belt and braces, every response value
+    that matters also carries its raw bits as a [bits] hex string. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** [parse s] — the single JSON value in [s] (leading/trailing
+    whitespace allowed; anything else after the value is an error).
+    @raise Parse_error with a position-carrying message. *)
+val parse : string -> t
+
+(** [print v] — canonical single-line rendering, no trailing newline.
+    Numbers print as the shortest decimal that round-trips the float64
+    ([parse (print (Num x))] has [x]'s bits for every finite [x]);
+    non-finite numbers print as [null] (JSON has no spelling for
+    them). *)
+val print : t -> string
+
+(** {1 Accessors} — shape-checked lookups for request decoding. *)
+
+(** [member k v] — field [k] of an object, [None] on missing key or
+    non-object. *)
+val member : string -> t -> t option
+
+val get_string : t -> string option
+val get_num : t -> float option
+
+(** [get_int v] — [Num x] when [x] is integral and in [int] range. *)
+val get_int : t -> int option
+
+val get_bool : t -> bool option
+
+(** {1 Bit strings} — the exactness side-channel. *)
+
+(** [hex_of_bits b] — ["0x%016Lx"] of a float's bits. *)
+val hex_of_bits : int64 -> string
+
+(** [bits_of_hex s] — inverse of {!hex_of_bits}; [None] on malformed
+    input. *)
+val bits_of_hex : string -> int64 option

@@ -29,7 +29,9 @@ THRESHOLD = 0.20  # +/-20%
 # confcase-bench-6 renamed the snapshot micro rows (columns_* -> snapshot_*)
 # when the graph section landed (same workload — only the name changed);
 # confcase-bench-7 suffixed the graph DAG/edit rows with their node count
-# (the headline configuration is 10^6 nodes) when the audit rows landed.
+# (the headline configuration is 10^6 nodes) when the audit rows landed;
+# confcase-bench-8 suffixed graph_build the same way (it was the one graph
+# row still unsized) when the serve section landed.
 RENAMES = {
     "micro/sketch_add_1e6": "micro/sketch_add_soa_1e6",
     "micro/sketch_merge_64x16k": "micro/sketch_merge_soa_64x16k",
@@ -38,6 +40,7 @@ RENAMES = {
     "micro/columns_load_mmap_1e6": "micro/snapshot_load_mmap_1e6",
     "graph/graph_propagate_dag": "graph/graph_propagate_dag_1e6",
     "graph/graph_incremental_edit": "graph/graph_incremental_edit_1e6",
+    "graph/graph_build": "graph/graph_build_1e6",
 }
 
 
@@ -67,6 +70,9 @@ def load_rows(path: Path):
         rows[key] = row.get("nanos_per_run")
     for row in doc.get("graph", {}).get("rows", []):
         rows[f"graph/{row['name']}"] = row.get("nanos_per_run")
+    for row in doc.get("serve", {}).get("rows", []):
+        # serve rows record latency percentiles: nanos_per_run is the p50.
+        rows[f"serve/{row['name']}"] = row.get("nanos_per_run")
     return doc.get("schema", "?"), rows
 
 
@@ -120,12 +126,20 @@ def main():
             marker = "  (improved)"
         print(f"  {key:58s} {a:14.6g} -> {b:14.6g} ns  {ratio:+7.1%}{marker}")
 
+    # Rows present only in the newer file are informational by design: a
+    # schema bump that introduces a section (e.g. serve in bench-8) has no
+    # baseline to regress against.  They are listed, counted, and never
+    # flagged — the first comparison *between* two files carrying them is
+    # where the threshold starts to apply.
     for key in added:
-        print(f"  {key:58s} {'new row':>14s}")
+        print(f"  {key:58s} {'new row (informational)':>24s}")
     for key in removed:
         print(f"  {key:58s} {'row removed':>14s}")
     for key in skipped:
         print(f"  {key:58s} {'skipped (null/zero baseline)':>28s}")
+    if added:
+        print(f"  ({len(added)} new row(s) have no baseline and are not "
+              f"compared)")
 
     if regressions:
         print(f"\nbench-compare: {len(regressions)} row(s) regressed more "

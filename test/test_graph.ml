@@ -83,6 +83,79 @@ let test_incremental_identity_property =
       done;
       !ok)
 
+(* Edit-order convergence: a batch of edits over distinct targets must
+   land on the same root — bitwise — whatever order they are applied
+   and refreshed in, and that root must equal a full propagation of a
+   graph holding the final values.  This is the property the serve
+   daemon's concurrency model rests on: within one graph requests are
+   serialised but their arrival order is arbitrary. *)
+let test_edit_order_convergence_property =
+  qcheck ~count:100
+    "interleaved set_evidence/set_assumption orders converge bitwise"
+    gen_seed_depth (fun (seed, depth) ->
+      let rng = rng_of_seed seed in
+      let t = random_tree rng ~depth in
+      let dep = G.Correlated 0.37 in
+      (* Distinct-target edit batch: a final value for every leaf that
+         gets edited at all, plus any assumptions present. *)
+      let probe = G.of_node t in
+      let evs = G.evidence_indices probe in
+      let edits = ref [] in
+      Array.iter
+        (fun i ->
+          if Numerics.Rng.bernoulli rng 0.5 then
+            edits :=
+              `Evidence (G.id_of probe i, Numerics.Rng.uniform rng 0.1 0.999)
+              :: !edits)
+        evs;
+      for a = 0 to 2 do
+        let aid = Printf.sprintf "a%d" a in
+        if
+          (match G.set_assumption probe ~id:aid ~p_valid:0.9 with
+          | () -> true
+          | exception Not_found -> false)
+          && Numerics.Rng.bernoulli rng 0.5
+        then
+          edits :=
+            `Assumption (aid, Numerics.Rng.uniform rng 0.5 0.999) :: !edits
+      done;
+      let edits = Array.of_list !edits in
+      let apply g = function
+        | `Evidence (id, v) -> (
+          match G.find g id with
+          | Some i -> G.set_evidence g i v
+          | None -> Alcotest.failf "lost evidence id %s" id)
+        | `Assumption (id, v) -> G.set_assumption g ~id ~p_valid:v
+      in
+      let shuffled () =
+        let order = Array.copy edits in
+        for i = Array.length order - 1 downto 1 do
+          let j = Numerics.Rng.int rng (i + 1) in
+          let tmp = order.(i) in
+          order.(i) <- order.(j);
+          order.(j) <- tmp
+        done;
+        order
+      in
+      (* Reference: apply everything, then propagate from scratch. *)
+      let reference = G.of_node t in
+      Array.iter (apply reference) edits;
+      let expected = bits (G.propagate dep reference) in
+      (* Two independent interleavings, refreshing after every edit the
+         way the daemon does. *)
+      List.for_all
+        (fun () ->
+          let g = G.of_node t in
+          ignore (G.propagate dep g);
+          let last = ref (G.value g (G.root g)) in
+          Array.iter
+            (fun e ->
+              apply g e;
+              last := G.refresh dep g)
+            (shuffled ());
+          Int64.equal (bits !last) expected)
+        [ (); () ])
+
 let test_assumption_edit_identity () =
   let t = random_tree (rng_of_seed 42) ~depth:4 in
   let g = G.of_node t in
@@ -334,4 +407,5 @@ let suite =
     test_children_before_parents_property;
     case "sensitivities match the boxed-tree path" test_sensitivities_match_tree_path;
     test_bitwise_identity_property;
-    test_incremental_identity_property ]
+    test_incremental_identity_property;
+    test_edit_order_convergence_property ]
