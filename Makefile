@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json bench-vr-smoke bench-soa-smoke bench-graph-smoke bench-audit-smoke bench-serve-smoke serve-smoke bench-compare experiment-vr examples csv clean lint-src check-fixtures audit-fixtures
+.PHONY: all build test check bench bench-json bench-vr-smoke bench-soa-smoke bench-graph-smoke bench-audit-smoke bench-serve-smoke bench-stream-smoke serve-smoke bench-compare experiment-vr examples csv clean lint-src check-fixtures audit-fixtures
 
 all: build
 
@@ -62,7 +62,7 @@ bench:
 # efficiency rows, written as JSON at the repo root (the perf trajectory
 # across PRs: BENCH_1.json, BENCH_2.json, ...).
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_8.json
+	dune exec bench/main.exe -- --json BENCH_9.json
 
 # Fast variance-reduction rows only (the CI smoke step).
 bench-vr-smoke:
@@ -90,6 +90,14 @@ bench-audit-smoke:
 # incremental edit are bit-identical to from-scratch evaluation.
 bench-serve-smoke:
 	dune exec bench/main.exe -- --serve-smoke
+
+# Streaming rows at CI size (10^5-event columns, 5x10^4 assessors):
+# column ingest throughput, serve-mode single-event ingest latency, the
+# population Delphi, gating that streamed posteriors equal the batch
+# update bitwise and parallel merge is identical across domain/chunk
+# counts.
+bench-stream-smoke:
+	dune exec bench/main.exe -- --stream-smoke
 
 # End-to-end pipe-mode daemon smoke: drive `confcase serve` over stdin/
 # stdout with NDJSON requests and assert the memoised answer is

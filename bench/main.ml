@@ -967,6 +967,205 @@ let print_serve_summary ss =
   Printf.printf "incremental edit p50 vs cold p50: %.0fx\n" ss.s_edit_speedup
 
 (* ------------------------------------------------------------------ *)
+(* Streaming evidence engine: column ingest throughput at 10^6-event
+   batches, serve-mode single-event ingest latency, the population-scale
+   Delphi, and the bitwise gates — streamed posterior identical to the
+   batch update on the pooled totals, and parallel merge identical
+   across 1/2/4 domains and several chunk counts. *)
+
+type stream_summary = {
+  st_events : int;
+  st_ingest_demands : row;
+  st_demands_eps : float;  (* events per second *)
+  st_ingest_hours : row;
+  st_hours_eps : float;
+  st_serve_ingest : row;  (* nanos = p50 of per-request latency *)
+  st_serve_ingest_p99 : float;
+  st_pop : row;
+  st_pop_n : int;
+  st_pop_aps : float;  (* assessors per second, full four-phase protocol *)
+  st_stream_vs_batch : bool;  (* streamed == batch; serve == library *)
+  st_merge_identical : bool;  (* 1/2/4 domains x 1/4/16 chunks *)
+}
+
+let stream_rows ?(events = 1_000_000) ?(pop_n = 1_000_000) () =
+  let module S = Experience.Stream in
+  let module Cols = Numerics.Columns in
+  let seed = Repro.Paper.seed + 211 in
+  let truth = 3e-3 in
+  (* Synthetic event columns: one demand (or 0.5-1.5 operating hours)
+     per event, failures Bernoulli at the true rate — the shape the
+     [confcase stream] generator produces. *)
+  let demands = Cols.make events 1.0 in
+  let hours = Cols.create ~capacity:events () in
+  let fails = Cols.create ~capacity:events () in
+  let rng = Numerics.Rng.create seed in
+  for _ = 1 to events do
+    Cols.push hours (Numerics.Rng.uniform rng 0.5 1.5);
+    Cols.push fails (if Numerics.Rng.bernoulli rng truth then 1.0 else 0.0)
+  done;
+  let a = 1.5 and b = 100.0 in
+  let shape = 2.0 and rate = 1e6 in
+  let sized name n =
+    if n = 1_000_000 then name ^ "_1e6" else Printf.sprintf "%s_%d" name n
+  in
+  let bits = Int64.bits_of_float in
+  Numerics.Parallel.with_pool (fun pool ->
+      (* Throughput: a fresh conjugate accumulator absorbs the full
+         column batch in parallel, then answers one posterior query. *)
+      let r_demands =
+        ols_nanos ~name:(sized "stream_ingest_demands" events) (fun () ->
+            let acc = S.demand_beta ~a ~b in
+            S.ingest_demands_par ~pool acc ~demands ~failures:fails;
+            S.mean acc)
+      in
+      let r_hours =
+        ols_nanos ~name:(sized "stream_ingest_hours" events) (fun () ->
+            let acc = S.rate_gamma ~shape ~rate in
+            S.ingest_hours_par ~pool acc ~hours ~failures:fails;
+            S.mean acc)
+      in
+      let eps_of (r : row) =
+        if Float.is_finite r.nanos && r.nanos > 0.0 then
+          float_of_int events *. 1e9 /. r.nanos
+        else nan
+      in
+      (* Gate 1a: a mixture prior (the Section 4 belief) ingested in
+         parallel reproduces the one-shot batch update on the pooled
+         totals bitwise — mean and P(<= bound).  Run on a 2x10^4-event
+         sub-view: grid reweighting is bounded by likelihood underflow
+         (the weights annihilate once the evidence log-likelihood passes
+         float range), which is exactly why the conjugate paths carry
+         the traffic-scale rows above. *)
+      let gate_len = min events 20_000 in
+      let gd = Cols.sub_view demands ~pos:0 ~len:gate_len in
+      let gh = Cols.sub_view hours ~pos:0 ~len:gate_len in
+      let gf = Cols.sub_view fails ~pos:0 ~len:gate_len in
+      let prior_pfd =
+        Dist.Mixture.of_dist (Dist.Lognormal.of_mode_mean ~mode:3e-3 ~mean:1e-2)
+      in
+      let prior_rate =
+        Dist.Mixture.of_dist
+          (Dist.Lognormal.of_mode_sigma ~mode:3e-7 ~sigma:0.9)
+      in
+      let same_posterior streamed batch bound =
+        Int64.equal (bits (Dist.Mixture.mean streamed))
+          (bits (Dist.Mixture.mean batch))
+        && Int64.equal
+             (bits (Dist.Mixture.prob_le streamed bound))
+             (bits (Dist.Mixture.prob_le batch bound))
+      in
+      let acc_d = S.demand_of_belief prior_pfd in
+      S.ingest_demands_par ~pool acc_d ~demands:gd ~failures:gf;
+      let batch_d, _ =
+        Experience.Bayes.update_demands prior_pfd ~failures:(S.failures acc_d)
+          ~demands:(S.demands acc_d)
+      in
+      let acc_h = S.rate_of_belief prior_rate in
+      S.ingest_hours_par ~pool acc_h ~hours:gh ~failures:gf;
+      let batch_h, _ =
+        Experience.Bayes.update_time prior_rate ~failures:(S.failures acc_h)
+          ~time:(S.hours acc_h)
+      in
+      let batch_ok =
+        same_posterior (S.posterior acc_d) batch_d 1e-2
+        && same_posterior (S.posterior acc_h) batch_h 1e-6
+      in
+      (* Gate 2: merge identity — parallel ingestion at any domain and
+         chunk count reproduces sequential ingestion exactly. *)
+      let totals_of acc = (S.demands acc, S.failures acc, bits (S.mean acc)) in
+      let reference =
+        let acc = S.demand_beta ~a ~b in
+        S.ingest_demands_col acc ~demands ~failures:fails;
+        totals_of acc
+      in
+      let merge_ok =
+        List.for_all
+          (fun num_domains ->
+            Numerics.Parallel.with_pool ~num_domains (fun p ->
+                List.for_all
+                  (fun chunks ->
+                    let acc = S.demand_beta ~a ~b in
+                    S.ingest_demands_par ~pool:p ~chunks acc ~demands
+                      ~failures:fails;
+                    totals_of acc = reference)
+                  [ 1; 4; 16 ]))
+          domain_counts
+      in
+      (* Serve-mode ingest: single-event requests through the daemon's
+         request path, p50/p99 per request. *)
+      let eng = Serve.Engine.create () in
+      ignore
+        (Serve.Engine.handle eng
+           (Printf.sprintf
+              "{\"op\":\"stream\",\"stream\":\"bench\",\"beta_a\":%s,\
+               \"beta_b\":%s}"
+              (Serve.Protocol.print (Serve.Protocol.Num a))
+              (Serve.Protocol.print (Serve.Protocol.Num b))));
+      let ingest_iters = 2000 in
+      let r_serve, serve_p99, _ =
+        serve_latency ~name:"stream_serve_ingest" ~iters:ingest_iters
+          ~prepare:(fun _ -> ())
+          ~request:(fun _ ->
+            "{\"op\":\"ingest\",\"stream\":\"bench\",\"demands\":1,\
+             \"failures\":0}")
+          eng
+      in
+      (* Gate 1b: the daemon's posterior after those events matches a
+         library accumulator holding the same totals bitwise (sufficient
+         statistics — one observe call with the pooled count). *)
+      let twin = S.demand_beta ~a ~b in
+      S.observe_demands twin ~demands:ingest_iters ~failures:0;
+      let posterior_resp =
+        Serve.Engine.handle eng "{\"op\":\"posterior\",\"stream\":\"bench\"}"
+      in
+      let serve_ok =
+        match serve_bits posterior_resp with
+        | Some bv -> Int64.equal bv (bits (S.mean twin))
+        | None -> false
+      in
+      (* Population Delphi: one full four-phase protocol over [pop_n]
+         synthetic assessors through the batched column kernels. *)
+      let r_pop =
+        ols_nanos ~name:(sized "population_delphi" pop_n) (fun () ->
+            Elicit.Population.run ~pool Elicit.Delphi.default_config ~n:pop_n)
+      in
+      let pop_aps =
+        if Float.is_finite r_pop.nanos && r_pop.nanos > 0.0 then
+          float_of_int pop_n *. 1e9 /. r_pop.nanos
+        else nan
+      in
+      {
+        st_events = events;
+        st_ingest_demands = r_demands;
+        st_demands_eps = eps_of r_demands;
+        st_ingest_hours = r_hours;
+        st_hours_eps = eps_of r_hours;
+        st_serve_ingest = r_serve;
+        st_serve_ingest_p99 = serve_p99;
+        st_pop = r_pop;
+        st_pop_n = pop_n;
+        st_pop_aps = pop_aps;
+        st_stream_vs_batch = batch_ok && serve_ok;
+        st_merge_identical = merge_ok;
+      })
+
+let print_stream_summary st =
+  print_rows [ st.st_ingest_demands; st.st_ingest_hours; st.st_pop ];
+  Printf.printf
+    "ingest: %.2fM demand events/s, %.2fM hour events/s (%d-event batches)\n"
+    (st.st_demands_eps /. 1e6) (st.st_hours_eps /. 1e6) st.st_events;
+  Printf.printf "serve ingest: p50 %s, p99 %s\n"
+    (time_string st.st_serve_ingest.nanos)
+    (time_string st.st_serve_ingest_p99);
+  Printf.printf "population delphi: %d assessors, %.2fM assessors/s\n"
+    st.st_pop_n (st.st_pop_aps /. 1e6);
+  Printf.printf "streamed posterior == batch (and serve == library): %b\n"
+    st.st_stream_vs_batch;
+  Printf.printf "merge identity across 1/2/4 domains x 1/4/16 chunks: %b\n"
+    st.st_merge_identical
+
+(* ------------------------------------------------------------------ *)
 (* JSON                                                               *)
 
 let json_float f =
@@ -986,11 +1185,11 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json oc ~experiments ~micro ~kernels ~vr ~graph ~serve ~deterministic
-    =
+let write_json oc ~experiments ~micro ~kernels ~vr ~graph ~serve ~stream
+    ~deterministic =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "{\n  \"schema\": \"confcase-bench-8\",\n";
+  add "{\n  \"schema\": \"confcase-bench-9\",\n";
   add "  \"experiments\": [\n";
   List.iteri
     (fun i r ->
@@ -1085,6 +1284,37 @@ let write_json oc ~experiments ~micro ~kernels ~vr ~graph ~serve ~deterministic
   add "    \"edit_speedup_vs_cold\": %s,\n" (json_float serve.s_edit_speedup);
   add "    \"edit_speedup_ok\": %b\n  },\n"
     (serve.s_edit_speedup >= 10.0);
+  add "  \"stream\": {\n";
+  add "    \"events\": %d,\n" stream.st_events;
+  add "    \"rows\": [\n";
+  let strows =
+    [ (stream.st_ingest_demands, stream.st_demands_eps);
+      (stream.st_ingest_hours, stream.st_hours_eps) ]
+  in
+  List.iteri
+    (fun i ((r : row), eps) ->
+      add
+        "      {\"name\": \"%s\", \"nanos_per_run\": %s, \"samples\": %d, \
+         \"events_per_sec\": %s}%s\n"
+        (json_escape r.name) (json_float r.nanos) r.samples (json_float eps)
+        (if i = List.length strows - 1 then "" else ","))
+    strows;
+  add "    ],\n";
+  add
+    "    \"serve_ingest\": {\"name\": \"%s\", \"p50_nanos\": %s, \
+     \"p99_nanos\": %s, \"samples\": %d},\n"
+    (json_escape stream.st_serve_ingest.name)
+    (json_float stream.st_serve_ingest.nanos)
+    (json_float stream.st_serve_ingest_p99)
+    stream.st_serve_ingest.samples;
+  add
+    "    \"population\": {\"name\": \"%s\", \"n\": %d, \"nanos_per_run\": %s, \
+     \"samples\": %d, \"assessors_per_sec\": %s},\n"
+    (json_escape stream.st_pop.name) stream.st_pop_n
+    (json_float stream.st_pop.nanos) stream.st_pop.samples
+    (json_float stream.st_pop_aps);
+  add "    \"streamed_equals_batch\": %b,\n" stream.st_stream_vs_batch;
+  add "    \"merge_bits_identical\": %b\n  },\n" stream.st_merge_identical;
   let sp = speedups kernels in
   add "  \"speedups\": [\n";
   List.iteri
@@ -1147,10 +1377,18 @@ let run_json path =
     serve.s_memo_identical && serve.s_edit_identical
     && serve.s_edit_speedup >= 10.0
   in
+  print_endline
+    "\n################ Streaming evidence (ingest, population Delphi) \
+     ################\n";
+  let stream = stream_rows () in
+  print_stream_summary stream;
+  let stream_ok = stream.st_stream_vs_batch && stream.st_merge_identical in
   let deterministic =
     kernels_id && graph.g_deterministic && graph.g_audit_sound && serve_ok
+    && stream_ok
   in
-  write_json oc ~experiments ~micro ~kernels ~vr ~graph ~serve ~deterministic;
+  write_json oc ~experiments ~micro ~kernels ~vr ~graph ~serve ~stream
+    ~deterministic;
   Printf.printf "\nwrote %s\n" path;
   if not deterministic then exit 1
 
@@ -1210,6 +1448,18 @@ let () =
     let serve = serve_rows ~depth:3 () in
     print_serve_summary serve;
     if not (serve.s_memo_identical && serve.s_edit_identical) then exit 1
+  | [ "--stream-smoke" ] ->
+    (* A CI-sized pass over the streaming rows: 10^5-event columns and a
+       5x10^4-assessor population.  Gates on the bitwise identities only
+       — streamed == batch on the pooled totals, serve == library, and
+       merge identity across domain and chunk counts; throughput at this
+       scale is informational. *)
+    print_endline
+      "################ Streaming evidence (smoke, 10^5 events) \
+       ################\n";
+    let st = stream_rows ~events:100_000 ~pop_n:50_000 () in
+    print_stream_summary st;
+    if not (st.st_stream_vs_batch && st.st_merge_identical) then exit 1
   | [] ->
     run_reproductions ();
     run_perf ()
@@ -1226,5 +1476,5 @@ let () =
     prerr_endline
       "usage: main.exe [--no-perf | --json <path> | --vr-smoke | \
        --soa-smoke | --graph-smoke | --audit-smoke | --serve-smoke | \
-       <experiment-id>]";
+       --stream-smoke | <experiment-id>]";
     exit 1

@@ -13,6 +13,7 @@
      audit        semantic audit: attainability, vacuity, SPOF
      risk         layer-of-protection analysis with confidence
      serve        hot evaluation daemon over newline-delimited JSON
+     stream       streaming evidence: online posteriors at traffic scale
 
    Every Cmd.info carries ~version (sourced from dune-project via the
    generated Version module) and a one-line ~doc. *)
@@ -1178,6 +1179,242 @@ let serve_cmd =
         (const run $ unix_arg $ port_arg $ host_arg $ domains_arg $ queue_arg
        $ batch_arg $ retry_arg))
 
+(* --- stream ------------------------------------------------------------------ *)
+
+let env_pos_int name fallback =
+  match Sys.getenv_opt name with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> n
+    | _ -> fallback)
+  | None -> fallback
+
+let env_pos_float name fallback =
+  match Sys.getenv_opt name with
+  | Some s -> (
+    match float_of_string_opt (String.trim s) with
+    | Some x when x > 0.0 -> x
+    | _ -> fallback)
+  | None -> fallback
+
+let stream_cmd =
+  let beta_arg =
+    Arg.(
+      value
+      & opt (some (t2 ~sep:':' float float)) None
+      & info [ "beta" ] ~docv:"A:B"
+          ~doc:"Conjugate Beta(A, B) prior over the pfd (demand mode)")
+  in
+  let gamma_arg =
+    Arg.(
+      value
+      & opt (some (t2 ~sep:':' float float)) None
+      & info [ "gamma" ] ~docv:"SHAPE:RATE"
+          ~doc:"Conjugate Gamma prior over the failure rate (continuous mode)")
+  in
+  let belief_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "belief-file" ] ~docv:"FILE"
+          ~doc:"Arbitrary mixture prior from a belief file (grid reweighting)")
+  in
+  let continuous_arg =
+    Arg.(
+      value & flag
+      & info [ "continuous" ]
+          ~doc:"With $(b,--belief-file): treat it as a rate belief \
+                (operating-hours evidence) instead of a pfd belief")
+  in
+  let events_arg =
+    Arg.(
+      value
+      & opt int 1_000_000
+      & info [ "events" ] ~docv:"N" ~doc:"Synthetic evidence events to ingest")
+  in
+  let seed_arg =
+    Arg.(value & opt int 61508 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed")
+  in
+  let truth_arg =
+    Arg.(
+      value
+      & opt float 3e-3
+      & info [ "truth" ] ~docv:"X"
+          ~doc:"Ground truth generating the events: per-demand failure \
+                probability, or per-hour failure rate in continuous mode")
+  in
+  let batch_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Events per ingested column batch (default: \
+                $(b,CONFCASE_STREAM_BATCH) or 65536)")
+  in
+  let bound_arg =
+    Arg.(
+      value
+      & opt float 1e-2
+      & info [ "bound" ] ~docv:"B" ~doc:"Confidence bound P(measure <= B)")
+  in
+  let chunks_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chunks" ] ~docv:"N"
+          ~doc:"Parallel ingestion chunk count (default: \
+                $(b,CONFCASE_CHUNKS) or 8 x domains)")
+  in
+  let snapshot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:"Save the accumulator state to $(docv) at the end")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:"Restore the accumulator from a snapshot before ingesting")
+  in
+  let population_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "population" ] ~docv:"N"
+          ~doc:"Instead of ingesting: run the population-scale Delphi with \
+                $(docv) synthetic assessors and print per-phase quantile \
+                bands")
+  in
+  let run beta gamma belief_file continuous events seed truth batch bound
+      chunks snapshot resume population =
+    try
+      match population with
+      | Some n ->
+        let compression =
+          env_pos_float "CONFCASE_STREAM_COMPRESSION" 200.0
+        in
+        let config = { Elicit.Delphi.default_config with seed } in
+        let result =
+          Numerics.Parallel.with_pool (fun pool ->
+              Elicit.Population.run ~pool ?chunks ~compression config ~n)
+        in
+        print_string (Elicit.Population.summary_table result);
+        Printf.printf
+          "\n%d assessors (%d doubters, %d believers), %d chunks\n"
+          result.Elicit.Population.n result.Elicit.Population.n_doubters
+          result.Elicit.Population.n_believers
+          result.Elicit.Population.chunks;
+        `Ok ()
+      | None ->
+        if events < 0 then raise (Invalid_argument "stream: events < 0");
+        let module S = Experience.Stream in
+        let prior_belief =
+          match belief_file with
+          | None -> None
+          | Some path -> Some (Elicit.Belief_format.parse_file path)
+        in
+        let fresh () =
+          match (beta, gamma, prior_belief) with
+          | Some (a, b), None, None -> S.demand_beta ~a ~b
+          | None, Some (shape, rate), None -> S.rate_gamma ~shape ~rate
+          | None, None, Some prior ->
+            if continuous then S.rate_of_belief prior
+            else S.demand_of_belief prior
+          | None, None, None -> S.demand_beta ~a:1.0 ~b:1.0
+          | _ ->
+            raise
+              (Invalid_argument
+                 "give at most one of --beta, --gamma, --belief-file")
+        in
+        let acc =
+          match resume with
+          | None -> fresh ()
+          | Some path ->
+            S.of_columns ?prior:prior_belief (Numerics.Columns.load path)
+        in
+        let batch = match batch with
+          | Some b ->
+            if b < 1 then raise (Invalid_argument "stream: batch < 1");
+            b
+          | None -> env_pos_int "CONFCASE_STREAM_BATCH" 65536
+        in
+        let rng = Numerics.Rng.create seed in
+        let demand = S.mode acc = S.Demand in
+        Printf.printf "%12s %12s %10s %14s %14s\n" "events"
+          (if demand then "demands" else "hours")
+          "failures" "mean" "confidence";
+        let report () =
+          Printf.printf "%12d %12s %10d %14.6g %14.6g\n" (S.events acc)
+            (if demand then string_of_int (S.demands acc)
+             else Printf.sprintf "%.6g" (S.hours acc))
+            (S.failures acc) (S.mean acc)
+            (S.confidence acc ~bound)
+        in
+        report ();
+        Numerics.Parallel.with_pool (fun pool ->
+            let remaining = ref events in
+            while !remaining > 0 do
+              let m = min batch !remaining in
+              remaining := !remaining - m;
+              let a = Numerics.Columns.create ~capacity:m ()
+              and f = Numerics.Columns.create ~capacity:m () in
+              for _ = 1 to m do
+                (* One demand (or hour) per event; failures are drawn
+                   from the ground truth. *)
+                Numerics.Columns.push a 1.0;
+                Numerics.Columns.push f
+                  (if Numerics.Rng.bernoulli rng (min 1.0 truth) then 1.0
+                   else 0.0)
+              done;
+              if demand then
+                S.ingest_demands_par ~pool ?chunks acc ~demands:a ~failures:f
+              else S.ingest_hours_par ~pool ?chunks acc ~hours:a ~failures:f;
+              report ()
+            done);
+        (match snapshot with
+        | None -> ()
+        | Some path ->
+          Numerics.Columns.save path (S.to_columns acc);
+          Printf.eprintf "# snapshot written to %s\n" path);
+        `Ok ()
+    with
+    | Invalid_argument msg | Failure msg | Sys_error msg -> `Error (false, msg)
+    | Elicit.Belief_format.Parse_error e ->
+      `Error (false, Printf.sprintf "%d:%d: %s" e.line e.col e.message)
+  in
+  let info =
+    cmd_info "stream"
+      ~doc:"Streaming evidence: online confidence updating at traffic scale"
+      ~man:
+        [ `S Manpage.s_description;
+          `P
+            "Ingests synthetic evidence events — failure-free demands or \
+             operating hours, with failures drawn from $(b,--truth) — in \
+             column batches through the mergeable streaming accumulator \
+             ($(b,Experience.Stream)), printing the posterior mean and \
+             P(measure <= $(b,--bound)) at every batch boundary.  The \
+             posterior after any prefix is bit-identical to the batch \
+             computation on the pooled evidence, however the stream was \
+             batched or split across domains.";
+          `P
+            "$(b,--snapshot)/$(b,--resume) round-trip the accumulator \
+             through the columnar snapshot format (mixture priors are not \
+             serialised: pass the same $(b,--belief-file) when resuming).  \
+             $(b,--population) switches to the population-scale Delphi \
+             simulation: millions of synthetic assessors, per-phase pooled \
+             confidence and t-digest quantile bands." ]
+      ()
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ beta_arg $ gamma_arg $ belief_arg $ continuous_arg
+       $ events_arg $ seed_arg $ truth_arg $ batch_arg $ bound_arg
+       $ chunks_arg $ snapshot_arg $ resume_arg $ population_arg))
+
 let main =
   let doc =
     "quantified confidence for dependability cases (Bloomfield, Littlewood, \
@@ -1187,6 +1424,6 @@ let main =
   Cmd.group info
     [ figures_cmd; judge_cmd; conservative_cmd; delphi_cmd; experience_cmd;
       elicit_cmd; case_cmd; propagate_cmd; check_cmd; audit_cmd; risk_cmd;
-      serve_cmd ]
+      serve_cmd; stream_cmd ]
 
 let () = exit (Cmd.eval main)

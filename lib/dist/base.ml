@@ -66,14 +66,23 @@ let check_prob p =
   if not (p > 0.0 && p < 1.0) then
     invalid_arg "Dist: probability must lie strictly in (0,1)"
 
-let of_grid_pdf ~name ~grid ~pdf () =
+let check_grid grid =
   let n = Array.length grid in
   if n < 8 then invalid_arg "Dist.of_grid_pdf: grid too small";
   for i = 1 to n - 1 do
     if grid.(i) <= grid.(i - 1) then
       invalid_arg "Dist.of_grid_pdf: grid not strictly increasing"
-  done;
-  let raw = Array.map pdf grid in
+  done
+
+(* Shared back half of the grid constructors: [raw] holds the (possibly
+   unnormalised) density tabulated on [grid].  Error messages keep the
+   historical "Dist.of_grid_pdf" prefix — callers (Reweighted) match on
+   them to detect annihilated components. *)
+let of_grid_values ~name ~grid ~values:raw () =
+  check_grid grid;
+  let n = Array.length grid in
+  if Array.length raw <> n then
+    invalid_arg "Dist.of_grid_values: values length differs from grid";
   Array.iteri
     (fun i v ->
       if v < 0.0 || not (Float.is_finite v) then
@@ -128,6 +137,10 @@ let of_grid_pdf ~name ~grid ~pdf () =
       kernel = Generic;
     },
     z )
+
+let of_grid_pdf ~name ~grid ~pdf () =
+  check_grid grid;
+  of_grid_values ~name ~grid ~values:(Array.map pdf grid) ()
 
 let expect t f =
   let g u = f (t.quantile u) in

@@ -61,6 +61,16 @@ val check_prob : float -> unit
 val of_grid_pdf :
   name:string -> grid:float array -> pdf:(float -> float) -> unit -> t * float
 
+(** [of_grid_values ~name ~grid ~values ()] — as {!of_grid_pdf} but taking
+    the density values already tabulated ([values.(i)] at [grid.(i)]):
+    the seam that lets prepared reweighting reuse a cached density table
+    instead of re-evaluating the pdf per query.  [of_grid_pdf ~pdf] is
+    exactly [of_grid_values ~values:(Array.map pdf grid)], so the two
+    paths are bit-identical on the same inputs (error messages keep the
+    "Dist.of_grid_pdf" prefix for compatibility). *)
+val of_grid_values :
+  name:string -> grid:float array -> values:float array -> unit -> t * float
+
 (** [expect t f] = E[f(X)], computed by substituting u = F(x) and integrating
     over (0,1) — robust for heavy-tailed supports. *)
 val expect : t -> (float -> float) -> float

@@ -4,39 +4,87 @@ let component_grid (d : Base.t) n =
   if q_lo > 0.0 then Numerics.Interp.logspace q_lo q_hi n
   else Numerics.Interp.linspace q_lo q_hi n
 
-let posterior ?(grid_size = 1025) belief ~weight =
-  let reweight_cont (d : Base.t) =
-    let grid = component_grid d grid_size in
-    let pdf x =
-      let w = weight x in
-      if w < 0.0 || not (Float.is_finite w) then
-        invalid_arg
-          (Printf.sprintf "Reweighted.posterior: bad weight %g at %g" w x);
-      d.pdf x *. w
-    in
-    Base.of_grid_pdf ~name:(d.name ^ " | reweighted") ~grid ~pdf ()
-  in
-  let parts = Mixture.components belief in
-  let updated =
+(* Prepared state: the quantile-spanning grid and the prior density
+   tabulated on it, per continuous component.  Building this is the
+   expensive half of a reweighting (two quantile inversions plus a pdf
+   evaluation per grid point); once cached, each posterior query is one
+   weight evaluation and one multiply per point. *)
+type prepared_cont = { dist : Base.t; grid : float array; density : float array }
+
+type part = P_atom of float | P_cont of prepared_cont
+
+type prepared = { parts : (float * part) list }
+
+let prepare ?(grid_size = 1025) belief =
+  let parts =
     List.map
       (fun (w, c) ->
         match (c : Mixture.component) with
-        | Mixture.Atom a ->
-          let f = weight a in
+        | Mixture.Atom a -> (w, P_atom a)
+        | Mixture.Cont d ->
+          let grid = component_grid d grid_size in
+          (w, P_cont { dist = d; grid; density = Array.map d.Base.pdf grid }))
+      (Mixture.components belief)
+  in
+  { parts }
+
+let prepared_conts prepared =
+  List.filter_map
+    (function
+      | _, P_atom _ -> None
+      | _, P_cont { dist; grid; _ } -> Some (dist, grid))
+    prepared.parts
+
+let posterior_prepared_tables prepared ~cont_weight ~atom_weight =
+  let ci = ref (-1) in
+  let updated =
+    List.map
+      (fun (w, part) ->
+        match part with
+        | P_atom a ->
+          let f = atom_weight a in
           if f < 0.0 || not (Float.is_finite f) then
             invalid_arg "Reweighted.posterior: bad weight at atom";
-          (w *. f, c)
-        | Mixture.Cont d ->
+          (w *. f, Mixture.Atom a)
+        | P_cont { dist = d; grid; density } ->
+          incr ci;
+          let c = !ci in
+          let n = Array.length grid in
+          let values = Array.make n 0.0 in
           (try
-             let d', z = reweight_cont d in
+             for i = 0 to n - 1 do
+               let x = grid.(i) in
+               let wt = cont_weight c i x in
+               if wt < 0.0 || not (Float.is_finite wt) then
+                 invalid_arg
+                   (Printf.sprintf "Reweighted.posterior: bad weight %g at %g"
+                      wt x);
+               (* Same operand order as the historical pdf closure
+                  [d.pdf x *. weight x], so the tabulated path is
+                  bit-identical to the recomputing one. *)
+               values.(i) <- density.(i) *. wt
+             done;
+             let d', z =
+               Base.of_grid_values
+                 ~name:(d.Base.name ^ " | reweighted")
+                 ~grid ~values ()
+             in
              (w *. z, Mixture.Cont d')
            with Invalid_argument msg
              when msg = "Dist.of_grid_pdf: density integrates to zero" ->
-             (0.0, c)))
-      parts
+             (0.0, Mixture.Cont d)))
+      prepared.parts
   in
   let evidence = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 updated in
   if evidence <= 0.0 then
     invalid_arg "Reweighted.posterior: weight annihilates all mass";
   let normalised = List.map (fun (w, c) -> (w /. evidence, c)) updated in
   (Mixture.make normalised, evidence)
+
+let posterior_prepared prepared ~weight =
+  posterior_prepared_tables prepared
+    ~cont_weight:(fun _ _ x -> weight x)
+    ~atom_weight:weight
+
+let posterior ?grid_size belief ~weight =
+  posterior_prepared (prepare ?grid_size belief) ~weight

@@ -4,7 +4,15 @@
 
     [posterior belief ~weight] returns the renormalised belief with density
     proportional to (prior density) x (weight x), together with the
-    normalising constant (the marginal likelihood / "evidence"). *)
+    normalising constant (the marginal likelihood / "evidence").
+
+    For repeated updates of the same prior (trajectories, bisections,
+    streaming posteriors) use {!prepare} once and {!posterior_prepared}
+    per query: the prior's evaluation grids and density tables are built
+    once, and every query is bit-identical to the one-shot {!posterior}
+    with the same weight — {!posterior} itself is implemented as
+    [prepare] followed by [posterior_prepared], so there is exactly one
+    code path. *)
 
 (** [posterior ?grid_size belief ~weight] — [weight] must be finite and
     non-negative over the support of [belief].  Continuous components are
@@ -17,3 +25,39 @@ val posterior :
     component: spans quantiles 1e-9 .. 1-1e-9, geometrically spaced when the
     support is positive.  Exposed for tests and for custom reweighting. *)
 val component_grid : Base.t -> int -> float array
+
+(** {1 Prepared reweighting} *)
+
+(** A belief with its per-component grids and prior-density tables
+    precomputed; immutable and shareable across queries and domains. *)
+type prepared
+
+(** [prepare ?grid_size belief] — tabulate every continuous component of
+    [belief] on its {!component_grid} (default 1025 points). *)
+val prepare : ?grid_size:int -> Mixture.t -> prepared
+
+(** [prepared_conts p] — the [(dist, grid)] of each continuous component
+    in mixture order: the hook callers use to tabulate per-grid-point
+    likelihood terms (see [Experience.Bayes.Prepared]). *)
+val prepared_conts : prepared -> (Base.t * float array) list
+
+(** [posterior_prepared p ~weight] — exactly {!posterior} on the prepared
+    belief: same float-operation order, same error messages, bit-identical
+    results; only the grid construction and prior pdf evaluations are
+    amortised away. *)
+val posterior_prepared :
+  prepared -> weight:(float -> float) -> Mixture.t * float
+
+(** [posterior_prepared_tables p ~cont_weight ~atom_weight] — as
+    {!posterior_prepared} but the weight for continuous components is
+    addressed by position: [cont_weight c i x] is the weight at grid
+    point [i] (value [x]) of the [c]-th continuous component, letting
+    callers read from per-component precomputed tables (cached [log]/
+    [log1p] columns) instead of recomputing transcendentals per query.
+    Atoms are weighted by [atom_weight].  The weight-validity checks and
+    everything downstream are identical to {!posterior}. *)
+val posterior_prepared_tables :
+  prepared ->
+  cont_weight:(int -> int -> float -> float) ->
+  atom_weight:(float -> float) ->
+  Mixture.t * float

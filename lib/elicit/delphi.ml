@@ -63,14 +63,23 @@ type snapshot = {
 
 type result = { config : config; snapshots : snapshot list }
 
+(* Range checks are written [not (x > lo && x < hi)] so NaN fails them
+   rather than slipping through a [x <= lo || x >= hi] test. *)
 let check_config c =
-  if c.true_pfd <= 0.0 || c.true_pfd >= 1.0 then
+  if not (c.true_pfd > 0.0 && c.true_pfd < 1.0) then
     invalid_arg "Delphi: true_pfd must be in (0,1)";
   if c.n_experts < 2 then invalid_arg "Delphi: need >= 2 experts";
   if c.n_doubters < 0 || c.n_doubters >= c.n_experts then
     invalid_arg "Delphi: doubters must leave at least one believer";
+  if not (Float.is_finite c.briefing_noise && c.briefing_noise >= 0.0) then
+    invalid_arg "Delphi: briefing_noise must be finite and >= 0";
   let lo, hi = c.sigma_range in
-  if lo <= 0.0 || hi < lo then invalid_arg "Delphi: bad sigma_range";
+  if not (Float.is_finite lo && Float.is_finite hi && lo > 0.0 && hi >= lo)
+  then invalid_arg "Delphi: bad sigma_range";
+  if not (Float.is_finite c.doubter_spread && c.doubter_spread > 0.0) then
+    invalid_arg "Delphi: doubter_spread must be finite and positive";
+  if not (Float.is_finite c.doubter_pessimism_decades) then
+    invalid_arg "Delphi: doubter_pessimism_decades must be finite";
   let check_gain name g =
     if not (g >= 0.0 && g <= 1.0) then
       invalid_arg (Printf.sprintf "Delphi: %s must be in [0,1]" name)

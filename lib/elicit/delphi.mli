@@ -60,9 +60,16 @@ type snapshot = {
 
 type result = { config : config; snapshots : snapshot list }
 
+(** [check_config config] — the validation {!run} performs, exposed so
+    population-scale simulations ([Population]) reject the same
+    configurations with the same messages. *)
+val check_config : config -> unit
+
 (** [run config] — execute all four phases.
-    @raise Invalid_argument on nonsensical configurations (no believers,
-    gains outside [0,1], ...). *)
+    @raise Invalid_argument on nonsensical configurations: no believers
+    ([n_experts <= n_doubters]), gains outside [0,1], or non-finite
+    floats anywhere in the config (every range check also rejects
+    NaN). *)
 val run : config -> result
 
 (** [belief_of expert] — the expert's current log-normal belief. *)

@@ -4,5 +4,6 @@
 module Belief = Belief
 module Pool = Pool
 module Delphi = Delphi
+module Population = Population
 module Calibration = Calibration
 module Belief_format = Belief_format

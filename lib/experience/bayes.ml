@@ -40,6 +40,80 @@ let update_demands belief ~failures ~demands =
 let update_time belief ~failures ~time =
   Dist.Reweighted.posterior belief ~weight:(time_likelihood ~failures ~time)
 
+(* Prepared updating: cache, per continuous component of the prior, the
+   log-likelihood ingredients that do not depend on the evidence counts
+   (log p for the failure term, log1p(-p) for the survival term).  Each
+   update is then one exp and a couple of multiplies per grid point —
+   no transcendental re-tabulation, no grid rebuild — and bit-identical
+   to the one-shot [update_demands]/[update_time] because the weight
+   expressions below replicate [demand_likelihood]/[time_likelihood]
+   operation for operation on the cached values. *)
+module Prepared = struct
+  type tables = { log_p : float array; log1p_neg : float array }
+
+  type t = { prepared : Dist.Reweighted.prepared; tables : tables array }
+
+  let make ?grid_size belief =
+    let prepared = Dist.Reweighted.prepare ?grid_size belief in
+    let tables =
+      Dist.Reweighted.prepared_conts prepared
+      |> List.map (fun (_d, grid) ->
+             (* Entries outside the likelihood's domain (log of a
+                non-positive p, log1p below -1) are never read: the
+                weight functions guard the same boundary cases as the
+                scalar likelihoods before indexing. *)
+             {
+               log_p = Array.map log grid;
+               log1p_neg = Array.map (fun x -> Sp.log1p (-.x)) grid;
+             })
+      |> Array.of_list
+    in
+    { prepared; tables }
+
+  let update_demands t ~failures ~demands =
+    if failures < 0 || demands < 0 || failures > demands then
+      invalid_arg "Bayes.demand_likelihood: bad counts";
+    let f = float_of_int failures and s = float_of_int (demands - failures) in
+    let cont_weight c i p =
+      if p < 0.0 || p > 1.0 then 0.0
+      else begin
+        let tb = t.tables.(c) in
+        let log_lik =
+          (if failures = 0 then 0.0
+           else if p = 0.0 then neg_infinity
+           else f *. tb.log_p.(i))
+          +.
+          (if demands - failures = 0 then 0.0
+           else if p = 1.0 then neg_infinity
+           else s *. tb.log1p_neg.(i))
+        in
+        exp log_lik
+      end
+    in
+    Dist.Reweighted.posterior_prepared_tables t.prepared ~cont_weight
+      ~atom_weight:(demand_likelihood ~failures ~demands)
+
+  let update_time t ~failures ~time =
+    if failures < 0 then invalid_arg "Bayes.time_likelihood: failures < 0";
+    if time < 0.0 then invalid_arg "Bayes.time_likelihood: time < 0";
+    let f = float_of_int failures in
+    let cont_weight c i rate =
+      if rate < 0.0 then 0.0
+      else begin
+        let tb = t.tables.(c) in
+        let log_lik =
+          (if failures = 0 then 0.0
+           else if rate = 0.0 then neg_infinity
+           else f *. tb.log_p.(i))
+          -. (rate *. time)
+        in
+        exp log_lik
+      end
+    in
+    Dist.Reweighted.posterior_prepared_tables t.prepared ~cont_weight
+      ~atom_weight:(time_likelihood ~failures ~time)
+end
+
 let beta_posterior ~a ~b ~failures ~demands =
   if failures < 0 || demands < failures then
     invalid_arg "Bayes.beta_posterior: bad counts";

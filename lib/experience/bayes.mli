@@ -25,6 +25,27 @@ val update_demands :
 val update_time :
   Dist.Mixture.t -> failures:int -> time:float -> Dist.Mixture.t * float
 
+(** Prepared updating for repeated queries against one prior.
+
+    [make belief] tabulates the prior's grids, densities, and the
+    count-independent likelihood terms (log p, log1p(-p)) once; each
+    [update_*] is then bit-identical to the corresponding one-shot
+    [update_demands]/[update_time] on the same evidence — the weight
+    expressions replicate the scalar likelihoods operation for
+    operation on the cached tables — at a fraction of the cost.  This
+    is the engine behind incremental trajectories
+    ([Tail_cutoff]) and streamed posteriors ([Stream]). *)
+module Prepared : sig
+  type t
+
+  val make : ?grid_size:int -> Dist.Mixture.t -> t
+
+  val update_demands :
+    t -> failures:int -> demands:int -> Dist.Mixture.t * float
+
+  val update_time : t -> failures:int -> time:float -> Dist.Mixture.t * float
+end
+
 (** [beta_posterior ~a ~b ~failures ~demands] — conjugate: Beta(a + failures,
     b + demands - failures). *)
 val beta_posterior : a:float -> b:float -> failures:int -> demands:int -> Dist.t

@@ -5,6 +5,7 @@
 
 module Bayes = Bayes
 module Tail_cutoff = Tail_cutoff
+module Stream = Stream
 module Growth = Growth
 module Conservative_mtbf = Conservative_mtbf
 module Provisional = Provisional

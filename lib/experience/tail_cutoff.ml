@@ -10,10 +10,30 @@ let after_demands belief ~n =
   if n = 0 then belief
   else fst (Bayes.update_demands belief ~failures:0 ~demands:n)
 
+(* Incremental engine: the prior's grids, density tables and likelihood
+   ingredients are built once ([Bayes.Prepared.make]); every posterior
+   query is then an exp-and-multiply pass over the cached tables,
+   bit-identical to the batch [after_demands]/[after_hours] (the
+   prepared path shares their code and float-operation order). *)
+type engine = { belief : Dist.Mixture.t; prep : Bayes.Prepared.t }
+
+let engine belief = { belief; prep = Bayes.Prepared.make belief }
+
+let engine_after_demands e ~n =
+  if n < 0 then invalid_arg "Tail_cutoff.after_demands: n < 0";
+  if n = 0 then e.belief
+  else fst (Bayes.Prepared.update_demands e.prep ~failures:0 ~demands:n)
+
+let engine_after_hours e ~t =
+  if t < 0.0 then invalid_arg "Tail_cutoff.after_hours: t < 0";
+  if t = 0.0 then e.belief
+  else fst (Bayes.Prepared.update_time e.prep ~failures:0 ~time:t)
+
 let trajectory belief ~bound ~ns =
+  let eng = engine belief in
   List.map
     (fun n ->
-      let posterior = after_demands belief ~n in
+      let posterior = engine_after_demands eng ~n in
       let mean = Dist.Mixture.mean posterior in
       {
         demands = n;
@@ -25,8 +45,9 @@ let trajectory belief ~bound ~ns =
 
 let demands_needed belief ~bound ~confidence ~max_demands =
   if max_demands < 1 then invalid_arg "Tail_cutoff.demands_needed: max < 1";
+  let eng = engine belief in
   let conf_at n =
-    Dist.Mixture.prob_le (after_demands belief ~n) bound
+    Dist.Mixture.prob_le (engine_after_demands eng ~n) bound
   in
   if conf_at 0 >= confidence then Some 0
   else if conf_at max_demands < confidence then None
@@ -54,9 +75,10 @@ let after_hours belief ~t =
   else fst (Bayes.update_time belief ~failures:0 ~time:t)
 
 let trajectory_hours belief ~bound ~ts =
+  let eng = engine belief in
   List.map
     (fun t ->
-      let posterior = after_hours belief ~t in
+      let posterior = engine_after_hours eng ~t in
       let rate_mean = Dist.Mixture.mean posterior in
       {
         hours = t;
@@ -68,7 +90,8 @@ let trajectory_hours belief ~bound ~ts =
 
 let hours_needed belief ~bound ~confidence ~max_hours =
   if max_hours <= 0.0 then invalid_arg "Tail_cutoff.hours_needed: max <= 0";
-  let conf_at t = Dist.Mixture.prob_le (after_hours belief ~t) bound in
+  let eng = engine belief in
+  let conf_at t = Dist.Mixture.prob_le (engine_after_hours eng ~t) bound in
   if conf_at 0.0 >= confidence then Some 0.0
   else if conf_at max_hours < confidence then None
   else begin

@@ -17,8 +17,24 @@ type point = {
 (** [after_demands belief ~n] — posterior after [n] failure-free demands. *)
 val after_demands : Dist.Mixture.t -> n:int -> Dist.Mixture.t
 
+(** {1 Incremental engine}
+
+    [engine belief] tabulates the prior once (grids, densities,
+    likelihood ingredients); [engine_after_demands]/[engine_after_hours]
+    then answer posterior queries bit-identically to
+    {!after_demands}/{!after_hours} without re-tabulating.  The
+    trajectory and bisection entry points below all route through an
+    engine, so a k-point trajectory costs one preparation plus k cheap
+    updates instead of k full reweightings from the original prior. *)
+type engine
+
+val engine : Dist.Mixture.t -> engine
+val engine_after_demands : engine -> n:int -> Dist.Mixture.t
+val engine_after_hours : engine -> t:float -> Dist.Mixture.t
+
 (** [trajectory belief ~bound ~ns] — confidence/mean after each failure-free
-    demand count in [ns] (each computed from the original prior). *)
+    demand count in [ns] (incremental over one prepared prior; each point
+    bit-identical to [after_demands] from the original prior). *)
 val trajectory : Dist.Mixture.t -> bound:float -> ns:int list -> point list
 
 (** [demands_needed belief ~bound ~confidence ~max_demands] — the smallest

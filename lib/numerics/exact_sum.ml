@@ -1,0 +1,150 @@
+(* Fixed-point superaccumulator.  The total is held as
+   Σ limbs.(i) · 2^(32·i - 1074): limb 0's unit is the smallest subnormal,
+   and the top limbs cover sums far beyond the largest finite double
+   (nlimbs = 70 spans values up to ~2^1166, unreachable without first
+   saturating on an infinite input).  Every limb is kept in [0, 2^32)
+   after each operation — the canonical form that makes merge exactly
+   associative and commutative — and OCaml's 63-bit native ints give
+   enough headroom that limb arithmetic never allocates. *)
+
+let nlimbs = 70
+let mask32 = 0xFFFFFFFF
+
+type t = { limbs : int array; mutable saturated : bool }
+
+let create () = { limbs = Array.make nlimbs 0; saturated = false }
+
+let copy t = { limbs = Array.copy t.limbs; saturated = t.saturated }
+
+(* Add [v] (< 2^32 plus carries) into limb [i] and propagate. *)
+let rec bump t i v =
+  if v <> 0 then begin
+    if i >= nlimbs then t.saturated <- true
+    else begin
+      let s = t.limbs.(i) + v in
+      t.limbs.(i) <- s land mask32;
+      bump t (i + 1) (s lsr 32)
+    end
+  end
+
+let add t x =
+  if x = 0.0 then ()
+  else if Float.is_nan x || x < 0.0 then
+    invalid_arg "Exact_sum.add: value must be non-negative"
+  else if x = infinity then t.saturated <- true
+  else begin
+    (* x = m · 2^(e-53) with integer m < 2^53 (exact for normals and
+       subnormals alike); in limb space m lands at bit offset e + 1021.
+       A negative offset only happens for subnormals, whose mantissa then
+       has at least that many trailing zeros, so the right shift is
+       exact. *)
+    let f, e = Float.frexp x in
+    let m = int_of_float (Float.ldexp f 53) in
+    let shift = e + 1021 in
+    let m, shift = if shift < 0 then (m lsr -shift, 0) else (m, shift) in
+    let i0 = shift lsr 5 and r = shift land 31 in
+    let p0 = (m land ((1 lsl (32 - r)) - 1)) lsl r in
+    let p1 = (m lsr (32 - r)) land mask32 in
+    let p2 = if r = 0 then 0 else m lsr (64 - r) in
+    bump t i0 p0;
+    bump t (i0 + 1) p1;
+    bump t (i0 + 2) p2
+  end
+
+let merge_into ~into src =
+  if src.saturated then into.saturated <- true;
+  let a = into.limbs and b = src.limbs in
+  let carry = ref 0 in
+  for i = 0 to nlimbs - 1 do
+    let s = a.(i) + b.(i) + !carry in
+    a.(i) <- s land mask32;
+    carry := s lsr 32
+  done;
+  if !carry <> 0 then into.saturated <- true
+
+let merge a b =
+  let t = copy a in
+  merge_into ~into:t b;
+  t
+
+let is_zero t =
+  (not t.saturated) && Array.for_all (fun l -> l = 0) t.limbs
+
+let bitlen v =
+  let rec go v n = if v = 0 then n else go (v lsr 1) (n + 1) in
+  go v 0
+
+(* Correctly-rounded read-out: locate the top 53 bits of the limb
+   integer, inspect the guard bit and the sticky (any bit below it),
+   and round to nearest, ties to even. *)
+let value t =
+  if t.saturated then infinity
+  else begin
+    let a = t.limbs in
+    let h = ref (nlimbs - 1) in
+    while !h > 0 && a.(!h) = 0 do
+      decr h
+    done;
+    let h = !h in
+    if a.(h) = 0 then 0.0
+    else begin
+      let total_bits = (32 * h) + bitlen a.(h) in
+      if total_bits <= 53 then begin
+        (* At most two limbs hold everything: the value is exact. *)
+        let n = if h = 0 then a.(0) else a.(0) lor (a.(1) lsl 32) in
+        Float.ldexp (float_of_int n) (-1074)
+      end
+      else begin
+        let k = total_bits - 53 in
+        let limb i = if i > h then 0 else a.(i) in
+        let j0 = k lsr 5 and off = k land 31 in
+        let q =
+          if off = 0 then limb j0 lor (limb (j0 + 1) lsl 32)
+          else
+            (limb j0 lsr off)
+            lor (limb (j0 + 1) lsl (32 - off))
+            lor (if off > 11 then limb (j0 + 2) lsl (64 - off) else 0)
+        in
+        let gi = (k - 1) lsr 5 and gb = (k - 1) land 31 in
+        let guard = (limb gi lsr gb) land 1 in
+        let sticky =
+          limb gi land ((1 lsl gb) - 1) <> 0
+          ||
+          let s = ref false in
+          for i = 0 to gi - 1 do
+            if a.(i) <> 0 then s := true
+          done;
+          !s
+        in
+        let q = if guard = 1 && (sticky || q land 1 = 1) then q + 1 else q in
+        Float.ldexp (float_of_int q) (k - 1074)
+      end
+    end
+  end
+
+(* Snapshot layout: nlimbs limb slots (each an exact small integer in
+   float64) followed by one saturation-flag slot. *)
+let to_column t =
+  let col = Columns.create ~capacity:(nlimbs + 1) () in
+  Array.iter (fun l -> Columns.push col (float_of_int l)) t.limbs;
+  Columns.push col (if t.saturated then 1.0 else 0.0);
+  col
+
+let of_column col =
+  if Columns.length col <> nlimbs + 1 then
+    failwith
+      (Printf.sprintf "Exact_sum.of_column: expected %d slots, got %d"
+         (nlimbs + 1) (Columns.length col));
+  let t = create () in
+  for i = 0 to nlimbs - 1 do
+    let v = Columns.get col i in
+    let l = int_of_float v in
+    if float_of_int l <> v || l < 0 || l > mask32 then
+      failwith (Printf.sprintf "Exact_sum.of_column: bad limb %g at %d" v i);
+    t.limbs.(i) <- l
+  done;
+  (match Columns.get col nlimbs with
+  | 0.0 -> ()
+  | 1.0 -> t.saturated <- true
+  | v -> failwith (Printf.sprintf "Exact_sum.of_column: bad flag %g" v));
+  t

@@ -1,0 +1,65 @@
+(** Exact accumulation of non-negative floats with an associative merge.
+
+    A plain floating-point sum is neither associative nor exact, which
+    breaks the streaming-evidence contract twice over: chunked parallel
+    ingestion would give totals that depend on the chunk boundaries, and
+    merging two accumulators would not commute with merging three.  This
+    module keeps the running total as a fixed-point integer — an array of
+    32-bit limbs spanning the full double range (value =
+    Σ limb.(i) · 2^(32·i − 1074)) — so {!add} is exact, {!merge_into} is
+    limb-wise integer addition (exactly associative {e and} commutative),
+    and {!value} reads the total back with a single correct rounding
+    (round-to-nearest-even), as if the whole stream had been summed in
+    unbounded precision.
+
+    The state is canonical (every limb is kept below 2^32 after each
+    operation), so two accumulators that have absorbed the same multiset
+    of values are structurally identical however the additions were
+    chunked, ordered, or merged — the property the 1/2/4-domain
+    bit-identity gates rely on.
+
+    Only non-negative values are accepted ({!add} rejects negatives and
+    NaN): the intended payload is operating hours and other evidence
+    magnitudes.  [infinity] saturates the accumulator ({!value} returns
+    [infinity] from then on).  Not thread-safe: confine one accumulator
+    to a domain and combine with {!merge_into}. *)
+
+type t
+
+(** [create ()] — an empty accumulator (value 0). *)
+val create : unit -> t
+
+(** [copy t] — an independent accumulator with the same state. *)
+val copy : t -> t
+
+(** [add t x] — absorb [x] exactly.  [x] must be non-negative
+    ([Invalid_argument] on negatives or NaN); [infinity] saturates. *)
+val add : t -> float -> unit
+
+(** [merge_into ~into src] — absorb [src]'s total into [into] in place;
+    [src] is not mutated.  Equivalent to having added [src]'s stream to
+    [into], whatever the order: exact integer addition. *)
+val merge_into : into:t -> t -> unit
+
+(** [merge a b] — a fresh accumulator holding both totals. *)
+val merge : t -> t -> t
+
+(** [value t] — the total, correctly rounded to the nearest double
+    (ties to even).  Exact whenever the true sum is representable;
+    [infinity] if the accumulator saturated. *)
+val value : t -> float
+
+(** [is_zero t] — no mass absorbed (and not saturated). *)
+val is_zero : t -> bool
+
+(** {2 Snapshots}
+
+    [to_column t] — the limb state as a column of small integers (every
+    limb is below 2^32, exact in float64) with one trailing
+    saturation-flag slot; the round-trip [of_column (to_column t)]
+    reproduces the accumulator bit-exactly. *)
+val to_column : t -> Columns.t
+
+(** [of_column col] — rebuild from {!to_column} output (or a
+    [Columns.load] of it); [Failure] on a malformed column. *)
+val of_column : Columns.t -> t

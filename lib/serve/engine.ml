@@ -5,6 +5,7 @@ module D = Analysis.Diagnostic
 type t = {
   cases : (string, G.t) Hashtbl.t;
   beliefs : (string, Dist.Mixture.t) Hashtbl.t;
+  streams : (string, Experience.Stream.t) Hashtbl.t;
   memo : (int64, int64) Hashtbl.t;
   memo_bound : int;
   memo_lock : Mutex.t;
@@ -27,6 +28,7 @@ let create ?memo_bound () =
   {
     cases = Hashtbl.create 16;
     beliefs = Hashtbl.create 16;
+    streams = Hashtbl.create 16;
     memo = Hashtbl.create 4096;
     memo_bound;
     memo_lock = Mutex.create ();
@@ -75,6 +77,13 @@ type edit_target =
   | Ev_index of int
   | Assumption of string
 
+(* Prior declaration for a new stream accumulator: conjugate parameters
+   inline, or the name of a previously loaded belief. *)
+type stream_spec =
+  | Spec_beta of { a : float; b : float }
+  | Spec_gamma of { shape : float; rate : float }
+  | Spec_belief of { belief : string; continuous : bool }
+
 type request =
   | Load of { case : string; path : string }
   | Generate of {
@@ -102,6 +111,22 @@ type request =
   | Quantile of { belief : string; p : float }
   | Check of { path : string }
   | Audit of { case : string; target : float option; dep : G.dependence }
+  | Stream_new of { stream : string; spec : stream_spec }
+  | Stream_ingest of {
+      stream : string;
+      demands : int option;
+      hours : float option;
+      failures : int;
+    }
+  | Stream_posterior of { stream : string; bound : float option }
+  | Stream_trajectory of { stream : string; bound : float; extras : float list }
+  | Stream_save of { stream : string; path : string }
+  | Stream_load of {
+      stream : string;
+      path : string;
+      belief : string option;
+      mmap : bool;
+    }
   | Stats
   | Flush
   | Shutdown
@@ -179,6 +204,44 @@ let decode_dependence obj =
          "\"dependence\" must be independent | frechet-lower | \
           frechet-upper | rho in [0,1]")
 
+let decode_stream_spec obj =
+  let pair ka kb =
+    match (opt_num obj ka, opt_num obj kb) with
+    | Some a, Some b -> Some (a, b)
+    | None, None -> None
+    | _ -> raise (Err (Printf.sprintf "%S and %S must be given together" ka kb))
+  in
+  match (pair "beta_a" "beta_b", pair "gamma_shape" "gamma_rate",
+         opt_string obj "belief")
+  with
+  | Some (a, b), None, None -> Spec_beta { a; b }
+  | None, Some (shape, rate), None -> Spec_gamma { shape; rate }
+  | None, None, Some belief ->
+    let continuous =
+      match opt_string obj "mode" with
+      | None | Some "demand" -> false
+      | Some "continuous" -> true
+      | Some m -> raise (Err (Printf.sprintf "unknown mode %S" m))
+    in
+    Spec_belief { belief; continuous }
+  | _ ->
+    raise
+      (Err
+         "stream needs exactly one prior: beta_a/beta_b, \
+          gamma_shape/gamma_rate, or belief")
+
+let decode_extras obj =
+  match P.member "extras" obj with
+  | None -> raise (Err "missing \"extras\"")
+  | Some (P.Arr vs) ->
+    List.map
+      (fun v ->
+        match P.get_num v with
+        | Some x -> x
+        | None -> raise (Err "\"extras\" must be an array of numbers"))
+      vs
+  | Some _ -> raise (Err "\"extras\" must be an array of numbers")
+
 let decode_request obj =
   match req_string obj "op" with
   | "load" -> Load { case = req_string obj "case"; path = req_string obj "path" }
@@ -240,6 +303,36 @@ let decode_request obj =
         target = opt_num obj "target";
         dep = decode_dependence obj;
       }
+  | "stream" ->
+    Stream_new { stream = req_string obj "stream"; spec = decode_stream_spec obj }
+  | "ingest" ->
+    Stream_ingest
+      {
+        stream = req_string obj "stream";
+        demands = opt_int obj "demands";
+        hours = opt_num obj "hours";
+        failures = (match opt_int obj "failures" with Some f -> f | None -> 0);
+      }
+  | "posterior" ->
+    Stream_posterior
+      { stream = req_string obj "stream"; bound = opt_num obj "bound" }
+  | "trajectory" ->
+    Stream_trajectory
+      {
+        stream = req_string obj "stream";
+        bound = req_num obj "bound";
+        extras = decode_extras obj;
+      }
+  | "stream_save" ->
+    Stream_save { stream = req_string obj "stream"; path = req_string obj "path" }
+  | "stream_load" ->
+    Stream_load
+      {
+        stream = req_string obj "stream";
+        path = req_string obj "path";
+        belief = opt_string obj "belief";
+        mmap = (match opt_bool obj "mmap" with Some b -> b | None -> false);
+      }
   | "stats" -> Stats
   | "flush" -> Flush
   | "shutdown" -> Shutdown
@@ -260,7 +353,13 @@ let group_key p =
     Some ("c:" ^ case)
   | Quantile { belief; _ } -> Some ("b:" ^ belief)
   | Check { path } -> Some ("f:" ^ path)
-  | Load _ | Generate _ | Load_belief _ | Stats | Flush | Shutdown | Bad _ ->
+  | Stream_ingest { stream; _ }
+  | Stream_posterior { stream; _ }
+  | Stream_trajectory { stream; _ }
+  | Stream_save { stream; _ } ->
+    Some ("s:" ^ stream)
+  | Load _ | Generate _ | Load_belief _ | Stream_new _ | Stream_load _ | Stats
+  | Flush | Shutdown | Bad _ ->
     None
 
 let is_shutdown p = match p.req with Shutdown -> true | _ -> false
@@ -276,6 +375,33 @@ let find_belief t name =
   match Hashtbl.find_opt t.beliefs name with
   | Some b -> b
   | None -> raise (Err (Printf.sprintf "no belief loaded as %S" name))
+
+let find_stream t name =
+  match Hashtbl.find_opt t.streams name with
+  | Some s -> s
+  | None -> raise (Err (Printf.sprintf "no stream named %S" name))
+
+let stream_mode_str s =
+  match Experience.Stream.mode s with
+  | Experience.Stream.Demand -> "demand"
+  | Experience.Stream.Continuous -> "continuous"
+
+(* Evidence totals carried on every stream response: the exact
+   sufficient statistics the posterior is a function of. *)
+let stream_totals s =
+  [
+    ("mode", P.Str (stream_mode_str s));
+    ("events", P.Num (float_of_int (Experience.Stream.events s)));
+    ("demands", P.Num (float_of_int (Experience.Stream.demands s)));
+    ("failures", P.Num (float_of_int (Experience.Stream.failures s)));
+    ("hours", P.Num (Experience.Stream.hours s));
+  ]
+
+let conf_fields c =
+  [
+    ("confidence", P.Num c);
+    ("confidence_bits", P.Str (P.hex_of_bits (Int64.bits_of_float c)));
+  ]
 
 let read_file path =
   try In_channel.with_open_bin path In_channel.input_all
@@ -421,6 +547,84 @@ let run t req =
     in
     let diags = D.sort (Analysis.Audit.graph ~options g) in
     Ok ("audit", (("case", P.Str case) :: diag_fields diags))
+  | Stream_new { stream; spec } ->
+    let s =
+      match spec with
+      | Spec_beta { a; b } -> Experience.Stream.demand_beta ~a ~b
+      | Spec_gamma { shape; rate } -> Experience.Stream.rate_gamma ~shape ~rate
+      | Spec_belief { belief; continuous } ->
+        let prior = find_belief t belief in
+        if continuous then Experience.Stream.rate_of_belief prior
+        else Experience.Stream.demand_of_belief prior
+    in
+    Hashtbl.replace t.streams stream s;
+    Ok ("stream", (("stream", P.Str stream) :: stream_totals s))
+  | Stream_ingest { stream; demands; hours; failures } ->
+    let s = find_stream t stream in
+    (match (demands, hours) with
+    | Some demands, None ->
+      Experience.Stream.observe_demands s ~demands ~failures
+    | None, Some hours -> Experience.Stream.observe_hours s ~hours ~failures
+    | _ -> raise (Err "ingest needs exactly one of \"demands\", \"hours\""));
+    Ok ("ingest", (("stream", P.Str stream) :: stream_totals s))
+  | Stream_posterior { stream; bound } ->
+    let s = find_stream t stream in
+    let mean = Experience.Stream.mean s in
+    let conf =
+      match bound with
+      | None -> []
+      | Some bound ->
+        ("bound", P.Num bound)
+        :: conf_fields (Experience.Stream.confidence s ~bound)
+    in
+    Ok
+      ( "posterior",
+        (("stream", P.Str stream) :: stream_totals s)
+        @ value_fields mean false @ conf )
+  | Stream_trajectory { stream; bound; extras } ->
+    let s = find_stream t stream in
+    let point_of extra =
+      let posterior =
+        match Experience.Stream.mode s with
+        | Experience.Stream.Demand ->
+          let n = int_of_float extra in
+          if float_of_int n <> extra || n < 0 then
+            raise
+              (Err "demand-mode \"extras\" must be non-negative integers");
+          Experience.Stream.posterior_after_demands s ~extra:n
+        | Experience.Stream.Continuous ->
+          Experience.Stream.posterior_after_hours s ~extra
+      in
+      P.Obj
+        (( ("extra", P.Num extra)
+         :: ("mean", P.Num (Dist.Mixture.mean posterior))
+         :: conf_fields (Dist.Mixture.prob_le posterior bound) ))
+    in
+    Ok
+      ( "trajectory",
+        [
+          ("stream", P.Str stream);
+          ("bound", P.Num bound);
+          ("points", P.Arr (List.map point_of extras));
+        ] )
+  | Stream_save { stream; path } ->
+    let s = find_stream t stream in
+    Numerics.Columns.save path (Experience.Stream.to_columns s);
+    Ok
+      ( "stream_save",
+        (("stream", P.Str stream) :: ("path", P.Str path) :: stream_totals s) )
+  | Stream_load { stream; path; belief; mmap } ->
+    let prior = Option.map (find_belief t) belief in
+    let s =
+      match
+        Experience.Stream.of_columns ?prior (Numerics.Columns.load ~mmap path)
+      with
+      | s -> s
+      | exception Failure msg -> raise (Err msg)
+      | exception Sys_error msg -> raise (Err msg)
+    in
+    Hashtbl.replace t.streams stream s;
+    Ok ("stream_load", (("stream", P.Str stream) :: stream_totals s))
   | Stats ->
     let h = hits t and m = misses t in
     let total = h + m in
@@ -434,6 +638,7 @@ let run t req =
             else P.Num (float_of_int h /. float_of_int total) );
           ("cases", P.Num (float_of_int (Hashtbl.length t.cases)));
           ("beliefs", P.Num (float_of_int (Hashtbl.length t.beliefs)));
+          ("streams", P.Num (float_of_int (Hashtbl.length t.streams)));
           ("memo_entries", P.Num (float_of_int (memo_entries t)));
           ("memo_bound", P.Num (float_of_int t.memo_bound));
         ] )

@@ -70,8 +70,10 @@ val parse : t -> string -> parsed
 
 (** [group_key p] — [Some key] when the request may run concurrently
     with requests of other keys ([c:<case>] for evaluate/edit/audit,
-    [b:<belief>] for quantile, [f:<path>] for check); [None] when it
-    must run alone between batches. *)
+    [b:<belief>] for quantile, [f:<path>] for check, [s:<stream>] for
+    ingest/posterior/trajectory/stream_save); [None] when it must run
+    alone between batches (including stream creation and restore, which
+    mutate the registry). *)
 val group_key : parsed -> string option
 
 (** [is_shutdown p] — the server should exit after answering this

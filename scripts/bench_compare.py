@@ -31,7 +31,8 @@ THRESHOLD = 0.20  # +/-20%
 # confcase-bench-7 suffixed the graph DAG/edit rows with their node count
 # (the headline configuration is 10^6 nodes) when the audit rows landed;
 # confcase-bench-8 suffixed graph_build the same way (it was the one graph
-# row still unsized) when the serve section landed.
+# row still unsized) when the serve section landed.  confcase-bench-9
+# added the stream section without renaming any existing row.
 RENAMES = {
     "micro/sketch_add_1e6": "micro/sketch_add_soa_1e6",
     "micro/sketch_merge_64x16k": "micro/sketch_merge_soa_64x16k",
@@ -73,6 +74,16 @@ def load_rows(path: Path):
     for row in doc.get("serve", {}).get("rows", []):
         # serve rows record latency percentiles: nanos_per_run is the p50.
         rows[f"serve/{row['name']}"] = row.get("nanos_per_run")
+    stream = doc.get("stream", {})
+    for row in stream.get("rows", []):
+        rows[f"stream/{row['name']}"] = row.get("nanos_per_run")
+    si = stream.get("serve_ingest")
+    if si:
+        # Latency percentiles again: compare on the p50.
+        rows[f"stream/{si['name']}"] = si.get("p50_nanos")
+    pop = stream.get("population")
+    if pop:
+        rows[f"stream/{pop['name']}"] = pop.get("nanos_per_run")
     return doc.get("schema", "?"), rows
 
 

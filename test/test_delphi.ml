@@ -64,12 +64,43 @@ let test_config_validation () =
   let c = D.default_config in
   check_raises_invalid "no believers" (fun () ->
       ignore (D.run { c with n_doubters = 12 }));
+  check_raises_invalid "more doubters than experts" (fun () ->
+      ignore (D.run { c with n_doubters = 15 }));
   check_raises_invalid "bad gain" (fun () ->
       ignore (D.run { c with info_gain = 1.5 }));
   check_raises_invalid "bad true_pfd" (fun () ->
       ignore (D.run { c with true_pfd = 0.0 }));
   check_raises_invalid "bad sigma range" (fun () ->
       ignore (D.run { c with sigma_range = (1.0, 0.5) }))
+
+(* Every float field rejects NaN and (where a sign or range applies)
+   non-finite or out-of-range values, each with its own message. *)
+let test_config_rejects_non_finite () =
+  let c = D.default_config in
+  let reject name config = check_raises_invalid name (fun () -> ignore (D.run config)) in
+  reject "true_pfd nan" { c with true_pfd = nan };
+  reject "briefing_noise nan" { c with briefing_noise = nan };
+  reject "briefing_noise negative" { c with briefing_noise = -0.1 };
+  reject "briefing_noise infinite" { c with briefing_noise = infinity };
+  reject "sigma_range lo nan" { c with sigma_range = (nan, 1.0) };
+  reject "sigma_range hi nan" { c with sigma_range = (0.5, nan) };
+  reject "sigma_range hi infinite" { c with sigma_range = (0.5, infinity) };
+  reject "sigma_range lo zero" { c with sigma_range = (0.0, 1.0) };
+  reject "doubter_spread nan" { c with doubter_spread = nan };
+  reject "doubter_spread zero" { c with doubter_spread = 0.0 };
+  reject "doubter_spread infinite" { c with doubter_spread = infinity };
+  reject "doubter_pessimism_decades nan" { c with doubter_pessimism_decades = nan };
+  reject "doubter_pessimism_decades infinite"
+    { c with doubter_pessimism_decades = infinity };
+  reject "info_gain nan" { c with info_gain = nan };
+  reject "share_gain nan" { c with share_gain = nan };
+  reject "delphi_gain nan" { c with delphi_gain = nan };
+  reject "spread_reduction nan" { c with spread_reduction = nan };
+  reject "spread_reduction zero" { c with spread_reduction = 0.0 };
+  (* Edge values inside the ranges still run. *)
+  ignore (D.run { c with briefing_noise = 0.0 });
+  ignore (D.run { c with spread_reduction = 1.0 });
+  ignore (D.run { c with doubter_pessimism_decades = -1.0 })
 
 let test_summary_table () =
   let t = D.summary_table (Lazy.force result) in
@@ -90,5 +121,6 @@ let suite =
     case "believers converge" test_convergence;
     case "determinism by seed" test_determinism;
     case "config validation" test_config_validation;
+    case "config rejects non-finite floats" test_config_rejects_non_finite;
     case "summary table" test_summary_table;
     case "expert belief construction" test_belief_of ]

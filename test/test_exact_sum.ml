@@ -1,0 +1,108 @@
+open Helpers
+module E = Numerics.Exact_sum
+
+let bits = Int64.bits_of_float
+
+let sum_list xs =
+  let t = E.create () in
+  List.iter (E.add t) xs;
+  t
+
+(* Positive finite floats spanning many binades, including subnormals. *)
+let pos_gen =
+  QCheck2.Gen.(
+    map2
+      (fun m e -> Float.ldexp (abs_float m +. 1e-3) e)
+      (float_bound_exclusive 1.0) (int_range (-1060) 500))
+
+let list_gen = QCheck2.Gen.(list_size (int_range 0 60) pos_gen)
+
+let test_exact_small_integers () =
+  (* Sums of small integers stay below 2^53: the readout must be the
+     exact integer, not merely close. *)
+  let t = sum_list [ 1.0; 2.0; 3.0; 4.0; 1048576.0 ] in
+  check_true "exact integer sum" (E.value t = 1048586.0);
+  check_true "not zero" (not (E.is_zero t));
+  check_true "empty is zero" (E.is_zero (E.create ()));
+  check_true "empty reads 0" (E.value (E.create ()) = 0.0)
+
+let test_cancellation_free_magnitudes () =
+  (* 2^60 followed by 2^-60 a million times: a float accumulator loses
+     every small add; the superaccumulator keeps all of them. *)
+  let t = E.create () in
+  E.add t (Float.ldexp 1.0 60);
+  for _ = 1 to 1_000_000 do
+    E.add t (Float.ldexp 1.0 (-60))
+  done;
+  let expected = Float.ldexp 1.0 60 +. (1_000_000.0 *. Float.ldexp 1.0 (-60)) in
+  check_true "small adds survive the large head" (E.value t = expected);
+  (* The naive left-to-right float sum collapses to the head alone. *)
+  let naive = ref (Float.ldexp 1.0 60) in
+  for _ = 1 to 1_000_000 do
+    naive := !naive +. Float.ldexp 1.0 (-60)
+  done;
+  check_true "naive sum actually loses them (sanity)"
+    (!naive = Float.ldexp 1.0 60)
+
+let test_permutation_invariant =
+  qcheck ~count:300 "value is bitwise order-independent" list_gen (fun xs ->
+      let a = E.value (sum_list xs) in
+      let b = E.value (sum_list (List.rev xs)) in
+      let c = E.value (sum_list (List.sort compare xs)) in
+      Int64.equal (bits a) (bits b) && Int64.equal (bits a) (bits c))
+
+let test_merge_associative =
+  qcheck ~count:300 "merge is exactly associative"
+    QCheck2.Gen.(tup3 list_gen list_gen list_gen)
+    (fun (xs, ys, zs) ->
+      let a () = sum_list xs and b () = sum_list ys and c () = sum_list zs in
+      let left = E.merge (E.merge (a ()) (b ())) (c ()) in
+      let right = E.merge (a ()) (E.merge (b ()) (c ())) in
+      let seq = sum_list (xs @ ys @ zs) in
+      Int64.equal (bits (E.value left)) (bits (E.value right))
+      && Int64.equal (bits (E.value left)) (bits (E.value seq)))
+
+let test_merge_identity =
+  qcheck ~count:300 "empty accumulator is a merge identity" list_gen (fun xs ->
+      let t = sum_list xs in
+      let merged = E.merge t (E.create ()) in
+      Int64.equal (bits (E.value merged)) (bits (E.value t)))
+
+let test_column_round_trip =
+  qcheck ~count:200 "to_column/of_column round-trips bitwise" list_gen
+    (fun xs ->
+      let t = sum_list xs in
+      let t' = E.of_column (E.to_column t) in
+      Int64.equal (bits (E.value t')) (bits (E.value t)))
+
+let test_validation () =
+  let t = E.create () in
+  check_raises_invalid "negative" (fun () -> E.add t (-1.0));
+  check_raises_invalid "nan" (fun () -> E.add t nan);
+  E.add t infinity;
+  check_true "infinity saturates" (E.value t = infinity);
+  E.add t 1.0;
+  check_true "saturation is sticky" (E.value t = infinity);
+  (* A malformed column is rejected, not misread. *)
+  let col = Numerics.Columns.create () in
+  Numerics.Columns.push col 0.5;
+  match E.of_column col with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure on a malformed column"
+
+let test_copy_isolation () =
+  let t = sum_list [ 1.0; 2.0 ] in
+  let c = E.copy t in
+  E.add t 4.0;
+  check_true "copy unaffected" (E.value c = 3.0);
+  check_true "original advanced" (E.value t = 7.0)
+
+let suite =
+  [ case "exact small-integer sums" test_exact_small_integers;
+    case "no cancellation across 120 binades" test_cancellation_free_magnitudes;
+    test_permutation_invariant;
+    test_merge_associative;
+    test_merge_identity;
+    test_column_round_trip;
+    case "validation and saturation" test_validation;
+    case "copy isolation" test_copy_isolation ]

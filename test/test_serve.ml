@@ -353,6 +353,115 @@ let test_engine_errors () =
   let r = handle eng "{\"op\":\"frobnicate\",\"id\":\"req-9\"}" in
   check_true "id echoed on error" (field r "id" = P.Str "req-9")
 
+let test_engine_stream_ops () =
+  let eng = E.create () in
+  (* Create, ingest, posterior: the served posterior must carry the
+     library's bits exactly. *)
+  let mk =
+    handle eng "{\"op\":\"stream\",\"stream\":\"s\",\"beta_a\":1.5,\"beta_b\":100}"
+  in
+  check_true "stream create ok" (resp_ok mk);
+  check_true "stream mode" (field mk "mode" = P.Str "demand");
+  let ing =
+    handle eng "{\"op\":\"ingest\",\"stream\":\"s\",\"demands\":400,\"failures\":3}"
+  in
+  check_true "ingest ok" (resp_ok ing);
+  check_true "ingest totals" (field ing "demands" = P.Num 400.0);
+  let post = handle eng "{\"op\":\"posterior\",\"stream\":\"s\",\"bound\":0.01}" in
+  check_true "posterior ok" (resp_ok post);
+  let twin = Serve.Engine.create () in
+  ignore twin;
+  let expected =
+    let acc = Experience.Stream.demand_beta ~a:1.5 ~b:100.0 in
+    Experience.Stream.observe_demands acc ~demands:400 ~failures:3;
+    acc
+  in
+  check_true "posterior bits match the library"
+    (Int64.equal (resp_bits post) (bits (Experience.Stream.mean expected)));
+  (match P.get_string (field post "confidence_bits") with
+  | Some hex ->
+    check_true "confidence bits match"
+      (P.bits_of_hex hex
+      = Some (bits (Experience.Stream.confidence expected ~bound:0.01)))
+  | None -> Alcotest.fail "confidence_bits missing");
+  (* Trajectory: one point per extra, confidences monotone in extras. *)
+  let traj =
+    handle eng
+      "{\"op\":\"trajectory\",\"stream\":\"s\",\"bound\":0.01,\
+       \"extras\":[0,1000,10000]}"
+  in
+  check_true "trajectory ok" (resp_ok traj);
+  (match field traj "points" with
+  | P.Arr [ a; b; c ] ->
+    let conf p =
+      match P.get_num (field p "confidence") with
+      | Some x -> x
+      | None -> Alcotest.fail "point lacks confidence"
+    in
+    check_true "confidence grows along the trajectory"
+      (conf a <= conf b && conf b <= conf c)
+  | _ -> Alcotest.fail "expected three trajectory points");
+  (* Save, reload under another name, check the restored posterior. *)
+  let snap = Filename.temp_file "confcase_serve_stream" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove snap with Sys_error _ -> ())
+    (fun () ->
+      let sv =
+        handle eng
+          (Printf.sprintf
+             "{\"op\":\"stream_save\",\"stream\":\"s\",\"path\":%s}"
+             (P.print (P.Str snap)))
+      in
+      check_true "stream_save ok" (resp_ok sv);
+      let ld =
+        handle eng
+          (Printf.sprintf
+             "{\"op\":\"stream_load\",\"stream\":\"s2\",\"path\":%s}"
+             (P.print (P.Str snap)))
+      in
+      check_true "stream_load ok" (resp_ok ld);
+      let p2 = handle eng "{\"op\":\"posterior\",\"stream\":\"s2\"}" in
+      check_true "restored posterior bits identical"
+        (Int64.equal (resp_bits p2) (resp_bits post)));
+  let stats = handle eng "{\"op\":\"stats\"}" in
+  check_true "stats counts streams" (field stats "streams" = P.Num 2.0);
+  (* Group keys: stream traffic is groupable per stream; creation and
+     restore are barriers. *)
+  let key line = E.group_key (E.parse eng line) in
+  check_true "ingest groups by stream"
+    (key "{\"op\":\"ingest\",\"stream\":\"s\",\"demands\":1}" = Some "s:s");
+  check_true "posterior groups by stream"
+    (key "{\"op\":\"posterior\",\"stream\":\"s\"}" = Some "s:s");
+  check_true "create is a barrier"
+    (key "{\"op\":\"stream\",\"stream\":\"x\",\"beta_a\":1,\"beta_b\":1}" = None);
+  check_true "load is a barrier"
+    (key "{\"op\":\"stream_load\",\"stream\":\"x\",\"path\":\"p\"}" = None)
+
+let test_engine_stream_errors () =
+  let eng = E.create () in
+  let expect_error name line =
+    let r = handle eng line in
+    check_true (name ^ " fails") (field r "ok" = P.Bool false)
+  in
+  expect_error "unknown stream" "{\"op\":\"posterior\",\"stream\":\"nope\"}";
+  expect_error "no prior" "{\"op\":\"stream\",\"stream\":\"x\"}";
+  expect_error "two priors"
+    "{\"op\":\"stream\",\"stream\":\"x\",\"beta_a\":1,\"beta_b\":1,\
+     \"gamma_shape\":1,\"gamma_rate\":1}";
+  expect_error "half a beta" "{\"op\":\"stream\",\"stream\":\"x\",\"beta_a\":1}";
+  ignore
+    (E.handle eng "{\"op\":\"stream\",\"stream\":\"s\",\"beta_a\":1,\"beta_b\":1}");
+  expect_error "both demands and hours"
+    "{\"op\":\"ingest\",\"stream\":\"s\",\"demands\":1,\"hours\":1}";
+  expect_error "neither demands nor hours" "{\"op\":\"ingest\",\"stream\":\"s\"}";
+  expect_error "wrong-mode ingest" "{\"op\":\"ingest\",\"stream\":\"s\",\"hours\":5}";
+  expect_error "failures > demands"
+    "{\"op\":\"ingest\",\"stream\":\"s\",\"demands\":1,\"failures\":2}";
+  expect_error "fractional demand-mode extras"
+    "{\"op\":\"trajectory\",\"stream\":\"s\",\"bound\":0.01,\"extras\":[1.5]}";
+  expect_error "unreadable snapshot"
+    "{\"op\":\"stream_load\",\"stream\":\"x\",\"path\":\"/does/not/exist\"}"
+
 let test_engine_memo_bound () =
   (* Overflow clears the memo wholesale rather than growing without
      bound; the next evaluations repopulate it. *)
@@ -463,6 +572,8 @@ let suite =
     case "engine quantile/check/audit/stats"
       test_engine_quantile_check_audit_stats;
     case "engine error responses" test_engine_errors;
+    case "engine stream ops" test_engine_stream_ops;
+    case "engine stream errors" test_engine_stream_errors;
     case "engine memo bound" test_engine_memo_bound;
     case "pipe server end to end" test_pipe_server_end_to_end;
     case "pipe server EOF exit" test_pipe_server_eof_without_shutdown ]

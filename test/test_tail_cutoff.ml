@@ -66,6 +66,29 @@ let test_survival_probability () =
   check_true "perfection floor"
     (T.survival_probability with_perfection ~n:100_000 >= 0.3 -. 1e-6)
 
+let test_incremental_bitwise_identity () =
+  (* The trajectory routes through the prepared incremental engine; each
+     point must be bit-for-bit the batch [after_demands] from the
+     original prior — same floats, not merely close. *)
+  let b = prior () in
+  let bound = 1e-2 in
+  let ns = [ 0; 1; 10; 100; 1000; 10000 ] in
+  let traj = T.trajectory b ~bound ~ns in
+  List.iter2
+    (fun n (p : T.point) ->
+      let batch = T.after_demands b ~n in
+      Alcotest.(check int64)
+        (Printf.sprintf "mean bits at n=%d" n)
+        (Int64.bits_of_float (M.mean batch))
+        (Int64.bits_of_float p.mean);
+      Alcotest.(check int64)
+        (Printf.sprintf "confidence bits at n=%d" n)
+        (Int64.bits_of_float (M.prob_le batch bound))
+        (Int64.bits_of_float p.confidence))
+    ns traj;
+  let eng = T.engine b in
+  check_true "engine n=0 is the prior itself" (T.engine_after_demands eng ~n:0 == b)
+
 let test_matches_conjugate () =
   (* Same operation through the beta conjugate. *)
   let a = 1.5 and bb = 100.0 in
@@ -77,6 +100,24 @@ let test_matches_conjugate () =
 let rate_prior () =
   (* Continuous-mode belief over a per-hour dangerous failure rate. *)
   M.of_dist (Dist.Lognormal.of_mode_sigma ~mode:3e-7 ~sigma:0.9)
+
+let test_incremental_bitwise_identity_hours () =
+  let b = rate_prior () in
+  let bound = 1e-6 in
+  let ts = [ 0.0; 1e4; 1e5; 1e6; 1e7 ] in
+  let traj = T.trajectory_hours b ~bound ~ts in
+  List.iter2
+    (fun t (p : T.time_point) ->
+      let batch = T.after_hours b ~t in
+      Alcotest.(check int64)
+        (Printf.sprintf "rate mean bits at t=%g" t)
+        (Int64.bits_of_float (M.mean batch))
+        (Int64.bits_of_float p.rate_mean);
+      Alcotest.(check int64)
+        (Printf.sprintf "rate confidence bits at t=%g" t)
+        (Int64.bits_of_float (M.prob_le batch bound))
+        (Int64.bits_of_float p.rate_confidence))
+    ts traj
 
 let test_hours_trajectory () =
   let traj =
@@ -139,4 +180,8 @@ let suite =
     case "identity and validation" test_after_demands_identity_and_validation;
     case "minimal demand count" test_demands_needed;
     case "prior predictive survival" test_survival_probability;
+    case "incremental engine bitwise = batch (demands)"
+      test_incremental_bitwise_identity;
+    case "incremental engine bitwise = batch (hours)"
+      test_incremental_bitwise_identity_hours;
     case "agrees with the conjugate path" test_matches_conjugate ]
